@@ -1,0 +1,95 @@
+// Ablation — numerical verification of Theorems 1 and 2 at benchmark scale.
+//
+// Theorem 1: ||X - X~||_2 (data domain) equals the L2 distortion the
+// quantizer introduced on the Lorenzo prediction errors.
+// Theorem 2: same for orthogonal-transform coefficients (Haar, DCT).
+// The table reports the ratio of the two norms; 1.0 means the theorem
+// holds exactly (to float32 reconstruction rounding).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+#include "sz/codec.h"
+#include "transform/transform_codec.h"
+
+namespace data = fpsnr::data;
+namespace metrics = fpsnr::metrics;
+namespace sz = fpsnr::sz;
+namespace transform = fpsnr::transform;
+
+namespace {
+
+double l2_diff(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void print_table() {
+  std::printf("\n=== Theorem 1/2 check: data-domain vs quantizer-domain L2 "
+              "distortion ===\n");
+  std::printf("%-12s %-12s %-10s %14s %14s %10s\n", "dataset", "field",
+              "codec", "||X-X~||_2", "stage L2", "ratio");
+
+  for (const auto& ds : data::make_all_datasets({0.6, 20180713})) {
+    const auto& f = ds.fields.front();
+    const double vr = metrics::value_range<float>(f.span());
+    const double eb = 1e-3 * vr;
+
+    {  // Theorem 1 (SZ-style)
+      const auto trace = sz::prediction_trace<float>(f.span(), f.dims, eb);
+      const double stage = l2_diff(trace.pe, trace.pe_recon);
+      sz::Params params;
+      params.mode = sz::ErrorBoundMode::Absolute;
+      params.bound = eb;
+      const auto out =
+          sz::decompress<float>(sz::compress<float>(f.span(), f.dims, params));
+      const auto rep = metrics::compare<float>(f.span(), out.values);
+      std::printf("%-12s %-12s %-10s %14.6e %14.6e %10.6f\n", ds.name.c_str(),
+                  f.name.substr(0, 12).c_str(), "sz-lorenzo", rep.l2_error,
+                  stage, rep.l2_error / stage);
+    }
+    for (auto kind : {transform::Kind::HaarMultiLevel, transform::Kind::BlockDct}) {
+      transform::Params params;
+      params.kind = kind;
+      params.bin_width = 2.0 * eb;
+      const auto trace = transform::coefficient_trace<float>(f.span(), f.dims, params);
+      const double stage = l2_diff(trace.coeffs, trace.coeffs_quantized);
+      const auto out = transform::decompress<float>(
+          transform::compress<float>(f.span(), f.dims, params));
+      const auto rep = metrics::compare<float>(f.span(), out.values);
+      std::printf("%-12s %-12s %-10s %14.6e %14.6e %10.6f\n", ds.name.c_str(),
+                  f.name.substr(0, 12).c_str(),
+                  kind == transform::Kind::HaarMultiLevel ? "haar-dwt" : "block-dct",
+                  rep.l2_error, stage, rep.l2_error / stage);
+    }
+  }
+  std::printf("\n(ratios deviate from 1.0 only by float32 reconstruction "
+              "rounding — this is paper Eq. 1 / Theorems 1-2 in numbers)\n\n");
+}
+
+void BM_TheoremOneCheck(benchmark::State& state) {
+  const auto ds = data::make_hurricane({0.5, 20180713});
+  const auto& f = ds.field("U");
+  const double eb = 1e-3 * metrics::value_range<float>(f.span());
+  for (auto _ : state) {
+    auto trace = sz::prediction_trace<float>(f.span(), f.dims, eb);
+    benchmark::DoNotOptimize(trace.pe.data());
+  }
+}
+BENCHMARK(BM_TheoremOneCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation — predictor choice: Lorenzo (SZ 1.4, the paper's substrate)
+// vs the hybrid Lorenzo+regression predictor (SZ 2.x evolution).
+//
+// Theorem 1 makes the fixed-PSNR model predictor-agnostic, so the PSNR
+// column should be flat; the predictor only moves the *bit rate*. That is
+// exactly the separation of concerns the paper's analysis predicts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/compressor.h"
+#include "core/distortion_model.h"
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+#include "sz/codec.h"
+
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+namespace metrics = fpsnr::metrics;
+namespace sz = fpsnr::sz;
+
+namespace {
+
+void print_table() {
+  std::printf("\n=== Predictor ablation at fixed 60 dB (per-field bits/value "
+              "and achieved PSNR) ===\n");
+  std::printf("%-12s %-12s %12s %12s %12s %12s\n", "dataset", "field",
+              "lorenzo b/v", "hybrid b/v", "lorenzo dB", "hybrid dB");
+
+  for (const auto& ds : data::make_all_datasets({0.8, 20180713})) {
+    for (std::size_t i = 0; i < 2 && i < ds.fields.size(); ++i) {
+      const auto& f = ds.fields[i];
+      const double eb = core::rel_bound_for_psnr(60.0);
+      double rates[2], psnrs[2];
+      for (int p = 0; p < 2; ++p) {
+        sz::Params params;
+        params.mode = sz::ErrorBoundMode::ValueRangeRelative;
+        params.bound = eb;
+        params.predictor =
+            p == 0 ? sz::Predictor::Lorenzo : sz::Predictor::HybridRegression;
+        sz::CompressionInfo info;
+        const auto stream = sz::compress<float>(f.span(), f.dims, params, &info);
+        const auto out = sz::decompress<float>(stream);
+        const auto rep = metrics::compare<float>(f.span(), out.values);
+        rates[p] = info.bit_rate;
+        psnrs[p] = rep.psnr_db;
+      }
+      std::printf("%-12s %-12s %12.2f %12.2f %12.2f %12.2f\n", ds.name.c_str(),
+                  f.name.substr(0, 12).c_str(), rates[0], rates[1], psnrs[0],
+                  psnrs[1]);
+    }
+  }
+  std::printf("\n(PSNR columns match — Theorem 1 is predictor-agnostic; "
+              "only the rate moves)\n\n");
+}
+
+void BM_CompressLorenzo(benchmark::State& state) {
+  const auto ds = data::make_hurricane({});
+  const auto& f = ds.field("U");
+  sz::Params params;
+  params.mode = sz::ErrorBoundMode::ValueRangeRelative;
+  params.bound = 1e-3;
+  for (auto _ : state) {
+    auto s = sz::compress<float>(f.span(), f.dims, params);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_CompressLorenzo)->Unit(benchmark::kMillisecond);
+
+void BM_CompressHybrid(benchmark::State& state) {
+  const auto ds = data::make_hurricane({});
+  const auto& f = ds.field("U");
+  sz::Params params;
+  params.mode = sz::ErrorBoundMode::ValueRangeRelative;
+  params.bound = 1e-3;
+  params.predictor = sz::Predictor::HybridRegression;
+  for (auto _ : state) {
+    auto s = sz::compress<float>(f.span(), f.dims, params);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_CompressHybrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table I — data sets used in the experimental evaluation.
+//
+// Prints the stand-in inventory next to the paper's production inventory
+// (dims / #fields / size), then times dataset generation so regressions in
+// the generators are visible.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "data/dataset.h"
+
+namespace data = fpsnr::data;
+
+namespace {
+
+void print_table() {
+  std::printf("\n=== Table I: data sets used in experimental evaluation ===\n");
+  std::printf("%-10s | %-22s | %8s | %10s || %-22s %8s\n", "dataset",
+              "stand-in dims", "#fields", "size(MB)", "paper dims",
+              "paper sz");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  struct PaperRow {
+    const char* dims;
+    const char* size;
+  };
+  const PaperRow paper[] = {{"2048x2048x2048", "206 GB"},
+                            {"1800x3600", "1.5 TB"},
+                            {"100x500x500", "62.4 GB"}};
+
+  const auto all = data::make_all_datasets({});
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& ds = all[i];
+    char dims_buf[64] = {0};
+    const auto& d = ds.fields.front().dims;
+    if (d.rank() == 2)
+      std::snprintf(dims_buf, sizeof dims_buf, "%zux%zu", d[0], d[1]);
+    else
+      std::snprintf(dims_buf, sizeof dims_buf, "%zux%zux%zu", d[0], d[1], d[2]);
+    std::printf("%-10s | %-22s | %8zu | %10.1f || %-22s %8s\n",
+                ds.name.c_str(), dims_buf, ds.field_count(),
+                ds.total_bytes() / (1024.0 * 1024.0), paper[i].dims,
+                paper[i].size);
+  }
+  std::printf("\nexample fields: NYX baryon_density/temperature; "
+              "ATM CLDHGH/CLDLOW; Hurricane QICE/PRECIP/U/V/W\n"
+              "(grid extents scaled for single-node runs; rank, field count "
+              "and per-field character preserved — DESIGN.md §4)\n\n");
+}
+
+void BM_GenerateNyx(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ds = data::make_nyx({});
+    benchmark::DoNotOptimize(ds.fields.front().values.data());
+  }
+}
+BENCHMARK(BM_GenerateNyx)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateAtm(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ds = data::make_atm({});
+    benchmark::DoNotOptimize(ds.fields.front().values.data());
+  }
+}
+BENCHMARK(BM_GenerateAtm)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateHurricane(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ds = data::make_hurricane({});
+    benchmark::DoNotOptimize(ds.fields.front().values.data());
+  }
+}
+BENCHMARK(BM_GenerateHurricane)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table II — the paper's headline result: AVG / STDEV of the actual PSNRs
+// across all fields of NYX, ATM and Hurricane for user-set PSNR
+// 20/40/60/80/100/120 dB.
+//
+// Reproduction target is the *shape*: AVG tracks the target within
+// 0.1-5 dB, accuracy improves as the target grows, low targets overshoot
+// (actual >= requested), Hurricane is the noisiest dataset at 20 dB.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/batch.h"
+#include "data/dataset.h"
+
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+
+namespace {
+
+struct PaperCell {
+  double avg, stdev;
+};
+// Table II of the paper, for side-by-side comparison.
+constexpr PaperCell kPaper[6][3] = {
+    {{24.3, 1.82}, {21.9, 3.34}, {25.0, 6.52}},   // 20 dB
+    {{41.9, 2.32}, {40.9, 1.80}, {42.0, 3.97}},   // 40 dB
+    {{60.7, 0.74}, {60.2, 0.62}, {60.5, 0.74}},   // 60 dB
+    {{80.1, 0.05}, {80.1, 0.35}, {80.1, 0.32}},   // 80 dB
+    {{100.1, 0.07}, {100.2, 0.17}, {100.1, 0.39}},// 100 dB
+    {{120.1, 0.01}, {120.2, 0.19}, {120.3, 0.63}},// 120 dB
+};
+
+void print_table() {
+  const auto datasets = data::make_all_datasets({});
+  const double targets[] = {20.0, 40.0, 60.0, 80.0, 100.0, 120.0};
+
+  std::printf("\n=== Table II: fixed-PSNR accuracy (ours | paper) ===\n");
+  std::printf("%8s", "PSNR");
+  for (const auto& ds : datasets)
+    std::printf(" | %-11s AVG STDEV (paper)", ds.name.c_str());
+  std::printf("\n%s\n", std::string(118, '-').c_str());
+
+  for (std::size_t t = 0; t < std::size(targets); ++t) {
+    std::printf("%8.0f", targets[t]);
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      const auto batch = core::run_fixed_psnr_batch(datasets[d], targets[t]);
+      const auto stats = batch.psnr_stats();
+      std::printf(" | %8.1f %6.2f  (%5.1f %5.2f)", stats.mean(), stats.stdev(),
+                  kPaper[t][d].avg, kPaper[t][d].stdev);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape checks: (a) AVG >= target at low PSNR (model is "
+              "conservative);\n              (b) deviation shrinks "
+              "monotonically as the target grows;\n              (c) 60+ dB "
+              "rows land within ~1 dB of the request.\n\n");
+}
+
+void BM_Table2SingleCell(benchmark::State& state) {
+  // One (dataset, target) cell as the timing unit: Hurricane @ 80 dB.
+  const auto ds = data::make_hurricane({0.5, 20180713});
+  for (auto _ : state) {
+    auto batch = core::run_fixed_psnr_batch(ds, 80.0);
+    benchmark::DoNotOptimize(batch.fields.data());
+  }
+}
+BENCHMARK(BM_Table2SingleCell)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Snapshot-series archival: everything in one pipeline.
+//
+// A small campaign writes a time series of snapshots. Each snapshot is
+// compressed to a fixed PSNR with the *chunked* codec (slab-parallel over
+// a thread pool), and all snapshots land in one self-describing archive —
+// the workflow a simulation's I/O layer would actually run. Reading back,
+// we verify every snapshot meets the quality target and show per-snapshot
+// whiteness of the compression error (errors stay uncorrelated, so
+// downstream spectra remain trustworthy).
+//
+//   $ ./snapshot_archive [target_db]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/distortion_model.h"
+#include "data/timeseries.h"
+#include "io/archive.h"
+#include "metrics/autocorrelation.h"
+#include "metrics/metrics.h"
+#include "parallel/thread_pool.h"
+#include "sz/chunked.h"
+
+int main(int argc, char** argv) {
+  using namespace fpsnr;
+
+  const double target_db = argc > 1 ? std::atof(argv[1]) : 70.0;
+
+  data::TimeSeriesConfig cfg;
+  cfg.dims = data::Dims{128, 128};
+  cfg.snapshots = 12;
+  const auto series = data::make_advected_series(cfg);
+  std::printf("campaign: %zu snapshots of %zux%zu, target %.0f dB\n\n",
+              series.size(), cfg.dims[0], cfg.dims[1], target_db);
+
+  parallel::ThreadPool pool;
+
+  // Write phase: fixed-PSNR + chunked codec, one archive entry per snapshot.
+  std::vector<io::ArchiveEntry> entries;
+  std::size_t raw_bytes = 0;
+  for (const auto& snap : series) {
+    sz::Params params;
+    params.mode = sz::ErrorBoundMode::ValueRangeRelative;
+    params.bound = core::rel_bound_for_psnr(target_db);  // Eq. 8
+    io::ArchiveEntry e;
+    e.name = snap.name;
+    e.bytes = sz::chunked_compress<float>(snap.span(), snap.dims, params,
+                                          /*chunks=*/0, &pool);
+    raw_bytes += snap.bytes();
+    entries.push_back(std::move(e));
+  }
+  const auto archive = io::write_archive(entries);
+  std::printf("archive: %zu -> %zu bytes (%.1fx)\n\n", raw_bytes,
+              archive.size(),
+              static_cast<double>(raw_bytes) / archive.size());
+
+  // Read phase: verify quality and error whiteness per snapshot.
+  std::printf("%-6s %10s %8s %12s\n", "snap", "PSNR(dB)", "met", "err-acf max");
+  std::size_t met = 0;
+  for (const auto& snap : series) {
+    const auto stream = io::archive_entry(archive, snap.name);
+    const auto out = sz::chunked_decompress<float>(stream, &pool);
+    const auto rep = metrics::compare<float>(snap.span(), out.values);
+    const double white =
+        metrics::error_whiteness<float>(snap.span(), out.values, 8);
+    if (rep.psnr_db >= target_db) ++met;
+    std::printf("%-6s %10.2f %8s %12.3f\n", snap.name.c_str(), rep.psnr_db,
+                rep.psnr_db >= target_db ? "yes" : "no", white);
+  }
+  std::printf("\n%zu/%zu snapshots met the %.0f dB target; error "
+              "autocorrelation stays low (quantization noise is nearly "
+              "white).\n", met, series.size(), target_db);
+  return 0;
+}

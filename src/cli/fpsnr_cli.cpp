@@ -1,0 +1,248 @@
+// fpsnr_cli — command-line front end for the fixed-PSNR compressor.
+//
+//   fpsnr_cli compress   -i data.f32 -d 100x500x500 -m psnr -v 80 -o out.fpsz
+//   fpsnr_cli decompress -i out.fpsz -o restored.f32
+//   fpsnr_cli inspect    -i out.fpsz
+//   fpsnr_cli demo       --dataset atm --psnr 80
+//
+// Raw input files are little-endian float32 arrays in C order.
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/compressor.h"
+#include "core/version.h"
+#include "data/dataset.h"
+#include "io/archive.h"
+#include "sz/stream_format.h"
+
+namespace {
+
+using namespace fpsnr;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "fpsnr_cli " << kVersionString << " — fixed-PSNR lossy compression\n"
+      "\n"
+      "  fpsnr_cli compress   -i IN.f32 -d DIMS -m MODE -v VALUE -o OUT.fpsz\n"
+      "      DIMS        e.g. 512, 1800x3600, 100x500x500 (C order)\n"
+      "      MODE        psnr | abs | rel | pwrel | nrmse\n"
+      "      VALUE       target PSNR (dB) for psnr, bound otherwise\n"
+      "      --predictor lorenzo | hybrid   (default lorenzo)\n"
+      "  fpsnr_cli decompress -i IN.fpsz -o OUT.f32\n"
+      "  fpsnr_cli inspect    -i IN.fpsz\n"
+      "  fpsnr_cli demo       [--dataset nyx|atm|hurricane] [--psnr DB]\n"
+      "  fpsnr_cli pack       --dataset NAME --psnr DB -o OUT.fpar\n"
+      "      compress every field of a synthetic dataset into one archive\n"
+      "  fpsnr_cli list       -i IN.fpar\n"
+      "  fpsnr_cli unpack     -i IN.fpar --field NAME -o OUT.f32\n";
+  std::exit(2);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) usage(("cannot open " + path).c_str());
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const void* data, std::size_t bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) usage(("cannot write " + path).c_str());
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+}
+
+data::Dims parse_dims(const std::string& s) {
+  std::vector<std::size_t> extents;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, 'x')) extents.push_back(std::stoull(part));
+  return data::Dims(std::move(extents));
+}
+
+core::ControlRequest parse_request(const std::string& mode, double value) {
+  if (mode == "psnr") return core::ControlRequest::fixed_psnr(value);
+  if (mode == "abs") return core::ControlRequest::absolute(value);
+  if (mode == "rel") return core::ControlRequest::relative(value);
+  if (mode == "pwrel") return core::ControlRequest::pointwise(value);
+  if (mode == "nrmse") return core::ControlRequest::fixed_nrmse(value);
+  usage("unknown mode (want psnr|abs|rel|pwrel|nrmse)");
+}
+
+struct Args {
+  std::string input, output, dims, mode = "psnr", dataset = "atm";
+  std::string predictor = "lorenzo", field;
+  double value = 80.0;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "-i" || flag == "--input") a.input = next();
+    else if (flag == "-o" || flag == "--output") a.output = next();
+    else if (flag == "-d" || flag == "--dims") a.dims = next();
+    else if (flag == "-m" || flag == "--mode") a.mode = next();
+    else if (flag == "-v" || flag == "--value" || flag == "--psnr") a.value = std::stod(next());
+    else if (flag == "--dataset") a.dataset = next();
+    else if (flag == "--predictor") a.predictor = next();
+    else if (flag == "--field") a.field = next();
+    else usage(("unknown flag " + flag).c_str());
+  }
+  return a;
+}
+
+int cmd_compress(const Args& a) {
+  if (a.input.empty() || a.output.empty() || a.dims.empty())
+    usage("compress needs -i, -o, -d");
+  const auto raw = read_file(a.input);
+  if (raw.size() % sizeof(float) != 0) usage("input size is not a multiple of 4");
+  std::vector<float> values(raw.size() / sizeof(float));
+  std::memcpy(values.data(), raw.data(), raw.size());
+  const data::Dims dims = parse_dims(a.dims);
+  if (dims.count() != values.size()) usage("dims do not match input size");
+
+  core::CompressOptions opts;
+  if (a.predictor == "hybrid")
+    opts.sz_predictor = sz::Predictor::HybridRegression;
+  else if (a.predictor != "lorenzo")
+    usage("unknown predictor (want lorenzo|hybrid)");
+  const auto result =
+      core::compress<float>(values, dims, parse_request(a.mode, a.value), opts);
+  write_file(a.output, result.stream.data(), result.stream.size());
+
+  std::cout << "compressed " << values.size() << " values -> "
+            << result.stream.size() << " bytes  (ratio "
+            << std::fixed << std::setprecision(2) << result.info.compression_ratio
+            << ", " << result.info.bit_rate << " bits/value)\n";
+  if (a.mode == "psnr")
+    std::cout << "target PSNR " << a.value << " dB, eb_rel used "
+              << std::scientific << result.rel_bound_used << "\n";
+  return 0;
+}
+
+int cmd_decompress(const Args& a) {
+  if (a.input.empty() || a.output.empty()) usage("decompress needs -i, -o");
+  const auto stream = read_file(a.input);
+  const auto d = core::decompress<float>(stream);
+  write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
+  std::cout << "decompressed " << d.values.size() << " values (rank "
+            << d.dims.rank() << ")\n";
+  return 0;
+}
+
+int cmd_inspect(const Args& a) {
+  if (a.input.empty()) usage("inspect needs -i");
+  const auto stream = read_file(a.input);
+  const auto h = sz::inspect(stream);
+  std::cout << "scalar      : " << (h.scalar == sz::ScalarType::Float32 ? "float32" : "float64") << "\n"
+            << "mode        : " << sz::mode_name(h.mode) << "\n"
+            << "rank        : " << h.dims.rank() << "\n";
+  std::cout << "extents     : ";
+  for (std::size_t i = 0; i < h.dims.rank(); ++i)
+    std::cout << (i ? " x " : "") << h.dims[i];
+  std::cout << "\n"
+            << "eb_abs      : " << std::scientific << h.eb_abs << "\n"
+            << "user bound  : " << h.user_bound << "\n"
+            << "value range : " << h.value_range << "\n"
+            << "quant bins  : " << h.quant_bins << "\n"
+            << "stream size : " << stream.size() << " bytes\n";
+  return 0;
+}
+
+data::Dataset make_named_dataset(const std::string& name) {
+  data::DatasetConfig cfg;
+  if (name == "nyx") return data::make_nyx(cfg);
+  if (name == "atm") return data::make_atm(cfg);
+  if (name == "hurricane") return data::make_hurricane(cfg);
+  usage("unknown dataset (want nyx|atm|hurricane)");
+}
+
+int cmd_pack(const Args& a) {
+  if (a.output.empty()) usage("pack needs -o");
+  const data::Dataset ds = make_named_dataset(a.dataset);
+  std::vector<io::ArchiveEntry> entries;
+  for (const auto& f : ds.fields) {
+    io::ArchiveEntry e;
+    e.name = f.name;
+    e.bytes = core::compress_fixed_psnr<float>(f.span(), f.dims, a.value).stream;
+    entries.push_back(std::move(e));
+  }
+  const auto archive = io::write_archive(entries);
+  write_file(a.output, archive.data(), archive.size());
+  std::cout << "packed " << ds.field_count() << " fields ("
+            << ds.total_bytes() << " raw bytes) into " << archive.size()
+            << " bytes at " << a.value << " dB\n";
+  return 0;
+}
+
+int cmd_list(const Args& a) {
+  if (a.input.empty()) usage("list needs -i");
+  const auto archive = read_file(a.input);
+  for (const auto& name : io::list_archive(archive)) std::cout << name << "\n";
+  return 0;
+}
+
+int cmd_unpack(const Args& a) {
+  if (a.input.empty() || a.output.empty() || a.field.empty())
+    usage("unpack needs -i, -o, --field");
+  const auto archive = read_file(a.input);
+  const auto stream = io::archive_entry(archive, a.field);
+  const auto d = core::decompress<float>(stream);
+  write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
+  std::cout << "extracted " << a.field << ": " << d.values.size() << " values\n";
+  return 0;
+}
+
+int cmd_demo(const Args& a) {
+  data::Dataset ds = make_named_dataset(a.dataset);
+
+  std::cout << "dataset " << ds.name << ": " << ds.field_count() << " fields, "
+            << ds.total_bytes() / (1024.0 * 1024.0) << " MB raw\n"
+            << "target PSNR " << a.value << " dB (fixed-PSNR mode)\n\n";
+
+  const auto batch = core::run_fixed_psnr_batch(ds, a.value);
+  std::cout << std::left << std::setw(12) << "field" << std::right
+            << std::setw(12) << "actual dB" << std::setw(10) << "ratio"
+            << std::setw(8) << "met\n";
+  for (const auto& f : batch.fields)
+    std::cout << std::left << std::setw(12) << f.field_name << std::right
+              << std::setw(12) << std::fixed << std::setprecision(2)
+              << f.actual_psnr_db << std::setw(10) << f.compression_ratio
+              << std::setw(7) << (f.met_target ? "yes" : "no") << "\n";
+  const auto stats = batch.psnr_stats();
+  std::cout << "\nAVG " << stats.mean() << " dB, STDEV " << stats.stdev()
+            << " dB, met " << 100.0 * batch.met_fraction() << "%\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parse_args(argc, argv, 2);
+    if (cmd == "compress") return cmd_compress(a);
+    if (cmd == "decompress") return cmd_decompress(a);
+    if (cmd == "inspect") return cmd_inspect(a);
+    if (cmd == "demo") return cmd_demo(a);
+    if (cmd == "pack") return cmd_pack(a);
+    if (cmd == "list") return cmd_list(a);
+    if (cmd == "unpack") return cmd_unpack(a);
+    usage(("unknown command " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

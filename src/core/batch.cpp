@@ -1,0 +1,84 @@
+#include "core/batch.h"
+
+#include <cmath>
+
+namespace fpsnr::core {
+
+metrics::RunningStats BatchResult::psnr_stats() const {
+  metrics::RunningStats s;
+  for (const FieldOutcome& f : fields) s.add(f.actual_psnr_db);
+  return s;
+}
+
+double BatchResult::met_fraction() const {
+  if (fields.empty()) return 0.0;
+  std::size_t met = 0;
+  for (const FieldOutcome& f : fields)
+    if (f.met_target) ++met;
+  return static_cast<double>(met) / static_cast<double>(fields.size());
+}
+
+double BatchResult::mean_abs_deviation_db() const {
+  if (fields.empty()) return 0.0;
+  double acc = 0.0;
+  for (const FieldOutcome& f : fields)
+    acc += std::abs(f.actual_psnr_db - f.target_psnr_db);
+  return acc / static_cast<double>(fields.size());
+}
+
+namespace {
+
+FieldOutcome run_one_field(const data::Field& field, double target_psnr_db,
+                           const CompressOptions& options) {
+  FieldOutcome out;
+  out.field_name = field.name;
+  out.target_psnr_db = target_psnr_db;
+
+  const CompressResult cr =
+      compress_fixed_psnr<float>(field.span(), field.dims, target_psnr_db, options);
+  const metrics::ErrorReport rep =
+      verify<float>(field.span(), std::span<const std::uint8_t>(cr.stream));
+
+  out.predicted_psnr_db = cr.predicted_psnr_db;
+  out.actual_psnr_db = rep.psnr_db;
+  out.rel_bound_used = cr.rel_bound_used;
+  out.compression_ratio = cr.info.compression_ratio;
+  out.bit_rate = cr.info.bit_rate;
+  out.max_abs_error = rep.max_abs_error;
+  out.outlier_count = cr.info.outlier_count;
+  out.met_target = rep.psnr_db >= target_psnr_db;
+  return out;
+}
+
+}  // namespace
+
+BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psnr_db,
+                                 const BatchOptions& options) {
+  BatchResult result;
+  result.dataset_name = dataset.name;
+  result.target_psnr_db = target_psnr_db;
+  result.fields.resize(dataset.fields.size());
+
+  auto work = [&](std::size_t i) {
+    result.fields[i] =
+        run_one_field(dataset.fields[i], target_psnr_db, options.compress);
+  };
+  if (options.pool != nullptr) {
+    parallel::parallel_for(*options.pool, dataset.fields.size(), work);
+  } else {
+    for (std::size_t i = 0; i < dataset.fields.size(); ++i) work(i);
+  }
+  return result;
+}
+
+std::vector<BatchResult> run_fixed_psnr_sweep(const data::Dataset& dataset,
+                                              std::span<const double> targets,
+                                              const BatchOptions& options) {
+  std::vector<BatchResult> out;
+  out.reserve(targets.size());
+  for (double t : targets)
+    out.push_back(run_fixed_psnr_batch(dataset, t, options));
+  return out;
+}
+
+}  // namespace fpsnr::core

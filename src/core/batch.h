@@ -1,0 +1,66 @@
+// Dataset-level fixed-PSNR evaluation — the harness behind Fig. 2 and
+// Table II.
+//
+// For every field of a dataset: compress at the target PSNR, decompress,
+// measure the achieved PSNR, and aggregate AVG / STDEV / met-target
+// statistics across fields. Fields are processed concurrently on a thread
+// pool; each field's codec run stays sequential so outputs are
+// deterministic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+#include "data/dataset.h"
+#include "metrics/stats.h"
+#include "parallel/thread_pool.h"
+
+namespace fpsnr::core {
+
+/// Outcome of one field at one target PSNR.
+struct FieldOutcome {
+  std::string field_name;
+  double target_psnr_db = 0.0;
+  double predicted_psnr_db = 0.0;  ///< analytical (Eq. 7)
+  double actual_psnr_db = 0.0;     ///< measured after decompression
+  double rel_bound_used = 0.0;
+  double compression_ratio = 0.0;
+  double bit_rate = 0.0;
+  double max_abs_error = 0.0;
+  std::size_t outlier_count = 0;
+  bool met_target = false;  ///< actual >= target (paper's definition of "meet")
+};
+
+/// Aggregate over all fields of a dataset at one target PSNR.
+struct BatchResult {
+  std::string dataset_name;
+  double target_psnr_db = 0.0;
+  std::vector<FieldOutcome> fields;
+
+  /// AVG / STDEV of the actual PSNRs — the two columns of Table II.
+  metrics::RunningStats psnr_stats() const;
+  /// Fraction of fields whose actual PSNR met (>=) the target.
+  double met_fraction() const;
+  /// Mean |actual - target| deviation in dB.
+  double mean_abs_deviation_db() const;
+};
+
+struct BatchOptions {
+  CompressOptions compress = {};
+  /// Thread pool to fan fields out on; nullptr = sequential.
+  parallel::ThreadPool* pool = nullptr;
+};
+
+/// Compress + verify every field of `dataset` at `target_psnr_db`.
+BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psnr_db,
+                                 const BatchOptions& options = {});
+
+/// Sweep several PSNR targets (one BatchResult per target) — a Table II row
+/// block for one dataset.
+std::vector<BatchResult> run_fixed_psnr_sweep(const data::Dataset& dataset,
+                                              std::span<const double> targets,
+                                              const BatchOptions& options = {});
+
+}  // namespace fpsnr::core

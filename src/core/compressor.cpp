@@ -1,0 +1,147 @@
+#include "core/compressor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/distortion_model.h"
+#include "io/bitstream.h"
+
+namespace fpsnr::core {
+
+namespace {
+
+bool is_transform_engine(Engine e) {
+  return e == Engine::TransformHaar || e == Engine::TransformDct;
+}
+
+template <typename T>
+CompressResult compress_transform(std::span<const T> values, const data::Dims& dims,
+                                  const ControlRequest& request,
+                                  const CompressOptions& options) {
+  // Transform engines control only aggregate distortion; the uniform
+  // coefficient bin width comes straight from Eq. (6).
+  const double vr = metrics::value_range(values);
+  double bin_width = 0.0;
+  switch (request.mode) {
+    case ControlMode::FixedPsnr:
+      bin_width = bin_width_for_psnr(request.value, vr);
+      break;
+    case ControlMode::Absolute:
+      bin_width = 2.0 * request.value;
+      break;
+    case ControlMode::ValueRangeRelative:
+      bin_width = 2.0 * request.value * vr;
+      break;
+    default:
+      throw std::invalid_argument(
+          "compress: transform engines support FixedPsnr / Absolute / "
+          "ValueRangeRelative control only");
+  }
+  if (!(bin_width > 0.0)) {
+    // Constant field: any tiny width keeps it exact.
+    bin_width = std::numeric_limits<double>::min() * 1e6;
+  }
+
+  transform::Params tp;
+  tp.kind = options.engine == Engine::TransformHaar ? transform::Kind::HaarMultiLevel
+                                                    : transform::Kind::BlockDct;
+  tp.bin_width = bin_width;
+  tp.quantization_bins = options.quantization_bins;
+  tp.haar_levels = options.haar_levels;
+  tp.dct_block = options.dct_block;
+  tp.backend = options.backend;
+
+  transform::Info tinfo;
+  CompressResult out;
+  out.stream = transform::compress(values, dims, tp, &tinfo);
+  out.request = request;
+  out.predicted_psnr_db =
+      vr > 0.0 ? psnr_for_bin_width(bin_width, vr)
+               : std::numeric_limits<double>::infinity();
+  out.rel_bound_used = vr > 0.0 ? bin_width / (2.0 * vr) : 0.0;
+  out.info.eb_abs_used = bin_width / 2.0;
+  out.info.value_range = tinfo.value_range;
+  out.info.value_count = tinfo.value_count;
+  out.info.outlier_count = tinfo.outlier_count;
+  out.info.compressed_bytes = tinfo.compressed_bytes;
+  out.info.compression_ratio = tinfo.compression_ratio;
+  out.info.bit_rate = tinfo.bit_rate;
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+CompressResult compress(std::span<const T> values, const data::Dims& dims,
+                        const ControlRequest& request,
+                        const CompressOptions& options) {
+  if (is_transform_engine(options.engine))
+    return compress_transform(values, dims, request, options);
+
+  const ResolvedControl resolved = resolve_control(request);
+  sz::Params params;
+  params.mode = resolved.sz_mode;
+  params.bound = resolved.sz_bound;
+  params.predictor = options.sz_predictor;
+  params.quantization_bins = options.quantization_bins;
+  params.backend = options.backend;
+
+  CompressResult out;
+  out.request = request;
+  out.stream = sz::compress(values, dims, params, &out.info);
+  out.predicted_psnr_db = resolved.predicted_psnr_db;
+  if (request.mode == ControlMode::Absolute && out.info.value_range > 0.0) {
+    // Now that the value range is known, complete the Eq. (7) prediction.
+    out.predicted_psnr_db =
+        psnr_for_abs_bound(out.info.eb_abs_used, out.info.value_range);
+  }
+  out.rel_bound_used = resolved.sz_mode == sz::ErrorBoundMode::ValueRangeRelative
+                           ? resolved.sz_bound
+                           : (out.info.value_range > 0.0
+                                  ? out.info.eb_abs_used / out.info.value_range
+                                  : 0.0);
+  return out;
+}
+
+template <typename T>
+CompressResult compress_fixed_psnr(std::span<const T> values, const data::Dims& dims,
+                                   double target_psnr_db,
+                                   const CompressOptions& options) {
+  return compress(values, dims, ControlRequest::fixed_psnr(target_psnr_db), options);
+}
+
+template <typename T>
+sz::Decompressed<T> decompress(std::span<const std::uint8_t> stream) {
+  if (stream.size() >= 4 && stream[0] == 'F' && stream[1] == 'P' &&
+      stream[2] == 'T' && stream[3] == 'C') {
+    auto d = transform::decompress<T>(stream);
+    return {std::move(d.dims), std::move(d.values)};
+  }
+  return sz::decompress<T>(stream);
+}
+
+template <typename T>
+metrics::ErrorReport verify(std::span<const T> original,
+                            std::span<const std::uint8_t> stream) {
+  const auto d = decompress<T>(stream);
+  return metrics::compare<T>(original, d.values);
+}
+
+template CompressResult compress<float>(std::span<const float>, const data::Dims&,
+                                        const ControlRequest&, const CompressOptions&);
+template CompressResult compress<double>(std::span<const double>, const data::Dims&,
+                                         const ControlRequest&, const CompressOptions&);
+template CompressResult compress_fixed_psnr<float>(std::span<const float>,
+                                                   const data::Dims&, double,
+                                                   const CompressOptions&);
+template CompressResult compress_fixed_psnr<double>(std::span<const double>,
+                                                    const data::Dims&, double,
+                                                    const CompressOptions&);
+template sz::Decompressed<float> decompress<float>(std::span<const std::uint8_t>);
+template sz::Decompressed<double> decompress<double>(std::span<const std::uint8_t>);
+template metrics::ErrorReport verify<float>(std::span<const float>,
+                                            std::span<const std::uint8_t>);
+template metrics::ErrorReport verify<double>(std::span<const double>,
+                                             std::span<const std::uint8_t>);
+
+}  // namespace fpsnr::core

@@ -1,0 +1,98 @@
+// High-level compression facade: the public entry point most users want.
+//
+// Wraps the SZ-style codec (and optionally the orthogonal-transform codec)
+// behind the unified ControlRequest interface, with fixed-PSNR as the
+// headline mode. One call compresses; an optional verify step decompresses
+// and measures the achieved PSNR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/psnr_control.h"
+#include "data/field.h"
+#include "metrics/metrics.h"
+#include "sz/codec.h"
+#include "transform/transform_codec.h"
+
+namespace fpsnr::core {
+
+/// Which codec family executes the request.
+enum class Engine : std::uint8_t {
+  SzLorenzo = 0,       ///< prediction-based (Theorem 1); pointwise bounds hold
+  TransformHaar = 1,   ///< orthogonal Haar DWT (Theorem 2); PSNR-only control
+  TransformDct = 2,    ///< orthogonal block DCT (Theorem 2); PSNR-only control
+};
+
+struct CompressOptions {
+  Engine engine = Engine::SzLorenzo;
+  /// Prediction scheme for the SzLorenzo engine (Lorenzo = the paper's
+  /// SZ 1.4 substrate; HybridRegression = SZ 2.x-style per-block choice).
+  sz::Predictor sz_predictor = sz::Predictor::Lorenzo;
+  std::uint32_t quantization_bins = 65536;
+  lossless::Method backend = lossless::Method::Deflate;
+  unsigned haar_levels = 4;
+  std::size_t dct_block = 8;
+};
+
+struct CompressResult {
+  std::vector<std::uint8_t> stream;
+  ControlRequest request;
+  /// Analytical PSNR prediction from the distortion model (Eq. 6/7);
+  /// NaN for modes where the model does not apply.
+  double predicted_psnr_db = 0.0;
+  /// Value-range relative bound actually used (fixed-PSNR / relative modes).
+  double rel_bound_used = 0.0;
+  sz::CompressionInfo info;
+};
+
+/// Compress one field under any control mode.
+/// FixedRate requests are rejected here (no closed form) — see
+/// search_baseline.h.
+template <typename T>
+CompressResult compress(std::span<const T> values, const data::Dims& dims,
+                        const ControlRequest& request,
+                        const CompressOptions& options = {});
+
+/// Convenience wrapper: the paper's fixed-PSNR mode.
+template <typename T>
+CompressResult compress_fixed_psnr(std::span<const T> values, const data::Dims& dims,
+                                   double target_psnr_db,
+                                   const CompressOptions& options = {});
+
+/// Decompress a stream produced by compress() with any engine (the stream
+/// is self-describing via its magic bytes).
+template <typename T>
+sz::Decompressed<T> decompress(std::span<const std::uint8_t> stream);
+
+/// Decompress and compare against the original.
+template <typename T>
+metrics::ErrorReport verify(std::span<const T> original,
+                            std::span<const std::uint8_t> stream);
+
+extern template CompressResult compress<float>(std::span<const float>,
+                                               const data::Dims&,
+                                               const ControlRequest&,
+                                               const CompressOptions&);
+extern template CompressResult compress<double>(std::span<const double>,
+                                                const data::Dims&,
+                                                const ControlRequest&,
+                                                const CompressOptions&);
+extern template CompressResult compress_fixed_psnr<float>(std::span<const float>,
+                                                          const data::Dims&, double,
+                                                          const CompressOptions&);
+extern template CompressResult compress_fixed_psnr<double>(std::span<const double>,
+                                                           const data::Dims&, double,
+                                                           const CompressOptions&);
+extern template sz::Decompressed<float> decompress<float>(
+    std::span<const std::uint8_t>);
+extern template sz::Decompressed<double> decompress<double>(
+    std::span<const std::uint8_t>);
+extern template metrics::ErrorReport verify<float>(std::span<const float>,
+                                                   std::span<const std::uint8_t>);
+extern template metrics::ErrorReport verify<double>(std::span<const double>,
+                                                    std::span<const std::uint8_t>);
+
+}  // namespace fpsnr::core

@@ -1,0 +1,88 @@
+#include "core/distortion_model.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace fpsnr::core {
+
+namespace {
+void require_positive(double x, const char* what) {
+  if (!(x > 0.0) || !std::isfinite(x)) {
+    throw std::invalid_argument(std::string(what) +
+                                " must be positive and finite");
+  }
+}
+}  // namespace
+
+double mse_uniform_quantization(double bin_width) {
+  require_positive(bin_width, "bin width");
+  return bin_width * bin_width / 12.0;
+}
+
+double psnr_for_bin_width(double bin_width, double value_range) {
+  require_positive(bin_width, "bin width");
+  require_positive(value_range, "value range");
+  return 20.0 * std::log10(value_range / bin_width) + 10.0 * std::log10(12.0);
+}
+
+double bin_width_for_psnr(double target_psnr_db, double value_range) {
+  require_positive(value_range, "value range");
+  return value_range * std::sqrt(12.0) * std::pow(10.0, -target_psnr_db / 20.0);
+}
+
+double psnr_for_abs_bound(double eb_abs, double value_range) {
+  require_positive(eb_abs, "absolute bound");
+  require_positive(value_range, "value range");
+  return 20.0 * std::log10(value_range / eb_abs) + 10.0 * std::log10(3.0);
+}
+
+double psnr_for_rel_bound(double eb_rel) {
+  require_positive(eb_rel, "relative bound");
+  return -20.0 * std::log10(eb_rel) + 10.0 * std::log10(3.0);
+}
+
+double rel_bound_for_psnr(double target_psnr_db) {
+  return std::sqrt(3.0) * std::pow(10.0, -target_psnr_db / 20.0);
+}
+
+double abs_bound_for_psnr(double target_psnr_db, double value_range) {
+  require_positive(value_range, "value range");
+  return rel_bound_for_psnr(target_psnr_db) * value_range;
+}
+
+double mse_general_quantization(std::span<const double> bin_widths,
+                                std::span<const double> midpoint_densities) {
+  if (bin_widths.size() != midpoint_densities.size())
+    throw std::invalid_argument("mse_general_quantization: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bin_widths.size(); ++i) {
+    const double d = bin_widths[i];
+    require_positive(d, "bin width");
+    if (midpoint_densities[i] < 0.0)
+      throw std::invalid_argument("mse_general_quantization: negative density");
+    acc += d * d * d * midpoint_densities[i];
+  }
+  // Eq. (3) is written over one side of a symmetric distribution with a
+  // factor 2; densities here come from the full (two-sided) histogram, so
+  // the factor is already included: MSE = (1/12)*sum over all bins equals
+  // (1/6)*sum over half. Using /12 keeps the estimate exact for symmetric
+  // and asymmetric distributions alike.
+  return acc / 12.0;
+}
+
+double psnr_from_histogram(const metrics::Histogram& prediction_errors,
+                           double value_range) {
+  require_positive(value_range, "value range");
+  std::vector<double> widths(prediction_errors.bin_count(),
+                             prediction_errors.bin_width());
+  std::vector<double> densities(prediction_errors.bin_count());
+  for (std::size_t b = 0; b < prediction_errors.bin_count(); ++b)
+    densities[b] = prediction_errors.density(b);
+  const double mse = mse_general_quantization(widths, densities);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return -20.0 * std::log10(std::sqrt(mse) / value_range);
+}
+
+}  // namespace fpsnr::core

@@ -1,0 +1,65 @@
+// Analytical distortion model for L2-norm-preserving lossy compression —
+// the heart of the paper (Section III/IV, Eqs. 2-8).
+//
+// Theorems 1 and 2 reduce the overall reconstruction MSE to the MSE that
+// quantization introduces on the prediction errors / transform
+// coefficients. For midpoint quantization over bins of width delta_i with
+// empirical density P(m_i) at the midpoints (Eq. 3):
+//
+//     MSE ~= (1/6) * sum_i delta_i^3 * P(m_i)
+//
+// and for *uniform* bins this collapses (Eq. 6) to the distribution-free
+//
+//     MSE = delta^2 / 12,
+//     PSNR = 20 log10(vr / delta) + 10 log10(12).
+//
+// Since the SZ-style codec sets delta = 2 * eb_abs (Eq. 7):
+//
+//     PSNR = 20 log10(vr / eb_abs) + 10 log10(3)
+//     eb_rel = sqrt(3) * 10^(-PSNR/20)                (Eq. 8)
+#pragma once
+
+#include <span>
+
+#include "metrics/histogram.h"
+
+namespace fpsnr::core {
+
+/// Eq. (3) with uniform bins: MSE = delta^2 / 12.
+double mse_uniform_quantization(double bin_width);
+
+/// Eq. (6): PSNR implied by a uniform quantization bin width and the
+/// original data's value range.
+double psnr_for_bin_width(double bin_width, double value_range);
+
+/// Inverse of Eq. (6): bin width that achieves a target PSNR.
+double bin_width_for_psnr(double target_psnr_db, double value_range);
+
+/// Eq. (7): PSNR implied by SZ's absolute error bound (delta = 2 eb).
+double psnr_for_abs_bound(double eb_abs, double value_range);
+
+/// Eq. (7) in relative form: PSNR for a value-range relative bound.
+double psnr_for_rel_bound(double eb_rel);
+
+/// Eq. (8): value-range relative error bound for a target PSNR.
+/// This is the entire fixed-PSNR mode: one closed-form evaluation.
+double rel_bound_for_psnr(double target_psnr_db);
+
+/// Absolute error bound for a target PSNR given the value range.
+double abs_bound_for_psnr(double target_psnr_db, double value_range);
+
+/// General estimator, Eq. (3): MSE from per-bin widths and midpoint
+/// densities (both spans must have equal length; symmetric one-sided form
+/// is already folded in because densities come from the full histogram).
+double mse_general_quantization(std::span<const double> bin_widths,
+                                std::span<const double> midpoint_densities);
+
+/// Eq. (3)+(5) driven by an empirical histogram of prediction errors with
+/// uniform bins of the histogram's width: estimates the MSE a midpoint
+/// quantizer with that bin layout would introduce, then converts to PSNR.
+/// Used by the estimator-accuracy ablation to show where the midpoint
+/// approximation degrades (wide bins / low PSNR).
+double psnr_from_histogram(const metrics::Histogram& prediction_errors,
+                           double value_range);
+
+}  // namespace fpsnr::core

@@ -1,0 +1,66 @@
+// Unified error-control front end: resolves any user-facing control request
+// (absolute bound, relative bounds, fixed PSNR, fixed rate) into concrete
+// codec parameters.
+//
+// The fixed-PSNR path is the paper's three-step recipe (Section IV):
+//   (1) take the user's target PSNR,
+//   (2) convert it to a value-range relative bound via Eq. (8),
+//   (3) run the unmodified SZ-style compressor with that bound.
+// The only overhead over a normal compression pass is one closed-form
+// formula evaluation per field.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sz/error_mode.h"
+
+namespace fpsnr::core {
+
+enum class ControlMode : std::uint8_t {
+  Absolute = 0,          ///< bound value = absolute error bound
+  ValueRangeRelative,    ///< bound value = fraction of the value range
+  PointwiseRelative,     ///< bound value = fraction of each point's value
+  FixedPsnr,             ///< bound value = target PSNR in dB (the paper)
+  FixedRate,             ///< bound value = target bits per value (extension)
+  FixedNrmse,            ///< bound value = target NRMSE (PSNR in linear form)
+};
+
+std::string_view control_mode_name(ControlMode m);
+
+/// A user-facing error-control request.
+struct ControlRequest {
+  ControlMode mode = ControlMode::FixedPsnr;
+  double value = 80.0;  ///< meaning depends on mode (see ControlMode)
+
+  static ControlRequest absolute(double eb) { return {ControlMode::Absolute, eb}; }
+  static ControlRequest relative(double eb) {
+    return {ControlMode::ValueRangeRelative, eb};
+  }
+  static ControlRequest pointwise(double eb) {
+    return {ControlMode::PointwiseRelative, eb};
+  }
+  static ControlRequest fixed_psnr(double db) { return {ControlMode::FixedPsnr, db}; }
+  static ControlRequest fixed_rate(double bits_per_value) {
+    return {ControlMode::FixedRate, bits_per_value};
+  }
+  static ControlRequest fixed_nrmse(double nrmse) {
+    return {ControlMode::FixedNrmse, nrmse};
+  }
+};
+
+/// Codec-ready parameters plus the model's PSNR prediction.
+struct ResolvedControl {
+  sz::ErrorBoundMode sz_mode = sz::ErrorBoundMode::ValueRangeRelative;
+  double sz_bound = 0.0;
+  /// Eq. (6)/(7) prediction of the resulting PSNR; NaN when the model does
+  /// not apply (PointwiseRelative mode has no uniform absolute bin width).
+  double predicted_psnr_db = 0.0;
+};
+
+/// Resolve a request to SZ codec parameters. FixedRate cannot be resolved
+/// analytically and throws std::invalid_argument here — use
+/// search_baseline.h's rate search instead.
+ResolvedControl resolve_control(const ControlRequest& request);
+
+}  // namespace fpsnr::core

@@ -1,0 +1,77 @@
+// Search-based error-bound tuning — the *status quo ante* the paper
+// replaces (Section I: "users have to run the lossy compressor multiple
+// times each with different error-bound settings").
+//
+// Implements the tedious workflow as an honest baseline: bisection over
+// the value-range relative bound, compressing and decompressing at every
+// probe until the measured PSNR lands within a tolerance of the target.
+// The overhead benchmark contrasts its k full passes against the
+// fixed-PSNR mode's single pass.
+//
+// Also hosts the fixed-rate extension (bisection on achieved bit rate),
+// one of the paper's future-work directions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace fpsnr::core {
+
+struct SearchOptions {
+  double tolerance_db = 0.5;     ///< |achieved - target| acceptance window
+  std::size_t max_iterations = 40;
+  double initial_rel_bound = 1e-2;
+  CompressOptions compress = {};
+};
+
+struct SearchResult {
+  CompressResult result;          ///< the accepted compression
+  double achieved_psnr_db = 0.0;
+  std::size_t compression_passes = 0;    ///< full compress+decompress probes
+  bool converged = false;
+};
+
+/// Baseline: find a relative bound whose *measured* PSNR hits the target.
+template <typename T>
+SearchResult search_fixed_psnr(std::span<const T> values, const data::Dims& dims,
+                               double target_psnr_db,
+                               const SearchOptions& options = {});
+
+struct RateSearchOptions {
+  double tolerance_bits = 0.25;  ///< acceptance window on bits/value
+  std::size_t max_iterations = 40;
+  CompressOptions compress = {};
+};
+
+struct RateSearchResult {
+  CompressResult result;
+  double achieved_bits_per_value = 0.0;
+  std::size_t compression_passes = 0;
+  bool converged = false;
+};
+
+/// Fixed-rate extension: bisection on the relative bound so the compressed
+/// stream hits a target bit rate. Rate decreases monotonically as the
+/// bound grows, which makes bisection sound.
+template <typename T>
+RateSearchResult search_fixed_rate(std::span<const T> values, const data::Dims& dims,
+                                   double target_bits_per_value,
+                                   const RateSearchOptions& options = {});
+
+extern template SearchResult search_fixed_psnr<float>(std::span<const float>,
+                                                      const data::Dims&, double,
+                                                      const SearchOptions&);
+extern template SearchResult search_fixed_psnr<double>(std::span<const double>,
+                                                       const data::Dims&, double,
+                                                       const SearchOptions&);
+extern template RateSearchResult search_fixed_rate<float>(std::span<const float>,
+                                                          const data::Dims&, double,
+                                                          const RateSearchOptions&);
+extern template RateSearchResult search_fixed_rate<double>(std::span<const double>,
+                                                           const data::Dims&, double,
+                                                           const RateSearchOptions&);
+
+}  // namespace fpsnr::core

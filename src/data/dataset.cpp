@@ -1,0 +1,39 @@
+#include "data/dataset.h"
+
+#include <stdexcept>
+
+namespace fpsnr::data {
+
+std::size_t Dataset::total_values() const {
+  std::size_t n = 0;
+  for (const Field& f : fields) n += f.size();
+  return n;
+}
+
+std::size_t Dataset::total_bytes() const {
+  std::size_t n = 0;
+  for (const Field& f : fields) n += f.bytes();
+  return n;
+}
+
+const Field& Dataset::field(const std::string& field_name) const {
+  for (const Field& f : fields)
+    if (f.name == field_name) return f;
+  throw std::out_of_range("Dataset: no field named " + field_name);
+}
+
+std::size_t scaled_extent(std::size_t base, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("scaled_extent: scale must be positive");
+  const auto scaled = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return scaled < 8 ? 8 : scaled;
+}
+
+std::vector<Dataset> make_all_datasets(const DatasetConfig& config) {
+  std::vector<Dataset> out;
+  out.push_back(make_nyx(config));
+  out.push_back(make_atm(config));
+  out.push_back(make_hurricane(config));
+  return out;
+}
+
+}  // namespace fpsnr::data

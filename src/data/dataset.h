@@ -1,0 +1,57 @@
+// Multi-field dataset container and the three paper dataset stand-ins.
+//
+// Table I of the paper:
+//   NYX        3D 2048x2048x2048   6 fields   206 GB
+//   ATM        2D 1800x3600       79 fields   1.5 TB (many snapshots)
+//   Hurricane  3D 100x500x500     13 fields   62.4 GB
+//
+// The generators keep each dataset's rank, field count, field names, and
+// per-field statistical character, while scaling grid extents down so the
+// full evaluation runs in seconds on one node. PSNR control accuracy — the
+// quantity under test — is intensive (size-independent), so the scaling
+// preserves the experiment; see DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/field.h"
+
+namespace fpsnr::data {
+
+struct Dataset {
+  std::string name;
+  std::vector<Field> fields;
+
+  std::size_t field_count() const { return fields.size(); }
+  std::size_t total_values() const;
+  std::size_t total_bytes() const;
+  /// Throws std::out_of_range if no field has this name.
+  const Field& field(const std::string& field_name) const;
+};
+
+/// Generation knobs shared by all three stand-ins.
+struct DatasetConfig {
+  /// Multiplier on the default (already scaled-down) grid extents;
+  /// 1.0 keeps defaults, 2.0 doubles every extent. Extents are floored at 8.
+  double scale = 1.0;
+  std::uint64_t seed = 20180713;  ///< arXiv v3 date of the paper
+};
+
+/// NYX cosmology stand-in: 6 fields on a 3D grid (default 64^3).
+Dataset make_nyx(const DatasetConfig& config = {});
+
+/// CESM-ATM climate stand-in: 79 2D fields (default 180x360).
+Dataset make_atm(const DatasetConfig& config = {});
+
+/// Hurricane-ISABEL stand-in: 13 fields on a 3D grid (default 25x100x100).
+Dataset make_hurricane(const DatasetConfig& config = {});
+
+/// All three stand-ins, in the paper's Table I order (NYX, ATM, Hurricane).
+std::vector<Dataset> make_all_datasets(const DatasetConfig& config = {});
+
+/// Scale one default extent by config.scale (floor 8).
+std::size_t scaled_extent(std::size_t base, double scale);
+
+}  // namespace fpsnr::data

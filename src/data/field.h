@@ -1,0 +1,60 @@
+// A named scalar field on a 1/2/3-D regular grid — the unit of compression
+// throughout the library (one CESM variable, one NYX quantity, ...).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fpsnr::data {
+
+/// Grid extents; rank 1..3. Layout is row-major with the last extent fastest
+/// (C order), matching how the SZ-style codec scans.
+struct Dims {
+  std::vector<std::size_t> extents;
+
+  Dims() = default;
+  Dims(std::initializer_list<std::size_t> e) : extents(e) { validate(); }
+  explicit Dims(std::vector<std::size_t> e) : extents(std::move(e)) { validate(); }
+
+  std::size_t rank() const { return extents.size(); }
+  std::size_t count() const {
+    return std::accumulate(extents.begin(), extents.end(), std::size_t{1},
+                           std::multiplies<>());
+  }
+  std::size_t operator[](std::size_t i) const { return extents.at(i); }
+  bool operator==(const Dims&) const = default;
+
+  void validate() const {
+    if (extents.empty() || extents.size() > 3)
+      throw std::invalid_argument("Dims: rank must be 1..3");
+    for (std::size_t e : extents)
+      if (e == 0) throw std::invalid_argument("Dims: zero extent");
+  }
+};
+
+/// One named single-precision field (the paper evaluates on float data).
+struct Field {
+  std::string name;
+  Dims dims;
+  std::vector<float> values;
+
+  Field() = default;
+  Field(std::string n, Dims d)
+      : name(std::move(n)), dims(std::move(d)), values(dims.count(), 0.0f) {}
+  Field(std::string n, Dims d, std::vector<float> v)
+      : name(std::move(n)), dims(std::move(d)), values(std::move(v)) {
+    if (values.size() != dims.count())
+      throw std::invalid_argument("Field: value count does not match dims");
+  }
+
+  std::size_t size() const { return values.size(); }
+  std::size_t bytes() const { return values.size() * sizeof(float); }
+  std::span<const float> span() const { return values; }
+  std::span<float> span() { return values; }
+};
+
+}  // namespace fpsnr::data

@@ -1,0 +1,143 @@
+// Hurricane-ISABEL stand-in: the 13 fields of the IEEE Vis'04 contest data
+// (100x500x500, here 25x100x100 by default: z is the short axis).
+//
+// The defining structure is a vortex: wind components U/V follow a
+// Rankine-like rotational profile around a slowly precessing eye, W is
+// weak updraft bands, pressure has a deep minimum at the eye, and the
+// hydrometeor mixing ratios (QCLOUD/QRAIN/QICE/...) are sparse nonnegative
+// fields concentrated in spiral bands. This reproduces the mix of smooth
+// signed fields and spiky sparse fields behind the paper's Hurricane
+// column (the largest low-PSNR deviation of the three datasets).
+#include "data/dataset.h"
+#include "data/synth.h"
+
+#include <cmath>
+
+namespace fpsnr::data {
+
+namespace {
+
+struct VortexParams {
+  double cx, cy;     // eye position in normalized [0,1]^2 coordinates
+  double core;       // core radius (normalized)
+  double strength;   // peak tangential speed
+};
+
+/// Rankine tangential speed profile: linear inside the core, 1/r outside.
+double rankine_speed(double r, const VortexParams& p) {
+  if (r < 1e-9) return 0.0;
+  if (r < p.core) return p.strength * (r / p.core);
+  return p.strength * (p.core / r);
+}
+
+}  // namespace
+
+Dataset make_hurricane(const DatasetConfig& config) {
+  const std::size_t nz = scaled_extent(25, config.scale);
+  const std::size_t ny = scaled_extent(100, config.scale);
+  const std::size_t nx = scaled_extent(100, config.scale);
+  const Dims dims{nz, ny, nx};
+  const std::uint64_t seed = config.seed * 1000211 + 17;
+
+  Dataset ds;
+  ds.name = "Hurricane";
+
+  const std::size_t count = dims.count();
+  std::vector<float> u(count), v(count), w(count), pressure(count), radius(count);
+
+  for (std::size_t z = 0; z < nz; ++z) {
+    // The eye tilts/precesses with height.
+    const double zt = static_cast<double>(z) / static_cast<double>(nz);
+    const VortexParams vp{0.5 + 0.08 * std::sin(2.5 * zt),
+                          0.5 + 0.08 * std::cos(2.5 * zt),
+                          0.06 + 0.04 * zt,
+                          55.0 * (1.0 - 0.5 * zt)};
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t idx = (z * ny + y) * nx + x;
+        const double px = static_cast<double>(x) / static_cast<double>(nx) - vp.cx;
+        const double py = static_cast<double>(y) / static_cast<double>(ny) - vp.cy;
+        const double r = std::sqrt(px * px + py * py);
+        const double speed = rankine_speed(r, vp);
+        // Tangential flow: rotate (px,py) by 90 degrees.
+        const double inv_r = r > 1e-9 ? 1.0 / r : 0.0;
+        u[idx] = static_cast<float>(-speed * py * inv_r);
+        v[idx] = static_cast<float>(speed * px * inv_r);
+        // Updraft strongest in the eyewall annulus.
+        const double wall = std::exp(-std::pow((r - vp.core) / (0.35 * vp.core + 1e-9), 2.0));
+        w[idx] = static_cast<float>(8.0 * wall * (1.0 - zt));
+        // Pressure deficit at the eye, decaying outward.
+        pressure[idx] = static_cast<float>(-6000.0 * std::exp(-r / (1.8 * vp.core)));
+        radius[idx] = static_cast<float>(r);
+      }
+    }
+  }
+
+  auto turbulent = [&](std::uint64_t s, unsigned smooth_r, float weight) {
+    std::vector<float> t = smoothed_noise(dims, s, smooth_r, 2);
+    for (float& x : t) x *= weight;
+    return t;
+  };
+
+  {  // U, V: vortex + turbulence, signed, tens of m/s
+    add_scaled(u, turbulent(seed + 1, 2, 1.0f), 6.0f);
+    add_scaled(v, turbulent(seed + 2, 2, 1.0f), 6.0f);
+    ds.fields.emplace_back("U", dims, u);
+    ds.fields.emplace_back("V", dims, v);
+  }
+  {  // W: weak banded updraft + noise
+    add_scaled(w, turbulent(seed + 3, 1, 1.0f), 1.5f);
+    ds.fields.emplace_back("W", dims, w);
+  }
+  {  // Pf: perturbation pressure
+    std::vector<float> p = pressure;
+    add_scaled(p, turbulent(seed + 4, 3, 1.0f), 150.0f);
+    ds.fields.emplace_back("Pf", dims, std::move(p));
+  }
+  {  // TC: temperature in Celsius, warm core aloft
+    std::vector<float> tc(count);
+    for (std::size_t i = 0; i < count; ++i)
+      tc[i] = 25.0f - 70.0f * (pressure[i] / -6000.0f) * 0.15f;
+    std::vector<float> strat = cosine_mixture(dims, seed + 5, 10, 1.5);
+    add_scaled(tc, strat, 12.0f);
+    ds.fields.emplace_back("TC", dims, std::move(tc));
+  }
+
+  // Moisture and hydrometeors: nonnegative, sparse, band-concentrated.
+  struct Hydro {
+    const char* name;
+    float peak;
+    float threshold;  // sparsification level: higher => sparser
+    unsigned smooth;
+  };
+  const Hydro hydros[] = {
+      {"QVAPOR", 0.025f, -0.8f, 3},  // vapor: dense, smooth
+      {"QCLOUD", 2.0e-3f, 0.30f, 2}, {"QRAIN", 1.5e-3f, 0.45f, 1},
+      {"QICE", 8.0e-4f, 0.50f, 2},   {"QSNOW", 1.2e-3f, 0.45f, 2},
+      {"QGRAUP", 9.0e-4f, 0.55f, 1}, {"CLOUD", 1.0f, 0.10f, 2},
+      {"PRECIP", 2.0e-2f, 0.50f, 1},
+  };
+  std::uint64_t hseed = seed + 100;
+  for (const Hydro& h : hydros) {
+    std::vector<float> q = smoothed_noise(dims, hseed++, h.smooth, 2);
+    rescale(q, -1.0f, 1.0f);
+    sparsify_below(q, h.threshold);
+    // Concentrate in the eyewall/spiral-band annulus.
+    std::vector<float> band(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double r = radius[i];
+      band[i] = static_cast<float>(std::exp(-std::pow((r - 0.12) / 0.18, 2.0)) + 0.1);
+    }
+    modulate(q, band);
+    rescale(q, 0.0f, h.peak);
+    // Numerical noise floor (see atm.cpp): keeps dry regions off exact
+    // zero so Eq. (3)'s midpoint model holds at moderate/high targets.
+    std::vector<float> floor_noise = white_noise(count, hseed++);
+    for (std::size_t i = 0; i < q.size(); ++i)
+      q[i] += h.peak * 5e-4f * std::abs(floor_noise[i]);
+    ds.fields.emplace_back(h.name, dims, std::move(q));
+  }
+  return ds;
+}
+
+}  // namespace fpsnr::data

@@ -1,0 +1,63 @@
+// NYX cosmology stand-in.
+//
+// The real NYX snapshots hold 6 fields on a 2048^3 AMR grid: baryon
+// density, dark matter density, temperature, and the three velocity
+// components. What matters for fixed-PSNR evaluation is their statistical
+// character, reproduced here:
+//  * densities are strictly positive with a huge dynamic range and a
+//    log-normal-like one-point distribution (voids vs. halos) — these are
+//    the fields where low PSNR targets deviate most in the paper;
+//  * temperature correlates with density (shock-heated gas);
+//  * velocities are smooth, signed, roughly symmetric large-scale flows.
+#include "data/dataset.h"
+#include "data/synth.h"
+
+namespace fpsnr::data {
+
+Dataset make_nyx(const DatasetConfig& config) {
+  const std::size_t n = scaled_extent(64, config.scale);
+  const Dims dims{n, n, n};
+  const std::uint64_t seed = config.seed * 1000003 + 1;
+
+  Dataset ds;
+  ds.name = "NYX";
+
+  // Shared large-scale structure: the same smoothed field seeds density and
+  // temperature so they correlate like shocked gas does.
+  std::vector<float> structure = smoothed_noise(dims, seed + 10, 3, 2);
+  std::vector<float> waves = cosine_mixture(dims, seed + 11, 24, 1.2);
+  add_scaled(structure, waves, 0.6f);
+
+  {  // baryon density: exp of the structure -> log-normal, ~5 decades
+    std::vector<float> v = structure;
+    exponentialize(v, 5.5f);
+    rescale(v, 1e-3f, 1.2e4f);
+    ds.fields.emplace_back("baryon_density", dims, std::move(v));
+  }
+  {  // dark matter density: same character, different realization + tail
+    std::vector<float> v = smoothed_noise(dims, seed + 20, 3, 2);
+    add_scaled(v, waves, 0.4f);
+    exponentialize(v, 6.0f);
+    rescale(v, 1e-3f, 3.0e4f);
+    ds.fields.emplace_back("dark_matter_density", dims, std::move(v));
+  }
+  {  // temperature: correlated with density, positive, narrower range
+    std::vector<float> v = structure;
+    std::vector<float> jitter = smoothed_noise(dims, seed + 30, 2, 1);
+    add_scaled(v, jitter, 0.3f);
+    exponentialize(v, 2.5f);
+    rescale(v, 1.0e2f, 1.0e7f);
+    ds.fields.emplace_back("temperature", dims, std::move(v));
+  }
+  const char* vel_names[3] = {"velocity_x", "velocity_y", "velocity_z"};
+  for (int c = 0; c < 3; ++c) {  // bulk flows: smooth, signed, ~±3e8 cm/s
+    std::vector<float> v = smoothed_noise(dims, seed + 40 + static_cast<std::uint64_t>(c), 4, 2);
+    std::vector<float> flow = cosine_mixture(dims, seed + 50 + static_cast<std::uint64_t>(c), 16, 1.5);
+    add_scaled(v, flow, 1.5f);
+    rescale(v, -3.0e8f, 3.0e8f);
+    ds.fields.emplace_back(vel_names[c], dims, std::move(v));
+  }
+  return ds;
+}
+
+}  // namespace fpsnr::data

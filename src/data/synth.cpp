@@ -1,0 +1,176 @@
+#include "data/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace fpsnr::data {
+
+namespace {
+
+/// One separable box-blur sweep along axis `axis` (moving average, clamped
+/// boundaries) — O(N) via running sums.
+void box_blur_axis(std::vector<float>& v, const Dims& dims, std::size_t axis,
+                   unsigned radius) {
+  if (radius == 0) return;
+  const std::size_t rank = dims.rank();
+  // Compute strides for C-order layout (last axis fastest).
+  std::vector<std::size_t> stride(rank, 1);
+  for (std::size_t i = rank; i-- > 1;)
+    stride[i - 1] = stride[i] * dims[i];
+  const std::size_t n_axis = dims[axis];
+  const std::size_t s_axis = stride[axis];
+  const std::size_t total = dims.count();
+  const std::size_t n_lines = total / n_axis;
+
+  std::vector<float> line(n_axis);
+  std::vector<float> out_line(n_axis);
+  // Enumerate all 1-D lines along `axis`: iterate over the other axes.
+  for (std::size_t li = 0; li < n_lines; ++li) {
+    // Decompose li into coordinates of the non-axis dimensions to find the
+    // base offset of this line.
+    std::size_t rem = li;
+    std::size_t base = 0;
+    for (std::size_t d = rank; d-- > 0;) {
+      if (d == axis) continue;
+      const std::size_t coord = rem % dims[d];
+      rem /= dims[d];
+      base += coord * stride[d];
+    }
+    for (std::size_t k = 0; k < n_axis; ++k) line[k] = v[base + k * s_axis];
+    // Running-sum moving average with clamped (replicated) boundaries.
+    const auto r = static_cast<std::ptrdiff_t>(radius);
+    const auto n = static_cast<std::ptrdiff_t>(n_axis);
+    double sum = 0.0;
+    for (std::ptrdiff_t k = -r; k <= r; ++k)
+      sum += line[static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(k, 0, n - 1))];
+    const double inv = 1.0 / static_cast<double>(2 * r + 1);
+    for (std::ptrdiff_t k = 0; k < n; ++k) {
+      out_line[static_cast<std::size_t>(k)] = static_cast<float>(sum * inv);
+      const std::ptrdiff_t out_idx = std::clamp<std::ptrdiff_t>(k - r, 0, n - 1);
+      const std::ptrdiff_t in_idx = std::clamp<std::ptrdiff_t>(k + r + 1, 0, n - 1);
+      sum += line[static_cast<std::size_t>(in_idx)] - line[static_cast<std::size_t>(out_idx)];
+    }
+    for (std::size_t k = 0; k < n_axis; ++k) v[base + k * s_axis] = out_line[k];
+  }
+}
+
+void normalize_max_abs(std::vector<float>& v) {
+  float peak = 0.0f;
+  for (float x : v) peak = std::max(peak, std::abs(x));
+  if (peak > 0.0f)
+    for (float& x : v) x /= peak;
+}
+
+}  // namespace
+
+std::vector<float> white_noise(std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(count);
+  for (float& x : v) x = dist(rng);
+  return v;
+}
+
+std::vector<float> smoothed_noise(const Dims& dims, std::uint64_t seed,
+                                  unsigned radius, unsigned passes) {
+  std::vector<float> v = white_noise(dims.count(), seed);
+  for (unsigned p = 0; p < passes; ++p)
+    for (std::size_t axis = 0; axis < dims.rank(); ++axis)
+      box_blur_axis(v, dims, axis, radius);
+  normalize_max_abs(v);
+  return v;
+}
+
+std::vector<float> cosine_mixture(const Dims& dims, std::uint64_t seed,
+                                  unsigned modes, double decay) {
+  if (modes == 0) throw std::invalid_argument("cosine_mixture: zero modes");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> phase(0.0, 2.0 * std::numbers::pi);
+  std::uniform_int_distribution<unsigned> wavenum(1, 8);
+
+  const std::size_t rank = dims.rank();
+  std::vector<float> v(dims.count(), 0.0f);
+  // Precompute per-axis cosine factors for each mode, then take the
+  // separable product — O(modes * (sum extents + count)) instead of
+  // O(modes * count * rank) cos() calls.
+  std::vector<std::vector<float>> axis_factor(rank);
+  for (unsigned m = 0; m < modes; ++m) {
+    double k_total = 0.0;
+    for (std::size_t d = 0; d < rank; ++d) {
+      const unsigned k = wavenum(rng);
+      const double ph = phase(rng);
+      k_total += k;
+      auto& f = axis_factor[d];
+      f.resize(dims[d]);
+      for (std::size_t i = 0; i < dims[d]; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(dims[d]);
+        f[i] = static_cast<float>(
+            std::cos(2.0 * std::numbers::pi * k * t + ph));
+      }
+    }
+    const auto amp = static_cast<float>(1.0 / std::pow(k_total, decay));
+    // Accumulate the separable product.
+    if (rank == 1) {
+      for (std::size_t i = 0; i < dims[0]; ++i)
+        v[i] += amp * axis_factor[0][i];
+    } else if (rank == 2) {
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < dims[0]; ++i)
+        for (std::size_t j = 0; j < dims[1]; ++j)
+          v[idx++] += amp * axis_factor[0][i] * axis_factor[1][j];
+    } else {
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < dims[0]; ++i)
+        for (std::size_t j = 0; j < dims[1]; ++j) {
+          const float fij = axis_factor[0][i] * axis_factor[1][j];
+          for (std::size_t k2 = 0; k2 < dims[2]; ++k2)
+            v[idx++] += amp * fij * axis_factor[2][k2];
+        }
+    }
+  }
+  normalize_max_abs(v);
+  return v;
+}
+
+void rescale(std::vector<float>& v, float lo, float hi) {
+  if (v.empty()) return;
+  auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+  const float range = *mx - *mn;
+  if (range == 0.0f) {
+    std::fill(v.begin(), v.end(), lo);
+    return;
+  }
+  const float scale = (hi - lo) / range;
+  const float base = *mn;
+  for (float& x : v) x = lo + (x - base) * scale;
+}
+
+void exponentialize(std::vector<float>& v, float scale) {
+  for (float& x : v) x = std::exp(scale * x);
+}
+
+void clamp(std::vector<float>& v, float lo, float hi) {
+  for (float& x : v) x = std::clamp(x, lo, hi);
+}
+
+void sparsify_below(std::vector<float>& v, float threshold) {
+  for (float& x : v)
+    if (x < threshold) x = 0.0f;
+}
+
+void add_scaled(std::vector<float>& v, const std::vector<float>& other, float w) {
+  if (v.size() != other.size())
+    throw std::invalid_argument("add_scaled: size mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] += w * other[i];
+}
+
+void modulate(std::vector<float>& v, const std::vector<float>& other) {
+  if (v.size() != other.size())
+    throw std::invalid_argument("modulate: size mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] *= other[i];
+}
+
+}  // namespace fpsnr::data

@@ -1,0 +1,58 @@
+// Synthetic-field construction toolkit.
+//
+// The paper evaluates on production NYX / CESM-ATM / Hurricane-ISABEL dumps
+// that are not redistributable (206 GB - 1.5 TB). The generators in
+// nyx/atm/hurricane.cpp build statistical stand-ins from these primitives:
+// spatially correlated noise (smoothed white noise and separable cosine
+// mixtures), pointwise transforms (log-normal, clamping, sparsification),
+// and deterministic structured features (vortices, gradients). Everything
+// is seeded and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/field.h"
+
+namespace fpsnr::data {
+
+/// Uniform white noise in [-1, 1].
+std::vector<float> white_noise(std::size_t count, std::uint64_t seed);
+
+/// Spatially correlated noise in roughly [-1, 1]: white noise smoothed by
+/// `passes` separable box-blur sweeps of the given radius, then rescaled to
+/// unit max-abs. Higher radius/passes => smoother field => better Lorenzo
+/// predictability (mimics smooth climate fields); radius 0 => pure noise.
+std::vector<float> smoothed_noise(const Dims& dims, std::uint64_t seed,
+                                  unsigned radius, unsigned passes = 2);
+
+/// Sum of `modes` separable cosine products with amplitudes ~ 1/k^decay,
+/// normalized to unit max-abs. Adds long-range structure that box blurs
+/// cannot produce (planetary waves, large-scale gradients).
+std::vector<float> cosine_mixture(const Dims& dims, std::uint64_t seed,
+                                  unsigned modes, double decay = 1.0);
+
+// --- pointwise transforms (in place) ---
+
+/// Affine map to [lo, hi] based on the current min/max (constant fields map
+/// to lo).
+void rescale(std::vector<float>& v, float lo, float hi);
+
+/// x -> exp(scale * x): turns symmetric noise into a heavy-tailed,
+/// strictly positive field (NYX baryon-density-like dynamic range).
+void exponentialize(std::vector<float>& v, float scale);
+
+/// Clamp into [lo, hi].
+void clamp(std::vector<float>& v, float lo, float hi);
+
+/// Zero out all values below `threshold` — produces the sparse nonnegative
+/// structure of precipitation / hydrometeor fields.
+void sparsify_below(std::vector<float>& v, float threshold);
+
+/// v[i] += w * other[i].
+void add_scaled(std::vector<float>& v, const std::vector<float>& other, float w);
+
+/// Multiply pointwise by a second field (modulation).
+void modulate(std::vector<float>& v, const std::vector<float>& other);
+
+}  // namespace fpsnr::data

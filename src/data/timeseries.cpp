@@ -1,0 +1,89 @@
+#include "data/timeseries.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace fpsnr::data {
+
+std::vector<Field> make_advected_series(const TimeSeriesConfig& config) {
+  if (config.snapshots == 0)
+    throw std::invalid_argument("make_advected_series: zero snapshots");
+  if (config.modes == 0)
+    throw std::invalid_argument("make_advected_series: zero modes");
+  const Dims& dims = config.dims;
+  const std::size_t rank = dims.rank();
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> phase(0.0, 2.0 * std::numbers::pi);
+  std::uniform_int_distribution<int> wavenum(1, 6);
+  std::uniform_real_distribution<double> omega_jitter(0.5, 2.0);
+
+  struct Mode {
+    double k[3] = {0, 0, 0};  // angular frequency per axis (cycles scaled)
+    double phi = 0.0;
+    double omega = 0.0;  // temporal angular frequency
+    double amp = 0.0;
+  };
+  std::vector<Mode> modes(config.modes);
+  for (Mode& m : modes) {
+    double k_total = 0.0;
+    for (std::size_t d = 0; d < rank; ++d) {
+      const int k = wavenum(rng);
+      m.k[d] = 2.0 * std::numbers::pi * k;
+      k_total += k;
+    }
+    m.phi = phase(rng);
+    // Dispersion: higher wavenumbers travel faster (advected turbulence).
+    m.omega = k_total * omega_jitter(rng);
+    m.amp = 1.0 / (k_total * k_total);
+  }
+
+  std::vector<Field> series;
+  series.reserve(config.snapshots);
+  for (std::size_t t = 0; t < config.snapshots; ++t) {
+    Field f("t" + std::to_string(t), dims);
+    const double time = config.dt * static_cast<double>(t);
+    std::size_t idx = 0;
+    auto eval = [&](double x0, double x1, double x2) {
+      double acc = 0.0;
+      for (const Mode& m : modes)
+        acc += m.amp * std::cos(m.k[0] * x0 + m.k[1] * x1 + m.k[2] * x2 +
+                                m.omega * time + m.phi);
+      return static_cast<float>(acc);
+    };
+    if (rank == 1) {
+      for (std::size_t i = 0; i < dims[0]; ++i)
+        f.values[idx++] = eval(static_cast<double>(i) / dims[0], 0.0, 0.0);
+    } else if (rank == 2) {
+      for (std::size_t i = 0; i < dims[0]; ++i)
+        for (std::size_t j = 0; j < dims[1]; ++j)
+          f.values[idx++] = eval(static_cast<double>(i) / dims[0],
+                                 static_cast<double>(j) / dims[1], 0.0);
+    } else {
+      for (std::size_t i = 0; i < dims[0]; ++i)
+        for (std::size_t j = 0; j < dims[1]; ++j)
+          for (std::size_t k = 0; k < dims[2]; ++k)
+            f.values[idx++] = eval(static_cast<double>(i) / dims[0],
+                                   static_cast<double>(j) / dims[1],
+                                   static_cast<double>(k) / dims[2]);
+    }
+    series.push_back(std::move(f));
+  }
+  return series;
+}
+
+Field interpolate_snapshots(const Field& a, const Field& b, double alpha) {
+  if (!(a.dims == b.dims))
+    throw std::invalid_argument("interpolate_snapshots: dims mismatch");
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("interpolate_snapshots: alpha out of [0,1]");
+  Field out("interp", a.dims);
+  const auto w = static_cast<float>(alpha);
+  for (std::size_t i = 0; i < out.values.size(); ++i)
+    out.values[i] = (1.0f - w) * a.values[i] + w * b.values[i];
+  return out;
+}
+
+}  // namespace fpsnr::data

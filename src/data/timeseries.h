@@ -1,0 +1,39 @@
+// Temporally coherent snapshot sequences.
+//
+// The paper's introduction motivates fixed-PSNR compression with the HACC
+// workflow: raw snapshot dumps exceed storage, so researchers decimate in
+// time (keep every k-th snapshot), "degrading the consecutiveness of
+// simulation in time dimension". Quantifying that trade-off needs data
+// with *realistic temporal coherence*: a field that evolves smoothly so
+// interpolating across dropped snapshots incurs a measurable, growing
+// error. make_advected_series builds one: a superposition of travelling
+// waves (per-mode dispersion + drift) plus slowly mixing turbulence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/field.h"
+
+namespace fpsnr::data {
+
+struct TimeSeriesConfig {
+  Dims dims{64, 64};
+  std::size_t snapshots = 16;
+  /// Time step between snapshots in phase units; larger = faster evolution
+  /// = harsher interpolation error when decimating.
+  double dt = 0.15;
+  unsigned modes = 24;
+  std::uint64_t seed = 20180713;
+};
+
+/// Snapshot t is named "t<index>"; all snapshots share dims and value range
+/// near [-1, 1].
+std::vector<Field> make_advected_series(const TimeSeriesConfig& config = {});
+
+/// Linear interpolation between two kept snapshots at fraction alpha in
+/// [0, 1] — the reconstruction a decimating workflow uses for dropped
+/// snapshots.
+Field interpolate_snapshots(const Field& a, const Field& b, double alpha);
+
+}  // namespace fpsnr::data

@@ -1,0 +1,311 @@
+#include "huffman/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace fpsnr::huffman {
+
+namespace {
+
+/// Reverse the low `nbits` bits of `code` (for LSB-first emission).
+std::uint32_t reverse_bits(std::uint32_t code, unsigned nbits) {
+  std::uint32_t out = 0;
+  for (unsigned i = 0; i < nbits; ++i) {
+    out = (out << 1) | (code & 1u);
+    code >>= 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freq,
+                                             unsigned max_length) {
+  if (max_length == 0 || max_length > kMaxCodeLength)
+    throw std::invalid_argument("build_code_lengths: bad max_length");
+  const std::size_t n = freq.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  std::vector<std::uint32_t> used;
+  used.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (freq[i] > 0) used.push_back(i);
+
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    // A single symbol still needs one bit so the decoder can count symbols.
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+  if (used.size() > (std::uint64_t{1} << max_length))
+    throw std::invalid_argument("build_code_lengths: alphabet too large for max_length");
+
+  // Standard heap-based Huffman tree. Node ids: [0, used.size()) are leaves,
+  // internal nodes follow. parent[] lets us recover depths without pointers.
+  struct HeapItem {
+    std::uint64_t weight;
+    std::uint32_t node;
+    bool operator>(const HeapItem& o) const {
+      // Tie-break on node id for determinism across platforms.
+      return weight != o.weight ? weight > o.weight : node > o.node;
+    }
+  };
+  const std::size_t total_nodes = 2 * used.size() - 1;
+  std::vector<std::uint32_t> parent(total_nodes, 0);
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::uint32_t i = 0; i < used.size(); ++i)
+    heap.push({freq[used[i]], i});
+  std::uint32_t next_node = static_cast<std::uint32_t>(used.size());
+  while (heap.size() > 1) {
+    HeapItem a = heap.top(); heap.pop();
+    HeapItem b = heap.top(); heap.pop();
+    parent[a.node] = next_node;
+    parent[b.node] = next_node;
+    heap.push({a.weight + b.weight, next_node});
+    ++next_node;
+  }
+  const std::uint32_t root = next_node - 1;
+
+  // Depth of each leaf = its code length.
+  std::vector<std::uint8_t> depth(total_nodes, 0);
+  for (std::uint32_t node = root; node-- > 0;) {
+    // Parents have larger ids than children, so a reverse sweep sees each
+    // parent's depth before its children.
+    depth[node] = static_cast<std::uint8_t>(depth[parent[node]] + 1);
+  }
+  unsigned max_seen = 0;
+  std::vector<unsigned> leaf_len(used.size());
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    leaf_len[i] = (used.size() == 1) ? 1 : depth[i];
+    max_seen = std::max(max_seen, leaf_len[i]);
+  }
+
+  if (max_seen > max_length) {
+    // Length-limit repair: clamp overlong codes, then restore the Kraft
+    // inequality exactly by demoting leaves one level at a time. All Kraft
+    // accounting is done in integer units of 2^-max_length, so the repair
+    // terminates with sum(2^-len) <= 1 guaranteed (the canonical code
+    // construction tolerates strict inequality — some codes go unused).
+    std::vector<std::uint64_t> bl_count(max_length + 2, 0);
+    for (unsigned& L : leaf_len) {
+      if (L > max_length) L = max_length;
+      ++bl_count[L];
+    }
+    const std::uint64_t budget = std::uint64_t{1} << max_length;
+    std::uint64_t kraft = 0;
+    for (unsigned L = 1; L <= max_length; ++L)
+      kraft += bl_count[L] << (max_length - L);
+    while (kraft > budget) {
+      // Demote one leaf from the deepest level that still has headroom.
+      unsigned L = max_length - 1;
+      while (L > 0 && bl_count[L] == 0) --L;
+      if (L == 0) throw std::logic_error("huffman: length repair failed");
+      --bl_count[L];
+      ++bl_count[L + 1];
+      kraft -= std::uint64_t{1} << (max_length - L - 1);
+    }
+    // Reassign lengths: most frequent symbols get the shortest codes.
+    std::vector<std::uint32_t> order(used.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const std::uint64_t fa = freq[used[a]], fb = freq[used[b]];
+      return fa != fb ? fa > fb : used[a] < used[b];
+    });
+    std::size_t idx = 0;
+    for (unsigned L = 1; L <= max_length; ++L)
+      for (std::uint64_t k = 0; k < bl_count[L]; ++k) leaf_len[order[idx++]] = L;
+  }
+
+  for (std::size_t i = 0; i < used.size(); ++i)
+    lengths[used[i]] = static_cast<std::uint8_t>(leaf_len[i]);
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(std::span<const std::uint8_t> lengths) {
+  unsigned max_len = 0;
+  for (std::uint8_t L : lengths) max_len = std::max<unsigned>(max_len, L);
+  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  for (std::uint8_t L : lengths)
+    if (L > 0) ++bl_count[L];
+  std::vector<std::uint32_t> next_code(max_len + 2, 0);
+  std::uint32_t code = 0;
+  for (unsigned L = 1; L <= max_len; ++L) {
+    code = (code + bl_count[L - 1]) << 1;
+    next_code[L] = code;
+  }
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t i = 0; i < lengths.size(); ++i)
+    if (lengths[i] > 0) codes[i] = next_code[lengths[i]]++;
+  return codes;
+}
+
+Encoder Encoder::from_frequencies(std::span<const std::uint64_t> freq,
+                                  unsigned max_length) {
+  auto lengths = build_code_lengths(freq, max_length);
+  auto codes = canonical_codes(lengths);
+  return Encoder(std::move(lengths), std::move(codes));
+}
+
+Encoder Encoder::from_symbols(std::span<const std::uint32_t> symbols,
+                              std::uint32_t alphabet_size, unsigned max_length) {
+  std::vector<std::uint64_t> freq(alphabet_size, 0);
+  for (std::uint32_t s : symbols) {
+    if (s >= alphabet_size)
+      throw std::invalid_argument("Encoder::from_symbols: symbol out of alphabet");
+    ++freq[s];
+  }
+  return from_frequencies(freq, max_length);
+}
+
+void Encoder::encode_symbol(std::uint32_t symbol, io::BitWriter& out) const {
+  if (symbol >= lengths_.size() || lengths_[symbol] == 0)
+    throw std::invalid_argument("Encoder: symbol has no code");
+  const unsigned len = lengths_[symbol];
+  out.write_bits(reverse_bits(codes_[symbol], len), len);
+}
+
+void Encoder::encode(std::span<const std::uint32_t> symbols, io::BitWriter& out) const {
+  for (std::uint32_t s : symbols) encode_symbol(s, out);
+}
+
+std::uint64_t Encoder::encoded_bits(std::span<const std::uint32_t> symbols) const {
+  std::uint64_t bits = 0;
+  for (std::uint32_t s : symbols) {
+    if (s >= lengths_.size() || lengths_[s] == 0)
+      throw std::invalid_argument("Encoder: symbol has no code");
+    bits += lengths_[s];
+  }
+  return bits;
+}
+
+void Encoder::write_table(io::ByteWriter& out) const {
+  write_lengths_rle(lengths_, out);
+}
+
+void write_lengths_rle(std::span<const std::uint8_t> lengths, io::ByteWriter& out) {
+  out.put_varint(lengths.size());
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    std::size_t j = i;
+    while (j < lengths.size() && lengths[j] == lengths[i]) ++j;
+    out.put_varint(j - i);
+    out.put<std::uint8_t>(lengths[i]);
+    i = j;
+  }
+}
+
+std::vector<std::uint8_t> read_lengths_rle(io::ByteReader& in) {
+  const std::uint64_t n = in.get_varint();
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(n);
+  while (lengths.size() < n) {
+    const std::uint64_t run = in.get_varint();
+    const auto L = in.get<std::uint8_t>();
+    if (L > kMaxCodeLength)
+      throw io::StreamError("huffman: serialized code length out of range");
+    if (lengths.size() + run > n)
+      throw io::StreamError("huffman: RLE run overflows declared alphabet");
+    lengths.insert(lengths.end(), run, L);
+  }
+  return lengths;
+}
+
+Decoder Decoder::read_table(io::ByteReader& in) {
+  auto lengths = read_lengths_rle(in);
+  return Decoder(lengths);
+}
+
+Decoder Decoder::from_lengths(std::span<const std::uint8_t> lengths) {
+  return Decoder(lengths);
+}
+
+Decoder::Decoder(std::span<const std::uint8_t> lengths)
+    : alphabet_size_(lengths.size()) {
+  for (std::uint8_t L : lengths) max_length_ = std::max<unsigned>(max_length_, L);
+  if (max_length_ > kMaxCodeLength)
+    throw io::StreamError("huffman: code length exceeds limit");
+  count_.assign(max_length_ + 1, 0);
+  for (std::uint8_t L : lengths)
+    if (L > 0) ++count_[L];
+
+  // Validate the Kraft inequality so corrupted tables cannot send
+  // decode_symbol into an infinite loop.
+  std::uint64_t kraft = 0;
+  for (unsigned L = 1; L <= max_length_; ++L)
+    kraft += static_cast<std::uint64_t>(count_[L])
+             << (kMaxCodeLength + 1 - L);
+  if (kraft > (std::uint64_t{1} << (kMaxCodeLength + 1)))
+    throw io::StreamError("huffman: code lengths violate Kraft inequality");
+
+  first_code_.assign(max_length_ + 2, 0);
+  offset_.assign(max_length_ + 2, 0);
+  // Same canonical recurrence as canonical_codes(): count_[0] == 0, so the
+  // first length-1 code is 0.
+  std::uint32_t code = 0;
+  std::uint32_t sym_index = 0;
+  for (unsigned L = 1; L <= max_length_; ++L) {
+    code = (code + count_[L - 1]) << 1;
+    first_code_[L] = code;
+    offset_[L] = sym_index;
+    sym_index += count_[L];
+  }
+  sorted_symbols_.resize(sym_index);
+  std::vector<std::uint32_t> fill(max_length_ + 1, 0);
+  for (std::uint32_t s = 0; s < lengths.size(); ++s) {
+    const std::uint8_t L = lengths[s];
+    if (L > 0) sorted_symbols_[offset_[L] + fill[L]++] = s;
+  }
+
+  // Build the one-peek fast table. Codes are emitted bit-reversed into the
+  // LSB-first stream, so a W-bit peek holds reverse(code, L) in its low L
+  // bits; every high-bit filler pattern maps to the same symbol.
+  if (max_length_ > 0) {
+    constexpr unsigned kMaxTableWidth = 12;  // 4096 entries, fits L1
+    table_width_ = std::min(max_length_, kMaxTableWidth);
+    fast_table_.assign(std::size_t{1} << table_width_, FastEntry{});
+    const auto codes = canonical_codes(lengths);
+    for (std::uint32_t s = 0; s < lengths.size(); ++s) {
+      const unsigned L = lengths[s];
+      if (L == 0 || L > table_width_) continue;
+      const std::uint32_t rc = reverse_bits(codes[s], L);
+      const std::size_t fillers = std::size_t{1} << (table_width_ - L);
+      for (std::size_t f = 0; f < fillers; ++f)
+        fast_table_[rc | (f << L)] = {s, static_cast<std::uint8_t>(L)};
+    }
+  }
+}
+
+std::uint32_t Decoder::decode_symbol(io::BitReader& in) const {
+  if (table_width_ != 0) {
+    const std::uint64_t window = in.peek_bits(table_width_);
+    const FastEntry e = fast_table_[window];
+    if (e.length != 0 && e.length <= in.bits_remaining()) {
+      in.skip_bits(e.length);
+      return e.symbol;
+    }
+  }
+  return decode_symbol_slow(in);
+}
+
+std::uint32_t Decoder::decode_symbol_slow(io::BitReader& in) const {
+  std::uint32_t code = 0;
+  for (unsigned L = 1; L <= max_length_; ++L) {
+    code = (code << 1) | static_cast<std::uint32_t>(in.read_bits(1));
+    if (count_[L] != 0 && code >= first_code_[L] &&
+        code - first_code_[L] < count_[L]) {
+      return sorted_symbols_[offset_[L] + (code - first_code_[L])];
+    }
+  }
+  throw io::StreamError("huffman: invalid code in stream");
+}
+
+std::vector<std::uint32_t> Decoder::decode(io::BitReader& in, std::size_t count) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(decode_symbol(in));
+  return out;
+}
+
+}  // namespace fpsnr::huffman

@@ -1,0 +1,127 @@
+// Canonical Huffman coding over a dense unsigned-integer alphabet.
+//
+// This is SZ's step (2) substrate: the quantization-code array (alphabet
+// 0..2n, typically 2^16 codes) is entropy-coded with a Huffman code built
+// from the empirical symbol frequencies. The same coder doubles as the
+// entropy stage of the DEFLATE-like lossless backend (src/lossless).
+//
+// Properties:
+//  * Length-limited codes (default cap 32 bits) via the zlib-style
+//    bl_count overflow repair, so the decoder can use fixed-size tables.
+//  * Canonical code assignment — only code *lengths* are serialized
+//    (run-length encoded), exactly like DEFLATE.
+//  * Codes are emitted bit-reversed into the LSB-first BitWriter, so the
+//    decoder can consume one bit at a time in stream order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/bitstream.h"
+#include "io/bytebuffer.h"
+
+namespace fpsnr::huffman {
+
+/// Maximum supported code length (bits).
+inline constexpr unsigned kMaxCodeLength = 32;
+
+/// Compute optimal (then length-limited) Huffman code lengths for the given
+/// symbol frequencies. freq[i] is the count of symbol i; zero-frequency
+/// symbols get length 0 (no code). Guarantees the Kraft inequality holds
+/// with equality when >= 2 symbols are present.
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freq,
+                                             unsigned max_length = kMaxCodeLength);
+
+/// Canonical (MSB-first) code values for the given lengths.
+std::vector<std::uint32_t> canonical_codes(std::span<const std::uint8_t> lengths);
+
+/// Huffman encoder for a dense alphabet [0, alphabet_size).
+class Encoder {
+ public:
+  /// Build from frequencies (freq.size() == alphabet size).
+  static Encoder from_frequencies(std::span<const std::uint64_t> freq,
+                                  unsigned max_length = kMaxCodeLength);
+
+  /// Build from an explicit symbol stream (counts frequencies internally).
+  static Encoder from_symbols(std::span<const std::uint32_t> symbols,
+                              std::uint32_t alphabet_size,
+                              unsigned max_length = kMaxCodeLength);
+
+  /// Append the code of one symbol to the bit stream.
+  void encode_symbol(std::uint32_t symbol, io::BitWriter& out) const;
+
+  /// Append codes for a whole symbol stream.
+  void encode(std::span<const std::uint32_t> symbols, io::BitWriter& out) const;
+
+  /// Serialize the code table (lengths only, RLE) so a Decoder can rebuild it.
+  void write_table(io::ByteWriter& out) const;
+
+  /// Code length of `symbol` (0 = symbol has no code).
+  unsigned code_length(std::uint32_t symbol) const { return lengths_.at(symbol); }
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+  /// Exact size in bits of encoding `symbols` with this table.
+  std::uint64_t encoded_bits(std::span<const std::uint32_t> symbols) const;
+
+  const std::vector<std::uint8_t>& lengths() const { return lengths_; }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;  // canonical, MSB-first
+
+  Encoder(std::vector<std::uint8_t> lengths, std::vector<std::uint32_t> codes)
+      : lengths_(std::move(lengths)), codes_(std::move(codes)) {}
+};
+
+/// Huffman decoder built from serialized or in-memory code lengths.
+class Decoder {
+ public:
+  /// Rebuild from a table serialized by Encoder::write_table.
+  static Decoder read_table(io::ByteReader& in);
+
+  /// Build directly from code lengths.
+  static Decoder from_lengths(std::span<const std::uint8_t> lengths);
+
+  /// Decode one symbol.
+  std::uint32_t decode_symbol(io::BitReader& in) const;
+
+  /// Decode exactly `count` symbols.
+  std::vector<std::uint32_t> decode(io::BitReader& in, std::size_t count) const;
+
+  std::size_t alphabet_size() const { return alphabet_size_; }
+
+ private:
+  // Canonical decoding state per code length L (1-indexed):
+  //   first_code_[L] : canonical code value of the first symbol of length L
+  //   offset_[L]     : index into sorted_symbols_ of that first symbol
+  //   count_[L]      : number of symbols with length L
+  std::size_t alphabet_size_ = 0;
+  unsigned max_length_ = 0;
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> offset_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint32_t> sorted_symbols_;
+
+  // Single-level lookup acceleration: peek `table_width_` stream bits and
+  // resolve any code of length <= table_width_ in one step (the common
+  // case — long codes fall back to the canonical bit-by-bit walk).
+  struct FastEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = no code of width <= table_width_ here
+  };
+  unsigned table_width_ = 0;
+  std::vector<FastEntry> fast_table_;
+
+  explicit Decoder(std::span<const std::uint8_t> lengths);
+  std::uint32_t decode_symbol_slow(io::BitReader& in) const;
+};
+
+/// Serialize code lengths with (count, length) run-length pairs.
+void write_lengths_rle(std::span<const std::uint8_t> lengths, io::ByteWriter& out);
+
+/// Inverse of write_lengths_rle.
+std::vector<std::uint8_t> read_lengths_rle(io::ByteReader& in);
+
+}  // namespace fpsnr::huffman

@@ -1,0 +1,95 @@
+#include "io/archive.h"
+
+#include <algorithm>
+
+namespace fpsnr::io {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'F', 'P', 'A', 'R'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kMaxNameLength = 4096;
+
+ByteReader open_archive(std::span<const std::uint8_t> archive,
+                        std::uint64_t* count) {
+  ByteReader reader(archive);
+  const auto magic = reader.get_bytes(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic))
+    throw StreamError("archive: bad magic");
+  if (reader.get<std::uint8_t>() != kVersion)
+    throw StreamError("archive: unsupported version");
+  *count = reader.get_varint();
+  return reader;
+}
+
+std::string read_name(ByteReader& reader) {
+  const std::uint64_t len = reader.get_varint();
+  if (len > kMaxNameLength) throw StreamError("archive: entry name too long");
+  const auto raw = reader.get_bytes(len);
+  return {raw.begin(), raw.end()};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_archive(std::span<const ArchiveEntry> entries) {
+  ByteWriter out;
+  out.put_bytes(std::span<const std::uint8_t>(kMagic, 4));
+  out.put<std::uint8_t>(kVersion);
+  out.put_varint(entries.size());
+  for (const ArchiveEntry& e : entries) {
+    if (e.name.size() > kMaxNameLength)
+      throw std::invalid_argument("archive: entry name too long");
+    out.put_varint(e.name.size());
+    out.put_bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(e.name.data()), e.name.size()));
+    out.put_blob(e.bytes);
+  }
+  return out.take();
+}
+
+std::vector<ArchiveEntry> read_archive(std::span<const std::uint8_t> archive) {
+  std::uint64_t count = 0;
+  ByteReader reader = open_archive(archive, &count);
+  std::vector<ArchiveEntry> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ArchiveEntry e;
+    e.name = read_name(reader);
+    e.bytes = reader.get_blob();
+    entries.push_back(std::move(e));
+  }
+  if (!reader.exhausted()) throw StreamError("archive: trailing bytes");
+  return entries;
+}
+
+std::vector<std::string> list_archive(std::span<const std::uint8_t> archive) {
+  std::uint64_t count = 0;
+  ByteReader reader = open_archive(archive, &count);
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    names.push_back(read_name(reader));
+    (void)reader.get_blob_view();  // skip payload without copying
+  }
+  return names;
+}
+
+std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
+                                        const std::string& name) {
+  std::uint64_t count = 0;
+  ByteReader reader = open_archive(archive, &count);
+  std::vector<std::uint8_t> found;
+  bool have = false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string entry_name = read_name(reader);
+    const auto blob = reader.get_blob_view();
+    if (entry_name == name) {
+      found.assign(blob.begin(), blob.end());
+      have = true;  // keep scanning: last entry with the name wins
+    }
+  }
+  if (!have) throw std::out_of_range("archive: no entry named " + name);
+  return found;
+}
+
+}  // namespace fpsnr::io

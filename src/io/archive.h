@@ -1,0 +1,38 @@
+// Minimal named-blob archive: one file for a whole multi-field dataset.
+//
+// Scientific dumps carry tens of variables per snapshot (CESM: 79+); the
+// archive packs one compressed stream per field with a name index so the
+// CLI and examples can round-trip entire datasets through a single buffer
+// or file. Format (little-endian):
+//   magic "FPAR", version u8, varint entry count,
+//   per entry: varint name length, name bytes, u64-length-prefixed blob.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/bytebuffer.h"
+
+namespace fpsnr::io {
+
+struct ArchiveEntry {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Serialize entries in order. Names may repeat (last one wins on lookup).
+std::vector<std::uint8_t> write_archive(std::span<const ArchiveEntry> entries);
+
+/// Parse a full archive. Throws StreamError on malformed input.
+std::vector<ArchiveEntry> read_archive(std::span<const std::uint8_t> archive);
+
+/// Entry names only (cheap index scan; blobs are skipped, not copied).
+std::vector<std::string> list_archive(std::span<const std::uint8_t> archive);
+
+/// Extract a single entry by name. Throws std::out_of_range if absent.
+std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
+                                        const std::string& name);
+
+}  // namespace fpsnr::io

@@ -1,0 +1,103 @@
+// Bit-granular output/input streams.
+//
+// BitWriter packs bits LSB-first into a growable byte vector; BitReader
+// consumes them in the same order. Both are substrates for the canonical
+// Huffman coder (src/huffman) and the DEFLATE-like backend (src/lossless).
+//
+// Conventions:
+//  * write_bits(value, n) emits the n low bits of `value`, least-significant
+//    bit first (DEFLATE convention).
+//  * Reading past the end throws fpsnr::io::StreamError — corrupted inputs
+//    must fail loudly, never invoke UB.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fpsnr::io {
+
+/// Thrown on malformed or truncated streams.
+class StreamError : public std::runtime_error {
+ public:
+  explicit StreamError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only bit sink. Bits are packed LSB-first within each byte.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Emit the `nbits` low-order bits of `value`, LSB first. nbits in [0,64].
+  void write_bits(std::uint64_t value, unsigned nbits);
+
+  /// Emit a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1u : 0u, 1); }
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Append raw bytes (must be byte-aligned; call align_to_byte() first).
+  void write_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Finish (pads to byte boundary) and move out the underlying buffer.
+  std::vector<std::uint8_t> take();
+
+  /// Read-only view of the (possibly unaligned) current contents.
+  const std::vector<std::uint8_t>& buffer() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;      // bit accumulator, LSB-first
+  unsigned acc_bits_ = 0;      // bits currently held in acc_
+  std::size_t bit_count_ = 0;
+
+  void flush_full_bytes();
+};
+
+/// Bit source over a borrowed byte span. LSB-first, mirroring BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `nbits` bits (LSB-first) as an unsigned value. nbits in [0,64].
+  std::uint64_t read_bits(unsigned nbits);
+
+  /// Look at the next `nbits` bits without consuming them. Bits past the
+  /// end of the stream read as zero (callers must bounds-check separately
+  /// before consuming). nbits in [0,64].
+  std::uint64_t peek_bits(unsigned nbits) const;
+
+  /// Advance the cursor by `n` bits. Throws StreamError past the end.
+  void skip_bits(std::size_t n);
+
+  /// Read one bit.
+  bool read_bit() { return read_bits(1) != 0; }
+
+  /// Skip ahead to the next byte boundary.
+  void align_to_byte();
+
+  /// Copy `n` raw bytes (requires byte alignment).
+  std::vector<std::uint8_t> read_bytes(std::size_t n);
+
+  /// Bits consumed so far.
+  std::size_t bit_position() const { return bit_pos_; }
+
+  /// Total bits available.
+  std::size_t bit_size() const { return data_.size() * 8; }
+
+  /// Bits remaining.
+  std::size_t bits_remaining() const { return bit_size() - bit_pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace fpsnr::io

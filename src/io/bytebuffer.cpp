@@ -1,0 +1,59 @@
+#include "io/bytebuffer.h"
+
+#include <bit>
+
+namespace fpsnr::io {
+
+static_assert(std::endian::native == std::endian::little,
+              "fpsnr targets little-endian hosts; the wire format is "
+              "little-endian and ByteWriter::put relies on host order");
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_blob(std::span<const std::uint8_t> bytes) {
+  put<std::uint64_t>(bytes.size());
+  put_bytes(bytes);
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t out = 0;
+  unsigned shift = 0;
+  for (;;) {
+    require(1);
+    std::uint8_t b = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (b & 0x7Fu) > 1))
+      throw StreamError("ByteReader: varint overflows 64 bits");
+    out |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) return out;
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> ByteReader::get_blob() {
+  auto view = get_blob_view();
+  return {view.begin(), view.end()};
+}
+
+std::span<const std::uint8_t> ByteReader::get_blob_view() {
+  auto len = get<std::uint64_t>();
+  require(len);
+  std::span<const std::uint8_t> view = data_.subspan(pos_, len);
+  pos_ += len;
+  return view;
+}
+
+std::vector<std::uint8_t> ByteReader::get_bytes(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace fpsnr::io

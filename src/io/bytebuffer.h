@@ -1,0 +1,96 @@
+// Byte-granular serialization buffers.
+//
+// ByteWriter/ByteReader provide little-endian primitive encoding, varints,
+// and length-prefixed blobs. They are the container-format substrate for
+// the SZ-like codec (src/sz/stream_format) and the transform codec.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "io/bitstream.h"  // for StreamError
+
+namespace fpsnr::io {
+
+/// Growable little-endian byte sink.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  /// Append a trivially-copyable scalar in little-endian byte order.
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    unsigned char raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    // This library targets little-endian hosts (asserted in bytebuffer.cpp);
+    // memcpy order is the wire order.
+    buf_.insert(buf_.end(), raw, raw + sizeof(T));
+  }
+
+  /// Append raw bytes.
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Append an unsigned LEB128 varint.
+  void put_varint(std::uint64_t v);
+
+  /// Append a u64 length prefix followed by the bytes.
+  void put_blob(std::span<const std::uint8_t> bytes);
+
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian byte source over a borrowed span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T out;
+    std::memcpy(&out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return out;
+  }
+
+  /// Read an unsigned LEB128 varint.
+  std::uint64_t get_varint();
+
+  /// Read a u64-length-prefixed blob as an owned vector.
+  std::vector<std::uint8_t> get_blob();
+
+  /// Borrow a u64-length-prefixed blob without copying.
+  std::span<const std::uint8_t> get_blob_view();
+
+  /// Copy n raw bytes.
+  std::vector<std::uint8_t> get_bytes(std::size_t n);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw StreamError("ByteReader: read past end of buffer");
+  }
+};
+
+}  // namespace fpsnr::io

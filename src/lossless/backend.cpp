@@ -1,0 +1,81 @@
+#include "lossless/backend.h"
+
+#include <stdexcept>
+
+#include "io/bitstream.h"  // StreamError
+#include "lossless/deflate.h"
+#include "lossless/rle.h"
+
+namespace fpsnr::lossless {
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::Store: return "store";
+    case Method::Rle: return "rle";
+    case Method::Deflate: return "deflate";
+    case Method::Auto: return "auto";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<std::uint8_t> with_tag(Method m, std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(m));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> backend_compress(std::span<const std::uint8_t> input,
+                                           Method method,
+                                           const MatcherConfig& config) {
+  switch (method) {
+    case Method::Store:
+      return with_tag(Method::Store, {input.begin(), input.end()});
+    case Method::Rle:
+      return with_tag(Method::Rle, rle_compress(input));
+    case Method::Deflate:
+      return with_tag(Method::Deflate, deflate_compress(input, config));
+    case Method::Auto: {
+      auto best = backend_compress(input, Method::Deflate, config);
+      auto rle = backend_compress(input, Method::Rle, config);
+      if (rle.size() < best.size()) best = std::move(rle);
+      if (input.size() + 1 < best.size())
+        best = backend_compress(input, Method::Store, config);
+      return best;
+    }
+  }
+  throw std::invalid_argument("backend_compress: unknown method");
+}
+
+Method backend_method(std::span<const std::uint8_t> compressed) {
+  if (compressed.empty())
+    throw io::StreamError("backend: empty compressed buffer");
+  const auto tag = compressed[0];
+  if (tag != static_cast<std::uint8_t>(Method::Store) &&
+      tag != static_cast<std::uint8_t>(Method::Rle) &&
+      tag != static_cast<std::uint8_t>(Method::Deflate))
+    throw io::StreamError("backend: unknown method tag");
+  return static_cast<Method>(tag);
+}
+
+std::vector<std::uint8_t> backend_decompress(std::span<const std::uint8_t> compressed) {
+  const Method m = backend_method(compressed);
+  const auto payload = compressed.subspan(1);
+  switch (m) {
+    case Method::Store:
+      return {payload.begin(), payload.end()};
+    case Method::Rle:
+      return rle_decompress(payload);
+    case Method::Deflate:
+      return deflate_decompress(payload);
+    default:
+      throw io::StreamError("backend: unknown method tag");
+  }
+}
+
+}  // namespace fpsnr::lossless

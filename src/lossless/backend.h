@@ -1,0 +1,38 @@
+// Pluggable lossless backend used as the final stage of the lossy codecs.
+//
+// Each compressed buffer is self-describing: a one-byte method tag followed
+// by the method-specific payload, so the decompressor needs no out-of-band
+// configuration. `Method::Auto` tries the configured candidates and keeps
+// the smallest result (falling back to Store when compression does not pay).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "lossless/lz77.h"
+
+namespace fpsnr::lossless {
+
+enum class Method : std::uint8_t {
+  Store = 0,    ///< no compression (identity)
+  Rle = 1,      ///< byte run-length coding
+  Deflate = 2,  ///< LZ77 + canonical Huffman (the GZIP stand-in)
+  Auto = 255,   ///< pick the smallest of the above at compress time
+};
+
+std::string_view method_name(Method m);
+
+/// Compress with the given method; result starts with the method tag byte.
+std::vector<std::uint8_t> backend_compress(std::span<const std::uint8_t> input,
+                                           Method method = Method::Auto,
+                                           const MatcherConfig& config = {});
+
+/// Decompress a self-describing buffer produced by backend_compress.
+std::vector<std::uint8_t> backend_decompress(std::span<const std::uint8_t> compressed);
+
+/// Method tag of a compressed buffer (throws on empty/unknown).
+Method backend_method(std::span<const std::uint8_t> compressed);
+
+}  // namespace fpsnr::lossless

@@ -1,0 +1,61 @@
+// DEFLATE-like entropy stage over LZ77 tokens.
+//
+// Follows RFC 1951's alphabet design — literal/length symbols 0..285 with
+// extra bits, distance symbols 0..29 with extra bits, end-of-block = 256 —
+// but serializes the two canonical Huffman tables with the library's own
+// RLE table format instead of the code-length-code header. One block per
+// stream. This is the "GZIP" stage of the SZ pipeline (step 3), built from
+// scratch on src/huffman and src/io.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lossless/lz77.h"
+
+namespace fpsnr::lossless {
+
+/// Compress raw bytes: LZ77 tokenization + two-table Huffman coding.
+std::vector<std::uint8_t> deflate_compress(std::span<const std::uint8_t> input,
+                                           const MatcherConfig& config = {});
+
+/// Inverse of deflate_compress. Throws io::StreamError on malformed input.
+std::vector<std::uint8_t> deflate_decompress(std::span<const std::uint8_t> compressed);
+
+// Exposed for tests: RFC 1951 length/distance symbol mappings.
+
+/// Map a match length (3..258) to (symbol 257..285, extra-bit count, extra-bit value).
+struct LengthSym {
+  std::uint32_t symbol;
+  unsigned extra_bits;
+  std::uint32_t extra_value;
+};
+LengthSym length_to_symbol(unsigned length);
+
+/// Inverse: base length and extra-bit count for a length symbol.
+struct LengthInfo {
+  unsigned base;
+  unsigned extra_bits;
+};
+LengthInfo length_symbol_info(std::uint32_t symbol);
+
+/// Map a match distance (1..32768) to (symbol 0..29, extra bits, extra value).
+struct DistanceSym {
+  std::uint32_t symbol;
+  unsigned extra_bits;
+  std::uint32_t extra_value;
+};
+DistanceSym distance_to_symbol(unsigned distance);
+
+struct DistanceInfo {
+  unsigned base;
+  unsigned extra_bits;
+};
+DistanceInfo distance_symbol_info(std::uint32_t symbol);
+
+inline constexpr std::uint32_t kEndOfBlock = 256;
+inline constexpr std::uint32_t kLitLenAlphabet = 286;
+inline constexpr std::uint32_t kDistAlphabet = 30;
+
+}  // namespace fpsnr::lossless

@@ -1,0 +1,146 @@
+#include "lossless/lz77.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/bitstream.h"  // StreamError
+
+namespace fpsnr::lossless {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+/// Multiplicative hash of the 3 bytes at p.
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+/// Length of the common prefix of a and b, capped at max_len.
+inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                std::size_t max_len) {
+  std::size_t n = 0;
+  while (n < max_len && a[n] == b[n]) ++n;
+  return n;
+}
+
+class HashChainMatcher {
+ public:
+  HashChainMatcher(std::span<const std::uint8_t> input, const MatcherConfig& cfg)
+      : input_(input), cfg_(cfg), head_(kHashSize, kNil), prev_(input.size(), kNil) {}
+
+  struct Match {
+    std::size_t length = 0;
+    std::size_t distance = 0;
+  };
+
+  /// Best match at position `pos` against the 32 KiB window behind it.
+  Match find(std::size_t pos) const {
+    Match best;
+    if (pos + kMinMatch > input_.size()) return best;
+    const std::size_t max_len = std::min(kMaxMatch, input_.size() - pos);
+    const std::size_t window_start = pos >= kWindowSize ? pos - kWindowSize : 0;
+    std::size_t chain_budget = cfg_.max_chain_length;
+    std::size_t cand = head_[hash3(input_.data() + pos)];
+    while (cand != kNil && cand >= window_start && chain_budget-- > 0) {
+      // Quick reject: check the byte that would extend the best match.
+      if (best.length == 0 ||
+          input_[cand + best.length] == input_[pos + best.length]) {
+        const std::size_t len =
+            match_length(input_.data() + cand, input_.data() + pos, max_len);
+        if (len > best.length) {
+          best.length = len;
+          best.distance = pos - cand;
+          if (len >= cfg_.nice_match || len == max_len) break;
+          if (len >= cfg_.good_match) chain_budget = std::min(chain_budget, cfg_.max_chain_length / 4);
+        }
+      }
+      cand = prev_[cand];
+    }
+    if (best.length < kMinMatch) return {};
+    return best;
+  }
+
+  /// Register position `pos` in the dictionary.
+  void insert(std::size_t pos) {
+    if (pos + kMinMatch > input_.size()) return;
+    const std::uint32_t h = hash3(input_.data() + pos);
+    prev_[pos] = head_[h];
+    head_[h] = pos;
+  }
+
+ private:
+  static constexpr std::size_t kNil = static_cast<std::size_t>(-1);
+  std::span<const std::uint8_t> input_;
+  const MatcherConfig& cfg_;
+  std::vector<std::size_t> head_;
+  std::vector<std::size_t> prev_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::span<const std::uint8_t> input,
+                            const MatcherConfig& config) {
+  std::vector<Token> tokens;
+  tokens.reserve(input.size() / 4 + 16);
+  HashChainMatcher matcher(input, config);
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    auto match = matcher.find(pos);
+    if (config.lazy_matching && match.length >= kMinMatch &&
+        match.length < config.nice_match && pos + 1 < input.size()) {
+      // Lazy evaluation: if the match starting one byte later is strictly
+      // longer, emit a literal now and take the later match.
+      matcher.insert(pos);
+      auto next = matcher.find(pos + 1);
+      if (next.length > match.length) {
+        tokens.push_back(Token::make_literal(input[pos]));
+        ++pos;
+        continue;
+      }
+      // Keep the current match; pos was already inserted.
+      tokens.push_back(Token::make_match(static_cast<std::uint16_t>(match.length),
+                                         static_cast<std::uint16_t>(match.distance)));
+      for (std::size_t i = 1; i < match.length; ++i) matcher.insert(pos + i);
+      pos += match.length;
+      continue;
+    }
+    if (match.length >= kMinMatch) {
+      tokens.push_back(Token::make_match(static_cast<std::uint16_t>(match.length),
+                                         static_cast<std::uint16_t>(match.distance)));
+      for (std::size_t i = 0; i < match.length; ++i) matcher.insert(pos + i);
+      pos += match.length;
+    } else {
+      tokens.push_back(Token::make_literal(input[pos]));
+      matcher.insert(pos);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> detokenize(std::span<const Token> tokens) {
+  std::vector<std::uint8_t> out;
+  for (const Token& t : tokens) {
+    if (t.kind == Token::Kind::Literal) {
+      out.push_back(t.literal);
+    } else {
+      if (t.distance == 0 || t.distance > out.size())
+        throw io::StreamError("lz77: back-reference outside window");
+      if (t.length < kMinMatch || t.length > kMaxMatch)
+        throw io::StreamError("lz77: match length out of range");
+      // Byte-by-byte copy: overlapping references (distance < length)
+      // intentionally reuse just-written bytes, like RLE.
+      std::size_t src = out.size() - t.distance;
+      for (std::size_t i = 0; i < t.length; ++i) out.push_back(out[src + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fpsnr::lossless

@@ -1,0 +1,53 @@
+// LZ77 match finding with a hash-chain dictionary (the GZIP/DEFLATE
+// sliding-window scheme, reimplemented from scratch).
+//
+// The tokenizer turns a byte stream into a sequence of literals and
+// (length, distance) back-references with DEFLATE's parameters:
+// 32 KiB window, match lengths 3..258.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fpsnr::lossless {
+
+inline constexpr std::size_t kWindowSize = 32 * 1024;
+inline constexpr std::size_t kMinMatch = 3;
+inline constexpr std::size_t kMaxMatch = 258;
+
+/// One LZ77 token: either a literal byte or a back-reference.
+struct Token {
+  enum class Kind : std::uint8_t { Literal, Match };
+  Kind kind;
+  std::uint8_t literal = 0;    ///< valid when kind == Literal
+  std::uint16_t length = 0;    ///< 3..258, valid when kind == Match
+  std::uint16_t distance = 0;  ///< 1..32768, valid when kind == Match
+
+  static Token make_literal(std::uint8_t b) {
+    return Token{Kind::Literal, b, 0, 0};
+  }
+  static Token make_match(std::uint16_t len, std::uint16_t dist) {
+    return Token{Kind::Match, 0, len, dist};
+  }
+  bool operator==(const Token&) const = default;
+};
+
+/// Tuning knobs for the matcher (mirrors zlib's level presets in spirit).
+struct MatcherConfig {
+  std::size_t max_chain_length = 128;  ///< hash-chain probes per position
+  std::size_t good_match = 32;         ///< shorten search once a match this long is found
+  std::size_t nice_match = 128;        ///< stop searching at this length
+  bool lazy_matching = true;           ///< defer by one byte if the next match is longer
+};
+
+/// Tokenize `input` into literals and matches.
+std::vector<Token> tokenize(std::span<const std::uint8_t> input,
+                            const MatcherConfig& config = {});
+
+/// Reconstruct the original bytes from a token stream.
+/// Throws io::StreamError (via std::runtime_error) on invalid distances.
+std::vector<std::uint8_t> detokenize(std::span<const Token> tokens);
+
+}  // namespace fpsnr::lossless

@@ -1,0 +1,70 @@
+#include "lossless/rle.h"
+
+#include "io/bitstream.h"  // StreamError
+
+namespace fpsnr::lossless {
+
+namespace {
+constexpr std::size_t kMaxLiteralRun = 128;  // control 0..127 -> 1..128 literals
+constexpr std::size_t kMaxRepeatRun = 129;   // control 128..255 -> 2..129 repeats
+}  // namespace
+
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 8);
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t pos = literal_start;
+    while (pos < end) {
+      const std::size_t run = std::min(kMaxLiteralRun, end - pos);
+      out.push_back(static_cast<std::uint8_t>(run - 1));
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + run));
+      pos += run;
+    }
+  };
+
+  while (i < input.size()) {
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] &&
+           run < kMaxRepeatRun)
+      ++run;
+    if (run >= 3) {  // repeats shorter than 3 are cheaper as literals
+      flush_literals(i);
+      out.push_back(static_cast<std::uint8_t>(128 + (run - 2)));
+      out.push_back(input[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> compressed) {
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < compressed.size()) {
+    const std::uint8_t control = compressed[i++];
+    if (control < 128) {
+      const std::size_t run = static_cast<std::size_t>(control) + 1;
+      if (i + run > compressed.size())
+        throw io::StreamError("rle: literal run past end of stream");
+      out.insert(out.end(), compressed.begin() + static_cast<std::ptrdiff_t>(i),
+                 compressed.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    } else {
+      if (i >= compressed.size())
+        throw io::StreamError("rle: repeat run missing payload byte");
+      const std::size_t run = static_cast<std::size_t>(control - 128) + 2;
+      out.insert(out.end(), run, compressed[i++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fpsnr::lossless

@@ -1,0 +1,19 @@
+// Byte-level run-length coding.
+//
+// A cheap lossless alternative used (a) by the backend auto-selector for
+// highly repetitive streams and (b) as a baseline in the component
+// throughput benchmark. Format: sequence of (control, payload) groups —
+// control byte c < 128 encodes a literal run of c+1 bytes; c >= 128
+// encodes a repeat run of (c - 128) + 2 copies of the next byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fpsnr::lossless {
+
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> input);
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> compressed);
+
+}  // namespace fpsnr::lossless

@@ -1,0 +1,67 @@
+#include "metrics/autocorrelation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsnr::metrics {
+
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag) {
+  if (series.empty())
+    throw std::invalid_argument("autocorrelation: empty series");
+  if (max_lag >= series.size())
+    throw std::invalid_argument("autocorrelation: max_lag >= series length");
+
+  const auto n = static_cast<double>(series.size());
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= n;
+
+  double var = 0.0;
+  for (double x : series) var += (x - mean) * (x - mean);
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  acf[0] = 1.0;
+  if (var == 0.0) return acf;  // constant series: zero past lag 0
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < series.size(); ++i)
+      acc += (series[i] - mean) * (series[i + k] - mean);
+    acf[k] = acc / var;
+  }
+  return acf;
+}
+
+template <typename T>
+std::vector<double> error_series(std::span<const T> original,
+                                 std::span<const T> reconstructed) {
+  if (original.size() != reconstructed.size())
+    throw std::invalid_argument("error_series: size mismatch");
+  std::vector<double> err(original.size());
+  for (std::size_t i = 0; i < err.size(); ++i)
+    err[i] = static_cast<double>(original[i]) -
+             static_cast<double>(reconstructed[i]);
+  return err;
+}
+
+template <typename T>
+double error_whiteness(std::span<const T> original,
+                       std::span<const T> reconstructed, std::size_t max_lag) {
+  const auto err = error_series(original, reconstructed);
+  const auto acf = autocorrelation(err, max_lag);
+  double peak = 0.0;
+  for (std::size_t k = 1; k < acf.size(); ++k)
+    peak = std::max(peak, std::abs(acf[k]));
+  return peak;
+}
+
+template std::vector<double> error_series<float>(std::span<const float>,
+                                                 std::span<const float>);
+template std::vector<double> error_series<double>(std::span<const double>,
+                                                  std::span<const double>);
+template double error_whiteness<float>(std::span<const float>,
+                                       std::span<const float>, std::size_t);
+template double error_whiteness<double>(std::span<const double>,
+                                        std::span<const double>, std::size_t);
+
+}  // namespace fpsnr::metrics

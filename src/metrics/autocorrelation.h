@@ -1,0 +1,44 @@
+// Autocorrelation analysis of compression-error fields.
+//
+// The SZ line of work evaluates not only the *size* of compression errors
+// but also their spatial structure: errors that correlate with the signal
+// or with each other bias downstream analyses (spectra, gradients).
+// Midpoint uniform quantization produces errors that are close to white —
+// lag-k autocorrelation near zero — which is part of why PSNR is a
+// faithful quality summary for these codecs. These helpers quantify that.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpsnr::metrics {
+
+/// Lag-k autocorrelation coefficients (k = 0..max_lag) of a 1-D series.
+/// result[0] == 1 by construction; constant series return all zeros past
+/// lag 0. Throws std::invalid_argument if max_lag >= series length.
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag);
+
+/// Pointwise error series original[i] - reconstructed[i] as doubles.
+template <typename T>
+std::vector<double> error_series(std::span<const T> original,
+                                 std::span<const T> reconstructed);
+
+/// Convenience: max |autocorrelation| over lags 1..max_lag of the error
+/// series — a single "whiteness" score (0 = perfectly white errors).
+template <typename T>
+double error_whiteness(std::span<const T> original,
+                       std::span<const T> reconstructed,
+                       std::size_t max_lag = 16);
+
+extern template std::vector<double> error_series<float>(std::span<const float>,
+                                                        std::span<const float>);
+extern template std::vector<double> error_series<double>(std::span<const double>,
+                                                         std::span<const double>);
+extern template double error_whiteness<float>(std::span<const float>,
+                                              std::span<const float>, std::size_t);
+extern template double error_whiteness<double>(std::span<const double>,
+                                               std::span<const double>, std::size_t);
+
+}  // namespace fpsnr::metrics

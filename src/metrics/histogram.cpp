@@ -1,0 +1,67 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <iomanip>
+
+namespace fpsnr::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+}
+
+void Histogram::add(double x) {
+  if (std::isnan(x)) throw std::invalid_argument("Histogram: NaN sample");
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin + 1) * width_;
+}
+double Histogram::bin_mid(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::density(std::size_t bin) const {
+  return fraction(bin) / width_;
+}
+
+std::string Histogram::render_ascii(std::size_t max_width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double frac = fraction(b);
+    std::size_t bar =
+        peak ? (counts_[b] * max_width + peak - 1) / peak : 0;
+    os << std::setw(12) << std::scientific << std::setprecision(2) << bin_mid(b)
+       << " | " << std::string(bar, '#')
+       << "  " << std::fixed << std::setprecision(2) << 100.0 * frac << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace fpsnr::metrics

@@ -1,0 +1,56 @@
+// Fixed-bin histogram over a real interval.
+//
+// Used to (a) reproduce Figure 1 (distribution of Lorenzo prediction errors
+// with the uniform quantization bins overlaid) and (b) drive the *general*
+// distortion estimator of Eqs. (2)-(5), which needs P(m_i), the empirical
+// probability density at each bin midpoint.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fpsnr::metrics {
+
+class Histogram {
+ public:
+  /// Uniform histogram with `bins` bins over [lo, hi). Values outside the
+  /// interval are counted in underflow/overflow tallies.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  template <typename T>
+  void add_all(std::span<const T> xs) {
+    for (const T& x : xs) add(static_cast<double>(x));
+  }
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }       ///< in-range samples
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_mid(std::size_t bin) const;
+  double bin_width() const { return width_; }
+
+  /// Fraction of in-range samples in `bin` (0 when empty).
+  double fraction(std::size_t bin) const;
+
+  /// Empirical probability *density* at the bin midpoint:
+  /// fraction / bin_width — the P(m_i) of Eq. (3).
+  double density(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin) for terminal output.
+  std::string render_ascii(std::size_t max_width = 60) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace fpsnr::metrics

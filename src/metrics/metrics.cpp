@@ -1,0 +1,93 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fpsnr::metrics {
+
+double psnr_from_mse(double mse, double vr) {
+  if (mse < 0.0) throw std::invalid_argument("psnr_from_mse: negative MSE");
+  if (vr <= 0.0) throw std::invalid_argument("psnr_from_mse: non-positive value range");
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  const double nrmse = std::sqrt(mse) / vr;
+  return -20.0 * std::log10(nrmse);
+}
+
+double mse_from_psnr(double psnr_db, double vr) {
+  if (vr <= 0.0) throw std::invalid_argument("mse_from_psnr: non-positive value range");
+  const double nrmse = std::pow(10.0, -psnr_db / 20.0);
+  return nrmse * nrmse * vr * vr;
+}
+
+double compression_ratio(std::size_t original_bytes, std::size_t compressed_bytes) {
+  if (compressed_bytes == 0)
+    throw std::invalid_argument("compression_ratio: zero compressed size");
+  return static_cast<double>(original_bytes) / static_cast<double>(compressed_bytes);
+}
+
+double bit_rate(std::size_t compressed_bytes, std::size_t value_count) {
+  if (value_count == 0)
+    throw std::invalid_argument("bit_rate: zero value count");
+  return 8.0 * static_cast<double>(compressed_bytes) / static_cast<double>(value_count);
+}
+
+template <typename T>
+double value_range(std::span<const T> data) {
+  if (data.empty()) throw std::invalid_argument("value_range: empty input");
+  auto [lo, hi] = std::minmax_element(data.begin(), data.end());
+  return static_cast<double>(*hi) - static_cast<double>(*lo);
+}
+
+template <typename T>
+ErrorReport compare(std::span<const T> original, std::span<const T> reconstructed) {
+  if (original.size() != reconstructed.size())
+    throw std::invalid_argument("compare: size mismatch");
+  if (original.empty())
+    throw std::invalid_argument("compare: empty input");
+
+  ErrorReport r;
+  r.count = original.size();
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sum_sq = 0.0;
+  double max_abs = 0.0;
+  double max_pw_rel = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double o = static_cast<double>(original[i]);
+    const double d = o - static_cast<double>(reconstructed[i]);
+    lo = std::min(lo, o);
+    hi = std::max(hi, o);
+    sum_sq += d * d;
+    const double ad = std::abs(d);
+    max_abs = std::max(max_abs, ad);
+    if (o != 0.0) max_pw_rel = std::max(max_pw_rel, ad / std::abs(o));
+  }
+  r.min_value = lo;
+  r.max_value = hi;
+  r.value_range = hi - lo;
+  r.mse = sum_sq / static_cast<double>(r.count);
+  r.rmse = std::sqrt(r.mse);
+  r.l2_error = std::sqrt(sum_sq);
+  r.max_abs_error = max_abs;
+  r.max_pw_rel_error = max_pw_rel;
+  if (r.value_range > 0.0) {
+    r.nrmse = r.rmse / r.value_range;
+    r.max_rel_error = max_abs / r.value_range;
+    r.psnr_db = (r.mse == 0.0) ? std::numeric_limits<double>::infinity()
+                               : psnr_from_mse(r.mse, r.value_range);
+  } else {
+    // Constant field: NRMSE/PSNR are undefined; report exactness via mse.
+    r.nrmse = 0.0;
+    r.max_rel_error = 0.0;
+    r.psnr_db = (r.mse == 0.0) ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return r;
+}
+
+template ErrorReport compare<float>(std::span<const float>, std::span<const float>);
+template ErrorReport compare<double>(std::span<const double>, std::span<const double>);
+template double value_range<float>(std::span<const float>);
+template double value_range<double>(std::span<const double>);
+
+}  // namespace fpsnr::metrics

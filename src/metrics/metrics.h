@@ -1,0 +1,59 @@
+// Error metrics between original and reconstructed data.
+//
+// These are the quantities the paper evaluates: MSE, NRMSE, PSNR (Eqs. 2-5),
+// plus maximum pointwise error, pointwise relative error, value range, and
+// compression ratio / bit rate. All reductions are performed in double
+// precision regardless of the input type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+namespace fpsnr::metrics {
+
+/// Summary of the distortion between an original and a reconstructed field.
+struct ErrorReport {
+  std::size_t count = 0;
+  double value_range = 0.0;   ///< max(orig) - min(orig)
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double mse = 0.0;           ///< mean squared error
+  double rmse = 0.0;          ///< sqrt(MSE)
+  double nrmse = 0.0;         ///< RMSE / value_range
+  double psnr_db = 0.0;       ///< -20*log10(NRMSE); +inf for exact match
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0; ///< max |err| / value_range (value-range relative)
+  double max_pw_rel_error = 0.0; ///< max |err| / |orig|, over nonzero originals
+  double l2_error = 0.0;      ///< ||orig - recon||_2
+};
+
+/// Compute the full error report. Throws std::invalid_argument on size
+/// mismatch or empty input.
+template <typename T>
+ErrorReport compare(std::span<const T> original, std::span<const T> reconstructed);
+
+/// Value range (max - min) of a field; 0 for constant fields.
+template <typename T>
+double value_range(std::span<const T> data);
+
+/// PSNR in dB given MSE and value range. Returns +inf when mse == 0.
+double psnr_from_mse(double mse, double value_range);
+
+/// MSE implied by a PSNR (dB) and value range — inverse of psnr_from_mse.
+double mse_from_psnr(double psnr_db, double value_range);
+
+/// Compression ratio = original bytes / compressed bytes.
+double compression_ratio(std::size_t original_bytes, std::size_t compressed_bytes);
+
+/// Bit rate = compressed bits per value.
+double bit_rate(std::size_t compressed_bytes, std::size_t value_count);
+
+extern template ErrorReport compare<float>(std::span<const float>, std::span<const float>);
+extern template ErrorReport compare<double>(std::span<const double>, std::span<const double>);
+extern template double value_range<float>(std::span<const float>);
+extern template double value_range<double>(std::span<const double>);
+
+}  // namespace fpsnr::metrics

@@ -1,0 +1,49 @@
+// Streaming statistics accumulators.
+//
+// RunningStats implements Welford's online algorithm for numerically stable
+// mean/variance — used to produce the AVG / STDEV columns of Table II.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace fpsnr::metrics {
+
+/// Welford online mean / variance / min / max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (parallel reduction support).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stdev() const;
+  /// Population variance (n denominator); 0 for n < 1.
+  double variance_population() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Convenience: stats of a whole span.
+RunningStats summarize(std::span<const double> values);
+
+/// Percentile (nearest-rank, p in [0,100]) of a copy-sorted sample.
+double percentile(std::span<const double> values, double p);
+
+/// Pearson correlation of two equal-length samples.
+double pearson_correlation(std::span<const double> a, std::span<const double> b);
+
+}  // namespace fpsnr::metrics

@@ -1,0 +1,178 @@
+#include "sz/chunked.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "io/bytebuffer.h"
+#include "metrics/metrics.h"
+
+namespace fpsnr::sz {
+
+namespace {
+
+constexpr std::uint8_t kChunkMagic[4] = {'F', 'P', 'S', 'C'};
+constexpr std::uint8_t kChunkVersion = 1;
+
+data::Dims slab_dims(const data::Dims& dims, std::size_t rows) {
+  std::vector<std::size_t> e(dims.extents);
+  e[0] = rows;
+  return data::Dims(std::move(e));
+}
+
+}  // namespace
+
+bool is_chunked_stream(std::span<const std::uint8_t> stream) {
+  return stream.size() >= 4 && std::equal(kChunkMagic, kChunkMagic + 4,
+                                          stream.begin());
+}
+
+template <typename T>
+std::vector<std::uint8_t> chunked_compress(std::span<const T> values,
+                                           const data::Dims& dims,
+                                           const Params& params,
+                                           std::size_t chunks,
+                                           parallel::ThreadPool* pool,
+                                           ChunkedInfo* info) {
+  if (values.size() != dims.count())
+    throw std::invalid_argument("chunked: value count does not match dims");
+
+  if (chunks == 0) chunks = pool ? pool->thread_count() : 4;
+  chunks = std::clamp<std::size_t>(chunks, 1, dims[0]);
+
+  // Resolve the bound once against the *global* range so every slab uses
+  // the same bin width (Theorem 3 then gives the same PSNR model as the
+  // unchunked codec). Pointwise-relative bounds are per-point already.
+  Params slab_params = params;
+  if (params.mode != ErrorBoundMode::PointwiseRelative) {
+    const double vr = metrics::value_range(values);
+    slab_params.mode = ErrorBoundMode::Absolute;
+    slab_params.bound = resolve_absolute_bound(params.mode, params.bound, vr);
+  }
+
+  const std::size_t row_stride = dims.count() / dims[0];
+  const std::size_t base_rows = dims[0] / chunks;
+  const std::size_t extra = dims[0] % chunks;
+
+  struct Slab {
+    std::size_t first_row, rows;
+  };
+  std::vector<Slab> slabs(chunks);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t rows = base_rows + (c < extra ? 1 : 0);
+    slabs[c] = {row, rows};
+    row += rows;
+  }
+
+  std::vector<std::vector<std::uint8_t>> pieces(chunks);
+  std::vector<CompressionInfo> piece_info(chunks);
+  auto work = [&](std::size_t c) {
+    const Slab& s = slabs[c];
+    const std::span<const T> slice =
+        values.subspan(s.first_row * row_stride, s.rows * row_stride);
+    pieces[c] = compress<T>(slice, slab_dims(dims, s.rows), slab_params,
+                            &piece_info[c]);
+  };
+  if (pool) {
+    parallel::parallel_for(*pool, chunks, work);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) work(c);
+  }
+
+  io::ByteWriter out;
+  out.put_bytes(std::span<const std::uint8_t>(kChunkMagic, 4));
+  out.put<std::uint8_t>(kChunkVersion);
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(scalar_type_of<T>()));
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(dims.rank()));
+  for (std::size_t d = 0; d < dims.rank(); ++d) out.put_varint(dims[d]);
+  out.put_varint(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    out.put_varint(slabs[c].rows);
+    out.put_blob(pieces[c]);
+  }
+  auto bytes = out.take();
+
+  if (info) {
+    info->chunk_count = chunks;
+    info->eb_abs_used = piece_info[0].eb_abs_used;
+    info->compressed_bytes = bytes.size();
+    info->compression_ratio =
+        metrics::compression_ratio(values.size() * sizeof(T), bytes.size());
+    info->bit_rate = metrics::bit_rate(bytes.size(), values.size());
+    for (const auto& pi : piece_info) info->outlier_count += pi.outlier_count;
+  }
+  return bytes;
+}
+
+template <typename T>
+Decompressed<T> chunked_decompress(std::span<const std::uint8_t> stream,
+                                   parallel::ThreadPool* pool) {
+  io::ByteReader reader(stream);
+  const auto magic = reader.get_bytes(4);
+  if (!std::equal(magic.begin(), magic.end(), kChunkMagic))
+    throw io::StreamError("chunked: bad magic");
+  if (reader.get<std::uint8_t>() != kChunkVersion)
+    throw io::StreamError("chunked: unsupported version");
+  const auto scalar = reader.get<std::uint8_t>();
+  if (scalar != static_cast<std::uint8_t>(scalar_type_of<T>()))
+    throw io::StreamError("chunked: scalar type mismatch");
+  const auto rank = reader.get<std::uint8_t>();
+  if (rank < 1 || rank > 3) throw io::StreamError("chunked: rank out of 1..3");
+  std::vector<std::size_t> extents(rank);
+  for (auto& e : extents) {
+    e = reader.get_varint();
+    if (e == 0) throw io::StreamError("chunked: zero extent");
+  }
+  const data::Dims dims(std::move(extents));
+  const std::uint64_t chunks = reader.get_varint();
+  if (chunks == 0 || chunks > dims[0])
+    throw io::StreamError("chunked: invalid chunk count");
+
+  struct Piece {
+    std::size_t first_row, rows;
+    std::span<const std::uint8_t> blob;
+  };
+  std::vector<Piece> pieces(chunks);
+  std::size_t row = 0;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t rows = reader.get_varint();
+    if (rows == 0) throw io::StreamError("chunked: empty slab");
+    pieces[c] = {row, rows, reader.get_blob_view()};
+    row += rows;
+  }
+  if (row != dims[0])
+    throw io::StreamError("chunked: slab rows do not cover the field");
+
+  const std::size_t row_stride = dims.count() / dims[0];
+  Decompressed<T> out;
+  out.dims = dims;
+  out.values.resize(dims.count());
+  auto work = [&](std::size_t c) {
+    const Piece& p = pieces[c];
+    auto slab = decompress<T>(p.blob);
+    if (slab.values.size() != p.rows * row_stride)
+      throw io::StreamError("chunked: slab size mismatch");
+    std::copy(slab.values.begin(), slab.values.end(),
+              out.values.begin() +
+                  static_cast<std::ptrdiff_t>(p.first_row * row_stride));
+  };
+  if (pool) {
+    parallel::parallel_for(*pool, pieces.size(), work);
+  } else {
+    for (std::size_t c = 0; c < pieces.size(); ++c) work(c);
+  }
+  return out;
+}
+
+template std::vector<std::uint8_t> chunked_compress<float>(
+    std::span<const float>, const data::Dims&, const Params&, std::size_t,
+    parallel::ThreadPool*, ChunkedInfo*);
+template std::vector<std::uint8_t> chunked_compress<double>(
+    std::span<const double>, const data::Dims&, const Params&, std::size_t,
+    parallel::ThreadPool*, ChunkedInfo*);
+template Decompressed<float> chunked_decompress<float>(
+    std::span<const std::uint8_t>, parallel::ThreadPool*);
+template Decompressed<double> chunked_decompress<double>(
+    std::span<const std::uint8_t>, parallel::ThreadPool*);
+
+}  // namespace fpsnr::sz

@@ -1,0 +1,65 @@
+// Chunked (slab-parallel) variant of the SZ-style codec.
+//
+// The field is split into slabs along axis 0; each slab is compressed as an
+// independent stream, optionally in parallel on a thread pool. Prediction
+// restarts at every slab boundary, so the compression ratio dips slightly
+// (one boundary face per slab loses its north neighbours), but:
+//   * the pointwise error bound is untouched, and
+//   * the fixed-PSNR model is untouched — Theorem 3 makes PSNR a function
+//     of the bin width alone, and all slabs share one bin width derived
+//     from the *global* value range.
+// Decompression is parallel per slab as well. This is the intra-field
+// counterpart of core/batch.h's across-fields parallelism.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "sz/codec.h"
+
+namespace fpsnr::sz {
+
+struct ChunkedInfo {
+  std::size_t chunk_count = 0;
+  double eb_abs_used = 0.0;
+  std::size_t compressed_bytes = 0;
+  double compression_ratio = 0.0;
+  double bit_rate = 0.0;
+  std::size_t outlier_count = 0;
+};
+
+/// Compress in `chunks` slabs along axis 0 (clamped to dims[0]; 0 means
+/// one slab per pool thread, or 4 without a pool). The error-bound mode is
+/// resolved against the global value range, then applied per slab as an
+/// absolute bound, so the guarantee matches the unchunked codec exactly.
+/// PointwiseRelative mode is inherently per-point and passes through.
+template <typename T>
+std::vector<std::uint8_t> chunked_compress(std::span<const T> values,
+                                           const data::Dims& dims,
+                                           const Params& params,
+                                           std::size_t chunks = 0,
+                                           parallel::ThreadPool* pool = nullptr,
+                                           ChunkedInfo* info = nullptr);
+
+/// Decompress a chunked stream (parallel per slab when a pool is given).
+template <typename T>
+Decompressed<T> chunked_decompress(std::span<const std::uint8_t> stream,
+                                   parallel::ThreadPool* pool = nullptr);
+
+/// True if `stream` starts with the chunked-container magic.
+bool is_chunked_stream(std::span<const std::uint8_t> stream);
+
+extern template std::vector<std::uint8_t> chunked_compress<float>(
+    std::span<const float>, const data::Dims&, const Params&, std::size_t,
+    parallel::ThreadPool*, ChunkedInfo*);
+extern template std::vector<std::uint8_t> chunked_compress<double>(
+    std::span<const double>, const data::Dims&, const Params&, std::size_t,
+    parallel::ThreadPool*, ChunkedInfo*);
+extern template Decompressed<float> chunked_decompress<float>(
+    std::span<const std::uint8_t>, parallel::ThreadPool*);
+extern template Decompressed<double> chunked_decompress<double>(
+    std::span<const std::uint8_t>, parallel::ThreadPool*);
+
+}  // namespace fpsnr::sz

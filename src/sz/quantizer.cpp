@@ -1,0 +1,37 @@
+#include "sz/quantizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsnr::sz {
+
+LinearQuantizer::LinearQuantizer(double eb_abs, std::uint32_t bins)
+    : eb_(eb_abs), bins_(bins), radius_(bins / 2) {
+  if (!(eb_abs > 0.0) || !std::isfinite(eb_abs))
+    throw std::invalid_argument("LinearQuantizer: error bound must be positive and finite");
+  if (bins < 4 || bins % 2 != 0)
+    throw std::invalid_argument("LinearQuantizer: bins must be even and >= 4");
+}
+
+std::uint32_t LinearQuantizer::quantize(double diff) const {
+  const double scaled = diff / (2.0 * eb_);
+  // Out-of-range indices (including non-finite inputs) are unpredictable.
+  if (!std::isfinite(scaled)) return 0;
+  // std::round is rounding-mode independent (half away from zero), so
+  // compressor and decompressor cannot disagree.
+  const double rounded = std::round(scaled);
+  // Representable indexes: code = index + radius in [1, bins-1].
+  if (rounded < 1.0 - static_cast<double>(radius_) ||
+      rounded > static_cast<double>(bins_ - 1 - radius_))
+    return 0;
+  return static_cast<std::uint32_t>(static_cast<std::int64_t>(rounded) +
+                                    static_cast<std::int64_t>(radius_));
+}
+
+double LinearQuantizer::dequantize(std::uint32_t code) const {
+  if (code == 0 || code >= bins_)
+    throw std::invalid_argument("LinearQuantizer: bad code");
+  return (static_cast<double>(code) - static_cast<double>(radius_)) * 2.0 * eb_;
+}
+
+}  // namespace fpsnr::sz

@@ -1,0 +1,42 @@
+// Error-controlled linear-scaling quantization (SZ step 2).
+//
+// The value axis is split into uniform bins of width 2*eb centred on
+// integer multiples of 2*eb. A prediction error d maps to the bin index
+// round(d / 2eb); reconstruction uses the bin midpoint, so the introduced
+// error is at most eb. Code 0 is reserved for "unpredictable" points whose
+// index falls outside the configured radius — those are stored exactly.
+//
+// This is exactly the uniform-quantization model of paper Eq. (6):
+// PSNR depends only on the bin width delta = 2*eb and the value range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace fpsnr::sz {
+
+class LinearQuantizer {
+ public:
+  /// bins must be even and >= 4; eb_abs must be > 0.
+  LinearQuantizer(double eb_abs, std::uint32_t bins);
+
+  /// Quantize a prediction error. Returns the code in [1, bins-1], or 0 if
+  /// the error falls outside the representable range (unpredictable).
+  std::uint32_t quantize(double diff) const;
+
+  /// Midpoint reconstruction for a nonzero code.
+  /// Throws std::invalid_argument for code 0 or code >= bins.
+  double dequantize(std::uint32_t code) const;
+
+  double bound() const { return eb_; }
+  double bin_width() const { return 2.0 * eb_; }
+  std::uint32_t bins() const { return bins_; }
+  std::uint32_t radius() const { return radius_; }
+
+ private:
+  double eb_;
+  std::uint32_t bins_;
+  std::uint32_t radius_;  // bins / 2; code = index + radius
+};
+
+}  // namespace fpsnr::sz

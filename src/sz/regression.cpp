@@ -1,0 +1,134 @@
+#include "sz/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpsnr::sz {
+
+namespace {
+
+struct Strides {
+  std::size_t s[3] = {1, 1, 1};
+};
+
+Strides strides_of(const data::Dims& dims) {
+  Strides st;
+  for (std::size_t i = dims.rank(); i-- > 1;) st.s[i - 1] = st.s[i] * dims[i];
+  return st;
+}
+
+/// Visit each point of a block: fn(flat_index_in_grid, o0, o1, o2).
+template <typename F>
+void for_block(const data::Dims& dims, const std::array<std::size_t, 3>& lo,
+               const std::array<std::size_t, 3>& bd, F&& fn) {
+  const Strides st = strides_of(dims);
+  for (std::size_t o0 = 0; o0 < bd[0]; ++o0)
+    for (std::size_t o1 = 0; o1 < bd[1]; ++o1)
+      for (std::size_t o2 = 0; o2 < bd[2]; ++o2) {
+        const std::size_t idx = (lo[0] + o0) * st.s[0] +
+                                (lo[1] + o1) * st.s[1] + (lo[2] + o2) * st.s[2];
+        fn(idx, o0, o1, o2);
+      }
+}
+
+void validate_block(const data::Dims& dims, const std::array<std::size_t, 3>& lo,
+                    const std::array<std::size_t, 3>& bd) {
+  for (std::size_t d = 0; d < 3; ++d) {
+    const std::size_t extent = d < dims.rank() ? dims[d] : 1;
+    if (bd[d] == 0 || lo[d] + bd[d] > extent)
+      throw std::invalid_argument("regression: block outside grid");
+  }
+}
+
+}  // namespace
+
+template <typename T>
+RegressionCoeffs fit_block(std::span<const T> values, const data::Dims& dims,
+                           const std::array<std::size_t, 3>& block_lo,
+                           const std::array<std::size_t, 3>& block_dims) {
+  validate_block(dims, block_lo, block_dims);
+  // On a full integer lattice the coordinates are independent, so the
+  // least-squares slopes decouple:
+  //   b_d = cov(x_d, f) / var(x_d),  b_0 = mean(f) - sum_d b_d * mean(x_d).
+  const double n = static_cast<double>(block_dims[0] * block_dims[1] *
+                                       block_dims[2]);
+  double sum_f = 0.0;
+  std::array<double, 3> sum_xf = {0, 0, 0};
+  for_block(dims, block_lo, block_dims,
+            [&](std::size_t idx, std::size_t o0, std::size_t o1, std::size_t o2) {
+              const double f = static_cast<double>(values[idx]);
+              sum_f += f;
+              sum_xf[0] += static_cast<double>(o0) * f;
+              sum_xf[1] += static_cast<double>(o1) * f;
+              sum_xf[2] += static_cast<double>(o2) * f;
+            });
+  const double mean_f = sum_f / n;
+
+  RegressionCoeffs c;
+  std::array<double, 3> mean_x;
+  for (std::size_t d = 0; d < 3; ++d) {
+    const double m = static_cast<double>(block_dims[d]);
+    mean_x[d] = (m - 1.0) / 2.0;
+    // var of 0..m-1 (population) times n: n * (m^2 - 1) / 12.
+    const double sxx = n * (m * m - 1.0) / 12.0;
+    if (sxx == 0.0) {
+      c.b[d + 1] = 0.0;  // degenerate axis (extent 1)
+      continue;
+    }
+    const double sxf = sum_xf[d] - mean_x[d] * sum_f;
+    c.b[d + 1] = sxf / sxx;
+  }
+  c.b[0] = mean_f - c.b[1] * mean_x[0] - c.b[2] * mean_x[1] - c.b[3] * mean_x[2];
+  return c;
+}
+
+RegressionCoeffs quantize_coeffs(const RegressionCoeffs& c, double coeff_step) {
+  if (!(coeff_step > 0.0))
+    throw std::invalid_argument("regression: coeff_step must be positive");
+  RegressionCoeffs q;
+  for (std::size_t i = 0; i < c.b.size(); ++i)
+    q.b[i] = std::round(c.b[i] / coeff_step) * coeff_step;
+  return q;
+}
+
+double predict_regression(const RegressionCoeffs& c, std::size_t o0,
+                          std::size_t o1, std::size_t o2) {
+  return c.b[0] + c.b[1] * static_cast<double>(o0) +
+         c.b[2] * static_cast<double>(o1) + c.b[3] * static_cast<double>(o2);
+}
+
+template <typename T>
+double block_abs_error(std::span<const T> values, const data::Dims& dims,
+                       const std::array<std::size_t, 3>& block_lo,
+                       const std::array<std::size_t, 3>& block_dims,
+                       const RegressionCoeffs& c) {
+  validate_block(dims, block_lo, block_dims);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for_block(dims, block_lo, block_dims,
+            [&](std::size_t idx, std::size_t o0, std::size_t o1, std::size_t o2) {
+              acc += std::abs(static_cast<double>(values[idx]) -
+                              predict_regression(c, o0, o1, o2));
+              ++count;
+            });
+  return acc / static_cast<double>(count);
+}
+
+template RegressionCoeffs fit_block<float>(std::span<const float>,
+                                           const data::Dims&,
+                                           const std::array<std::size_t, 3>&,
+                                           const std::array<std::size_t, 3>&);
+template RegressionCoeffs fit_block<double>(std::span<const double>,
+                                            const data::Dims&,
+                                            const std::array<std::size_t, 3>&,
+                                            const std::array<std::size_t, 3>&);
+template double block_abs_error<float>(std::span<const float>, const data::Dims&,
+                                       const std::array<std::size_t, 3>&,
+                                       const std::array<std::size_t, 3>&,
+                                       const RegressionCoeffs&);
+template double block_abs_error<double>(std::span<const double>, const data::Dims&,
+                                        const std::array<std::size_t, 3>&,
+                                        const std::array<std::size_t, 3>&,
+                                        const RegressionCoeffs&);
+
+}  // namespace fpsnr::sz

@@ -1,0 +1,74 @@
+// Block-wise linear-regression predictor (the SZ 2.x evolution).
+//
+// SZ 1.4 (the paper's substrate) predicts every point with the Lorenzo
+// stencil. SZ 2.x adds a second candidate: fit a linear model
+// f(i0,i1,i2) ~= b0 + b1*i0 + b2*i1 + b3*i2 over each small block of the
+// *original* data, pick per block whichever predictor yields the smaller
+// quantization error, and ship the (quantized) coefficients with the
+// stream. Regression is immune to the error accumulation of
+// reconstructed-neighbour prediction at coarse bounds, which is exactly
+// where it wins.
+//
+// Crucially for this paper, regression prediction keeps Theorem 1 intact:
+// the predicted values are identical at compression and decompression
+// time (coefficients are transmitted quantized, and both sides use the
+// quantized values), so X - X~ == Xpe - X~pe still holds and the
+// fixed-PSNR formula is unchanged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/field.h"
+
+namespace fpsnr::sz {
+
+inline constexpr std::size_t kRegressionBlock = 6;  // SZ 2.x uses 6^d blocks
+
+/// Coefficients of one block's linear model, already quantized so both
+/// codec directions use bit-identical values.
+struct RegressionCoeffs {
+  std::array<double, 4> b = {0, 0, 0, 0};  // intercept, then one slope/axis
+};
+
+/// Least-squares fit of a linear model over one block of data laid out in
+/// C order within the full grid. On the regular integer lattice the normal
+/// equations decouple, so the fit is a few prefix sums (as in SZ 2.x).
+/// `block_lo` is the block's origin, `block_dims` its extents (<= 6 each).
+template <typename T>
+RegressionCoeffs fit_block(std::span<const T> values, const data::Dims& dims,
+                           const std::array<std::size_t, 3>& block_lo,
+                           const std::array<std::size_t, 3>& block_dims);
+
+/// Quantize coefficients onto a lattice of step `coeff_step` (midpoint
+/// rule), making them cheap to encode and identical across codec sides.
+RegressionCoeffs quantize_coeffs(const RegressionCoeffs& c, double coeff_step);
+
+/// Predicted value at offset (o0,o1,o2) inside the block.
+double predict_regression(const RegressionCoeffs& c, std::size_t o0,
+                          std::size_t o1, std::size_t o2);
+
+/// Mean absolute prediction error of the (quantized) model over a block —
+/// the per-block selection statistic used against Lorenzo.
+template <typename T>
+double block_abs_error(std::span<const T> values, const data::Dims& dims,
+                       const std::array<std::size_t, 3>& block_lo,
+                       const std::array<std::size_t, 3>& block_dims,
+                       const RegressionCoeffs& c);
+
+extern template RegressionCoeffs fit_block<float>(
+    std::span<const float>, const data::Dims&, const std::array<std::size_t, 3>&,
+    const std::array<std::size_t, 3>&);
+extern template RegressionCoeffs fit_block<double>(
+    std::span<const double>, const data::Dims&, const std::array<std::size_t, 3>&,
+    const std::array<std::size_t, 3>&);
+extern template double block_abs_error<float>(
+    std::span<const float>, const data::Dims&, const std::array<std::size_t, 3>&,
+    const std::array<std::size_t, 3>&, const RegressionCoeffs&);
+extern template double block_abs_error<double>(
+    std::span<const double>, const data::Dims&, const std::array<std::size_t, 3>&,
+    const std::array<std::size_t, 3>&, const RegressionCoeffs&);
+
+}  // namespace fpsnr::sz

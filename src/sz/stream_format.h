@@ -1,0 +1,61 @@
+// On-disk / in-memory container format for SZ-style compressed streams.
+//
+// Layout (little-endian):
+//   magic   "FPSZ" (4 bytes)
+//   version u8 (currently 1)
+//   scalar  u8 (0 = float32, 1 = float64)
+//   mode    u8 (ErrorBoundMode)
+//   rank    u8 (1..3)
+//   extents varint x rank
+//   eb_abs  f64   -- absolute bound applied to the *coded* stream
+//                    (log2-domain bound in PointwiseRelative mode)
+//   user_bound f64 -- the bound the caller passed, for round-trip metadata
+//   value_range f64
+//   quant_bins varint
+//   pwrel_zero_floor f64
+//   payload blob  -- backend-compressed inner stream (see codec.cpp)
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/field.h"
+#include "io/bytebuffer.h"
+#include "sz/error_mode.h"
+
+namespace fpsnr::sz {
+
+inline constexpr std::uint8_t kFormatVersion = 1;
+inline constexpr std::uint8_t kMagic[4] = {'F', 'P', 'S', 'Z'};
+
+enum class ScalarType : std::uint8_t { Float32 = 0, Float64 = 1 };
+
+template <typename T>
+constexpr ScalarType scalar_type_of();
+template <>
+constexpr ScalarType scalar_type_of<float>() { return ScalarType::Float32; }
+template <>
+constexpr ScalarType scalar_type_of<double>() { return ScalarType::Float64; }
+
+struct StreamHeader {
+  ScalarType scalar = ScalarType::Float32;
+  ErrorBoundMode mode = ErrorBoundMode::Absolute;
+  Predictor predictor = Predictor::Lorenzo;
+  data::Dims dims;
+  double eb_abs = 0.0;
+  double user_bound = 0.0;
+  double value_range = 0.0;
+  std::uint32_t quant_bins = 0;
+  double pwrel_zero_floor = 0.0;
+};
+
+void write_header(const StreamHeader& h, io::ByteWriter& out);
+
+/// Parses and validates a header. Throws io::StreamError on bad magic,
+/// unsupported version/scalar/rank, or nonsensical parameters.
+StreamHeader read_header(io::ByteReader& in);
+
+/// Peek at the header of a complete compressed stream.
+StreamHeader inspect(std::span<const std::uint8_t> stream);
+
+}  // namespace fpsnr::sz

@@ -1,0 +1,98 @@
+#include "transform/dct.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fpsnr::transform {
+
+namespace {
+
+/// Orthonormal DCT-II of x[0..m): y_k = s_k * sum_j x_j cos(pi (j+1/2) k / m),
+/// s_0 = sqrt(1/m), s_k = sqrt(2/m). Naive O(m^2); m <= block size.
+void dct2(const double* x, double* y, std::size_t m) {
+  const double s0 = std::sqrt(1.0 / static_cast<double>(m));
+  const double sk = std::sqrt(2.0 / static_cast<double>(m));
+  for (std::size_t k = 0; k < m; ++k) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m; ++j)
+      acc += x[j] * std::cos(std::numbers::pi *
+                             (static_cast<double>(j) + 0.5) *
+                             static_cast<double>(k) / static_cast<double>(m));
+    y[k] = (k == 0 ? s0 : sk) * acc;
+  }
+}
+
+/// Orthonormal DCT-III (inverse of dct2).
+void dct3(const double* y, double* x, std::size_t m) {
+  const double s0 = std::sqrt(1.0 / static_cast<double>(m));
+  const double sk = std::sqrt(2.0 / static_cast<double>(m));
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = s0 * y[0];
+    for (std::size_t k = 1; k < m; ++k)
+      acc += sk * y[k] *
+             std::cos(std::numbers::pi * (static_cast<double>(j) + 0.5) *
+                      static_cast<double>(k) / static_cast<double>(m));
+    x[j] = acc;
+  }
+}
+
+struct Strides {
+  std::size_t s[3] = {1, 1, 1};
+};
+
+Strides strides_of(const data::Dims& dims) {
+  Strides st;
+  for (std::size_t i = dims.rank(); i-- > 1;) st.s[i - 1] = st.s[i] * dims[i];
+  return st;
+}
+
+void transform_axis(std::vector<double>& v, const data::Dims& dims,
+                    std::size_t axis, std::size_t block, bool inverse) {
+  const std::size_t n = dims[axis];
+  const Strides st = strides_of(dims);
+  const std::size_t rank = dims.rank();
+  std::size_t outer = 1;
+  for (std::size_t d = 0; d < rank; ++d)
+    if (d != axis) outer *= dims[d];
+
+  std::vector<double> in(block), out(block);
+  for (std::size_t li = 0; li < outer; ++li) {
+    std::size_t rem = li;
+    std::size_t base = 0;
+    for (std::size_t d = rank; d-- > 0;) {
+      if (d == axis) continue;
+      base += (rem % dims[d]) * st.s[d];
+      rem /= dims[d];
+    }
+    for (std::size_t start = 0; start < n; start += block) {
+      const std::size_t m = std::min(block, n - start);
+      for (std::size_t k = 0; k < m; ++k)
+        in[k] = v[base + (start + k) * st.s[axis]];
+      if (inverse)
+        dct3(in.data(), out.data(), m);
+      else
+        dct2(in.data(), out.data(), m);
+      for (std::size_t k = 0; k < m; ++k)
+        v[base + (start + k) * st.s[axis]] = out[k];
+    }
+  }
+}
+
+}  // namespace
+
+void dct_forward(std::vector<double>& v, const data::Dims& dims, std::size_t block) {
+  if (v.size() != dims.count()) throw std::invalid_argument("dct_forward: size mismatch");
+  if (block < 2) throw std::invalid_argument("dct_forward: block must be >= 2");
+  for (std::size_t axis = 0; axis < dims.rank(); ++axis)
+    transform_axis(v, dims, axis, block, /*inverse=*/false);
+}
+
+void dct_inverse(std::vector<double>& v, const data::Dims& dims, std::size_t block) {
+  if (v.size() != dims.count()) throw std::invalid_argument("dct_inverse: size mismatch");
+  if (block < 2) throw std::invalid_argument("dct_inverse: block must be >= 2");
+  for (std::size_t axis = dims.rank(); axis-- > 0;)
+    transform_axis(v, dims, axis, block, /*inverse=*/true);
+}
+
+}  // namespace fpsnr::transform

@@ -1,0 +1,123 @@
+#include "transform/haar.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fpsnr::transform {
+
+namespace {
+
+const double kInvSqrt2 = 1.0 / std::numbers::sqrt2;
+
+/// Forward step on a contiguous scratch line of length m:
+/// out = [a_0..a_{ceil(m/2)-1} | d_0..d_{floor(m/2)-1}].
+void haar_step_line(std::vector<double>& line, std::vector<double>& scratch,
+                    std::size_t m, bool inverse) {
+  const std::size_t pairs = m / 2;
+  const std::size_t approx = m - pairs;  // == ceil(m/2)
+  if (!inverse) {
+    for (std::size_t k = 0; k < pairs; ++k) {
+      scratch[k] = (line[2 * k] + line[2 * k + 1]) * kInvSqrt2;
+      scratch[approx + k] = (line[2 * k] - line[2 * k + 1]) * kInvSqrt2;
+    }
+    if (m % 2 != 0) scratch[approx - 1] = line[m - 1];
+  } else {
+    for (std::size_t k = 0; k < pairs; ++k) {
+      scratch[2 * k] = (line[k] + line[approx + k]) * kInvSqrt2;
+      scratch[2 * k + 1] = (line[k] - line[approx + k]) * kInvSqrt2;
+    }
+    if (m % 2 != 0) scratch[m - 1] = line[approx - 1];
+  }
+  for (std::size_t k = 0; k < m; ++k) line[k] = scratch[k];
+}
+
+struct Strides {
+  std::size_t s[3] = {1, 1, 1};
+};
+
+Strides strides_of(const data::Dims& dims) {
+  Strides st;
+  const std::size_t rank = dims.rank();
+  for (std::size_t i = rank; i-- > 1;) st.s[i - 1] = st.s[i] * dims[i];
+  return st;
+}
+
+/// Apply one Haar step along `axis`, restricted to the leading sub-box
+/// `sub` (the approximation region of the current level).
+void step_axis(std::vector<double>& v, const data::Dims& dims, std::size_t axis,
+               const std::vector<std::size_t>& sub, bool inverse) {
+  const std::size_t m = sub[axis];
+  if (m < 2) return;
+  const Strides st = strides_of(dims);
+  const std::size_t rank = dims.rank();
+
+  std::vector<double> line(m), scratch(m);
+  // Iterate over the other axes' coordinates within the sub-box.
+  std::size_t outer = 1;
+  for (std::size_t d = 0; d < rank; ++d)
+    if (d != axis) outer *= sub[d];
+  for (std::size_t li = 0; li < outer; ++li) {
+    std::size_t rem = li;
+    std::size_t base = 0;
+    for (std::size_t d = rank; d-- > 0;) {
+      if (d == axis) continue;
+      base += (rem % sub[d]) * st.s[d];
+      rem /= sub[d];
+    }
+    for (std::size_t k = 0; k < m; ++k) line[k] = v[base + k * st.s[axis]];
+    haar_step_line(line, scratch, m, inverse);
+    for (std::size_t k = 0; k < m; ++k) v[base + k * st.s[axis]] = line[k];
+  }
+}
+
+std::vector<std::size_t> sub_extents_at_level(const data::Dims& dims, unsigned level) {
+  std::vector<std::size_t> sub(dims.rank());
+  for (std::size_t d = 0; d < dims.rank(); ++d) {
+    std::size_t m = dims[d];
+    for (unsigned l = 0; l < level; ++l) m = (m + 1) / 2;
+    sub[d] = m;
+  }
+  return sub;
+}
+
+}  // namespace
+
+unsigned max_haar_levels(const data::Dims& dims) {
+  unsigned levels = 0;
+  bool any = true;
+  while (any) {
+    const auto sub = sub_extents_at_level(dims, levels);
+    any = false;
+    for (std::size_t m : sub)
+      if (m >= 2) any = true;
+    if (any) ++levels;
+  }
+  return levels;
+}
+
+void haar_forward(std::vector<double>& v, const data::Dims& dims, unsigned levels) {
+  if (v.size() != dims.count())
+    throw std::invalid_argument("haar_forward: size mismatch");
+  const unsigned max_levels = max_haar_levels(dims);
+  if (levels > max_levels) levels = max_levels;
+  for (unsigned l = 0; l < levels; ++l) {
+    const auto sub = sub_extents_at_level(dims, l);
+    for (std::size_t axis = 0; axis < dims.rank(); ++axis)
+      step_axis(v, dims, axis, sub, /*inverse=*/false);
+  }
+}
+
+void haar_inverse(std::vector<double>& v, const data::Dims& dims, unsigned levels) {
+  if (v.size() != dims.count())
+    throw std::invalid_argument("haar_inverse: size mismatch");
+  const unsigned max_levels = max_haar_levels(dims);
+  if (levels > max_levels) levels = max_levels;
+  for (unsigned l = levels; l-- > 0;) {
+    const auto sub = sub_extents_at_level(dims, l);
+    for (std::size_t axis = dims.rank(); axis-- > 0;)
+      step_axis(v, dims, axis, sub, /*inverse=*/true);
+  }
+}
+
+}  // namespace fpsnr::transform

@@ -1,0 +1,28 @@
+// Orthonormal multi-level Haar wavelet transform on 1/2/3-D grids.
+//
+// Each elementary step maps a pair (x0, x1) to ((x0+x1)/sqrt2, (x0-x1)/sqrt2)
+// — a rotation, hence orthonormal; odd tails pass through unchanged. The
+// full separable multi-level transform is therefore orthogonal, which is
+// exactly the property Theorem 2 of the paper needs: quantizing the
+// coefficients introduces the same L2 distortion in the reconstructed data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/field.h"
+
+namespace fpsnr::transform {
+
+/// Maximum useful level count for the given dims (until every axis's
+/// approximation length reaches 1).
+unsigned max_haar_levels(const data::Dims& dims);
+
+/// In-place forward transform, `levels` levels (clamped to max_haar_levels).
+/// Layout per level and axis: [approx | detail] over the leading sub-box.
+void haar_forward(std::vector<double>& v, const data::Dims& dims, unsigned levels);
+
+/// Exact inverse of haar_forward (up to FP rounding).
+void haar_inverse(std::vector<double>& v, const data::Dims& dims, unsigned levels);
+
+}  // namespace fpsnr::transform

@@ -1,0 +1,90 @@
+// Tests for the named-blob archive container.
+#include "io/archive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.h"
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+
+namespace io = fpsnr::io;
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+namespace metrics = fpsnr::metrics;
+
+TEST(Archive, EmptyArchive) {
+  const auto bytes = io::write_archive({});
+  EXPECT_TRUE(io::read_archive(bytes).empty());
+  EXPECT_TRUE(io::list_archive(bytes).empty());
+}
+
+TEST(Archive, RoundTripEntries) {
+  const std::vector<io::ArchiveEntry> entries = {
+      {"alpha", {1, 2, 3}},
+      {"beta", {}},
+      {"gamma/with/slash", std::vector<std::uint8_t>(1000, 42)},
+  };
+  const auto bytes = io::write_archive(entries);
+  const auto back = io::read_archive(bytes);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back[i].name, entries[i].name);
+    EXPECT_EQ(back[i].bytes, entries[i].bytes);
+  }
+  EXPECT_EQ(io::list_archive(bytes),
+            (std::vector<std::string>{"alpha", "beta", "gamma/with/slash"}));
+}
+
+TEST(Archive, SingleEntryLookup) {
+  const std::vector<io::ArchiveEntry> entries = {
+      {"x", {9}}, {"y", {8, 8}}, {"x", {7, 7, 7}}};  // duplicate name
+  const auto bytes = io::write_archive(entries);
+  EXPECT_EQ(io::archive_entry(bytes, "y"), (std::vector<std::uint8_t>{8, 8}));
+  // Last duplicate wins.
+  EXPECT_EQ(io::archive_entry(bytes, "x"), (std::vector<std::uint8_t>{7, 7, 7}));
+  EXPECT_THROW(io::archive_entry(bytes, "nope"), std::out_of_range);
+}
+
+TEST(Archive, CorruptionRejected) {
+  const std::vector<io::ArchiveEntry> entries = {{"a", {1, 2, 3, 4}}};
+  auto bytes = io::write_archive(entries);
+  auto bad = bytes;
+  bad[0] = 'Z';
+  EXPECT_THROW(io::read_archive(bad), io::StreamError);
+  bad = bytes;
+  bad.resize(bad.size() - 2);
+  EXPECT_THROW(io::read_archive(bad), io::StreamError);
+  bad = bytes;
+  bad.push_back(0);  // trailing junk
+  EXPECT_THROW(io::read_archive(bad), io::StreamError);
+}
+
+TEST(Archive, OversizedNameRejected) {
+  io::ArchiveEntry e;
+  e.name = std::string(5000, 'n');
+  EXPECT_THROW(io::write_archive({{e}}), std::invalid_argument);
+}
+
+TEST(Archive, WholeDatasetRoundTrip) {
+  // The intended use: one archive per snapshot, one compressed stream per
+  // field, self-describing end to end.
+  const auto ds = data::make_hurricane({0.4, 99});
+  std::vector<io::ArchiveEntry> entries;
+  for (const auto& f : ds.fields) {
+    io::ArchiveEntry e;
+    e.name = f.name;
+    e.bytes = core::compress_fixed_psnr<float>(f.span(), f.dims, 70.0).stream;
+    entries.push_back(std::move(e));
+  }
+  const auto archive = io::write_archive(entries);
+
+  const auto names = io::list_archive(archive);
+  ASSERT_EQ(names.size(), ds.field_count());
+  for (const auto& f : ds.fields) {
+    const auto stream = io::archive_entry(archive, f.name);
+    const auto out = core::decompress<float>(stream);
+    EXPECT_EQ(out.dims, f.dims);
+    const auto rep = metrics::compare<float>(f.span(), out.values);
+    EXPECT_GT(rep.psnr_db, 65.0) << f.name;
+  }
+}

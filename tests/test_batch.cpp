@@ -1,0 +1,98 @@
+// Tests for dataset-level batch evaluation (the Fig. 2 / Table II harness).
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+namespace parallel = fpsnr::parallel;
+
+namespace {
+
+data::Dataset small_hurricane() { return data::make_hurricane({0.5, 42}); }
+
+}  // namespace
+
+TEST(Batch, CoversEveryField) {
+  const auto ds = small_hurricane();
+  const auto r = core::run_fixed_psnr_batch(ds, 60.0);
+  EXPECT_EQ(r.dataset_name, "Hurricane");
+  EXPECT_EQ(r.fields.size(), ds.field_count());
+  for (const auto& f : r.fields) {
+    EXPECT_EQ(f.target_psnr_db, 60.0);
+    EXPECT_GT(f.actual_psnr_db, 0.0);
+    EXPECT_GT(f.compression_ratio, 1.0);
+  }
+}
+
+TEST(Batch, AccuracyMatchesPaperShapeAt80dB) {
+  // Table II row "80": AVG within ~0.5 dB of target, small STDEV.
+  const auto r = core::run_fixed_psnr_batch(small_hurricane(), 80.0);
+  const auto stats = r.psnr_stats();
+  EXPECT_NEAR(stats.mean(), 80.0, 1.0);
+  EXPECT_LT(stats.stdev(), 2.0);
+  EXPECT_LT(r.mean_abs_deviation_db(), 1.0);
+}
+
+TEST(Batch, LowTargetDeviatesMore) {
+  // The paper's key qualitative result: accuracy improves with the target.
+  const auto ds = small_hurricane();
+  const auto low = core::run_fixed_psnr_batch(ds, 20.0);
+  const auto high = core::run_fixed_psnr_batch(ds, 100.0);
+  EXPECT_GT(low.mean_abs_deviation_db(), high.mean_abs_deviation_db());
+  // Low-target misses are mostly overshoots; undershoot stays within a few
+  // dB (paper Table II shows ATM at 21.9 for a 20 dB request, i.e. the
+  // same small two-sided jitter).
+  for (const auto& f : low.fields)
+    EXPECT_GT(f.actual_psnr_db, f.target_psnr_db - 4.0) << f.field_name;
+}
+
+TEST(Batch, ParallelMatchesSequential) {
+  const auto ds = small_hurricane();
+  const auto seq = core::run_fixed_psnr_batch(ds, 70.0);
+  parallel::ThreadPool pool(4);
+  core::BatchOptions opts;
+  opts.pool = &pool;
+  const auto par = core::run_fixed_psnr_batch(ds, 70.0, opts);
+  ASSERT_EQ(par.fields.size(), seq.fields.size());
+  for (std::size_t i = 0; i < seq.fields.size(); ++i) {
+    EXPECT_EQ(par.fields[i].field_name, seq.fields[i].field_name);
+    EXPECT_DOUBLE_EQ(par.fields[i].actual_psnr_db, seq.fields[i].actual_psnr_db);
+    EXPECT_DOUBLE_EQ(par.fields[i].compression_ratio,
+                     seq.fields[i].compression_ratio);
+  }
+}
+
+TEST(Batch, SweepProducesOneResultPerTarget) {
+  const auto ds = small_hurricane();
+  const std::vector<double> targets = {40.0, 80.0};
+  const auto sweep = core::run_fixed_psnr_sweep(ds, targets);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_EQ(sweep[0].target_psnr_db, 40.0);
+  EXPECT_EQ(sweep[1].target_psnr_db, 80.0);
+}
+
+TEST(Batch, MetFractionAndDeviationComputed) {
+  core::BatchResult r;
+  r.target_psnr_db = 50.0;
+  core::FieldOutcome a;
+  a.target_psnr_db = 50.0;
+  a.actual_psnr_db = 51.0;
+  a.met_target = true;
+  core::FieldOutcome b = a;
+  b.actual_psnr_db = 49.5;
+  b.met_target = false;
+  r.fields = {a, b};
+  EXPECT_DOUBLE_EQ(r.met_fraction(), 0.5);
+  EXPECT_NEAR(r.mean_abs_deviation_db(), 0.75, 1e-12);
+  EXPECT_NEAR(r.psnr_stats().mean(), 50.25, 1e-12);
+}
+
+TEST(Batch, EmptyResultSafe) {
+  core::BatchResult r;
+  EXPECT_EQ(r.met_fraction(), 0.0);
+  EXPECT_EQ(r.mean_abs_deviation_db(), 0.0);
+  EXPECT_EQ(r.psnr_stats().count(), 0u);
+}

@@ -1,0 +1,136 @@
+// Unit tests for io::ByteWriter / io::ByteReader.
+#include "io/bytebuffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+namespace io = fpsnr::io;
+
+TEST(ByteBuffer, ScalarsRoundTrip) {
+  io::ByteWriter w;
+  w.put<std::uint8_t>(0xAB);
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<std::uint64_t>(0x0123456789ABCDEFull);
+  w.put<double>(3.14159);
+  w.put<float>(-2.5f);
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_FLOAT_EQ(r.get<float>(), -2.5f);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, LittleEndianLayout) {
+  io::ByteWriter w;
+  w.put<std::uint32_t>(0x04030201);
+  const auto buf = w.buffer();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(ByteBuffer, VarintBoundaries) {
+  const std::uint64_t cases[] = {0,   1,    127,        128,
+                                 129, 300,  16383,      16384,
+                                 ~0ull, 1ull << 63, 0xFFFFFFFFull};
+  io::ByteWriter w;
+  for (std::uint64_t v : cases) w.put_varint(v);
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  for (std::uint64_t v : cases) EXPECT_EQ(r.get_varint(), v);
+}
+
+TEST(ByteBuffer, VarintSizes) {
+  io::ByteWriter w;
+  w.put_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.put_varint(128);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(ByteBuffer, BlobRoundTrip) {
+  io::ByteWriter w;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  w.put_blob(payload);
+  w.put_blob({});  // empty blob is legal
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  EXPECT_EQ(r.get_blob(), payload);
+  EXPECT_TRUE(r.get_blob().empty());
+}
+
+TEST(ByteBuffer, BlobViewDoesNotCopy) {
+  io::ByteWriter w;
+  const std::vector<std::uint8_t> payload = {7, 8, 9};
+  w.put_blob(payload);
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  const auto view = r.get_blob_view();
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_GE(view.data(), buf.data());
+  EXPECT_LT(view.data(), buf.data() + buf.size());
+}
+
+TEST(ByteBuffer, ReadPastEndThrows) {
+  io::ByteWriter w;
+  w.put<std::uint16_t>(7);
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  EXPECT_THROW(r.get<std::uint32_t>(), io::StreamError);
+}
+
+TEST(ByteBuffer, TruncatedBlobThrows) {
+  io::ByteWriter w;
+  w.put<std::uint64_t>(100);  // declared length 100, no payload
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  EXPECT_THROW(r.get_blob(), io::StreamError);
+}
+
+TEST(ByteBuffer, TruncatedVarintThrows) {
+  const std::uint8_t truncated[] = {0x80};  // continuation bit, no next byte
+  io::ByteReader r(truncated);
+  EXPECT_THROW(r.get_varint(), io::StreamError);
+}
+
+TEST(ByteBuffer, OverlongVarintThrows) {
+  // 11 bytes of continuation would encode > 64 bits.
+  std::vector<std::uint8_t> bad(11, 0xFF);
+  bad.back() = 0x7F;
+  io::ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), io::StreamError);
+}
+
+TEST(ByteBuffer, PositionAndRemaining) {
+  io::ByteWriter w;
+  w.put<std::uint32_t>(1);
+  w.put<std::uint32_t>(2);
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.get<std::uint32_t>();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(ByteBuffer, RandomizedVarintRoundTrip) {
+  std::mt19937_64 rng(7);
+  io::ByteWriter w;
+  std::vector<std::uint64_t> values(2000);
+  for (auto& v : values) {
+    const unsigned width = static_cast<unsigned>(rng() % 64) + 1;
+    v = rng() & ((width == 64) ? ~0ull : ((1ull << width) - 1));
+    w.put_varint(v);
+  }
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  for (std::uint64_t v : values) ASSERT_EQ(r.get_varint(), v);
+}

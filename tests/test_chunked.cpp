@@ -1,0 +1,154 @@
+// Tests for the chunked (slab-parallel) codec.
+#include "sz/chunked.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.h"
+#include "io/bitstream.h"
+#include "metrics/metrics.h"
+
+namespace sz = fpsnr::sz;
+namespace data = fpsnr::data;
+namespace metrics = fpsnr::metrics;
+namespace parallel = fpsnr::parallel;
+namespace io = fpsnr::io;
+
+namespace {
+
+std::vector<float> sample_field(const data::Dims& dims, std::uint64_t seed) {
+  auto v = data::smoothed_noise(dims, seed, 3, 2);
+  data::rescale(v, -4.0f, 9.0f);
+  return v;
+}
+
+sz::Params rel_params(double bound) {
+  sz::Params p;
+  p.mode = sz::ErrorBoundMode::ValueRangeRelative;
+  p.bound = bound;
+  return p;
+}
+
+}  // namespace
+
+class ChunkedRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkedRoundTrip, BoundHoldsForEveryChunkCount) {
+  const std::size_t chunks = GetParam();
+  const data::Dims dims{37, 40};  // deliberately not divisible by chunks
+  const auto values = sample_field(dims, 3);
+  const double vr = metrics::value_range<float>(values);
+  const auto params = rel_params(1e-4);
+
+  const auto stream = sz::chunked_compress<float>(values, dims, params, chunks);
+  const auto out = sz::chunked_decompress<float>(stream);
+  ASSERT_EQ(out.dims, dims);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_LE(std::abs(static_cast<double>(values[i]) - out.values[i]),
+              1e-4 * vr * (1 + 1e-9))
+        << "chunks=" << chunks << " point " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ChunkedRoundTrip,
+                         ::testing::Values(1, 2, 3, 7, 37, 100));
+
+TEST(Chunked, ParallelEqualsSerial) {
+  const data::Dims dims{24, 24, 24};
+  const auto values = sample_field(dims, 5);
+  const auto params = rel_params(1e-3);
+  const auto serial = sz::chunked_compress<float>(values, dims, params, 6);
+  parallel::ThreadPool pool(4);
+  const auto parallel_stream =
+      sz::chunked_compress<float>(values, dims, params, 6, &pool);
+  EXPECT_EQ(serial, parallel_stream);  // byte-identical output
+
+  const auto a = sz::chunked_decompress<float>(serial);
+  const auto b = sz::chunked_decompress<float>(parallel_stream, &pool);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Chunked, MatchesUnchunkedBoundSemantics) {
+  // One chunk reproduces the plain codec's reconstruction exactly: same
+  // absolute bound, same scan, same arithmetic.
+  const data::Dims dims{32, 48};
+  const auto values = sample_field(dims, 7);
+  const double vr = metrics::value_range<float>(values);
+  const auto params = rel_params(1e-4);
+
+  const auto chunked = sz::chunked_decompress<float>(
+      sz::chunked_compress<float>(values, dims, params, 1));
+
+  sz::Params abs_params;
+  abs_params.mode = sz::ErrorBoundMode::Absolute;
+  abs_params.bound = 1e-4 * vr;
+  const auto plain =
+      sz::decompress<float>(sz::compress<float>(values, dims, abs_params));
+  EXPECT_EQ(chunked.values, plain.values);
+}
+
+TEST(Chunked, RatioDegradesGently) {
+  // Slabs must stay large enough to amortize per-slab headers; with
+  // 16-row slabs of a 128x128 field the ratio cost is bounded.
+  const data::Dims dims{128, 128};
+  const auto values = sample_field(dims, 9);
+  const auto params = rel_params(1e-4);
+  sz::ChunkedInfo one, many;
+  (void)sz::chunked_compress<float>(values, dims, params, 1, nullptr, &one);
+  (void)sz::chunked_compress<float>(values, dims, params, 8, nullptr, &many);
+  EXPECT_GT(many.chunk_count, 1u);
+  EXPECT_GT(many.compression_ratio, 0.5 * one.compression_ratio);
+}
+
+TEST(Chunked, PointwiseRelativeModePassesThrough) {
+  const data::Dims dims{30, 30};
+  auto values = sample_field(dims, 11);
+  for (float& v : values) v = std::abs(v) + 0.5f;  // strictly positive
+  sz::Params params;
+  params.mode = sz::ErrorBoundMode::PointwiseRelative;
+  params.bound = 0.02;
+  const auto out = sz::chunked_decompress<float>(
+      sz::chunked_compress<float>(values, dims, params, 5));
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_LE(std::abs(out.values[i] - values[i]),
+              0.02 * std::abs(values[i]) * (1 + 1e-6));
+}
+
+TEST(Chunked, StreamDetection) {
+  const data::Dims dims{16, 16};
+  const auto values = sample_field(dims, 13);
+  const auto chunked =
+      sz::chunked_compress<float>(values, dims, rel_params(1e-3), 2);
+  EXPECT_TRUE(sz::is_chunked_stream(chunked));
+  const auto plain = sz::compress<float>(values, dims, rel_params(1e-3));
+  EXPECT_FALSE(sz::is_chunked_stream(plain));
+}
+
+TEST(Chunked, CorruptionRejected) {
+  const data::Dims dims{16, 16};
+  const auto values = sample_field(dims, 15);
+  auto stream = sz::chunked_compress<float>(values, dims, rel_params(1e-3), 4);
+  auto bad = stream;
+  bad[0] = 'X';
+  EXPECT_THROW(sz::chunked_decompress<float>(bad), io::StreamError);
+  bad = stream;
+  bad.resize(bad.size() / 2);
+  EXPECT_THROW(sz::chunked_decompress<float>(bad), io::StreamError);
+  EXPECT_THROW(sz::chunked_decompress<double>(stream), io::StreamError);
+}
+
+TEST(Chunked, ChunkCountClampedToRows) {
+  const data::Dims dims{3, 64};  // only 3 rows
+  const auto values = sample_field(dims, 17);
+  sz::ChunkedInfo info;
+  (void)sz::chunked_compress<float>(values, dims, rel_params(1e-3), 100,
+                                    nullptr, &info);
+  EXPECT_LE(info.chunk_count, 3u);
+}
+
+TEST(Chunked, MismatchedDimsThrow) {
+  const std::vector<float> values(10);
+  EXPECT_THROW(
+      sz::chunked_compress<float>(values, data::Dims{11}, rel_params(1e-3)),
+      std::invalid_argument);
+}

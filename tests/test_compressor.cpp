@@ -1,0 +1,124 @@
+// Tests for the high-level compression facade (core::compress).
+#include "core/compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.h"
+
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+
+namespace {
+
+std::vector<float> sample_field(const data::Dims& dims, std::uint64_t seed) {
+  auto v = data::smoothed_noise(dims, seed, 3, 2);
+  data::rescale(v, 200.0f, 320.0f);
+  return v;
+}
+
+}  // namespace
+
+TEST(Compressor, FixedPsnrMeetsTargetWithinTolerance) {
+  const data::Dims dims{64, 96};
+  const auto values = sample_field(dims, 1);
+  for (double target : {40.0, 60.0, 80.0, 100.0}) {
+    const auto r = core::compress_fixed_psnr<float>(values, dims, target);
+    const auto rep = core::verify<float>(values, r.stream);
+    // Accuracy claim of the paper: deviation within a few dB, tight at
+    // moderate/high targets.
+    EXPECT_NEAR(rep.psnr_db, target, 3.0) << "target " << target;
+    EXPECT_NEAR(r.predicted_psnr_db, target, 1e-9);
+  }
+}
+
+TEST(Compressor, HigherTargetCostsMoreBits) {
+  const data::Dims dims{64, 64};
+  const auto values = sample_field(dims, 2);
+  double prev_rate = 0.0;
+  for (double target : {30.0, 60.0, 90.0, 120.0}) {
+    const auto r = core::compress_fixed_psnr<float>(values, dims, target);
+    EXPECT_GT(r.info.bit_rate, prev_rate) << "target " << target;
+    prev_rate = r.info.bit_rate;
+  }
+}
+
+TEST(Compressor, AbsoluteModePredictionCompletedFromData) {
+  const data::Dims dims{48, 48};
+  const auto values = sample_field(dims, 3);
+  const auto r =
+      core::compress<float>(values, dims, core::ControlRequest::absolute(0.01));
+  EXPECT_FALSE(std::isnan(r.predicted_psnr_db));
+  const auto rep = core::verify<float>(values, r.stream);
+  EXPECT_LE(rep.max_abs_error, 0.01 * (1.0 + 1e-9));
+  // Eq. (7) prediction should be within a couple of dB of reality here.
+  EXPECT_NEAR(rep.psnr_db, r.predicted_psnr_db, 2.5);
+}
+
+TEST(Compressor, PointwiseModeThroughFacade) {
+  const data::Dims dims{32, 32};
+  auto values = sample_field(dims, 4);
+  const auto r =
+      core::compress<float>(values, dims, core::ControlRequest::pointwise(0.02));
+  const auto out = core::decompress<float>(r.stream);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_LE(std::abs(out.values[i] - values[i]),
+              0.02 * std::abs(values[i]) * (1.0 + 1e-6));
+}
+
+TEST(Compressor, TransformEnginesHitPsnrTargets) {
+  const data::Dims dims{64, 64};
+  const auto values = sample_field(dims, 5);
+  for (auto engine : {core::Engine::TransformHaar, core::Engine::TransformDct}) {
+    core::CompressOptions opts;
+    opts.engine = engine;
+    const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
+    const auto rep = core::verify<float>(values, r.stream);
+    // Theorem 2: aggregate distortion control holds; actual may exceed target.
+    EXPECT_GT(rep.psnr_db, 69.0);
+  }
+}
+
+TEST(Compressor, SelfDescribingDecompressDispatch) {
+  const data::Dims dims{32, 32};
+  const auto values = sample_field(dims, 6);
+  core::CompressOptions sz_opts;  // default engine
+  core::CompressOptions tc_opts;
+  tc_opts.engine = core::Engine::TransformHaar;
+  const auto a = core::compress_fixed_psnr<float>(values, dims, 60.0, sz_opts);
+  const auto b = core::compress_fixed_psnr<float>(values, dims, 60.0, tc_opts);
+  // Same entry point decompresses both container formats.
+  EXPECT_EQ(core::decompress<float>(a.stream).values.size(), values.size());
+  EXPECT_EQ(core::decompress<float>(b.stream).values.size(), values.size());
+}
+
+TEST(Compressor, TransformEngineRejectsPointwise) {
+  const data::Dims dims{16, 16};
+  const auto values = sample_field(dims, 7);
+  core::CompressOptions opts;
+  opts.engine = core::Engine::TransformDct;
+  EXPECT_THROW(
+      core::compress<float>(values, dims, core::ControlRequest::pointwise(0.01), opts),
+      std::invalid_argument);
+}
+
+TEST(Compressor, FixedRateRejected) {
+  const data::Dims dims{16, 16};
+  const auto values = sample_field(dims, 8);
+  EXPECT_THROW(
+      core::compress<float>(values, dims, core::ControlRequest::fixed_rate(4.0)),
+      std::invalid_argument);
+}
+
+TEST(Compressor, ReportedInfoConsistent) {
+  const data::Dims dims{64, 64};
+  const auto values = sample_field(dims, 9);
+  const auto r = core::compress_fixed_psnr<float>(values, dims, 80.0);
+  EXPECT_EQ(r.info.value_count, values.size());
+  EXPECT_EQ(r.info.compressed_bytes, r.stream.size());
+  EXPECT_NEAR(r.info.compression_ratio,
+              static_cast<double>(values.size() * 4) / r.stream.size(), 1e-9);
+  EXPECT_NEAR(r.info.bit_rate, 8.0 * r.stream.size() / values.size(), 1e-9);
+  EXPECT_NEAR(r.rel_bound_used, std::sqrt(3.0) * 1e-4, 1e-12);
+}

@@ -1,0 +1,208 @@
+// Unit tests for the synthesis toolkit and the dataset stand-ins.
+#include "data/dataset.h"
+#include "data/synth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace data = fpsnr::data;
+
+// ---- Dims / Field ----------------------------------------------------------
+
+TEST(Dims, BasicProperties) {
+  const data::Dims d{4, 5, 6};
+  EXPECT_EQ(d.rank(), 3u);
+  EXPECT_EQ(d.count(), 120u);
+  EXPECT_EQ(d[1], 5u);
+}
+
+TEST(Dims, InvalidThrows) {
+  EXPECT_THROW(data::Dims(std::vector<std::size_t>{}), std::invalid_argument);
+  EXPECT_THROW((data::Dims{1, 2, 3, 4}), std::invalid_argument);
+  EXPECT_THROW((data::Dims{4, 0}), std::invalid_argument);
+}
+
+TEST(Field, ConstructionChecksSize) {
+  data::Field f("x", data::Dims{2, 3});
+  EXPECT_EQ(f.size(), 6u);
+  EXPECT_EQ(f.bytes(), 24u);
+  EXPECT_THROW(data::Field("y", data::Dims{2, 3}, std::vector<float>(5)),
+               std::invalid_argument);
+}
+
+// ---- synthesis primitives ---------------------------------------------------
+
+TEST(Synth, WhiteNoiseDeterministicAndBounded) {
+  const auto a = data::white_noise(1000, 42);
+  const auto b = data::white_noise(1000, 42);
+  const auto c = data::white_noise(1000, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (float x : a) {
+    EXPECT_GE(x, -1.0f);
+    EXPECT_LE(x, 1.0f);
+  }
+}
+
+TEST(Synth, SmoothedNoiseIsSmoother) {
+  const data::Dims dims{64, 64};
+  const auto rough = data::smoothed_noise(dims, 1, 0, 0);
+  const auto smooth = data::smoothed_noise(dims, 1, 4, 2);
+  // Mean absolute first difference must drop substantially after blurring.
+  auto roughness = [&](const std::vector<float>& v) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < v.size(); ++i)
+      acc += std::abs(static_cast<double>(v[i]) - v[i - 1]);
+    return acc / static_cast<double>(v.size());
+  };
+  EXPECT_LT(roughness(smooth), roughness(rough) / 4.0);
+}
+
+TEST(Synth, SmoothedNoiseNormalized) {
+  const auto v = data::smoothed_noise(data::Dims{32, 32, 8}, 5, 2, 2);
+  float peak = 0.0f;
+  for (float x : v) peak = std::max(peak, std::abs(x));
+  EXPECT_NEAR(peak, 1.0f, 1e-5f);
+}
+
+TEST(Synth, CosineMixtureRanks) {
+  for (auto dims : {data::Dims{128}, data::Dims{32, 16}, data::Dims{8, 8, 8}}) {
+    const auto v = data::cosine_mixture(dims, 9, 8, 1.0);
+    EXPECT_EQ(v.size(), dims.count());
+    float peak = 0.0f;
+    for (float x : v) peak = std::max(peak, std::abs(x));
+    EXPECT_NEAR(peak, 1.0f, 1e-5f);
+  }
+  EXPECT_THROW(data::cosine_mixture(data::Dims{8}, 1, 0), std::invalid_argument);
+}
+
+TEST(Synth, RescaleMapsToRange) {
+  std::vector<float> v = {-5.0f, 0.0f, 5.0f};
+  data::rescale(v, 2.0f, 4.0f);
+  EXPECT_FLOAT_EQ(v[0], 2.0f);
+  EXPECT_FLOAT_EQ(v[1], 3.0f);
+  EXPECT_FLOAT_EQ(v[2], 4.0f);
+}
+
+TEST(Synth, RescaleConstantField) {
+  std::vector<float> v(10, 7.0f);
+  data::rescale(v, 1.0f, 2.0f);
+  for (float x : v) EXPECT_FLOAT_EQ(x, 1.0f);
+}
+
+TEST(Synth, PointwiseTransforms) {
+  std::vector<float> v = {-1.0f, 0.0f, 1.0f};
+  data::exponentialize(v, 1.0f);
+  EXPECT_NEAR(v[0], std::exp(-1.0f), 1e-6);
+  EXPECT_NEAR(v[2], std::exp(1.0f), 1e-6);
+
+  std::vector<float> w = {-2.0f, 0.5f, 3.0f};
+  data::clamp(w, 0.0f, 1.0f);
+  EXPECT_EQ(w, (std::vector<float>{0.0f, 0.5f, 1.0f}));
+
+  std::vector<float> s = {0.1f, 0.5f, 0.9f};
+  data::sparsify_below(s, 0.4f);
+  EXPECT_EQ(s[0], 0.0f);
+  EXPECT_EQ(s[1], 0.5f);
+
+  std::vector<float> a = {1.0f, 2.0f};
+  data::add_scaled(a, {10.0f, 20.0f}, 0.5f);
+  EXPECT_EQ(a, (std::vector<float>{6.0f, 12.0f}));
+  data::modulate(a, {2.0f, 0.0f});
+  EXPECT_EQ(a, (std::vector<float>{12.0f, 0.0f}));
+  EXPECT_THROW(data::add_scaled(a, {1.0f}, 1.0f), std::invalid_argument);
+  EXPECT_THROW(data::modulate(a, {1.0f}), std::invalid_argument);
+}
+
+// ---- dataset stand-ins (Table I structure) ----------------------------------
+
+TEST(Datasets, TableOneStructure) {
+  const data::DatasetConfig cfg{0.5, 7};
+  const auto nyx = data::make_nyx(cfg);
+  EXPECT_EQ(nyx.name, "NYX");
+  EXPECT_EQ(nyx.field_count(), 6u);  // Table I: 6 fields, 3D
+  for (const auto& f : nyx.fields) EXPECT_EQ(f.dims.rank(), 3u);
+
+  const auto atm = data::make_atm(cfg);
+  EXPECT_EQ(atm.name, "ATM");
+  EXPECT_EQ(atm.field_count(), 79u);  // Table I: 79 fields, 2D
+  for (const auto& f : atm.fields) EXPECT_EQ(f.dims.rank(), 2u);
+
+  const auto hur = data::make_hurricane(cfg);
+  EXPECT_EQ(hur.name, "Hurricane");
+  EXPECT_EQ(hur.field_count(), 13u);  // Table I: 13 fields, 3D
+  for (const auto& f : hur.fields) EXPECT_EQ(f.dims.rank(), 3u);
+}
+
+TEST(Datasets, FieldNamesUniqueAndNonEmpty) {
+  for (const auto& ds : data::make_all_datasets({0.5, 3})) {
+    std::set<std::string> names;
+    for (const auto& f : ds.fields) {
+      EXPECT_FALSE(f.name.empty());
+      EXPECT_TRUE(names.insert(f.name).second) << "duplicate " << f.name;
+    }
+  }
+}
+
+TEST(Datasets, DeterministicBySeed) {
+  const data::DatasetConfig a{0.5, 123}, b{0.5, 123}, c{0.5, 124};
+  const auto d1 = data::make_hurricane(a);
+  const auto d2 = data::make_hurricane(b);
+  const auto d3 = data::make_hurricane(c);
+  EXPECT_EQ(d1.fields[0].values, d2.fields[0].values);
+  EXPECT_NE(d1.fields[0].values, d3.fields[0].values);
+}
+
+TEST(Datasets, AllValuesFinite) {
+  for (const auto& ds : data::make_all_datasets({0.5, 99})) {
+    for (const auto& f : ds.fields)
+      for (float x : f.values)
+        ASSERT_TRUE(std::isfinite(x)) << ds.name << "/" << f.name;
+  }
+}
+
+TEST(Datasets, ExpectedFieldCharacter) {
+  const auto atm = data::make_atm({0.5, 5});
+  // Cloud fractions live in [0,1].
+  const auto& cld = atm.field("CLDHGH");
+  const auto [lo, hi] = std::minmax_element(cld.values.begin(), cld.values.end());
+  EXPECT_GE(*lo, 0.0f);
+  EXPECT_LE(*hi, 1.0f);
+  // Precipitation-like fields are nonnegative and mostly near zero.
+  const auto& prec = atm.field("PRECT");
+  std::size_t near_zero = 0;
+  float peak = 0.0f;
+  for (float x : prec.values) {
+    EXPECT_GE(x, 0.0f);
+    peak = std::max(peak, x);
+    if (x < 0.01f * 2.5e-7f) ++near_zero;
+  }
+  EXPECT_GT(peak, 0.0f);
+  EXPECT_GT(near_zero, prec.values.size() / 4);
+
+  const auto nyx = data::make_nyx({0.5, 5});
+  // Densities are strictly positive with large dynamic range.
+  const auto& rho = nyx.field("baryon_density");
+  const auto [rlo, rhi] = std::minmax_element(rho.values.begin(), rho.values.end());
+  EXPECT_GT(*rlo, 0.0f);
+  EXPECT_GT(*rhi / *rlo, 1e4f);
+}
+
+TEST(Datasets, ScaleChangesExtents) {
+  const auto small = data::make_hurricane({0.5, 1});
+  const auto big = data::make_hurricane({1.0, 1});
+  EXPECT_LT(small.total_values(), big.total_values());
+  EXPECT_EQ(data::scaled_extent(100, 0.25), 25u);
+  EXPECT_EQ(data::scaled_extent(10, 0.1), 8u);  // floor at 8
+  EXPECT_THROW(data::scaled_extent(10, 0.0), std::invalid_argument);
+}
+
+TEST(Datasets, FieldLookup) {
+  const auto hur = data::make_hurricane({0.5, 1});
+  EXPECT_EQ(hur.field("QVAPOR").name, "QVAPOR");
+  EXPECT_THROW(hur.field("NOPE"), std::out_of_range);
+  EXPECT_EQ(hur.total_bytes(), hur.total_values() * sizeof(float));
+}

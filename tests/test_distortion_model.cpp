@@ -1,0 +1,141 @@
+// Tests for the analytical distortion model (paper Eqs. 3-8).
+#include "core/distortion_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace core = fpsnr::core;
+namespace metrics = fpsnr::metrics;
+
+TEST(DistortionModel, UniformMseFormula) {
+  // MSE = delta^2 / 12 (Eq. 3 with uniform bins).
+  EXPECT_DOUBLE_EQ(core::mse_uniform_quantization(1.0), 1.0 / 12.0);
+  EXPECT_DOUBLE_EQ(core::mse_uniform_quantization(0.2), 0.04 / 12.0);
+}
+
+TEST(DistortionModel, Eq6PsnrForBinWidth) {
+  // PSNR = 20 log10(vr/delta) + 10 log10 12.
+  const double psnr = core::psnr_for_bin_width(1e-4, 1.0);
+  EXPECT_NEAR(psnr, 80.0 + 10.0 * std::log10(12.0), 1e-9);
+}
+
+TEST(DistortionModel, Eq6Inverse) {
+  for (double target : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
+    for (double vr : {1.0, 55.5, 3e8}) {
+      const double delta = core::bin_width_for_psnr(target, vr);
+      EXPECT_NEAR(core::psnr_for_bin_width(delta, vr), target, 1e-9);
+    }
+  }
+}
+
+TEST(DistortionModel, Eq7AbsBound) {
+  // PSNR = 20 log10(vr/eb) + 10 log10 3; with delta = 2 eb both forms agree.
+  for (double eb : {1e-2, 1e-5}) {
+    for (double vr : {1.0, 777.0}) {
+      EXPECT_NEAR(core::psnr_for_abs_bound(eb, vr),
+                  core::psnr_for_bin_width(2.0 * eb, vr), 1e-9);
+    }
+  }
+}
+
+TEST(DistortionModel, Eq8RelBoundForPsnr) {
+  // eb_rel = sqrt(3) * 10^(-PSNR/20) — the paper's closed form.
+  EXPECT_NEAR(core::rel_bound_for_psnr(0.0), std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(core::rel_bound_for_psnr(20.0), std::sqrt(3.0) / 10.0, 1e-12);
+  // Round trip with Eq. (7):
+  for (double target : {20.0, 60.0, 100.0, 120.0}) {
+    EXPECT_NEAR(core::psnr_for_rel_bound(core::rel_bound_for_psnr(target)),
+                target, 1e-9);
+  }
+}
+
+TEST(DistortionModel, AbsBoundForPsnrScalesWithRange) {
+  EXPECT_NEAR(core::abs_bound_for_psnr(40.0, 10.0),
+              10.0 * core::rel_bound_for_psnr(40.0), 1e-12);
+}
+
+TEST(DistortionModel, GeneralEstimatorMatchesUniformCase) {
+  // Eq. (3) with equal bins and uniform density must reduce to delta^2/12.
+  const double delta = 0.1;
+  const std::size_t n = 20;
+  std::vector<double> widths(n, delta);
+  // Uniform density over [0, n*delta): p = 1/(n*delta) at every midpoint.
+  std::vector<double> densities(n, 1.0 / (static_cast<double>(n) * delta));
+  const double mse = core::mse_general_quantization(widths, densities);
+  EXPECT_NEAR(mse, delta * delta / 12.0, 1e-12);
+}
+
+TEST(DistortionModel, GeneralEstimatorNonUniformBins) {
+  // Two bins, all mass in the narrow one: MSE ~ narrow_width^2/12.
+  const std::vector<double> widths = {0.01, 1.0};
+  const std::vector<double> densities = {100.0, 0.0};  // integrates to 1
+  const double mse = core::mse_general_quantization(widths, densities);
+  EXPECT_NEAR(mse, 0.01 * 0.01 / 12.0, 1e-12);
+}
+
+TEST(DistortionModel, GeneralEstimatorValidation) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {0.5, 0.5};
+  const std::vector<double> neg_width = {-1.0};
+  const std::vector<double> half = {0.5};
+  const std::vector<double> neg_density = {-0.5};
+  EXPECT_THROW(core::mse_general_quantization(one, two), std::invalid_argument);
+  EXPECT_THROW(core::mse_general_quantization(neg_width, half),
+               std::invalid_argument);
+  EXPECT_THROW(core::mse_general_quantization(one, neg_density),
+               std::invalid_argument);
+}
+
+TEST(DistortionModel, HistogramEstimatorOnGaussianErrors) {
+  // Empirical check of Eq. (3)+(5): for Gaussian "prediction errors" much
+  // wider than the bin width, the histogram-driven PSNR estimate must match
+  // the uniform-model PSNR closely.
+  std::mt19937_64 rng(31);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const double delta = 0.05;  // sigma/delta = 20 bins per sigma
+  metrics::Histogram h(-6.0, 6.0, static_cast<std::size_t>(12.0 / delta));
+  for (int i = 0; i < 200000; ++i) h.add(gauss(rng));
+  const double vr = 100.0;
+  const double est = core::psnr_from_histogram(h, vr);
+  const double uniform = core::psnr_for_bin_width(delta, vr);
+  EXPECT_NEAR(est, uniform, 0.2);
+}
+
+TEST(DistortionModel, HistogramEstimatorDegradesWithWideBins) {
+  // With bins much wider than the error scale the uniform-within-bin
+  // assumption overestimates the MSE: the mass concentrates near the
+  // central bin's midpoint (zero), so the true error is far smaller.
+  // This is why the paper's fixed-PSNR mode *overshoots* at low targets
+  // (Section V). Bins here are center-aligned like the codec's quantizer.
+  std::mt19937_64 rng(32);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const double delta = 8.0;  // central bin [-4, 4) swallows the distribution
+  metrics::Histogram h(-1.5 * delta, 1.5 * delta, 3);
+  std::vector<double> samples(100000);
+  for (auto& s : samples) {
+    s = gauss(rng);
+    h.add(s);
+  }
+  const double vr = 100.0;
+  const double est = core::psnr_from_histogram(h, vr);
+  // True MSE of midpoint quantization with centers at multiples of delta.
+  double true_mse = 0.0;
+  for (double s : samples) {
+    const double mid = std::round(s / delta) * delta;
+    true_mse += (s - mid) * (s - mid);
+  }
+  true_mse /= static_cast<double>(samples.size());
+  const double true_psnr = -10.0 * std::log10(true_mse / (vr * vr));
+  // The estimate must be pessimistic by several dB here.
+  EXPECT_LT(est, true_psnr - 3.0);
+}
+
+TEST(DistortionModel, InvalidArgsThrow) {
+  EXPECT_THROW(core::psnr_for_bin_width(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::psnr_for_bin_width(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(core::bin_width_for_psnr(40.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(core::psnr_for_abs_bound(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::psnr_for_rel_bound(0.0), std::invalid_argument);
+}

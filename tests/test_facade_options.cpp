@@ -1,0 +1,98 @@
+// Facade-level option plumbing: predictor choice, bin counts, and backend
+// selection must reach the codec through core::CompressOptions, and all
+// combinations must honour the requested control.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compressor.h"
+#include "data/synth.h"
+#include "sz/stream_format.h"
+
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+namespace sz = fpsnr::sz;
+
+namespace {
+
+std::vector<float> sample_field(const data::Dims& dims) {
+  auto v = data::smoothed_noise(dims, 31, 3, 2);
+  data::rescale(v, -2.0f, 5.0f);
+  return v;
+}
+
+}  // namespace
+
+TEST(FacadeOptions, PredictorReachesStreamHeader) {
+  const data::Dims dims{48, 48};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.sz_predictor = sz::Predictor::HybridRegression;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
+  EXPECT_EQ(sz::inspect(r.stream).predictor, sz::Predictor::HybridRegression);
+  const auto rep = core::verify<float>(values, r.stream);
+  EXPECT_NEAR(rep.psnr_db, 70.0, 2.0);
+}
+
+TEST(FacadeOptions, QuantizationBinsReachStream) {
+  const data::Dims dims{32, 32};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.quantization_bins = 1024;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+  EXPECT_EQ(sz::inspect(r.stream).quant_bins, 1024u);
+}
+
+TEST(FacadeOptions, BackendChoicesAllDecodeIdentically) {
+  const data::Dims dims{40, 40};
+  const auto values = sample_field(dims);
+  std::vector<float> reference;
+  for (auto backend :
+       {fpsnr::lossless::Method::Store, fpsnr::lossless::Method::Deflate,
+        fpsnr::lossless::Method::Auto}) {
+    core::CompressOptions opts;
+    opts.backend = backend;
+    const auto r = core::compress_fixed_psnr<float>(values, dims, 75.0, opts);
+    const auto out = core::decompress<float>(r.stream);
+    if (reference.empty())
+      reference = out.values;
+    else
+      EXPECT_EQ(out.values, reference);
+  }
+}
+
+class FacadeMatrix
+    : public ::testing::TestWithParam<std::tuple<core::Engine, double>> {};
+
+TEST_P(FacadeMatrix, EveryEngineHitsEveryTarget) {
+  const auto [engine, target] = GetParam();
+  const data::Dims dims{64, 64};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.engine = engine;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, target, opts);
+  const auto rep = core::verify<float>(values, r.stream);
+  // Fixed-PSNR contract: never undershoot by more than ~1 dB.
+  EXPECT_GT(rep.psnr_db, target - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FacadeMatrix,
+    ::testing::Combine(::testing::Values(core::Engine::SzLorenzo,
+                                         core::Engine::TransformHaar,
+                                         core::Engine::TransformDct),
+                       ::testing::Values(50.0, 80.0, 110.0)));
+
+TEST(FacadeOptions, HybridPredictorIgnoredByTransformEngines) {
+  // Transform engines have no Lorenzo/regression stage; the option must be
+  // harmless, not an error.
+  const data::Dims dims{32, 32};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.engine = core::Engine::TransformHaar;
+  opts.sz_predictor = sz::Predictor::HybridRegression;
+  EXPECT_NO_THROW({
+    const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
+    (void)core::decompress<float>(r.stream);
+  });
+}

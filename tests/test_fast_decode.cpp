@@ -1,0 +1,125 @@
+// Tests pinning down the BitReader peek/skip primitives and the Huffman
+// fast-table decode path (including its fallback for codes longer than the
+// table width).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "huffman/huffman.h"
+#include "io/bitstream.h"
+
+namespace huffman = fpsnr::huffman;
+namespace io = fpsnr::io;
+
+TEST(BitReaderPeek, PeekDoesNotConsume) {
+  io::BitWriter w;
+  w.write_bits(0b1011010, 7);
+  const auto bytes = w.take();
+  io::BitReader r(bytes);
+  EXPECT_EQ(r.peek_bits(4), 0b1010u);
+  EXPECT_EQ(r.bit_position(), 0u);
+  EXPECT_EQ(r.read_bits(4), 0b1010u);
+  EXPECT_EQ(r.peek_bits(3), 0b101u);
+}
+
+TEST(BitReaderPeek, PeekPastEndZeroPads) {
+  io::BitWriter w;
+  w.write_bits(0b11, 2);
+  const auto bytes = w.take();  // one byte: 0b00000011
+  io::BitReader r(bytes);
+  r.skip_bits(6);
+  // Only 2 real bits remain (zero padding), peek 8 must not throw.
+  EXPECT_EQ(r.peek_bits(8), 0u);
+  EXPECT_EQ(r.bits_remaining(), 2u);
+}
+
+TEST(BitReaderPeek, SkipBoundsChecked) {
+  io::BitWriter w;
+  w.write_bits(0xFF, 8);
+  const auto bytes = w.take();
+  io::BitReader r(bytes);
+  r.skip_bits(8);
+  EXPECT_THROW(r.skip_bits(1), io::StreamError);
+}
+
+TEST(BitReaderPeek, PeekMatchesReadForRandomStreams) {
+  std::mt19937_64 rng(44);
+  io::BitWriter w;
+  for (int i = 0; i < 200; ++i) w.write_bits(rng(), 1 + rng() % 64);
+  const auto bytes = w.take();
+  io::BitReader peeker(bytes);
+  io::BitReader reader(bytes);
+  while (reader.bits_remaining() > 0) {
+    const unsigned n = static_cast<unsigned>(
+        1 + rng() % std::min<std::size_t>(24, reader.bits_remaining()));
+    ASSERT_EQ(peeker.peek_bits(n), reader.read_bits(n));
+    peeker.skip_bits(n);
+  }
+}
+
+TEST(HuffmanFastDecode, LongCodesFallBackCorrectly) {
+  // Fibonacci frequencies with a 20-bit cap produce codes well beyond the
+  // 12-bit fast table, forcing the canonical fallback for rare symbols
+  // while the frequent ones use the table.
+  std::vector<std::uint64_t> freq(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freq) {
+    f = a;
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  const auto enc = huffman::Encoder::from_frequencies(freq, 20);
+  unsigned longest = 0;
+  for (std::uint32_t s = 0; s < freq.size(); ++s)
+    longest = std::max(longest, enc.code_length(s));
+  ASSERT_GT(longest, 12u) << "test needs codes beyond the fast-table width";
+
+  // Stream that covers every symbol several times, rare ones included.
+  std::mt19937_64 rng(7);
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < freq.size(); ++s)
+    for (int rep = 0; rep < 5; ++rep) symbols.push_back(s);
+  std::shuffle(symbols.begin(), symbols.end(), rng);
+
+  io::BitWriter bits;
+  enc.encode(symbols, bits);
+  const auto payload = bits.take();
+  const auto dec = huffman::Decoder::from_lengths(enc.lengths());
+  io::BitReader br(payload);
+  EXPECT_EQ(dec.decode(br, symbols.size()), symbols);
+}
+
+TEST(HuffmanFastDecode, FinalSymbolAtExactStreamEnd) {
+  // The fast path peeks past the end (zero padded); the last code must
+  // still decode without over-consuming.
+  const std::vector<std::uint32_t> symbols = {0, 1, 2, 1, 0, 2, 2};
+  const auto enc = huffman::Encoder::from_symbols(symbols, 3);
+  io::BitWriter bits;
+  enc.encode(symbols, bits);
+  const auto payload = bits.take();
+  const auto dec = huffman::Decoder::from_lengths(enc.lengths());
+  io::BitReader br(payload);
+  EXPECT_EQ(dec.decode(br, symbols.size()), symbols);
+  // Whatever remains is byte padding only.
+  EXPECT_LT(br.bits_remaining(), 8u);
+}
+
+TEST(HuffmanFastDecode, EquivalentAcrossAlphabetSizes) {
+  std::mt19937_64 rng(99);
+  for (std::uint32_t alphabet : {2u, 17u, 300u, 5000u}) {
+    std::vector<std::uint32_t> symbols(4000);
+    for (auto& s : symbols) {
+      const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+      s = static_cast<std::uint32_t>(alphabet * u * u) % alphabet;
+    }
+    const auto enc = huffman::Encoder::from_symbols(symbols, alphabet);
+    io::BitWriter bits;
+    enc.encode(symbols, bits);
+    const auto payload = bits.take();
+    const auto dec = huffman::Decoder::from_lengths(enc.lengths());
+    io::BitReader br(payload);
+    ASSERT_EQ(dec.decode(br, symbols.size()), symbols) << alphabet;
+  }
+}

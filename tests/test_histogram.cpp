@@ -1,0 +1,82 @@
+// Unit tests for metrics::Histogram.
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <vector>
+
+namespace metrics = fpsnr::metrics;
+
+TEST(Histogram, BinAssignment) {
+  metrics::Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(9.999);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  metrics::Histogram h(-1.0, 1.0, 4);
+  h.add(-2.0);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, BinGeometry) {
+  metrics::Histogram h(-2.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_mid(1), -0.5);
+}
+
+TEST(Histogram, FractionAndDensity) {
+  metrics::Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 3; ++i) h.add(0.5);
+  h.add(1.5);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+  // density = fraction / width; width = 1
+  EXPECT_DOUBLE_EQ(h.density(0), 0.75);
+  // Densities integrate to 1 over the in-range support.
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b)
+    integral += h.density(b) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, AddAllSpan) {
+  metrics::Histogram h(0.0, 1.0, 2);
+  const std::vector<float> xs = {0.1f, 0.2f, 0.8f};
+  h.add_all<float>(xs);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(metrics::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(metrics::Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(metrics::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, NanSampleThrows) {
+  metrics::Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.add(std::nan("")), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRenderContainsEveryBin) {
+  metrics::Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.render_ascii(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}

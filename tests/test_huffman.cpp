@@ -1,0 +1,239 @@
+// Unit and property tests for the canonical Huffman coder.
+#include "huffman/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <random>
+
+namespace huffman = fpsnr::huffman;
+namespace io = fpsnr::io;
+
+namespace {
+
+std::vector<std::uint32_t> round_trip(std::span<const std::uint32_t> symbols,
+                                      std::uint32_t alphabet) {
+  const auto enc = huffman::Encoder::from_symbols(symbols, alphabet);
+  io::ByteWriter table;
+  enc.write_table(table);
+  io::BitWriter bits;
+  enc.encode(symbols, bits);
+  const auto table_bytes = table.take();
+  const auto payload = bits.take();
+
+  io::ByteReader table_reader(table_bytes);
+  const auto dec = huffman::Decoder::read_table(table_reader);
+  io::BitReader bit_reader(payload);
+  return dec.decode(bit_reader, symbols.size());
+}
+
+}  // namespace
+
+TEST(Huffman, KraftEqualityForOptimalCodes) {
+  const std::vector<std::uint64_t> freq = {5, 9, 12, 13, 16, 45};
+  const auto lengths = huffman::build_code_lengths(freq);
+  double kraft = 0.0;
+  for (std::uint8_t L : lengths)
+    if (L > 0) kraft += std::pow(2.0, -static_cast<double>(L));
+  EXPECT_NEAR(kraft, 1.0, 1e-12);
+}
+
+TEST(Huffman, ClassicTextbookLengths) {
+  // Frequencies 5,9,12,13,16,45 give the canonical Huffman example:
+  // symbol with f=45 gets 1 bit, the rest 3-4 bits.
+  const std::vector<std::uint64_t> freq = {5, 9, 12, 13, 16, 45};
+  const auto lengths = huffman::build_code_lengths(freq);
+  EXPECT_EQ(lengths[5], 1);
+  EXPECT_EQ(lengths[0], 4);
+  EXPECT_EQ(lengths[1], 4);
+  // Total weighted length is the known optimum (224).
+  std::uint64_t cost = 0;
+  for (std::size_t i = 0; i < freq.size(); ++i) cost += freq[i] * lengths[i];
+  EXPECT_EQ(cost, 224u);
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree) {
+  const std::vector<std::uint64_t> freq = {1, 1, 2, 3, 5, 8, 13, 21};
+  const auto lengths = huffman::build_code_lengths(freq);
+  const auto codes = huffman::canonical_codes(lengths);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    for (std::size_t j = 0; j < codes.size(); ++j) {
+      if (i == j || lengths[i] == 0 || lengths[j] == 0) continue;
+      if (lengths[i] <= lengths[j]) {
+        // code_i must not be a prefix of code_j
+        const std::uint32_t prefix = codes[j] >> (lengths[j] - lengths[i]);
+        EXPECT_FALSE(prefix == codes[i] && i != j && lengths[i] < lengths[j])
+            << "code " << i << " is a prefix of code " << j;
+      }
+    }
+  }
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const std::vector<std::uint32_t> symbols(100, 7);
+  const auto back = round_trip(symbols, 16);
+  EXPECT_EQ(back, symbols);
+}
+
+TEST(Huffman, EmptyStream) {
+  const std::vector<std::uint32_t> symbols;
+  const auto enc = huffman::Encoder::from_symbols(symbols, 8);
+  io::BitWriter bits;
+  enc.encode(symbols, bits);
+  EXPECT_EQ(bits.bit_count(), 0u);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 50; ++i) symbols.push_back(i % 2);
+  EXPECT_EQ(round_trip(symbols, 2), symbols);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  std::mt19937_64 rng(3);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 10000; ++i)
+    symbols.push_back(rng() % 100 < 90 ? 0 : 1 + rng() % 255);
+  const auto enc = huffman::Encoder::from_symbols(symbols, 256);
+  // ~90% of symbols should use a 1-bit code => ~0.9*1 + 0.1*~9 bits avg.
+  const double bits_per_symbol =
+      static_cast<double>(enc.encoded_bits(symbols)) / symbols.size();
+  EXPECT_LT(bits_per_symbol, 2.5);
+  EXPECT_EQ(round_trip(symbols, 256), symbols);
+}
+
+TEST(Huffman, LengthLimitRespected) {
+  // Fibonacci-like frequencies force very skewed optimal lengths; cap at 8.
+  std::vector<std::uint64_t> freq(30);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freq) {
+    f = a;
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  const auto lengths = huffman::build_code_lengths(freq, 8);
+  double kraft = 0.0;
+  for (std::uint8_t L : lengths) {
+    EXPECT_LE(L, 8);
+    EXPECT_GE(L, 1);  // all symbols had nonzero frequency
+    kraft += std::pow(2.0, -static_cast<double>(L));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(Huffman, LengthLimitedStillDecodes) {
+  std::vector<std::uint64_t> freq(64);
+  std::uint64_t f = 1;
+  for (auto& x : freq) {
+    x = f;
+    f = f * 3 / 2 + 1;
+  }
+  std::mt19937_64 rng(17);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 5000; ++i)
+    symbols.push_back(static_cast<std::uint32_t>(rng() % 64));
+  const auto enc = huffman::Encoder::from_frequencies(freq, 10);
+  io::ByteWriter table;
+  enc.write_table(table);
+  io::BitWriter bits;
+  enc.encode(symbols, bits);
+  const auto tb = table.take();
+  io::ByteReader tr(tb);
+  const auto dec = huffman::Decoder::read_table(tr);
+  const auto payload = bits.take();
+  io::BitReader br(payload);
+  EXPECT_EQ(dec.decode(br, symbols.size()), symbols);
+}
+
+TEST(Huffman, LargeAlphabetRoundTrip) {
+  // SZ uses 65536 quantization codes; exercise a large, sparse alphabet.
+  std::mt19937_64 rng(23);
+  std::normal_distribution<double> gauss(32768.0, 40.0);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::clamp(gauss(rng), 0.0, 65535.0);
+    symbols.push_back(static_cast<std::uint32_t>(x));
+  }
+  EXPECT_EQ(round_trip(symbols, 65536), symbols);
+}
+
+TEST(Huffman, EncodeUnknownSymbolThrows) {
+  const std::vector<std::uint32_t> symbols = {0, 1, 0};
+  const auto enc = huffman::Encoder::from_symbols(symbols, 4);
+  io::BitWriter bits;
+  EXPECT_THROW(enc.encode_symbol(3, bits), std::invalid_argument);  // freq 0
+  EXPECT_THROW(enc.encode_symbol(99, bits), std::invalid_argument);
+}
+
+TEST(Huffman, SymbolOutOfAlphabetThrows) {
+  const std::vector<std::uint32_t> symbols = {0, 9};
+  EXPECT_THROW(huffman::Encoder::from_symbols(symbols, 4), std::invalid_argument);
+}
+
+TEST(Huffman, TableSerializationIsCompact) {
+  // A dense run of equal lengths should RLE well: alphabet 65536 with two
+  // used symbols must serialize to a handful of bytes, not 65 KB.
+  std::vector<std::uint64_t> freq(65536, 0);
+  freq[100] = 10;
+  freq[200] = 20;
+  const auto enc = huffman::Encoder::from_frequencies(freq);
+  io::ByteWriter table;
+  enc.write_table(table);
+  EXPECT_LT(table.size(), 64u);
+}
+
+TEST(Huffman, CorruptTableRejected) {
+  io::ByteWriter w;
+  w.put_varint(10);        // alphabet 10
+  w.put_varint(20);        // run longer than alphabet
+  w.put<std::uint8_t>(3);
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  EXPECT_THROW(huffman::Decoder::read_table(r), io::StreamError);
+}
+
+TEST(Huffman, OverlongCodeLengthRejected) {
+  io::ByteWriter w;
+  w.put_varint(2);
+  w.put_varint(2);
+  w.put<std::uint8_t>(60);  // > kMaxCodeLength
+  const auto buf = w.take();
+  io::ByteReader r(buf);
+  EXPECT_THROW(huffman::Decoder::read_table(r), io::StreamError);
+}
+
+TEST(Huffman, KraftViolationRejected) {
+  // Three codes of length 1 cannot coexist.
+  const std::vector<std::uint8_t> bad_lengths = {1, 1, 1};
+  EXPECT_THROW(huffman::Decoder::from_lengths(bad_lengths), io::StreamError);
+}
+
+TEST(Huffman, GarbageBitstreamThrows) {
+  const std::vector<std::uint8_t> lengths = {2, 2, 2};  // incomplete code set
+  const auto dec = huffman::Decoder::from_lengths(lengths);
+  const std::vector<std::uint8_t> garbage = {0xFF, 0xFF};
+  io::BitReader br(garbage);
+  // 0b11 is not an assigned code (only 00,01,10 exist).
+  EXPECT_THROW({ for (int i = 0; i < 8; ++i) dec.decode_symbol(br); },
+               io::StreamError);
+}
+
+// Property sweep: random alphabets and streams always round-trip.
+class HuffmanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanPropertyTest, RandomRoundTrip) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const std::uint32_t alphabet = 2 + static_cast<std::uint32_t>(rng() % 1000);
+  const std::size_t n = 1 + rng() % 5000;
+  std::vector<std::uint32_t> symbols(n);
+  // Zipf-ish skew to exercise varied code lengths.
+  for (auto& s : symbols) {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    s = static_cast<std::uint32_t>(alphabet * u * u * u) % alphabet;
+  }
+  EXPECT_EQ(round_trip(symbols, alphabet), symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanPropertyTest, ::testing::Range(0, 12));

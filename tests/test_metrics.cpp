@@ -1,0 +1,95 @@
+// Unit tests for metrics::compare and the PSNR/MSE conversions.
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace metrics = fpsnr::metrics;
+
+TEST(Metrics, IdenticalDataHasInfinitePsnr) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto r = metrics::compare<float>(a, a);
+  EXPECT_EQ(r.mse, 0.0);
+  EXPECT_TRUE(std::isinf(r.psnr_db));
+  EXPECT_EQ(r.max_abs_error, 0.0);
+  EXPECT_EQ(r.l2_error, 0.0);
+}
+
+TEST(Metrics, KnownMse) {
+  const std::vector<double> orig = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> recon = {0.1, 0.9, 2.1, 2.9};
+  const auto r = metrics::compare<double>(orig, recon);
+  EXPECT_NEAR(r.mse, 0.01, 1e-12);
+  EXPECT_NEAR(r.rmse, 0.1, 1e-12);
+  EXPECT_NEAR(r.value_range, 3.0, 1e-12);
+  EXPECT_NEAR(r.nrmse, 0.1 / 3.0, 1e-12);
+  EXPECT_NEAR(r.max_abs_error, 0.1, 1e-12);
+  EXPECT_NEAR(r.l2_error, 0.2, 1e-12);
+}
+
+TEST(Metrics, PsnrMatchesDefinition) {
+  const std::vector<double> orig = {0.0, 10.0};
+  const std::vector<double> recon = {1.0, 10.0};
+  const auto r = metrics::compare<double>(orig, recon);
+  // MSE = 0.5, vr = 10, NRMSE = sqrt(0.5)/10, PSNR = -20 log10(NRMSE).
+  EXPECT_NEAR(r.psnr_db, -20.0 * std::log10(std::sqrt(0.5) / 10.0), 1e-9);
+}
+
+TEST(Metrics, PsnrMseInverses) {
+  for (double psnr : {20.0, 60.0, 100.0}) {
+    for (double vr : {1.0, 123.4, 1e6}) {
+      const double mse = metrics::mse_from_psnr(psnr, vr);
+      EXPECT_NEAR(metrics::psnr_from_mse(mse, vr), psnr, 1e-9);
+    }
+  }
+}
+
+TEST(Metrics, PointwiseRelativeError) {
+  const std::vector<double> orig = {2.0, -4.0, 0.0};
+  const std::vector<double> recon = {2.2, -4.2, 0.5};
+  const auto r = metrics::compare<double>(orig, recon);
+  // zero original excluded from pw-rel; max is 0.2/2 = 0.1 vs 0.2/4 = 0.05
+  EXPECT_NEAR(r.max_pw_rel_error, 0.1, 1e-12);
+}
+
+TEST(Metrics, ConstantFieldHandled) {
+  const std::vector<float> orig(16, 5.0f);
+  const auto exact = metrics::compare<float>(orig, orig);
+  EXPECT_TRUE(std::isinf(exact.psnr_db));
+  std::vector<float> off(16, 5.0f);
+  off[3] = 5.5f;
+  const auto lossy = metrics::compare<float>(orig, off);
+  EXPECT_EQ(lossy.value_range, 0.0);
+  EXPECT_GT(lossy.mse, 0.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<float> a(4, 0.0f), b(5, 0.0f);
+  EXPECT_THROW(metrics::compare<float>(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyInputThrows) {
+  const std::vector<float> empty;
+  EXPECT_THROW(metrics::compare<float>(empty, empty), std::invalid_argument);
+  EXPECT_THROW(metrics::value_range<float>(empty), std::invalid_argument);
+}
+
+TEST(Metrics, ValueRange) {
+  const std::vector<double> v = {-3.0, 7.5, 0.0, 2.0};
+  EXPECT_DOUBLE_EQ(metrics::value_range<double>(v), 10.5);
+}
+
+TEST(Metrics, CompressionRatioAndBitRate) {
+  EXPECT_DOUBLE_EQ(metrics::compression_ratio(1000, 100), 10.0);
+  EXPECT_DOUBLE_EQ(metrics::bit_rate(100, 100), 8.0);
+  EXPECT_THROW(metrics::compression_ratio(10, 0), std::invalid_argument);
+  EXPECT_THROW(metrics::bit_rate(10, 0), std::invalid_argument);
+}
+
+TEST(Metrics, BadPsnrArgsThrow) {
+  EXPECT_THROW(metrics::psnr_from_mse(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(metrics::psnr_from_mse(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(metrics::mse_from_psnr(40.0, -2.0), std::invalid_argument);
+}

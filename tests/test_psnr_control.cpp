@@ -1,0 +1,77 @@
+// Tests for the unified error-control front end.
+#include "core/psnr_control.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distortion_model.h"
+
+namespace core = fpsnr::core;
+namespace sz = fpsnr::sz;
+
+TEST(PsnrControl, FixedPsnrResolvesToEq8Bound) {
+  const auto r = core::resolve_control(core::ControlRequest::fixed_psnr(80.0));
+  EXPECT_EQ(r.sz_mode, sz::ErrorBoundMode::ValueRangeRelative);
+  EXPECT_NEAR(r.sz_bound, std::sqrt(3.0) * 1e-4, 1e-15);
+  EXPECT_NEAR(r.predicted_psnr_db, 80.0, 1e-9);
+}
+
+TEST(PsnrControl, FixedPsnrPredictionIsSelfConsistent) {
+  for (double target : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
+    const auto r = core::resolve_control(core::ControlRequest::fixed_psnr(target));
+    EXPECT_NEAR(r.predicted_psnr_db, target, 1e-9) << target;
+    EXPECT_GT(r.sz_bound, 0.0);
+  }
+}
+
+TEST(PsnrControl, MonotoneBoundVsTarget) {
+  // Higher PSNR demand => tighter bound.
+  double prev = 1e9;
+  for (double target = 10.0; target <= 130.0; target += 5.0) {
+    const auto r = core::resolve_control(core::ControlRequest::fixed_psnr(target));
+    EXPECT_LT(r.sz_bound, prev);
+    prev = r.sz_bound;
+  }
+}
+
+TEST(PsnrControl, AbsoluteMode) {
+  const auto r = core::resolve_control(core::ControlRequest::absolute(0.25));
+  EXPECT_EQ(r.sz_mode, sz::ErrorBoundMode::Absolute);
+  EXPECT_DOUBLE_EQ(r.sz_bound, 0.25);
+  EXPECT_TRUE(std::isnan(r.predicted_psnr_db));  // needs value range
+}
+
+TEST(PsnrControl, RelativeMode) {
+  const auto r = core::resolve_control(core::ControlRequest::relative(1e-3));
+  EXPECT_EQ(r.sz_mode, sz::ErrorBoundMode::ValueRangeRelative);
+  EXPECT_NEAR(r.predicted_psnr_db, core::psnr_for_rel_bound(1e-3), 1e-12);
+}
+
+TEST(PsnrControl, PointwiseMode) {
+  const auto r = core::resolve_control(core::ControlRequest::pointwise(1e-2));
+  EXPECT_EQ(r.sz_mode, sz::ErrorBoundMode::PointwiseRelative);
+  EXPECT_TRUE(std::isnan(r.predicted_psnr_db));
+}
+
+TEST(PsnrControl, FixedRateRejectedHere) {
+  EXPECT_THROW(core::resolve_control(core::ControlRequest::fixed_rate(4.0)),
+               std::invalid_argument);
+}
+
+TEST(PsnrControl, InvalidBoundsThrow) {
+  EXPECT_THROW(core::resolve_control(core::ControlRequest::absolute(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(core::resolve_control(core::ControlRequest::relative(-1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(core::resolve_control(
+                   core::ControlRequest::fixed_psnr(
+                       std::numeric_limits<double>::infinity())),
+               std::invalid_argument);
+}
+
+TEST(PsnrControl, ModeNames) {
+  EXPECT_EQ(core::control_mode_name(core::ControlMode::FixedPsnr), "fixed-psnr");
+  EXPECT_EQ(core::control_mode_name(core::ControlMode::FixedRate), "fixed-rate");
+  EXPECT_EQ(core::control_mode_name(core::ControlMode::Absolute), "abs");
+}

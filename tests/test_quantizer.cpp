@@ -1,0 +1,143 @@
+// Unit tests for the linear-scaling quantizer and the Lorenzo predictor.
+#include "sz/lorenzo.h"
+#include "sz/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace sz = fpsnr::sz;
+
+TEST(Quantizer, MidpointReconstructionWithinBound) {
+  const double eb = 0.01;
+  const sz::LinearQuantizer q(eb, 1024);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = dist(rng);
+    const auto code = q.quantize(d);
+    if (code != 0) {
+      EXPECT_LE(std::abs(q.dequantize(code) - d), eb * (1 + 1e-12));
+    }
+  }
+}
+
+TEST(Quantizer, ZeroErrorMapsToCenterCode) {
+  const sz::LinearQuantizer q(0.5, 256);
+  EXPECT_EQ(q.quantize(0.0), q.radius());
+  EXPECT_DOUBLE_EQ(q.dequantize(q.radius()), 0.0);
+}
+
+TEST(Quantizer, BinWidthIsTwiceBound) {
+  const sz::LinearQuantizer q(0.25, 64);
+  EXPECT_DOUBLE_EQ(q.bin_width(), 0.5);
+  // Neighbouring codes reconstruct bin_width apart.
+  EXPECT_DOUBLE_EQ(q.dequantize(q.radius() + 1) - q.dequantize(q.radius()), 0.5);
+}
+
+TEST(Quantizer, OutOfRangeIsUnpredictable) {
+  const sz::LinearQuantizer q(1.0, 8);  // radius 4, codes 1..7
+  EXPECT_EQ(q.quantize(1000.0), 0u);
+  EXPECT_EQ(q.quantize(-1000.0), 0u);
+  // Just inside the representable range.
+  EXPECT_NE(q.quantize(3.0 * 2.0), 0u);   // index +3 -> code 7
+  EXPECT_EQ(q.quantize(4.0 * 2.0), 0u);   // index +4 -> overflow
+  EXPECT_NE(q.quantize(-3.0 * 2.0), 0u);  // index -3 -> code 1
+  EXPECT_EQ(q.quantize(-4.0 * 2.0), 0u);  // index -4 would be code 0
+}
+
+TEST(Quantizer, NonFiniteUnpredictable) {
+  const sz::LinearQuantizer q(1.0, 64);
+  EXPECT_EQ(q.quantize(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(q.quantize(std::numeric_limits<double>::infinity()), 0u);
+}
+
+TEST(Quantizer, InvalidConstructionThrows) {
+  EXPECT_THROW(sz::LinearQuantizer(0.0, 64), std::invalid_argument);
+  EXPECT_THROW(sz::LinearQuantizer(-1.0, 64), std::invalid_argument);
+  EXPECT_THROW(sz::LinearQuantizer(1.0, 2), std::invalid_argument);
+  EXPECT_THROW(sz::LinearQuantizer(1.0, 65), std::invalid_argument);
+}
+
+TEST(Quantizer, BadDequantizeThrows) {
+  const sz::LinearQuantizer q(1.0, 64);
+  EXPECT_THROW(q.dequantize(0), std::invalid_argument);
+  EXPECT_THROW(q.dequantize(64), std::invalid_argument);
+}
+
+// ---- Lorenzo ----------------------------------------------------------------
+
+TEST(Lorenzo, FirstPointPredictsZero) {
+  const std::vector<float> recon(8, 0.0f);
+  const sz::LorenzoPredictor<float> p(recon.data(), 8);
+  EXPECT_DOUBLE_EQ(p.predict(0, 0, 0, 0), 0.0);
+}
+
+TEST(Lorenzo, OneDimensionalUsesPrevious) {
+  const std::vector<float> recon = {3.0f, 5.0f, 0.0f};
+  const sz::LorenzoPredictor<float> p(recon.data(), 3);
+  EXPECT_DOUBLE_EQ(p.predict(1, 1, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(p.predict(2, 2, 0, 0), 5.0);
+}
+
+TEST(Lorenzo, TwoDimensionalInclusionExclusion) {
+  // 2x2 grid [a b; c ?]: prediction for ? is b + c - a.
+  const std::vector<float> recon = {1.0f, 4.0f, 2.0f, 0.0f};
+  const sz::LorenzoPredictor<float> p(recon.data(), 2, 2, 1, 2);
+  EXPECT_DOUBLE_EQ(p.predict(3, 1, 1, 0), 4.0 + 2.0 - 1.0);
+  // First row degrades to 1-D (west only).
+  EXPECT_DOUBLE_EQ(p.predict(1, 0, 1, 0), 1.0);
+  // First column uses north only.
+  EXPECT_DOUBLE_EQ(p.predict(2, 1, 0, 0), 1.0);
+}
+
+TEST(Lorenzo, ExactForPlanarData2D) {
+  // Order-1 Lorenzo reproduces affine fields exactly (away from borders).
+  const std::size_t n0 = 8, n1 = 9;
+  std::vector<double> recon(n0 * n1);
+  for (std::size_t i = 0; i < n0; ++i)
+    for (std::size_t j = 0; j < n1; ++j)
+      recon[i * n1 + j] = 3.0 + 2.0 * static_cast<double>(i) - 1.5 * static_cast<double>(j);
+  const sz::LorenzoPredictor<double> p(recon.data(), n0, n1, 1, 2);
+  for (std::size_t i = 1; i < n0; ++i)
+    for (std::size_t j = 1; j < n1; ++j)
+      EXPECT_NEAR(p.predict(i * n1 + j, i, j, 0), recon[i * n1 + j], 1e-12);
+}
+
+TEST(Lorenzo, ExactForTrilinearData3D) {
+  const std::size_t n0 = 5, n1 = 6, n2 = 7;
+  std::vector<double> recon(n0 * n1 * n2);
+  auto f = [](double x, double y, double z) {
+    return 1.0 + 2.0 * x - 3.0 * y + 0.5 * z + 0.25 * x * y - 0.75 * y * z +
+           1.5 * x * z;  // trilinear terms are reproduced exactly
+  };
+  for (std::size_t i = 0; i < n0; ++i)
+    for (std::size_t j = 0; j < n1; ++j)
+      for (std::size_t k = 0; k < n2; ++k)
+        recon[(i * n1 + j) * n2 + k] = f(static_cast<double>(i),
+                                         static_cast<double>(j),
+                                         static_cast<double>(k));
+  const sz::LorenzoPredictor<double> p(recon.data(), n0, n1, n2, 3);
+  for (std::size_t i = 1; i < n0; ++i)
+    for (std::size_t j = 1; j < n1; ++j)
+      for (std::size_t k = 1; k < n2; ++k) {
+        const std::size_t idx = (i * n1 + j) * n2 + k;
+        // Note: x*y*z term would break exactness; f has none.
+        EXPECT_NEAR(p.predict(idx, i, j, k), recon[idx], 1e-9);
+      }
+}
+
+TEST(Lorenzo, BoundaryFacesDegradeGracefully3D) {
+  const std::size_t n = 4;
+  std::vector<float> recon(n * n * n, 2.0f);
+  const sz::LorenzoPredictor<float> p(recon.data(), n, n, n, 3);
+  // Interior of a constant field predicts the constant.
+  EXPECT_DOUBLE_EQ(p.predict((1 * n + 1) * n + 1, 1, 1, 1), 2.0);
+  // Origin predicts 0 (no neighbours).
+  EXPECT_DOUBLE_EQ(p.predict(0, 0, 0, 0), 0.0);
+  // Edge point (0,0,k) behaves like 1-D.
+  EXPECT_DOUBLE_EQ(p.predict(1, 0, 0, 1), 2.0);
+}

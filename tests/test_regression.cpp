@@ -1,0 +1,202 @@
+// Tests for the block linear-regression predictor and the hybrid
+// (SZ 2.x-style) codec mode built on it.
+#include "sz/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "data/synth.h"
+#include "metrics/metrics.h"
+#include "sz/codec.h"
+
+namespace sz = fpsnr::sz;
+namespace data = fpsnr::data;
+namespace metrics = fpsnr::metrics;
+
+TEST(Regression, ExactOnLinearBlock2D) {
+  // f = 2 + 3*i - 0.5*j is recovered exactly by the least-squares fit.
+  const data::Dims dims{6, 6};
+  std::vector<double> v(36);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      v[i * 6 + j] = 2.0 + 3.0 * static_cast<double>(i) - 0.5 * static_cast<double>(j);
+  const auto c = sz::fit_block<double>(v, dims, {0, 0, 0}, {6, 6, 1});
+  EXPECT_NEAR(c.b[0], 2.0, 1e-12);
+  EXPECT_NEAR(c.b[1], 3.0, 1e-12);
+  EXPECT_NEAR(c.b[2], -0.5, 1e-12);
+  EXPECT_NEAR(c.b[3], 0.0, 1e-12);
+  EXPECT_NEAR(sz::block_abs_error<double>(v, dims, {0, 0, 0}, {6, 6, 1}, c), 0.0,
+              1e-12);
+}
+
+TEST(Regression, ExactOnLinearBlock3D) {
+  const data::Dims dims{6, 6, 6};
+  std::vector<double> v(216);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      for (std::size_t k = 0; k < 6; ++k)
+        v[idx++] = -1.0 + 0.25 * static_cast<double>(i) + 1.5 * static_cast<double>(j) -
+                   2.0 * static_cast<double>(k);
+  const auto c = sz::fit_block<double>(v, dims, {0, 0, 0}, {6, 6, 6});
+  EXPECT_NEAR(c.b[1], 0.25, 1e-12);
+  EXPECT_NEAR(c.b[2], 1.5, 1e-12);
+  EXPECT_NEAR(c.b[3], -2.0, 1e-12);
+}
+
+TEST(Regression, InteriorBlockOffsetsHandled) {
+  // The fit is relative to the block origin; an interior block of a global
+  // linear field has the same slopes but a shifted intercept.
+  const data::Dims dims{12, 12};
+  std::vector<float> v(144);
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j)
+      v[i * 12 + j] = static_cast<float>(10.0 + 1.0 * i + 2.0 * j);
+  const auto c = sz::fit_block<float>(v, dims, {6, 6, 0}, {6, 6, 1});
+  EXPECT_NEAR(c.b[0], 10.0 + 6.0 + 12.0, 1e-4);
+  EXPECT_NEAR(c.b[1], 1.0, 1e-5);
+  EXPECT_NEAR(c.b[2], 2.0, 1e-5);
+}
+
+TEST(Regression, PartialEdgeBlock) {
+  const data::Dims dims{8};
+  std::vector<double> v(8);
+  for (std::size_t i = 0; i < 8; ++i) v[i] = 1.0 + 4.0 * static_cast<double>(i);
+  // Tail block of 2 elements starting at 6.
+  const auto c = sz::fit_block<double>(v, dims, {6, 0, 0}, {2, 1, 1});
+  EXPECT_NEAR(c.b[0], 25.0, 1e-12);
+  EXPECT_NEAR(c.b[1], 4.0, 1e-12);
+}
+
+TEST(Regression, DegenerateSingleLineAxis) {
+  // Extent-1 axes get zero slope, not NaN.
+  const data::Dims dims{1, 6};
+  std::vector<double> v = {0, 1, 2, 3, 4, 5};
+  const auto c = sz::fit_block<double>(v, dims, {0, 0, 0}, {1, 6, 1});
+  EXPECT_EQ(c.b[1], 0.0);
+  EXPECT_NEAR(c.b[2], 1.0, 1e-12);
+}
+
+TEST(Regression, QuantizeCoeffsSnapsToLattice) {
+  sz::RegressionCoeffs c;
+  c.b = {1.26, -0.13, 0.0, 7.49};
+  const auto q = sz::quantize_coeffs(c, 0.5);
+  EXPECT_DOUBLE_EQ(q.b[0], 1.5);
+  EXPECT_DOUBLE_EQ(q.b[1], 0.0);
+  EXPECT_DOUBLE_EQ(q.b[3], 7.5);
+  EXPECT_THROW(sz::quantize_coeffs(c, 0.0), std::invalid_argument);
+}
+
+TEST(Regression, BlockOutsideGridThrows) {
+  const data::Dims dims{6, 6};
+  std::vector<float> v(36, 0.0f);
+  EXPECT_THROW(sz::fit_block<float>(v, dims, {3, 0, 0}, {6, 6, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(sz::fit_block<float>(v, dims, {0, 0, 0}, {0, 6, 1}),
+               std::invalid_argument);
+}
+
+// ---- hybrid codec mode -------------------------------------------------
+
+namespace {
+
+sz::Params hybrid_params(double bound) {
+  sz::Params p;
+  p.mode = sz::ErrorBoundMode::ValueRangeRelative;
+  p.bound = bound;
+  p.predictor = sz::Predictor::HybridRegression;
+  return p;
+}
+
+}  // namespace
+
+class HybridCodec : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridCodec, BoundHolds) {
+  const int rank = GetParam();
+  const data::Dims dims = rank == 1   ? data::Dims{997}
+                          : rank == 2 ? data::Dims{41, 53}
+                                      : data::Dims{13, 14, 15};
+  auto values = data::smoothed_noise(dims, 77 + rank, 2, 2);
+  data::rescale(values, -3.0f, 8.0f);
+  const double vr = metrics::value_range<float>(values);
+
+  const auto stream = sz::compress<float>(values, dims, hybrid_params(1e-4));
+  const auto out = sz::decompress<float>(stream);
+  ASSERT_EQ(out.dims, dims);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_LE(std::abs(static_cast<double>(values[i]) - out.values[i]),
+              1e-4 * vr * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, HybridCodec, ::testing::Values(1, 2, 3));
+
+TEST(HybridCodecExtra, HeaderRecordsPredictor) {
+  const data::Dims dims{24, 24};
+  const auto values = data::smoothed_noise(dims, 5, 2, 2);
+  const auto stream = sz::compress<float>(values, dims, hybrid_params(1e-3));
+  EXPECT_EQ(sz::inspect(stream).predictor, sz::Predictor::HybridRegression);
+  sz::Params lorenzo;
+  lorenzo.mode = sz::ErrorBoundMode::ValueRangeRelative;
+  lorenzo.bound = 1e-3;
+  const auto plain = sz::compress<float>(values, dims, lorenzo);
+  EXPECT_EQ(sz::inspect(plain).predictor, sz::Predictor::Lorenzo);
+}
+
+TEST(HybridCodecExtra, WinsOnNoisyLinearDataAtCoarseBound) {
+  // Regression's win case (why SZ 2.x added it): a linear trend buried in
+  // point noise. Lorenzo's stencil *sums* several noisy neighbours, so its
+  // prediction error is ~2x the noise; the block fit averages the noise
+  // away. At a coarse bound the rate difference is visible.
+  const data::Dims dims{128, 128};
+  const auto noise = data::white_noise(dims.count(), 3);
+  std::vector<float> values(dims.count());
+  for (std::size_t i = 0; i < 128; ++i)
+    for (std::size_t j = 0; j < 128; ++j)
+      values[i * 128 + j] = 0.5f * static_cast<float>(i) +
+                            0.25f * static_cast<float>(j) +
+                            2.0f * noise[i * 128 + j];
+
+  sz::Params lorenzo;
+  lorenzo.mode = sz::ErrorBoundMode::ValueRangeRelative;
+  lorenzo.bound = 1e-2;
+  sz::CompressionInfo li, hi_info;
+  (void)sz::compress<float>(values, dims, lorenzo, &li);
+  (void)sz::compress<float>(values, dims, hybrid_params(1e-2), &hi_info);
+  EXPECT_LT(hi_info.compressed_bytes, li.compressed_bytes);
+}
+
+TEST(HybridCodecExtra, PointwiseRelativeComposesWithHybrid) {
+  const data::Dims dims{30, 30};
+  auto values = data::smoothed_noise(dims, 9, 3, 2);
+  data::rescale(values, 1.0f, 50.0f);
+  sz::Params p;
+  p.mode = sz::ErrorBoundMode::PointwiseRelative;
+  p.bound = 0.02;
+  p.predictor = sz::Predictor::HybridRegression;
+  const auto out = sz::decompress<float>(sz::compress<float>(values, dims, p));
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_LE(std::abs(out.values[i] - values[i]),
+              0.02 * std::abs(values[i]) * (1 + 1e-6));
+}
+
+TEST(HybridCodecExtra, DeterministicStream) {
+  const data::Dims dims{40, 40};
+  const auto values = data::smoothed_noise(dims, 12, 2, 2);
+  EXPECT_EQ(sz::compress<float>(values, dims, hybrid_params(1e-4)),
+            sz::compress<float>(values, dims, hybrid_params(1e-4)));
+}
+
+TEST(HybridCodecExtra, CorruptPlanRejected) {
+  const data::Dims dims{24, 24};
+  const auto values = data::smoothed_noise(dims, 15, 2, 2);
+  auto stream = sz::compress<float>(values, dims, hybrid_params(1e-3));
+  // Truncating anywhere must throw, not crash.
+  for (std::size_t keep : {stream.size() / 4, stream.size() / 2}) {
+    std::vector<std::uint8_t> cut(stream.begin(),
+                                  stream.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(sz::decompress<float>(cut), fpsnr::io::StreamError);
+  }
+}

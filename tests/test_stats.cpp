@@ -1,0 +1,96 @@
+// Unit tests for metrics::RunningStats and helpers.
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace metrics = fpsnr::metrics;
+
+TEST(RunningStats, Empty) {
+  metrics::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stdev(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  metrics::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance_population(), 4.0, 1e-12);
+  EXPECT_NEAR(s.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  metrics::RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.stdev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> dist(5.0, 2.0);
+  metrics::RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.stdev(), whole.stdev(), 1e-10);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  metrics::RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(RunningStats, NumericallyStableLargeOffset) {
+  // Classic catastrophic-cancellation case: large mean, small variance.
+  metrics::RunningStats s;
+  const double base = 1e9;
+  for (double x : {base + 4.0, base + 7.0, base + 13.0, base + 16.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), base + 10.0, 1e-3);
+  EXPECT_NEAR(s.stdev(), std::sqrt(30.0), 1e-6);
+}
+
+TEST(Stats, Summarize) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const auto s = metrics::summarize(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(metrics::percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(metrics::percentile(v, 100.0), 5.0);
+  EXPECT_THROW(metrics::percentile(v, 101.0), std::invalid_argument);
+  EXPECT_THROW(metrics::percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(metrics::pearson_correlation(x, y), 1.0, 1e-12);
+  for (double& v : y) v = -v;
+  EXPECT_NEAR(metrics::pearson_correlation(x, y), -1.0, 1e-12);
+  const std::vector<double> c = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(metrics::pearson_correlation(x, c), 0.0);
+}

@@ -1,0 +1,74 @@
+// Unit tests for parallel::ThreadPool and parallel_for.
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace parallel = fpsnr::parallel;
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  parallel::ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "done");
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  parallel::ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  parallel::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i)
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  parallel::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  parallel::ThreadPool pool(4);
+  std::vector<int> hits(500, 0);
+  parallel::parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 500);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCount) {
+  parallel::ThreadPool pool(2);
+  EXPECT_NO_THROW(parallel::parallel_for(pool, 0, [](std::size_t) {
+    FAIL() << "must not be called";
+  }));
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  parallel::ThreadPool pool(2);
+  EXPECT_THROW(parallel::parallel_for(pool, 10,
+                                      [](std::size_t i) {
+                                        if (i == 3) throw std::logic_error("x");
+                                      }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, DestructorDrainsCleanly) {
+  std::atomic<int> done{0};
+  {
+    parallel::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      (void)pool.submit([&done] { done.fetch_add(1); });
+    // Futures intentionally dropped; destructor must still join workers.
+  }
+  EXPECT_LE(done.load(), 50);
+}

@@ -1,0 +1,111 @@
+// Tests for the temporally coherent snapshot generator and the
+// fixed-NRMSE control mode added alongside it.
+#include "data/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compressor.h"
+#include "metrics/metrics.h"
+
+namespace data = fpsnr::data;
+namespace core = fpsnr::core;
+namespace metrics = fpsnr::metrics;
+
+TEST(TimeSeries, ShapeAndNames) {
+  data::TimeSeriesConfig cfg;
+  cfg.dims = data::Dims{16, 24};
+  cfg.snapshots = 5;
+  const auto series = data::make_advected_series(cfg);
+  ASSERT_EQ(series.size(), 5u);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    EXPECT_EQ(series[t].name, "t" + std::to_string(t));
+    EXPECT_EQ(series[t].dims, cfg.dims);
+  }
+}
+
+TEST(TimeSeries, Deterministic) {
+  data::TimeSeriesConfig cfg;
+  cfg.dims = data::Dims{16, 16};
+  cfg.snapshots = 3;
+  const auto a = data::make_advected_series(cfg);
+  const auto b = data::make_advected_series(cfg);
+  EXPECT_EQ(a[2].values, b[2].values);
+  cfg.seed += 1;
+  const auto c = data::make_advected_series(cfg);
+  EXPECT_NE(a[2].values, c[2].values);
+}
+
+TEST(TimeSeries, TemporalCoherenceDecaysWithDistance) {
+  data::TimeSeriesConfig cfg;
+  cfg.dims = data::Dims{32, 32};
+  cfg.snapshots = 12;
+  const auto series = data::make_advected_series(cfg);
+  // Adjacent snapshots must be much closer than distant ones.
+  const auto near = metrics::compare<float>(series[0].span(), series[1].span());
+  const auto far = metrics::compare<float>(series[0].span(), series[8].span());
+  EXPECT_LT(near.rmse, far.rmse);
+  EXPECT_GT(near.psnr_db, far.psnr_db + 3.0);
+}
+
+TEST(TimeSeries, InterpolationErrorGrowsWithGap) {
+  data::TimeSeriesConfig cfg;
+  cfg.dims = data::Dims{32, 32};
+  cfg.snapshots = 9;
+  const auto series = data::make_advected_series(cfg);
+  // Interpolating t=1 from (0,2) beats interpolating t=4 from (0,8).
+  const auto tight = data::interpolate_snapshots(series[0], series[2], 0.5);
+  const auto wide = data::interpolate_snapshots(series[0], series[8], 0.5);
+  const auto rep_tight = metrics::compare<float>(series[1].span(), tight.span());
+  const auto rep_wide = metrics::compare<float>(series[4].span(), wide.span());
+  EXPECT_GT(rep_tight.psnr_db, rep_wide.psnr_db);
+}
+
+TEST(TimeSeries, InterpolationValidation) {
+  data::TimeSeriesConfig cfg;
+  cfg.dims = data::Dims{8, 8};
+  cfg.snapshots = 2;
+  const auto series = data::make_advected_series(cfg);
+  EXPECT_THROW(data::interpolate_snapshots(series[0], series[1], 1.5),
+               std::invalid_argument);
+  data::Field other("x", data::Dims{8, 9});
+  EXPECT_THROW(data::interpolate_snapshots(series[0], other, 0.5),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, ConfigValidation) {
+  data::TimeSeriesConfig cfg;
+  cfg.snapshots = 0;
+  EXPECT_THROW(data::make_advected_series(cfg), std::invalid_argument);
+  cfg.snapshots = 1;
+  cfg.modes = 0;
+  EXPECT_THROW(data::make_advected_series(cfg), std::invalid_argument);
+}
+
+TEST(FixedNrmse, EquivalentToPsnrForm) {
+  // NRMSE 1e-4 == 80 dB; both requests must resolve identically.
+  const auto a = core::resolve_control(core::ControlRequest::fixed_nrmse(1e-4));
+  const auto b = core::resolve_control(core::ControlRequest::fixed_psnr(80.0));
+  EXPECT_NEAR(a.sz_bound, b.sz_bound, 1e-15);
+  EXPECT_NEAR(a.predicted_psnr_db, 80.0, 1e-9);
+}
+
+TEST(FixedNrmse, EndToEnd) {
+  data::TimeSeriesConfig cfg;
+  cfg.dims = data::Dims{48, 48};
+  cfg.snapshots = 1;
+  const auto series = data::make_advected_series(cfg);
+  const auto& f = series[0];
+  const auto r = core::compress<float>(f.span(), f.dims,
+                                       core::ControlRequest::fixed_nrmse(1e-3));
+  const auto rep = core::verify<float>(f.span(), r.stream);
+  EXPECT_NEAR(rep.nrmse, 1e-3, 3e-4);
+}
+
+TEST(FixedNrmse, Validation) {
+  EXPECT_THROW(core::resolve_control(core::ControlRequest::fixed_nrmse(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(core::resolve_control(core::ControlRequest::fixed_nrmse(1.5)),
+               std::invalid_argument);
+}

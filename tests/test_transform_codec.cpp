@@ -1,0 +1,138 @@
+// Tests for the orthogonal-transform codec (ZFP/SSEM-style baseline).
+#include "transform/transform_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.h"
+#include "io/bitstream.h"
+#include "metrics/metrics.h"
+
+namespace transform = fpsnr::transform;
+namespace data = fpsnr::data;
+namespace metrics = fpsnr::metrics;
+namespace io = fpsnr::io;
+
+namespace {
+
+std::vector<float> sample_field(const data::Dims& dims, std::uint64_t seed) {
+  auto v = data::smoothed_noise(dims, seed, 3, 2);
+  data::rescale(v, -10.0f, 30.0f);
+  return v;
+}
+
+}  // namespace
+
+class TransformCodecRoundTrip
+    : public ::testing::TestWithParam<transform::Kind> {};
+
+TEST_P(TransformCodecRoundTrip, ReconstructionCloseToOriginal) {
+  const data::Dims dims{32, 48};
+  const auto values = sample_field(dims, 5);
+  transform::Params params;
+  params.kind = GetParam();
+  params.bin_width = 1e-3;
+  transform::Info info;
+  const auto stream = transform::compress<float>(values, dims, params, &info);
+  const auto out = transform::decompress<float>(stream);
+  ASSERT_EQ(out.dims, dims);
+  const auto rep = metrics::compare<float>(values, out.values);
+  // Quantizing coefficients with bin width delta gives RMSE <= delta/2
+  // in the coefficient domain == data domain (orthogonality).
+  EXPECT_LE(rep.rmse, params.bin_width);
+  EXPECT_GT(info.compression_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TransformCodecRoundTrip,
+                         ::testing::Values(transform::Kind::HaarMultiLevel,
+                                           transform::Kind::BlockDct));
+
+TEST(TransformCodec, PsnrTracksBinWidthFormula) {
+  // Paper Eq. (6) applied to the transform coder: PSNR should be close to
+  // 20 log10(vr/delta) + 10 log10(12). Smooth data concentrates many
+  // coefficients near zero (inside the central bin), so the actual PSNR
+  // may exceed the estimate — never fall far below it.
+  const data::Dims dims{64, 64};
+  const auto values = sample_field(dims, 9);
+  const double vr = metrics::value_range<float>(values);
+  transform::Params params;
+  params.bin_width = vr * 1e-4;
+  const auto stream = transform::compress<float>(values, dims, params);
+  const auto out = transform::decompress<float>(stream);
+  const auto rep = metrics::compare<float>(values, out.values);
+  const double predicted =
+      20.0 * std::log10(vr / params.bin_width) + 10.0 * std::log10(12.0);
+  EXPECT_GT(rep.psnr_db, predicted - 1.0);
+}
+
+TEST(TransformCodec, DoubleRoundTrip) {
+  const data::Dims dims{16, 16, 16};
+  std::vector<double> values(dims.count());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = std::sin(static_cast<double>(i) * 0.01);
+  transform::Params params;
+  params.bin_width = 1e-6;
+  const auto out =
+      transform::decompress<double>(transform::compress<double>(values, dims, params));
+  const auto rep = metrics::compare<double>(values, out.values);
+  EXPECT_LE(rep.rmse, 1e-6);
+}
+
+TEST(TransformCodec, HaarLevelsClamped) {
+  const data::Dims dims{8};
+  const std::vector<float> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  transform::Params params;
+  params.haar_levels = 100;  // clamped internally
+  params.bin_width = 1e-4;
+  EXPECT_NO_THROW({
+    const auto out =
+        transform::decompress<float>(transform::compress<float>(values, dims, params));
+    EXPECT_EQ(out.values.size(), 8u);
+  });
+}
+
+TEST(TransformCodec, ScalarMismatchThrows) {
+  const data::Dims dims{16};
+  const std::vector<float> values(16, 1.0f);
+  transform::Params params;
+  params.bin_width = 1e-3;
+  const auto stream = transform::compress<float>(values, dims, params);
+  EXPECT_THROW(transform::decompress<double>(stream), io::StreamError);
+}
+
+TEST(TransformCodec, CorruptStreamThrows) {
+  const data::Dims dims{16};
+  const std::vector<float> values(16, 1.0f);
+  transform::Params params;
+  params.bin_width = 1e-3;
+  auto stream = transform::compress<float>(values, dims, params);
+  stream[0] = 'Z';
+  EXPECT_THROW(transform::decompress<float>(stream), io::StreamError);
+  stream = transform::compress<float>(values, dims, params);
+  stream.resize(stream.size() / 3);
+  EXPECT_THROW(transform::decompress<float>(stream), io::StreamError);
+}
+
+TEST(TransformCodec, BadParamsThrow) {
+  const std::vector<float> values(16, 1.0f);
+  transform::Params params;
+  params.bin_width = 0.0;
+  EXPECT_THROW(transform::compress<float>(values, data::Dims{16}, params),
+               std::invalid_argument);
+  params.bin_width = 1.0;
+  EXPECT_THROW(transform::compress<float>(values, data::Dims{15}, params),
+               std::invalid_argument);
+}
+
+TEST(TransformCodec, CoefficientTraceQuantizationBounded) {
+  const data::Dims dims{32, 32};
+  const auto values = sample_field(dims, 3);
+  transform::Params params;
+  params.bin_width = 1e-2;
+  const auto trace = transform::coefficient_trace<float>(values, dims, params);
+  ASSERT_EQ(trace.coeffs.size(), values.size());
+  for (std::size_t i = 0; i < trace.coeffs.size(); ++i)
+    ASSERT_LE(std::abs(trace.coeffs[i] - trace.coeffs_quantized[i]),
+              params.bin_width / 2.0 * (1.0 + 1e-9));
+}

@@ -1,0 +1,152 @@
+// Tests for the orthonormal Haar and block-DCT transforms: invertibility,
+// orthogonality (norm preservation), and energy compaction.
+#include "transform/dct.h"
+#include "transform/haar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "data/synth.h"
+
+namespace transform = fpsnr::transform;
+namespace data = fpsnr::data;
+
+namespace {
+
+double l2_norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+std::vector<double> random_vec(const data::Dims& dims, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(dims.count());
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+}  // namespace
+
+class TransformInvertibility
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(TransformInvertibility, HaarForwardInverseIsIdentity) {
+  const data::Dims dims(GetParam());
+  const auto original = random_vec(dims, 1);
+  for (unsigned levels : {1u, 2u, transform::max_haar_levels(dims)}) {
+    auto v = original;
+    transform::haar_forward(v, dims, levels);
+    transform::haar_inverse(v, dims, levels);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      ASSERT_NEAR(v[i], original[i], 1e-10) << "levels=" << levels;
+  }
+}
+
+TEST_P(TransformInvertibility, HaarPreservesL2Norm) {
+  const data::Dims dims(GetParam());
+  auto v = random_vec(dims, 2);
+  const double before = l2_norm(v);
+  transform::haar_forward(v, dims, transform::max_haar_levels(dims));
+  EXPECT_NEAR(l2_norm(v), before, before * 1e-12);
+}
+
+TEST_P(TransformInvertibility, DctForwardInverseIsIdentity) {
+  const data::Dims dims(GetParam());
+  const auto original = random_vec(dims, 3);
+  for (std::size_t block : {4ul, 8ul, 16ul}) {
+    auto v = original;
+    transform::dct_forward(v, dims, block);
+    transform::dct_inverse(v, dims, block);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      ASSERT_NEAR(v[i], original[i], 1e-9) << "block=" << block;
+  }
+}
+
+TEST_P(TransformInvertibility, DctPreservesL2Norm) {
+  const data::Dims dims(GetParam());
+  auto v = random_vec(dims, 4);
+  const double before = l2_norm(v);
+  transform::dct_forward(v, dims, 8);
+  EXPECT_NEAR(l2_norm(v), before, before * 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransformInvertibility,
+    ::testing::Values(std::vector<std::size_t>{64},           // 1D even
+                      std::vector<std::size_t>{63},           // 1D odd
+                      std::vector<std::size_t>{16, 16},       // 2D square
+                      std::vector<std::size_t>{15, 22},       // 2D odd mix
+                      std::vector<std::size_t>{8, 8, 8},      // 3D cube
+                      std::vector<std::size_t>{5, 9, 11}));   // 3D odd
+
+TEST(Haar, ConstantSignalCompactsToDC) {
+  const data::Dims dims{16};
+  std::vector<double> v(16, 3.0);
+  transform::haar_forward(v, dims, transform::max_haar_levels(dims));
+  // All energy in coefficient 0: 3*sqrt(16) = 12.
+  EXPECT_NEAR(v[0], 12.0, 1e-12);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_NEAR(v[i], 0.0, 1e-12);
+}
+
+TEST(Haar, SingleLevelPairMath) {
+  const data::Dims dims{4};
+  std::vector<double> v = {1.0, 3.0, 5.0, 9.0};
+  transform::haar_forward(v, dims, 1);
+  const double s = std::sqrt(2.0);
+  EXPECT_NEAR(v[0], 4.0 / s * 1.0, 1e-12);    // (1+3)/sqrt2
+  EXPECT_NEAR(v[1], 14.0 / s * 1.0, 1e-12);   // (5+9)/sqrt2
+  EXPECT_NEAR(v[2], -2.0 / s * 1.0, 1e-12);   // (1-3)/sqrt2
+  EXPECT_NEAR(v[3], -4.0 / s * 1.0, 1e-12);   // (5-9)/sqrt2
+}
+
+TEST(Haar, MaxLevelsComputation) {
+  EXPECT_EQ(transform::max_haar_levels(data::Dims{1}), 0u);
+  EXPECT_EQ(transform::max_haar_levels(data::Dims{2}), 1u);
+  EXPECT_EQ(transform::max_haar_levels(data::Dims{16}), 4u);
+  EXPECT_GE(transform::max_haar_levels(data::Dims{16, 3}), 4u);
+}
+
+TEST(Haar, SmoothFieldEnergyCompaction) {
+  const data::Dims dims{64, 64};
+  auto f = data::smoothed_noise(dims, 6, 4, 2);
+  std::vector<double> v(f.begin(), f.end());
+  const double total = l2_norm(v);
+  transform::haar_forward(v, dims, 4);
+  // Top 10% largest coefficients must hold almost all the energy.
+  std::vector<double> mags(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) mags[i] = std::abs(v[i]);
+  std::sort(mags.begin(), mags.end(), std::greater<>());
+  double top = 0.0;
+  for (std::size_t i = 0; i < mags.size() / 10; ++i) top += mags[i] * mags[i];
+  EXPECT_GT(std::sqrt(top), 0.98 * total);
+}
+
+TEST(Dct, ConstantBlockCompactsToDC) {
+  const data::Dims dims{8};
+  std::vector<double> v(8, 2.0);
+  transform::dct_forward(v, dims, 8);
+  EXPECT_NEAR(v[0], 2.0 * std::sqrt(8.0), 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(v[i], 0.0, 1e-12);
+}
+
+TEST(Dct, PartialTailBlockHandled) {
+  // 10 = one full block of 8 plus a tail block of 2.
+  const data::Dims dims{10};
+  const auto original = random_vec(dims, 8);
+  auto v = original;
+  transform::dct_forward(v, dims, 8);
+  transform::dct_inverse(v, dims, 8);
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_NEAR(v[i], original[i], 1e-10);
+}
+
+TEST(Transforms, SizeMismatchThrows) {
+  std::vector<double> v(10);
+  EXPECT_THROW(transform::haar_forward(v, data::Dims{11}, 1), std::invalid_argument);
+  EXPECT_THROW(transform::dct_forward(v, data::Dims{11}), std::invalid_argument);
+  EXPECT_THROW(transform::dct_forward(v, data::Dims{10}, 1), std::invalid_argument);
+}
