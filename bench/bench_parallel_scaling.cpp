@@ -1,14 +1,17 @@
 // Ablation — parallel decomposition cost and scaling.
 //
-// Two axes of parallelism: across fields (core/batch) and within a field
-// (sz/chunked slab decomposition). Chunking restarts prediction at slab
-// boundaries, so we also report the compression-ratio cost of each slab
-// count — the classic HPC trade of parallelism vs. ratio.
+// Three axes of parallelism: across fields (core/batch), within a field via
+// the legacy slab decomposition (sz/chunked), and within a field via the
+// block-parallel pipeline engine (core/pipeline) — the production path,
+// whose FPBK container also gives random-access decode. Blocking restarts
+// prediction at slab boundaries, so we also report the compression-ratio
+// cost of each slab count — the classic HPC trade of parallelism vs. ratio.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "core/batch.h"
+#include "core/pipeline.h"
 #include "data/dataset.h"
 #include "metrics/metrics.h"
 #include "sz/chunked.h"
@@ -65,6 +68,61 @@ void BM_ChunkedCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_ChunkedCompress)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// The headline scaling curve: the block-parallel pipeline engine at 1..N
+// worker threads. Block layout is fixed (auto), so every thread count
+// produces byte-identical output and the timing difference is pure
+// execution parallelism.
+void BM_PipelineCompress(benchmark::State& state) {
+  const auto ds = data::make_hurricane({});
+  const auto& f = ds.field("U");
+  core::CompressOptions opts;
+  opts.parallel.block_pipeline = true;
+  opts.parallel.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0, opts);
+    benchmark::DoNotOptimize(result.stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_PipelineCompress)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineDecompress(benchmark::State& state) {
+  const auto ds = data::make_hurricane({});
+  const auto& f = ds.field("U");
+  core::CompressOptions opts;
+  opts.parallel.block_pipeline = true;
+  const auto stream =
+      core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0, opts).stream;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = core::decompress_blocked<float>(stream, threads);
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_PipelineDecompress)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineRandomAccessBlock(benchmark::State& state) {
+  const auto ds = data::make_hurricane({});
+  const auto& f = ds.field("U");
+  core::CompressOptions opts;
+  opts.parallel.block_pipeline = true;
+  const auto stream =
+      core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0, opts).stream;
+  const auto info = core::inspect_block_stream(stream);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    auto out = core::decompress_block<float>(stream, b);
+    benchmark::DoNotOptimize(out.values.data());
+    b = (b + 1) % info.block_count;
+  }
+}
+BENCHMARK(BM_PipelineRandomAccessBlock)->Unit(benchmark::kMillisecond);
 
 void BM_BatchAcrossFields(benchmark::State& state) {
   const auto ds = data::make_hurricane({0.5, 20180713});

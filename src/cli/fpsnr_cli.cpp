@@ -17,6 +17,7 @@
 
 #include "core/batch.h"
 #include "core/compressor.h"
+#include "core/pipeline.h"
 #include "core/version.h"
 #include "data/dataset.h"
 #include "io/archive.h"
@@ -36,7 +37,12 @@ using namespace fpsnr;
       "      MODE        psnr | abs | rel | pwrel | nrmse\n"
       "      VALUE       target PSNR (dB) for psnr, bound otherwise\n"
       "      --predictor lorenzo | hybrid   (default lorenzo)\n"
-      "  fpsnr_cli decompress -i IN.fpsz -o OUT.f32\n"
+      "      --engine    sz | haar | dct    (default sz)\n"
+      "      --threads N     block-parallel compression on N workers\n"
+      "                      (output bytes are identical for every N)\n"
+      "      --block-size R  axis-0 rows per block (default: auto)\n"
+      "  fpsnr_cli decompress -i IN.fpsz -o OUT.f32 [--threads N] [--block I]\n"
+      "      --block I   random-access decode of block I only\n"
       "  fpsnr_cli inspect    -i IN.fpsz\n"
       "  fpsnr_cli demo       [--dataset nyx|atm|hurricane] [--psnr DB]\n"
       "  fpsnr_cli pack       --dataset NAME --psnr DB -o OUT.fpar\n"
@@ -77,8 +83,11 @@ core::ControlRequest parse_request(const std::string& mode, double value) {
 
 struct Args {
   std::string input, output, dims, mode = "psnr", dataset = "atm";
-  std::string predictor = "lorenzo", field;
+  std::string predictor = "lorenzo", engine = "sz", field;
   double value = 80.0;
+  std::size_t threads = 0;
+  std::size_t block_size = 0;
+  std::optional<std::size_t> block;  ///< random-access block index
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -96,7 +105,11 @@ Args parse_args(int argc, char** argv, int first) {
     else if (flag == "-v" || flag == "--value" || flag == "--psnr") a.value = std::stod(next());
     else if (flag == "--dataset") a.dataset = next();
     else if (flag == "--predictor") a.predictor = next();
+    else if (flag == "--engine") a.engine = next();
     else if (flag == "--field") a.field = next();
+    else if (flag == "--threads") a.threads = std::stoull(next());
+    else if (flag == "--block-size") a.block_size = std::stoull(next());
+    else if (flag == "--block") a.block = std::stoull(next());
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -108,7 +121,7 @@ int cmd_compress(const Args& a) {
   const auto raw = read_file(a.input);
   if (raw.size() % sizeof(float) != 0) usage("input size is not a multiple of 4");
   std::vector<float> values(raw.size() / sizeof(float));
-  std::memcpy(values.data(), raw.data(), raw.size());
+  if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
   const data::Dims dims = parse_dims(a.dims);
   if (dims.count() != values.size()) usage("dims do not match input size");
 
@@ -117,6 +130,14 @@ int cmd_compress(const Args& a) {
     opts.sz_predictor = sz::Predictor::HybridRegression;
   else if (a.predictor != "lorenzo")
     usage("unknown predictor (want lorenzo|hybrid)");
+  if (a.engine == "haar") opts.engine = core::Engine::TransformHaar;
+  else if (a.engine == "dct") opts.engine = core::Engine::TransformDct;
+  else if (a.engine != "sz") usage("unknown engine (want sz|haar|dct)");
+  if (a.threads > 0 || a.block_size > 0) {
+    opts.parallel.block_pipeline = true;
+    opts.parallel.threads = a.threads;
+    opts.parallel.block_rows = a.block_size;
+  }
   const auto result =
       core::compress<float>(values, dims, parse_request(a.mode, a.value), opts);
   write_file(a.output, result.stream.data(), result.stream.size());
@@ -125,6 +146,12 @@ int cmd_compress(const Args& a) {
             << result.stream.size() << " bytes  (ratio "
             << std::fixed << std::setprecision(2) << result.info.compression_ratio
             << ", " << result.info.bit_rate << " bits/value)\n";
+  if (opts.parallel.enabled()) {
+    const auto info = core::inspect_block_stream(result.stream);
+    std::cout << "block pipeline: " << info.block_count << " block(s) x "
+              << info.block_rows << " row(s), codec " << info.codec_name
+              << ", " << (a.threads > 1 ? a.threads : 1) << " thread(s)\n";
+  }
   if (a.mode == "psnr")
     std::cout << "target PSNR " << a.value << " dB, eb_rel used "
               << std::scientific << result.rel_bound_used << "\n";
@@ -134,7 +161,18 @@ int cmd_compress(const Args& a) {
 int cmd_decompress(const Args& a) {
   if (a.input.empty() || a.output.empty()) usage("decompress needs -i, -o");
   const auto stream = read_file(a.input);
-  const auto d = core::decompress<float>(stream);
+  if (a.block) {
+    if (!core::is_block_stream(stream))
+      usage("--block requires a block-pipeline (FPBK) stream");
+    const auto d = core::decompress_block<float>(stream, *a.block);
+    write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
+    std::cout << "decompressed block " << *a.block << ": " << d.values.size()
+              << " values (" << d.dims[0] << " row(s))\n";
+    return 0;
+  }
+  const auto d = core::is_block_stream(stream)
+                     ? core::decompress_blocked<float>(stream, a.threads)
+                     : core::decompress<float>(stream);
   write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
   std::cout << "decompressed " << d.values.size() << " values (rank "
             << d.dims.rank() << ")\n";
@@ -144,6 +182,24 @@ int cmd_decompress(const Args& a) {
 int cmd_inspect(const Args& a) {
   if (a.input.empty()) usage("inspect needs -i");
   const auto stream = read_file(a.input);
+  if (core::is_block_stream(stream)) {
+    const auto info = core::inspect_block_stream(stream);
+    std::cout << "container   : block-parallel (FPBK)\n"
+              << "codec       : " << info.codec_name << "\n"
+              << "control     : " << core::control_mode_name(info.control_mode)
+              << " = " << info.control_value << "\n"
+              << "rank        : " << info.dims.rank() << "\n";
+    std::cout << "extents     : ";
+    for (std::size_t i = 0; i < info.dims.rank(); ++i)
+      std::cout << (i ? " x " : "") << info.dims[i];
+    std::cout << "\n"
+              << "blocks      : " << info.block_count << " x "
+              << info.block_rows << " row(s)\n"
+              << "eb_abs      : " << std::scientific << info.eb_abs << "\n"
+              << "value range : " << info.value_range << "\n"
+              << "stream size : " << stream.size() << " bytes\n";
+    return 0;
+  }
   const auto h = sz::inspect(stream);
   std::cout << "scalar      : " << (h.scalar == sz::ScalarType::Float32 ? "float32" : "float64") << "\n"
             << "mode        : " << sz::mode_name(h.mode) << "\n"

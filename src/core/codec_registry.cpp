@@ -1,0 +1,192 @@
+#include "core/codec_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/bitstream.h"
+#include "sz/codec.h"
+#include "transform/transform_codec.h"
+
+namespace fpsnr::core {
+
+namespace {
+
+double sse_budget_for(std::size_t value_count, double eb_abs) {
+  // Uniform midpoint quantization with bin width 2*eb: per-value MSE is
+  // (2*eb)^2 / 12 = eb^2 / 3 (Eq. 6), so a block of n values owns an SSE
+  // budget of n * eb^2 / 3.
+  return static_cast<double>(value_count) * eb_abs * eb_abs / 3.0;
+}
+
+/// Predictor path: Lorenzo / hybrid-regression SZ codec with an absolute
+/// bound. Pointwise |err| <= eb_abs holds in addition to the budget.
+class SzBlockCodec final : public BlockCodec {
+ public:
+  std::string_view name() const override { return "sz-lorenzo"; }
+  bool pointwise_bounded() const override { return true; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<float> out) const override {
+    decompress_impl(block, out);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<double> out) const override {
+    decompress_impl(block, out);
+  }
+
+ private:
+  template <typename T>
+  std::vector<std::uint8_t> compress_impl(std::span<const T> values,
+                                          const data::Dims& dims,
+                                          const BlockParams& params,
+                                          BlockInfo* info) const {
+    sz::Params p;
+    p.mode = sz::ErrorBoundMode::Absolute;
+    p.bound = params.eb_abs;
+    p.predictor = params.predictor;
+    p.quantization_bins = params.quantization_bins;
+    p.backend = params.backend;
+    sz::CompressionInfo ci;
+    auto bytes = sz::compress<T>(values, dims, p, &ci);
+    if (info) {
+      info->value_count = values.size();
+      info->outlier_count = ci.outlier_count;
+      info->compressed_bytes = bytes.size();
+      info->sse_budget = sse_budget_for(values.size(), params.eb_abs);
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  void decompress_impl(std::span<const std::uint8_t> block,
+                       std::span<T> out) const {
+    auto d = sz::decompress<T>(block);
+    if (d.values.size() != out.size())
+      throw io::StreamError("block codec: slab size mismatch");
+    std::copy(d.values.begin(), d.values.end(), out.begin());
+  }
+};
+
+/// Transform path: orthogonal Haar DWT or block DCT with coefficient bin
+/// width 2*eb_abs. Only the aggregate (PSNR) budget is guaranteed.
+class TransformBlockCodec final : public BlockCodec {
+ public:
+  explicit TransformBlockCodec(transform::Kind kind) : kind_(kind) {}
+
+  std::string_view name() const override {
+    return kind_ == transform::Kind::HaarMultiLevel ? "transform-haar"
+                                                    : "transform-dct";
+  }
+  bool pointwise_bounded() const override { return false; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<float> out) const override {
+    decompress_impl(block, out);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<double> out) const override {
+    decompress_impl(block, out);
+  }
+
+ private:
+  template <typename T>
+  std::vector<std::uint8_t> compress_impl(std::span<const T> values,
+                                          const data::Dims& dims,
+                                          const BlockParams& params,
+                                          BlockInfo* info) const {
+    transform::Params p;
+    p.kind = kind_;
+    p.bin_width = 2.0 * params.eb_abs;
+    p.quantization_bins = params.quantization_bins;
+    p.haar_levels = params.haar_levels;
+    p.dct_block = params.dct_block;
+    p.backend = params.backend;
+    transform::Info ti;
+    auto bytes = transform::compress<T>(values, dims, p, &ti);
+    if (info) {
+      info->value_count = values.size();
+      info->outlier_count = ti.outlier_count;
+      info->compressed_bytes = bytes.size();
+      info->sse_budget = sse_budget_for(values.size(), params.eb_abs);
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  void decompress_impl(std::span<const std::uint8_t> block,
+                       std::span<T> out) const {
+    auto d = transform::decompress<T>(block);
+    if (d.values.size() != out.size())
+      throw io::StreamError("block codec: slab size mismatch");
+    std::copy(d.values.begin(), d.values.end(), out.begin());
+  }
+
+  transform::Kind kind_;
+};
+
+}  // namespace
+
+CodecRegistry::CodecRegistry() {
+  add(kCodecSzLorenzo, std::make_unique<SzBlockCodec>());
+  add(kCodecTransformHaar,
+      std::make_unique<TransformBlockCodec>(transform::Kind::HaarMultiLevel));
+  add(kCodecTransformDct,
+      std::make_unique<TransformBlockCodec>(transform::Kind::BlockDct));
+}
+
+CodecRegistry& CodecRegistry::instance() {
+  static CodecRegistry registry;
+  return registry;
+}
+
+void CodecRegistry::add(CodecId id, std::unique_ptr<BlockCodec> codec) {
+  if (!codec) throw std::invalid_argument("CodecRegistry: null codec");
+  if (slots_.size() <= id) slots_.resize(static_cast<std::size_t>(id) + 1);
+  slots_[id] = std::move(codec);
+}
+
+const BlockCodec& CodecRegistry::at(CodecId id) const {
+  const BlockCodec* codec = find(id);
+  if (!codec)
+    throw std::out_of_range("CodecRegistry: unknown codec id " +
+                            std::to_string(id));
+  return *codec;
+}
+
+const BlockCodec* CodecRegistry::find(CodecId id) const {
+  if (id >= slots_.size()) return nullptr;
+  return slots_[id].get();
+}
+
+std::vector<CodecId> CodecRegistry::ids() const {
+  std::vector<CodecId> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i]) out.push_back(static_cast<CodecId>(i));
+  return out;
+}
+
+}  // namespace fpsnr::core

@@ -1,0 +1,115 @@
+// Unified per-block codec interface and the registry that names them.
+//
+// The block-parallel pipeline (core/pipeline.h) shards a field into
+// independent slabs and hands each one to a BlockCodec. Both codec families
+// — the SZ-style predictor path (src/sz) and the orthogonal-transform path
+// (src/transform) — implement the same interface: compress a slab under a
+// shared absolute error budget `eb_abs` (bin width 2*eb_abs), decompress a
+// slab into a caller-provided span. Because every block receives the same
+// budget derived from the *global* value range, the fixed-PSNR model
+// (Eq. 6/7) holds for the whole field exactly as in the serial codecs.
+//
+// The registry maps a one-byte wire id (stored in the FPBK container) to a
+// codec instance, so streams stay self-describing and new codecs can be
+// plugged in without touching the engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "data/field.h"
+#include "lossless/backend.h"
+#include "sz/error_mode.h"
+
+namespace fpsnr::core {
+
+/// Wire id of a codec in the block container (one byte).
+using CodecId = std::uint8_t;
+
+/// Built-in codec ids; values match core::Engine for easy mapping.
+inline constexpr CodecId kCodecSzLorenzo = 0;
+inline constexpr CodecId kCodecTransformHaar = 1;
+inline constexpr CodecId kCodecTransformDct = 2;
+
+/// Per-block compression parameters. `eb_abs` is the block's error budget:
+/// the quantization bin width is 2*eb_abs for every codec, so a block of n
+/// values can contribute at most n * eb_abs^2 / 3 to the global SSE under
+/// the uniform-quantization model (Eq. 6).
+struct BlockParams {
+  double eb_abs = 0.0;
+  std::uint32_t quantization_bins = 65536;
+  lossless::Method backend = lossless::Method::Deflate;
+  sz::Predictor predictor = sz::Predictor::Lorenzo;
+  unsigned haar_levels = 4;
+  std::size_t dct_block = 8;
+};
+
+/// Per-block accounting reported back to the engine.
+struct BlockInfo {
+  std::size_t value_count = 0;
+  std::size_t outlier_count = 0;
+  std::size_t compressed_bytes = 0;
+  /// Worst-case MSE*n this block can add to the field's SSE under the
+  /// uniform model: value_count * eb_abs^2 / 3. The engine sums these to
+  /// check the global budget is respected.
+  double sse_budget = 0.0;
+};
+
+/// One codec family behind the block-parallel engine.
+class BlockCodec {
+ public:
+  virtual ~BlockCodec() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True when |x_i - x~_i| <= eb_abs holds pointwise (the predictor path);
+  /// transform codecs control only the aggregate (PSNR) budget.
+  virtual bool pointwise_bounded() const = 0;
+
+  virtual std::vector<std::uint8_t> compress(std::span<const float> values,
+                                             const data::Dims& dims,
+                                             const BlockParams& params,
+                                             BlockInfo* info) const = 0;
+  virtual std::vector<std::uint8_t> compress(std::span<const double> values,
+                                             const data::Dims& dims,
+                                             const BlockParams& params,
+                                             BlockInfo* info) const = 0;
+
+  /// Decompress one block into `out` (sized by the caller from the
+  /// container index). Throws io::StreamError on malformed input or a
+  /// size mismatch.
+  virtual void decompress(std::span<const std::uint8_t> block,
+                          std::span<float> out) const = 0;
+  virtual void decompress(std::span<const std::uint8_t> block,
+                          std::span<double> out) const = 0;
+};
+
+/// Process-wide codec table, pre-seeded with the built-in codecs.
+/// Registration is not thread-safe; do it at startup. Lookups after that
+/// are read-only and safe from any thread (the engine decodes blocks
+/// concurrently).
+class CodecRegistry {
+ public:
+  static CodecRegistry& instance();
+
+  /// Register (or replace) a codec under `id`.
+  void add(CodecId id, std::unique_ptr<BlockCodec> codec);
+
+  /// Lookup; throws std::out_of_range for an unknown id.
+  const BlockCodec& at(CodecId id) const;
+
+  /// Lookup; nullptr for an unknown id.
+  const BlockCodec* find(CodecId id) const;
+
+  std::vector<CodecId> ids() const;
+
+ private:
+  CodecRegistry();
+
+  std::vector<std::unique_ptr<BlockCodec>> slots_;  // indexed by CodecId
+};
+
+}  // namespace fpsnr::core

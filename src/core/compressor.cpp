@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/distortion_model.h"
+#include "core/pipeline.h"
 #include "io/bitstream.h"
 
 namespace fpsnr::core {
@@ -75,6 +76,8 @@ template <typename T>
 CompressResult compress(std::span<const T> values, const data::Dims& dims,
                         const ControlRequest& request,
                         const CompressOptions& options) {
+  if (options.parallel.enabled())
+    return compress_blocked(values, dims, request, options);
   if (is_transform_engine(options.engine))
     return compress_transform(values, dims, request, options);
 
@@ -112,6 +115,7 @@ CompressResult compress_fixed_psnr(std::span<const T> values, const data::Dims& 
 
 template <typename T>
 sz::Decompressed<T> decompress(std::span<const std::uint8_t> stream) {
+  if (is_block_stream(stream)) return decompress_blocked<T>(stream);
   if (stream.size() >= 4 && stream[0] == 'F' && stream[1] == 'P' &&
       stream[2] == 'T' && stream[3] == 'C') {
     auto d = transform::decompress<T>(stream);

@@ -26,6 +26,24 @@ enum class Engine : std::uint8_t {
   TransformDct = 2,    ///< orthogonal block DCT (Theorem 2); PSNR-only control
 };
 
+/// Block-parallel execution knobs (the pipeline engine, core/pipeline.h).
+///
+/// The stream layout depends only on `block_rows` — never on `threads` —
+/// so the same request produces byte-identical output at any thread count.
+struct ParallelOptions {
+  /// Route through the block-parallel engine even when threads <= 1
+  /// (emits the FPBK block-indexed container instead of a flat stream).
+  bool block_pipeline = false;
+  /// Worker threads for block execution; 0 or 1 runs the blocks serially.
+  std::size_t threads = 0;
+  /// Axis-0 rows per block; 0 picks a deterministic size from the dims
+  /// (see core::auto_block_rows).
+  std::size_t block_rows = 0;
+
+  /// The engine is engaged when any knob is set.
+  bool enabled() const { return block_pipeline || threads > 1 || block_rows > 0; }
+};
+
 struct CompressOptions {
   Engine engine = Engine::SzLorenzo;
   /// Prediction scheme for the SzLorenzo engine (Lorenzo = the paper's
@@ -35,6 +53,8 @@ struct CompressOptions {
   lossless::Method backend = lossless::Method::Deflate;
   unsigned haar_levels = 4;
   std::size_t dct_block = 8;
+  /// Block-parallel pipeline execution; disabled by default (serial codecs).
+  ParallelOptions parallel;
 };
 
 struct CompressResult {

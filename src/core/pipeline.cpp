@@ -1,0 +1,262 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/distortion_model.h"
+#include "io/archive.h"
+#include "metrics/metrics.h"
+#include "parallel/thread_pool.h"
+#include "sz/stream_format.h"
+
+namespace fpsnr::core {
+
+namespace {
+
+data::Dims slab_dims(const data::Dims& dims, std::size_t rows) {
+  std::vector<std::size_t> e(dims.extents);
+  e[0] = rows;
+  return data::Dims(std::move(e));
+}
+
+/// Resolve any uniform-budget control request to the absolute per-point
+/// budget every block shares. Throws for modes without one. Validation is
+/// delegated to resolve_control so bad requests (non-positive bounds,
+/// non-finite PSNR targets, fixed-rate) are rejected exactly as the serial
+/// facade rejects them.
+template <typename T>
+double resolve_budget(const ControlRequest& request, std::span<const T> values,
+                      double* value_range_out) {
+  const double vr = metrics::value_range(values);
+  if (value_range_out) *value_range_out = vr;
+  const ResolvedControl rc = resolve_control(request);
+  if (rc.sz_mode == sz::ErrorBoundMode::PointwiseRelative)
+    throw std::invalid_argument(
+        "block pipeline: only uniform-budget control modes are supported "
+        "(fixed-psnr / abs / rel / nrmse)");
+  double eb = rc.sz_mode == sz::ErrorBoundMode::Absolute ? rc.sz_bound
+                                                         : rc.sz_bound * vr;
+  if (!(eb > 0.0)) {
+    // Constant field (vr == 0): any tiny budget keeps every point exact.
+    eb = std::numeric_limits<double>::min() * 1e6;
+  }
+  return eb;
+}
+
+struct BlockLayout {
+  std::size_t rows_per_block, block_count, row_stride;
+};
+
+BlockLayout make_layout(const data::Dims& dims, std::size_t block_rows) {
+  BlockLayout l;
+  l.row_stride = dims.count() / dims[0];
+  l.rows_per_block = block_rows == 0
+                         ? auto_block_rows(dims)
+                         : std::clamp<std::size_t>(block_rows, 1, dims[0]);
+  l.block_count = (dims[0] + l.rows_per_block - 1) / l.rows_per_block;
+  return l;
+}
+
+std::size_t block_first_row(const BlockLayout& l, std::size_t b) {
+  return b * l.rows_per_block;
+}
+
+std::size_t block_rows_of(const BlockLayout& l, const data::Dims& dims,
+                          std::size_t b) {
+  return std::min(l.rows_per_block, dims[0] - block_first_row(l, b));
+}
+
+/// Run fn(b) for every block, on `threads` workers when > 1.
+void for_each_block(std::size_t block_count, std::size_t threads,
+                    const std::function<void(std::size_t)>& fn) {
+  if (threads > 1 && block_count > 1) {
+    parallel::ThreadPool pool(std::min(threads, block_count));
+    parallel::parallel_for(pool, block_count, fn);
+  } else {
+    for (std::size_t b = 0; b < block_count; ++b) fn(b);
+  }
+}
+
+data::Dims dims_from_header(const io::BlockContainerHeader& h) {
+  std::vector<std::size_t> extents(h.extents.begin(), h.extents.end());
+  return data::Dims(std::move(extents));
+}
+
+template <typename T>
+void check_scalar(const io::BlockContainerHeader& h) {
+  if (h.scalar != static_cast<std::uint8_t>(sz::scalar_type_of<T>()))
+    throw io::StreamError("block pipeline: scalar type mismatch");
+}
+
+}  // namespace
+
+std::size_t auto_block_rows(const data::Dims& dims) {
+  const std::size_t row_stride = dims.count() / dims[0];
+  const std::size_t rows = (kAutoBlockValues + row_stride - 1) / row_stride;
+  return std::clamp<std::size_t>(rows, 1, dims[0]);
+}
+
+bool is_block_stream(std::span<const std::uint8_t> stream) {
+  return io::is_block_container(stream);
+}
+
+BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream) {
+  const auto view = io::open_block_container(stream);
+  BlockStreamInfo info;
+  info.codec = view.header.codec;
+  const BlockCodec* codec = CodecRegistry::instance().find(view.header.codec);
+  info.codec_name = codec ? codec->name() : "unknown";
+  info.dims = dims_from_header(view.header);
+  info.block_rows = view.header.block_rows;
+  info.block_count = view.header.block_count;
+  info.eb_abs = view.header.eb_abs;
+  info.value_range = view.header.value_range;
+  info.control_mode = static_cast<ControlMode>(view.header.control_mode);
+  info.control_value = view.header.control_value;
+  return info;
+}
+
+template <typename T>
+CompressResult compress_blocked(std::span<const T> values,
+                                const data::Dims& dims,
+                                const ControlRequest& request,
+                                const CompressOptions& options) {
+  if (values.size() != dims.count())
+    throw std::invalid_argument("block pipeline: value count does not match dims");
+
+  double vr = 0.0;
+  const double eb_abs = resolve_budget(request, values, &vr);
+  const BlockLayout layout = make_layout(dims, options.parallel.block_rows);
+
+  const CodecId codec_id = static_cast<CodecId>(options.engine);
+  const BlockCodec& codec = CodecRegistry::instance().at(codec_id);
+
+  BlockParams bp;
+  bp.eb_abs = eb_abs;
+  bp.quantization_bins = options.quantization_bins;
+  bp.backend = options.backend;
+  bp.predictor = options.sz_predictor;
+  bp.haar_levels = options.haar_levels;
+  bp.dct_block = options.dct_block;
+
+  io::BlockContainerHeader header;
+  header.codec = codec_id;
+  header.scalar = static_cast<std::uint8_t>(sz::scalar_type_of<T>());
+  header.extents.assign(dims.extents.begin(), dims.extents.end());
+  header.block_rows = layout.rows_per_block;
+  header.block_count = layout.block_count;
+  header.eb_abs = eb_abs;
+  header.value_range = vr;
+  header.control_mode = static_cast<std::uint8_t>(request.mode);
+  header.control_value = request.value;
+
+  io::BlockContainerWriter writer(header);
+  std::vector<BlockInfo> block_infos(layout.block_count);
+  for_each_block(layout.block_count, options.parallel.threads,
+                 [&](std::size_t b) {
+                   const std::size_t first = block_first_row(layout, b);
+                   const std::size_t rows = block_rows_of(layout, dims, b);
+                   const auto slice = values.subspan(first * layout.row_stride,
+                                                     rows * layout.row_stride);
+                   writer.add_block(b, codec.compress(slice,
+                                                      slab_dims(dims, rows), bp,
+                                                      &block_infos[b]));
+                 });
+  CompressResult out;
+  out.stream = writer.finish();
+  out.request = request;
+
+  // Per-block budget accounting: every value must be covered exactly once,
+  // and the per-block SSE budgets must sum back to the serial model
+  // N * eb^2 / 3 — i.e. blocking spent exactly the global budget, no more.
+  std::size_t covered = 0;
+  double sse_budget = 0.0;
+  for (const BlockInfo& bi : block_infos) {
+    covered += bi.value_count;
+    sse_budget += bi.sse_budget;
+    out.info.outlier_count += bi.outlier_count;
+  }
+  if (covered != values.size())
+    throw std::logic_error("block pipeline: blocks do not cover the field");
+  const double global_budget =
+      static_cast<double>(values.size()) * eb_abs * eb_abs / 3.0;
+  if (sse_budget > global_budget * (1.0 + 1e-9))
+    throw std::logic_error("block pipeline: per-block budgets exceed the "
+                           "global error budget");
+
+  out.predicted_psnr_db = vr > 0.0
+                              ? psnr_for_abs_bound(eb_abs, vr)
+                              : std::numeric_limits<double>::infinity();
+  out.rel_bound_used = vr > 0.0 ? eb_abs / vr : 0.0;
+  out.info.eb_abs_used = eb_abs;
+  out.info.value_range = vr;
+  out.info.value_count = values.size();
+  out.info.compressed_bytes = out.stream.size();
+  out.info.compression_ratio = metrics::compression_ratio(
+      values.size() * sizeof(T), out.stream.size());
+  out.info.bit_rate = metrics::bit_rate(out.stream.size(), values.size());
+  return out;
+}
+
+template <typename T>
+sz::Decompressed<T> decompress_blocked(std::span<const std::uint8_t> stream,
+                                       std::size_t threads) {
+  const auto view = io::open_block_container(stream);
+  check_scalar<T>(view.header);
+  const data::Dims dims = dims_from_header(view.header);
+  const BlockLayout layout = make_layout(dims, view.header.block_rows);
+  if (layout.block_count != view.blocks.size())
+    throw io::StreamError("block pipeline: index/block-count mismatch");
+  const BlockCodec& codec = CodecRegistry::instance().at(view.header.codec);
+
+  sz::Decompressed<T> out;
+  out.dims = dims;
+  out.values.resize(dims.count());
+  std::span<T> all(out.values);
+  for_each_block(layout.block_count, threads, [&](std::size_t b) {
+    const std::size_t first = block_first_row(layout, b);
+    const std::size_t rows = block_rows_of(layout, dims, b);
+    codec.decompress(view.blocks[b], all.subspan(first * layout.row_stride,
+                                                 rows * layout.row_stride));
+  });
+  return out;
+}
+
+template <typename T>
+sz::Decompressed<T> decompress_block(std::span<const std::uint8_t> stream,
+                                     std::size_t block_index) {
+  const io::BlockContainerHeader header = io::block_container_header(stream);
+  check_scalar<T>(header);
+  const auto bytes = io::block_container_entry(stream, block_index);
+  const data::Dims dims = dims_from_header(header);
+  const BlockLayout layout = make_layout(dims, header.block_rows);
+  const std::size_t rows = block_rows_of(layout, dims, block_index);
+  const BlockCodec& codec = CodecRegistry::instance().at(header.codec);
+
+  sz::Decompressed<T> out;
+  out.dims = slab_dims(dims, rows);
+  out.values.resize(out.dims.count());
+  codec.decompress(bytes, std::span<T>(out.values));
+  return out;
+}
+
+template CompressResult compress_blocked<float>(std::span<const float>,
+                                                const data::Dims&,
+                                                const ControlRequest&,
+                                                const CompressOptions&);
+template CompressResult compress_blocked<double>(std::span<const double>,
+                                                 const data::Dims&,
+                                                 const ControlRequest&,
+                                                 const CompressOptions&);
+template sz::Decompressed<float> decompress_blocked<float>(
+    std::span<const std::uint8_t>, std::size_t);
+template sz::Decompressed<double> decompress_blocked<double>(
+    std::span<const std::uint8_t>, std::size_t);
+template sz::Decompressed<float> decompress_block<float>(
+    std::span<const std::uint8_t>, std::size_t);
+template sz::Decompressed<double> decompress_block<double>(
+    std::span<const std::uint8_t>, std::size_t);
+
+}  // namespace fpsnr::core

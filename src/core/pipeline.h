@@ -1,0 +1,92 @@
+// Block-parallel fixed-PSNR pipeline engine.
+//
+// The field is sharded into axis-0 slabs ("blocks"); each block runs the
+// full quantize -> Huffman -> lossless pipeline independently through a
+// BlockCodec (core/codec_registry.h) on a thread pool, and the results are
+// assembled into the FPBK block-indexed container (io/archive.h), which
+// tolerates out-of-order completion and supports random-access decode of
+// single blocks.
+//
+// Error-budget accounting: the user's control request is resolved ONCE
+// against the global value range to an absolute per-point budget eb_abs
+// (bin width 2*eb_abs). Every block inherits that same budget, so
+//   * the SZ path keeps its pointwise |err| <= eb_abs guarantee, and
+//   * the global fixed-PSNR model is untouched: each block of n_b values
+//     contributes at most n_b * eb_abs^2 / 3 to the total SSE (Eq. 6), and
+//     sum_b n_b * eb^2/3 / N = eb^2/3 — exactly the serial model. The
+//     engine sums the per-block budgets and cross-checks the identity.
+//
+// Determinism: the block layout depends only on dims and block_rows, never
+// on the thread count, so compress() output is byte-identical for any
+// `threads` value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/codec_registry.h"
+#include "core/compressor.h"
+
+namespace fpsnr::core {
+
+/// Deterministic default block size: enough axis-0 rows that a block holds
+/// roughly kAutoBlockValues values (clamped to [1, dims[0]]). Independent
+/// of thread count by design.
+inline constexpr std::size_t kAutoBlockValues = std::size_t{1} << 15;
+std::size_t auto_block_rows(const data::Dims& dims);
+
+/// Parsed summary of an FPBK stream (inspect support).
+struct BlockStreamInfo {
+  CodecId codec = 0;
+  std::string_view codec_name;
+  data::Dims dims;
+  std::size_t block_rows = 0;
+  std::size_t block_count = 0;
+  double eb_abs = 0.0;
+  double value_range = 0.0;
+  ControlMode control_mode = ControlMode::FixedPsnr;
+  double control_value = 0.0;
+};
+
+/// True if `stream` is a block-pipeline (FPBK) container.
+bool is_block_stream(std::span<const std::uint8_t> stream);
+
+BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream);
+
+/// Compress through the block pipeline. Supports every uniform-budget
+/// control mode (FixedPsnr / Absolute / ValueRangeRelative / FixedNrmse);
+/// PointwiseRelative and FixedRate throw std::invalid_argument.
+template <typename T>
+CompressResult compress_blocked(std::span<const T> values,
+                                const data::Dims& dims,
+                                const ControlRequest& request,
+                                const CompressOptions& options);
+
+/// Decompress a full FPBK stream; blocks are decoded concurrently when
+/// threads > 1.
+template <typename T>
+sz::Decompressed<T> decompress_blocked(std::span<const std::uint8_t> stream,
+                                       std::size_t threads = 0);
+
+/// Random-access decode of one block: only that block's payload is parsed.
+/// The result's dims are the slab's (axis-0 extent = its row count).
+template <typename T>
+sz::Decompressed<T> decompress_block(std::span<const std::uint8_t> stream,
+                                     std::size_t block_index);
+
+extern template CompressResult compress_blocked<float>(
+    std::span<const float>, const data::Dims&, const ControlRequest&,
+    const CompressOptions&);
+extern template CompressResult compress_blocked<double>(
+    std::span<const double>, const data::Dims&, const ControlRequest&,
+    const CompressOptions&);
+extern template sz::Decompressed<float> decompress_blocked<float>(
+    std::span<const std::uint8_t>, std::size_t);
+extern template sz::Decompressed<double> decompress_blocked<double>(
+    std::span<const std::uint8_t>, std::size_t);
+extern template sz::Decompressed<float> decompress_block<float>(
+    std::span<const std::uint8_t>, std::size_t);
+extern template sz::Decompressed<double> decompress_block<double>(
+    std::span<const std::uint8_t>, std::size_t);
+
+}  // namespace fpsnr::core

@@ -1,6 +1,7 @@
 #include "io/archive.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace fpsnr::io {
 
@@ -90,6 +91,183 @@ std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
   }
   if (!have) throw std::out_of_range("archive: no entry named " + name);
   return found;
+}
+
+// --- Block-indexed container ----------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kBlockMagic[4] = {'F', 'P', 'B', 'K'};
+constexpr std::uint8_t kBlockVersion = 1;
+constexpr std::uint8_t kMaxRank = 3;
+
+void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
+  out.put_bytes(std::span<const std::uint8_t>(kBlockMagic, 4));
+  out.put<std::uint8_t>(kBlockVersion);
+  out.put<std::uint8_t>(h.codec);
+  out.put<std::uint8_t>(h.scalar);
+  out.put<std::uint8_t>(static_cast<std::uint8_t>(h.extents.size()));
+  for (std::uint64_t e : h.extents) out.put_varint(e);
+  out.put_varint(h.block_rows);
+  out.put_varint(h.block_count);
+  out.put<double>(h.eb_abs);
+  out.put<double>(h.value_range);
+  out.put<std::uint8_t>(h.control_mode);
+  out.put<double>(h.control_value);
+}
+
+/// Reads the header and leaves the reader positioned at the index table.
+BlockContainerHeader read_block_header(ByteReader& reader) {
+  const auto magic = reader.get_bytes(4);
+  if (!std::equal(magic.begin(), magic.end(), kBlockMagic))
+    throw StreamError("block container: bad magic");
+  if (reader.get<std::uint8_t>() != kBlockVersion)
+    throw StreamError("block container: unsupported version");
+  BlockContainerHeader h;
+  h.codec = reader.get<std::uint8_t>();
+  h.scalar = reader.get<std::uint8_t>();
+  const auto rank = reader.get<std::uint8_t>();
+  if (rank < 1 || rank > kMaxRank)
+    throw StreamError("block container: rank out of 1..3");
+  h.extents.resize(rank);
+  for (auto& e : h.extents) {
+    e = reader.get_varint();
+    if (e == 0) throw StreamError("block container: zero extent");
+  }
+  h.block_rows = reader.get_varint();
+  h.block_count = reader.get_varint();
+  if (h.block_rows == 0 || h.block_count == 0)
+    throw StreamError("block container: empty block layout");
+  if (h.block_count > h.extents[0])
+    throw StreamError("block container: more blocks than rows");
+  // The layout must tile axis 0 exactly: ceil(rows / block_rows) blocks.
+  const std::uint64_t expect =
+      (h.extents[0] + h.block_rows - 1) / h.block_rows;
+  if (h.block_count != expect)
+    throw StreamError("block container: block layout does not tile the field");
+  h.eb_abs = reader.get<double>();
+  h.value_range = reader.get<double>();
+  h.control_mode = reader.get<std::uint8_t>();
+  h.control_value = reader.get<double>();
+  return h;
+}
+
+struct IndexEntry {
+  std::uint64_t offset, size;
+};
+
+std::vector<IndexEntry> read_block_index(ByteReader& reader,
+                                         std::uint64_t count,
+                                         std::size_t payload_bytes) {
+  std::vector<IndexEntry> index(count);
+  for (auto& e : index) e.offset = reader.get<std::uint64_t>();
+  for (auto& e : index) e.size = reader.get<std::uint64_t>();
+  std::uint64_t expect = 0;
+  for (const auto& e : index) {
+    if (e.offset != expect)
+      throw StreamError("block container: non-contiguous index");
+    expect += e.size;
+  }
+  if (expect != payload_bytes)
+    throw StreamError("block container: index does not cover the payload");
+  return index;
+}
+
+}  // namespace
+
+BlockContainerWriter::BlockContainerWriter(BlockContainerHeader header)
+    : header_(std::move(header)),
+      blocks_(header_.block_count),
+      present_(header_.block_count, 0),
+      missing_(header_.block_count) {
+  if (header_.block_count == 0)
+    throw std::invalid_argument("block container: zero blocks");
+}
+
+void BlockContainerWriter::add_block(std::size_t index,
+                                     std::vector<std::uint8_t> bytes) {
+  std::lock_guard lock(mutex_);
+  if (finished_)
+    throw std::logic_error("block container: add_block after finish");
+  if (index >= blocks_.size())
+    throw std::out_of_range("block container: block index out of range");
+  if (present_[index])
+    throw std::logic_error("block container: duplicate block");
+  blocks_[index] = std::move(bytes);
+  present_[index] = 1;
+  --missing_;
+}
+
+std::vector<std::uint8_t> BlockContainerWriter::finish() {
+  std::lock_guard lock(mutex_);
+  if (finished_) throw std::logic_error("block container: finish twice");
+  if (missing_ != 0)
+    throw std::logic_error("block container: " + std::to_string(missing_) +
+                           " block(s) never delivered");
+  finished_ = true;
+
+  ByteWriter out;
+  write_block_header(header_, out);
+  std::uint64_t offset = 0;
+  for (const auto& b : blocks_) {
+    out.put<std::uint64_t>(offset);
+    offset += b.size();
+  }
+  for (const auto& b : blocks_) out.put<std::uint64_t>(b.size());
+  for (const auto& b : blocks_) out.put_bytes(b);
+  return out.take();
+}
+
+bool is_block_container(std::span<const std::uint8_t> stream) {
+  return stream.size() >= 4 &&
+         std::equal(kBlockMagic, kBlockMagic + 4, stream.begin());
+}
+
+BlockContainerView open_block_container(std::span<const std::uint8_t> stream) {
+  ByteReader reader(stream);
+  BlockContainerView view;
+  view.header = read_block_header(reader);
+  const std::uint64_t count = view.header.block_count;
+  // Divide instead of multiplying so a crafted block_count cannot wrap the
+  // size computation past the truncation check.
+  if (count > reader.remaining() / (2 * sizeof(std::uint64_t)))
+    throw StreamError("block container: truncated index");
+  const std::size_t index_bytes = count * 2 * sizeof(std::uint64_t);
+  const std::size_t payload_bytes = reader.remaining() - index_bytes;
+  const auto index = read_block_index(reader, count, payload_bytes);
+  const std::size_t payload_start = reader.position();
+  view.blocks.reserve(count);
+  for (const auto& e : index)
+    view.blocks.push_back(stream.subspan(payload_start + e.offset, e.size));
+  return view;
+}
+
+BlockContainerHeader block_container_header(
+    std::span<const std::uint8_t> stream) {
+  ByteReader reader(stream);
+  return read_block_header(reader);
+}
+
+std::span<const std::uint8_t> block_container_entry(
+    std::span<const std::uint8_t> stream, std::size_t index) {
+  ByteReader reader(stream);
+  const BlockContainerHeader h = read_block_header(reader);
+  if (index >= h.block_count)
+    throw std::out_of_range("block container: block index out of range");
+  if (h.block_count > reader.remaining() / (2 * sizeof(std::uint64_t)))
+    throw StreamError("block container: truncated index");
+  const std::size_t index_bytes =
+      static_cast<std::size_t>(h.block_count) * 2 * sizeof(std::uint64_t);
+  const std::size_t payload_bytes = reader.remaining() - index_bytes;
+  const std::size_t table_start = reader.position();
+  ByteReader offsets(stream.subspan(table_start + index * sizeof(std::uint64_t)));
+  const auto offset = offsets.get<std::uint64_t>();
+  ByteReader sizes(stream.subspan(table_start +
+                                  (h.block_count + index) * sizeof(std::uint64_t)));
+  const auto size = sizes.get<std::uint64_t>();
+  if (offset + size > payload_bytes || offset + size < offset)
+    throw StreamError("block container: index entry out of bounds");
+  return stream.subspan(table_start + index_bytes + offset, size);
 }
 
 }  // namespace fpsnr::io

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,5 +35,80 @@ std::vector<std::string> list_archive(std::span<const std::uint8_t> archive);
 /// Extract a single entry by name. Throws std::out_of_range if absent.
 std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
                                         const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Block-indexed container — the on-wire format of the block-parallel
+// pipeline engine (core/pipeline.h). One field is stored as `block_count`
+// independently compressed axis-0 slabs plus a fixed-width offset/size
+// index, so workers can emit blocks out of order at compress time and
+// readers can decode any single block without touching the rest.
+//
+// Layout (little-endian):
+//   magic "FPBK", version u8,
+//   codec u8, scalar u8, rank u8, extents varint x rank,
+//   block_rows varint, block_count varint,
+//   eb_abs f64, value_range f64, control_mode u8, control_value f64,
+//   offset u64 x block_count (relative to payload start),
+//   size   u64 x block_count,
+//   payload bytes (blocks concatenated in index order).
+// ---------------------------------------------------------------------------
+
+struct BlockContainerHeader {
+  std::uint8_t codec = 0;   ///< core::CodecId of the per-block codec
+  std::uint8_t scalar = 0;  ///< sz::ScalarType of the original data
+  std::vector<std::uint64_t> extents;  ///< full-field dims, C order
+  std::uint64_t block_rows = 0;   ///< axis-0 rows per block (last may be short)
+  std::uint64_t block_count = 0;
+  double eb_abs = 0.0;        ///< shared per-block error budget
+  double value_range = 0.0;   ///< global range the budget was derived from
+  std::uint8_t control_mode = 0;  ///< core::ControlMode of the user request
+  double control_value = 0.0;     ///< the request's value (PSNR dB, bound, ...)
+};
+
+/// Collects per-block streams and serializes them with a random-access
+/// index. `add_block` is thread-safe and accepts blocks in any completion
+/// order — this is what lets pipeline workers finish out of order.
+class BlockContainerWriter {
+ public:
+  explicit BlockContainerWriter(BlockContainerHeader header);
+
+  /// Store block `index`'s bytes (0-based; must be < header.block_count and
+  /// not yet filled). Safe to call concurrently from pool workers.
+  void add_block(std::size_t index, std::vector<std::uint8_t> bytes);
+
+  /// Serialize. Throws std::logic_error if any block slot is still empty
+  /// or finish() was already called.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  BlockContainerHeader header_;
+  std::vector<std::vector<std::uint8_t>> blocks_;
+  std::vector<char> present_;
+  std::size_t missing_ = 0;
+  bool finished_ = false;
+  std::mutex mutex_;
+};
+
+/// True if `stream` starts with the block-container magic "FPBK".
+bool is_block_container(std::span<const std::uint8_t> stream);
+
+/// Parsed header plus borrowed views of every block's bytes.
+struct BlockContainerView {
+  BlockContainerHeader header;
+  std::vector<std::span<const std::uint8_t>> blocks;  ///< views into stream
+};
+
+/// Parse a complete container. Throws StreamError on malformed input.
+BlockContainerView open_block_container(std::span<const std::uint8_t> stream);
+
+/// Parse the header only (no index walk, no payload access).
+BlockContainerHeader block_container_header(
+    std::span<const std::uint8_t> stream);
+
+/// Random access: bytes of block `index` only (index-table seek; the other
+/// blocks' payloads are never touched). Throws std::out_of_range on a bad
+/// index, StreamError on malformed input.
+std::span<const std::uint8_t> block_container_entry(
+    std::span<const std::uint8_t> stream, std::size_t index);
 
 }  // namespace fpsnr::io

@@ -383,7 +383,7 @@ DecodedInner<T> decode_inner(std::span<const std::uint8_t> payload,
   DecodedInner<T> out;
   out.outliers.resize(outlier_count);
   const auto raw = reader.get_bytes(outlier_count * sizeof(T));
-  std::memcpy(out.outliers.data(), raw.data(), raw.size());
+  if (!raw.empty()) std::memcpy(out.outliers.data(), raw.data(), raw.size());
 
   const auto decoder = huffman::Decoder::read_table(reader);
   const auto payload_bits = reader.get_blob_view();

@@ -187,7 +187,7 @@ Decompressed<T> decompress(std::span<const std::uint8_t> stream) {
   if (n_out > count) throw io::StreamError("fptc: outlier count exceeds values");
   std::vector<double> outliers(n_out);
   const auto raw = ir.get_bytes(n_out * sizeof(double));
-  std::memcpy(outliers.data(), raw.data(), raw.size());
+  if (!raw.empty()) std::memcpy(outliers.data(), raw.data(), raw.size());
   const auto decoder = huffman::Decoder::read_table(ir);
   io::BitReader bits(ir.get_blob_view());
   const auto codes = decoder.decode(bits, count);

@@ -88,3 +88,82 @@ TEST(Archive, WholeDatasetRoundTrip) {
     EXPECT_GT(rep.psnr_db, 65.0) << f.name;
   }
 }
+
+// --- block-indexed container (FPBK) -----------------------------------------
+
+TEST(BlockContainer, HeaderRoundTrip) {
+  io::BlockContainerHeader h;
+  h.codec = 2;
+  h.scalar = 1;
+  h.extents = {10, 20, 30};
+  h.block_rows = 4;
+  h.block_count = 3;  // ceil(10/4)
+  h.eb_abs = 1.5e-3;
+  h.value_range = 42.0;
+  h.control_mode = 3;
+  h.control_value = 80.0;
+
+  io::BlockContainerWriter writer(h);
+  writer.add_block(1, {4, 5});
+  writer.add_block(0, {1, 2, 3});
+  writer.add_block(2, {});  // empty blocks are legal
+  const auto stream = writer.finish();
+  ASSERT_TRUE(io::is_block_container(stream));
+
+  const auto header = io::block_container_header(stream);
+  EXPECT_EQ(header.codec, 2);
+  EXPECT_EQ(header.scalar, 1);
+  EXPECT_EQ(header.extents, (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_EQ(header.block_rows, 4u);
+  EXPECT_EQ(header.block_count, 3u);
+  EXPECT_DOUBLE_EQ(header.eb_abs, 1.5e-3);
+  EXPECT_DOUBLE_EQ(header.value_range, 42.0);
+  EXPECT_EQ(header.control_mode, 3);
+  EXPECT_DOUBLE_EQ(header.control_value, 80.0);
+
+  const auto view = io::open_block_container(stream);
+  ASSERT_EQ(view.blocks.size(), 3u);
+  EXPECT_EQ(view.blocks[0].size(), 3u);
+  EXPECT_EQ(view.blocks[1].size(), 2u);
+  EXPECT_EQ(view.blocks[2].size(), 0u);
+  const auto b0 = io::block_container_entry(stream, 0);
+  EXPECT_EQ(std::vector<std::uint8_t>(b0.begin(), b0.end()),
+            (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(BlockContainer, MalformedStreamsRejected) {
+  io::BlockContainerHeader h;
+  h.extents = {8};
+  h.block_rows = 4;
+  h.block_count = 2;
+  io::BlockContainerWriter writer(h);
+  writer.add_block(0, {1, 2, 3});
+  writer.add_block(1, {4});
+  const auto stream = writer.finish();
+
+  auto bad = stream;
+  bad[0] = 'Z';
+  EXPECT_THROW(io::open_block_container(bad), io::StreamError);
+  bad = stream;
+  bad.resize(bad.size() - 2);  // truncated payload
+  EXPECT_THROW(io::open_block_container(bad), io::StreamError);
+  bad.resize(10);  // truncated header
+  EXPECT_THROW(io::open_block_container(bad), io::StreamError);
+  EXPECT_THROW(io::block_container_entry(stream, 2), std::out_of_range);
+}
+
+TEST(BlockContainer, LayoutMustTileTheField) {
+  // block_count inconsistent with extents[0]/block_rows must be rejected at
+  // construction time (the writer validates through the same header path as
+  // the reader on finish()).
+  io::BlockContainerHeader h;
+  h.extents = {8};
+  h.block_rows = 4;
+  h.block_count = 3;  // should be 2
+  io::BlockContainerWriter writer(h);
+  writer.add_block(0, {1});
+  writer.add_block(1, {2});
+  writer.add_block(2, {3});
+  const auto stream = writer.finish();
+  EXPECT_THROW(io::open_block_container(stream), io::StreamError);
+}
