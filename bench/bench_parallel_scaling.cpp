@@ -127,9 +127,8 @@ BENCHMARK(BM_PipelineRandomAccessBlock)->Unit(benchmark::kMillisecond);
 void BM_BatchAcrossFields(benchmark::State& state) {
   const auto ds = data::make_hurricane({0.5, 20180713});
   const auto threads = static_cast<std::size_t>(state.range(0));
-  parallel::ThreadPool pool(threads);
   core::BatchOptions opts;
-  opts.pool = &pool;
+  opts.threads = threads;
   for (auto _ : state) {
     auto batch = core::run_fixed_psnr_batch(ds, 80.0, opts);
     benchmark::DoNotOptimize(batch.fields.data());

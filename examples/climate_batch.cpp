@@ -12,7 +12,7 @@
 
 #include "core/batch.h"
 #include "data/dataset.h"
-#include "parallel/thread_pool.h"
+#include "parallel/shared_pool.h"
 
 int main(int argc, char** argv) {
   using namespace fpsnr;
@@ -25,11 +25,10 @@ int main(int argc, char** argv) {
               atm.field_count(), atm.total_bytes() / (1024.0 * 1024.0),
               target_db);
 
-  // Fan the fields out over a thread pool — per-field codec runs stay
-  // sequential, so results are identical to a serial run.
-  parallel::ThreadPool pool;
+  // Fan the fields out over the process-wide shared pool — per-field codec
+  // runs stay sequential, so results are identical to a serial run.
   core::BatchOptions options;
-  options.pool = &pool;
+  options.threads = parallel::shared_pool().thread_count();
   const core::BatchResult batch =
       core::run_fixed_psnr_batch(atm, target_db, options);
 

@@ -11,6 +11,7 @@
 #include <iomanip>
 #include <iostream>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/version.h"
 #include "data/dataset.h"
 #include "io/archive.h"
+#include "io/streaming_archive.h"
 #include "sz/stream_format.h"
 
 namespace {
@@ -41,8 +43,13 @@ using namespace fpsnr;
       "      --threads N     block-parallel compression on N workers\n"
       "                      (output bytes are identical for every N)\n"
       "      --block-size R  axis-0 rows per block (default: auto)\n"
+      "      --stream        spill blocks to -o as workers finish (peak\n"
+      "                      memory stays O(in-flight blocks); the file is\n"
+      "                      byte-identical to the in-memory path)\n"
       "  fpsnr_cli decompress -i IN.fpsz -o OUT.f32 [--threads N] [--block I]\n"
       "      --block I   random-access decode of block I only\n"
+      "      --mmap      memory-map IN instead of loading it; with --block,\n"
+      "                  only that block's bytes are ever read\n"
       "  fpsnr_cli inspect    -i IN.fpsz\n"
       "  fpsnr_cli demo       [--dataset nyx|atm|hurricane] [--psnr DB]\n"
       "  fpsnr_cli pack       --dataset NAME --psnr DB -o OUT.fpar\n"
@@ -88,6 +95,8 @@ struct Args {
   std::size_t threads = 0;
   std::size_t block_size = 0;
   std::optional<std::size_t> block;  ///< random-access block index
+  bool stream = false;  ///< compress: spill blocks to disk as they finish
+  bool mmap = false;    ///< decompress: map the archive instead of loading
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -110,6 +119,8 @@ Args parse_args(int argc, char** argv, int first) {
     else if (flag == "--threads") a.threads = std::stoull(next());
     else if (flag == "--block-size") a.block_size = std::stoull(next());
     else if (flag == "--block") a.block = std::stoull(next());
+    else if (flag == "--stream") a.stream = true;
+    else if (flag == "--mmap") a.mmap = true;
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -133,24 +144,47 @@ int cmd_compress(const Args& a) {
   if (a.engine == "haar") opts.engine = core::Engine::TransformHaar;
   else if (a.engine == "dct") opts.engine = core::Engine::TransformDct;
   else if (a.engine != "sz") usage("unknown engine (want sz|haar|dct)");
-  if (a.threads > 0 || a.block_size > 0) {
+  if (a.threads > 0 || a.block_size > 0 || a.stream) {
     opts.parallel.block_pipeline = true;
     opts.parallel.threads = a.threads;
     opts.parallel.block_rows = a.block_size;
   }
-  const auto result =
-      core::compress<float>(values, dims, parse_request(a.mode, a.value), opts);
-  write_file(a.output, result.stream.data(), result.stream.size());
+  core::CompressResult result;
+  io::StreamingStats stats;
+  if (a.stream) {
+    result = core::compress_to_file<float>(
+        values, dims, parse_request(a.mode, a.value), opts, a.output, &stats);
+    std::cout << "streamed to " << a.output << ": peak reorder buffer "
+              << stats.peak_buffered_bytes << " bytes ("
+              << stats.peak_buffered_blocks << " block(s)) vs "
+              << stats.total_bytes << " container bytes\n";
+  } else {
+    result = core::compress<float>(values, dims,
+                                   parse_request(a.mode, a.value), opts);
+    write_file(a.output, result.stream.data(), result.stream.size());
+  }
 
   std::cout << "compressed " << values.size() << " values -> "
-            << result.stream.size() << " bytes  (ratio "
+            << result.info.compressed_bytes << " bytes  (ratio "
             << std::fixed << std::setprecision(2) << result.info.compression_ratio
             << ", " << result.info.bit_rate << " bits/value)\n";
   if (opts.parallel.enabled()) {
-    const auto info = core::inspect_block_stream(result.stream);
-    std::cout << "block pipeline: " << info.block_count << " block(s) x "
-              << info.block_rows << " row(s), codec " << info.codec_name
-              << ", " << (a.threads > 1 ? a.threads : 1) << " thread(s)\n";
+    // Everything here is known in-process: the streaming writer reports the
+    // layout it wrote, the in-memory path inspects its own bytes — the
+    // output file is never re-read just to print a summary.
+    std::uint64_t block_count = stats.block_count;
+    std::uint64_t block_rows = stats.block_rows;
+    if (!a.stream) {
+      const auto info = core::inspect_block_stream(result.stream);
+      block_count = info.block_count;
+      block_rows = info.block_rows;
+    }
+    const auto codec_name = core::CodecRegistry::instance()
+                                .at(static_cast<core::CodecId>(opts.engine))
+                                .name();
+    std::cout << "block pipeline: " << block_count << " block(s) x "
+              << block_rows << " row(s), codec " << codec_name << ", "
+              << (a.threads > 1 ? a.threads : 1) << " thread(s)\n";
   }
   if (a.mode == "psnr")
     std::cout << "target PSNR " << a.value << " dB, eb_rel used "
@@ -160,6 +194,37 @@ int cmd_compress(const Args& a) {
 
 int cmd_decompress(const Args& a) {
   if (a.input.empty() || a.output.empty()) usage("decompress needs -i, -o");
+  if (a.mmap) {
+    // Memory-map the archive once: the payload is faulted in lazily, and
+    // with --block only that block's extent is ever read.
+    try {
+      const io::MmapArchiveReader reader(a.input);
+      const auto d =
+          a.block ? core::decompress_block<float>(reader.bytes(), *a.block)
+                  : core::decompress_blocked<float>(reader.bytes(), a.threads);
+      write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
+      if (a.block)
+        std::cout << "decompressed block " << *a.block << ": "
+                  << d.values.size() << " values (" << d.dims[0]
+                  << " row(s), mmap)\n";
+      else
+        std::cout << "decompressed " << d.values.size() << " values (rank "
+                  << d.dims.rank() << ", mmap)\n";
+      return 0;
+    } catch (const io::StreamError&) {
+      // Cold path: distinguish "not an FPBK archive" (mmap decode needs
+      // the block index; legacy .fpsz streams don't have one) from real
+      // I/O or corruption errors, which propagate as-is.
+      std::ifstream probe(a.input, std::ios::binary);
+      std::uint8_t magic[4] = {};
+      probe.read(reinterpret_cast<char*>(magic), 4);
+      if (probe.gcount() == 4 &&
+          !io::is_block_container(std::span<const std::uint8_t>(magic, 4)))
+        usage("--mmap requires a block-pipeline (FPBK) archive "
+              "(compress with --threads/--block-size/--stream)");
+      throw;
+    }
+  }
   const auto stream = read_file(a.input);
   if (a.block) {
     if (!core::is_block_stream(stream))

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "parallel/shared_pool.h"
+
 namespace fpsnr::core {
 
 metrics::RunningStats BatchResult::psnr_stats() const {
@@ -59,15 +61,11 @@ BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psn
   result.target_psnr_db = target_psnr_db;
   result.fields.resize(dataset.fields.size());
 
-  auto work = [&](std::size_t i) {
-    result.fields[i] =
-        run_one_field(dataset.fields[i], target_psnr_db, options.compress);
-  };
-  if (options.pool != nullptr) {
-    parallel::parallel_for(*options.pool, dataset.fields.size(), work);
-  } else {
-    for (std::size_t i = 0; i < dataset.fields.size(); ++i) work(i);
-  }
+  parallel::parallel_for_shared(
+      dataset.fields.size(), options.threads, [&](std::size_t i) {
+        result.fields[i] =
+            run_one_field(dataset.fields[i], target_psnr_db, options.compress);
+      });
   return result;
 }
 

@@ -15,7 +15,6 @@
 #include "core/compressor.h"
 #include "data/dataset.h"
 #include "metrics/stats.h"
-#include "parallel/thread_pool.h"
 
 namespace fpsnr::core {
 
@@ -49,8 +48,10 @@ struct BatchResult {
 
 struct BatchOptions {
   CompressOptions compress = {};
-  /// Thread pool to fan fields out on; nullptr = sequential.
-  parallel::ThreadPool* pool = nullptr;
+  /// Concurrent fields, fanned out on the process-wide shared pool
+  /// (parallel/shared_pool.h); <= 1 = sequential. Per-field results are
+  /// identical to a serial run — only wall-clock changes.
+  std::size_t threads = 0;
 };
 
 /// Compress + verify every field of `dataset` at `target_psnr_db`.

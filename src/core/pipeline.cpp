@@ -7,8 +7,9 @@
 
 #include "core/distortion_model.h"
 #include "io/archive.h"
+#include "io/streaming_archive.h"
 #include "metrics/metrics.h"
-#include "parallel/thread_pool.h"
+#include "parallel/shared_pool.h"
 #include "sz/stream_format.h"
 
 namespace fpsnr::core {
@@ -68,15 +69,13 @@ std::size_t block_rows_of(const BlockLayout& l, const data::Dims& dims,
   return std::min(l.rows_per_block, dims[0] - block_first_row(l, b));
 }
 
-/// Run fn(b) for every block, on `threads` workers when > 1.
+/// Run fn(b) for every block, on the process-wide shared pool (the calling
+/// thread plus threads-1 shared workers) when threads > 1. No per-call
+/// pool spin-up: long-lived streaming jobs and many-small-field batches
+/// reuse the same workers.
 void for_each_block(std::size_t block_count, std::size_t threads,
                     const std::function<void(std::size_t)>& fn) {
-  if (threads > 1 && block_count > 1) {
-    parallel::ThreadPool pool(std::min(threads, block_count));
-    parallel::parallel_for(pool, block_count, fn);
-  } else {
-    for (std::size_t b = 0; b < block_count; ++b) fn(b);
-  }
+  parallel::parallel_for_shared(block_count, threads, fn);
 }
 
 data::Dims dims_from_header(const io::BlockContainerHeader& h) {
@@ -118,59 +117,85 @@ BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream) {
   return info;
 }
 
+namespace {
+
+/// Everything the block loop needs, resolved once per call. Both the
+/// in-memory and the streaming entry points build the same plan, so layout,
+/// budgets, and header bytes cannot drift between the two paths.
+struct BlockPlan {
+  double vr = 0.0;
+  double eb_abs = 0.0;
+  BlockLayout layout;
+  const BlockCodec* codec = nullptr;
+  BlockParams bp;
+  io::BlockContainerHeader header;
+};
+
 template <typename T>
-CompressResult compress_blocked(std::span<const T> values,
-                                const data::Dims& dims,
-                                const ControlRequest& request,
-                                const CompressOptions& options) {
+BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
+                      const ControlRequest& request,
+                      const CompressOptions& options) {
   if (values.size() != dims.count())
     throw std::invalid_argument("block pipeline: value count does not match dims");
 
-  double vr = 0.0;
-  const double eb_abs = resolve_budget(request, values, &vr);
-  const BlockLayout layout = make_layout(dims, options.parallel.block_rows);
+  BlockPlan plan;
+  plan.eb_abs = resolve_budget(request, values, &plan.vr);
+  plan.layout = make_layout(dims, options.parallel.block_rows);
 
   const CodecId codec_id = static_cast<CodecId>(options.engine);
-  const BlockCodec& codec = CodecRegistry::instance().at(codec_id);
+  plan.codec = &CodecRegistry::instance().at(codec_id);
 
-  BlockParams bp;
-  bp.eb_abs = eb_abs;
-  bp.quantization_bins = options.quantization_bins;
-  bp.backend = options.backend;
-  bp.predictor = options.sz_predictor;
-  bp.haar_levels = options.haar_levels;
-  bp.dct_block = options.dct_block;
+  plan.bp.eb_abs = plan.eb_abs;
+  plan.bp.quantization_bins = options.quantization_bins;
+  plan.bp.backend = options.backend;
+  plan.bp.predictor = options.sz_predictor;
+  plan.bp.haar_levels = options.haar_levels;
+  plan.bp.dct_block = options.dct_block;
 
-  io::BlockContainerHeader header;
-  header.codec = codec_id;
-  header.scalar = static_cast<std::uint8_t>(sz::scalar_type_of<T>());
-  header.extents.assign(dims.extents.begin(), dims.extents.end());
-  header.block_rows = layout.rows_per_block;
-  header.block_count = layout.block_count;
-  header.eb_abs = eb_abs;
-  header.value_range = vr;
-  header.control_mode = static_cast<std::uint8_t>(request.mode);
-  header.control_value = request.value;
+  plan.header.codec = codec_id;
+  plan.header.scalar = static_cast<std::uint8_t>(sz::scalar_type_of<T>());
+  plan.header.extents.assign(dims.extents.begin(), dims.extents.end());
+  plan.header.block_rows = plan.layout.rows_per_block;
+  plan.header.block_count = plan.layout.block_count;
+  plan.header.eb_abs = plan.eb_abs;
+  plan.header.value_range = plan.vr;
+  plan.header.control_mode = static_cast<std::uint8_t>(request.mode);
+  plan.header.control_value = request.value;
+  return plan;
+}
 
-  io::BlockContainerWriter writer(header);
-  std::vector<BlockInfo> block_infos(layout.block_count);
-  for_each_block(layout.block_count, options.parallel.threads,
-                 [&](std::size_t b) {
-                   const std::size_t first = block_first_row(layout, b);
-                   const std::size_t rows = block_rows_of(layout, dims, b);
-                   const auto slice = values.subspan(first * layout.row_stride,
-                                                     rows * layout.row_stride);
-                   writer.add_block(b, codec.compress(slice,
-                                                      slab_dims(dims, rows), bp,
-                                                      &block_infos[b]));
-                 });
+/// Compress every block on the shared pool, handing each finished block to
+/// `sink(b, bytes)` (thread-safe in both writers).
+template <typename T>
+void run_blocks(const BlockPlan& plan, std::span<const T> values,
+                const data::Dims& dims, std::size_t threads,
+                std::vector<BlockInfo>& block_infos,
+                const std::function<void(std::size_t, std::vector<std::uint8_t>)>&
+                    sink) {
+  block_infos.assign(plan.layout.block_count, BlockInfo{});
+  for_each_block(plan.layout.block_count, threads, [&](std::size_t b) {
+    const std::size_t first = block_first_row(plan.layout, b);
+    const std::size_t rows = block_rows_of(plan.layout, dims, b);
+    const auto slice = values.subspan(first * plan.layout.row_stride,
+                                      rows * plan.layout.row_stride);
+    sink(b, plan.codec->compress(slice, slab_dims(dims, rows), plan.bp,
+                                 &block_infos[b]));
+  });
+}
+
+/// Per-block budget accounting: every value must be covered exactly once,
+/// and the per-block SSE budgets must sum back to the serial model
+/// N * eb^2 / 3 — i.e. blocking spent exactly the global budget, no more.
+/// Both entry points call this BEFORE finalizing their output (serializing
+/// / renaming onto the target path), so a validation failure never
+/// installs an archive. Size-dependent fields are filled by
+/// set_size_info once the container size is known.
+template <typename T>
+CompressResult account_blocks(const BlockPlan& plan, std::span<const T> values,
+                              const ControlRequest& request,
+                              const std::vector<BlockInfo>& block_infos) {
   CompressResult out;
-  out.stream = writer.finish();
   out.request = request;
-
-  // Per-block budget accounting: every value must be covered exactly once,
-  // and the per-block SSE budgets must sum back to the serial model
-  // N * eb^2 / 3 — i.e. blocking spent exactly the global budget, no more.
   std::size_t covered = 0;
   double sse_budget = 0.0;
   for (const BlockInfo& bi : block_infos) {
@@ -181,22 +206,70 @@ CompressResult compress_blocked(std::span<const T> values,
   if (covered != values.size())
     throw std::logic_error("block pipeline: blocks do not cover the field");
   const double global_budget =
-      static_cast<double>(values.size()) * eb_abs * eb_abs / 3.0;
+      static_cast<double>(values.size()) * plan.eb_abs * plan.eb_abs / 3.0;
   if (sse_budget > global_budget * (1.0 + 1e-9))
     throw std::logic_error("block pipeline: per-block budgets exceed the "
                            "global error budget");
 
-  out.predicted_psnr_db = vr > 0.0
-                              ? psnr_for_abs_bound(eb_abs, vr)
+  out.predicted_psnr_db = plan.vr > 0.0
+                              ? psnr_for_abs_bound(plan.eb_abs, plan.vr)
                               : std::numeric_limits<double>::infinity();
-  out.rel_bound_used = vr > 0.0 ? eb_abs / vr : 0.0;
-  out.info.eb_abs_used = eb_abs;
-  out.info.value_range = vr;
+  out.rel_bound_used = plan.vr > 0.0 ? plan.eb_abs / plan.vr : 0.0;
+  out.info.eb_abs_used = plan.eb_abs;
+  out.info.value_range = plan.vr;
   out.info.value_count = values.size();
-  out.info.compressed_bytes = out.stream.size();
-  out.info.compression_ratio = metrics::compression_ratio(
-      values.size() * sizeof(T), out.stream.size());
-  out.info.bit_rate = metrics::bit_rate(out.stream.size(), values.size());
+  return out;
+}
+
+void set_size_info(CompressResult& out, std::size_t raw_bytes,
+                   std::size_t compressed_bytes) {
+  out.info.compressed_bytes = compressed_bytes;
+  out.info.compression_ratio =
+      metrics::compression_ratio(raw_bytes, compressed_bytes);
+  out.info.bit_rate = metrics::bit_rate(compressed_bytes, out.info.value_count);
+}
+
+}  // namespace
+
+template <typename T>
+CompressResult compress_blocked(std::span<const T> values,
+                                const data::Dims& dims,
+                                const ControlRequest& request,
+                                const CompressOptions& options) {
+  const BlockPlan plan = plan_blocks(values, dims, request, options);
+  io::BlockContainerWriter writer(plan.header);
+  std::vector<BlockInfo> block_infos;
+  run_blocks(plan, values, dims, options.parallel.threads, block_infos,
+             [&](std::size_t b, std::vector<std::uint8_t> bytes) {
+               writer.add_block(b, std::move(bytes));
+             });
+  CompressResult out = account_blocks(plan, values, request, block_infos);
+  out.stream = writer.finish();
+  set_size_info(out, values.size() * sizeof(T), out.stream.size());
+  return out;
+}
+
+template <typename T>
+CompressResult compress_to_file(std::span<const T> values,
+                                const data::Dims& dims,
+                                const ControlRequest& request,
+                                const CompressOptions& options,
+                                const std::string& path,
+                                io::StreamingStats* stats) {
+  const BlockPlan plan = plan_blocks(values, dims, request, options);
+  io::StreamingArchiveWriter writer(path, plan.header);
+  std::vector<BlockInfo> block_infos;
+  run_blocks(plan, values, dims, options.parallel.threads, block_infos,
+             [&](std::size_t b, std::vector<std::uint8_t> bytes) {
+               writer.add_block(b, std::move(bytes));
+             });
+  // Validate the budget accounting first: if it fails, the unfinished
+  // writer is destroyed and the partial file removed — nothing is ever
+  // installed at `path` for a run the API reports as failed.
+  CompressResult out = account_blocks(plan, values, request, block_infos);
+  const std::uint64_t total = writer.finish();
+  if (stats) *stats = writer.stats();
+  set_size_info(out, values.size() * sizeof(T), static_cast<std::size_t>(total));
   return out;
 }
 
@@ -242,6 +315,20 @@ sz::Decompressed<T> decompress_block(std::span<const std::uint8_t> stream,
   return out;
 }
 
+template <typename T>
+sz::Decompressed<T> decompress_file(const std::string& path,
+                                    std::size_t threads) {
+  const io::MmapArchiveReader reader(path);
+  return decompress_blocked<T>(reader.bytes(), threads);
+}
+
+template <typename T>
+sz::Decompressed<T> decompress_file_block(const std::string& path,
+                                          std::size_t block_index) {
+  const io::MmapArchiveReader reader(path);
+  return decompress_block<T>(reader.bytes(), block_index);
+}
+
 template CompressResult compress_blocked<float>(std::span<const float>,
                                                 const data::Dims&,
                                                 const ControlRequest&,
@@ -258,5 +345,19 @@ template sz::Decompressed<float> decompress_block<float>(
     std::span<const std::uint8_t>, std::size_t);
 template sz::Decompressed<double> decompress_block<double>(
     std::span<const std::uint8_t>, std::size_t);
+template CompressResult compress_to_file<float>(
+    std::span<const float>, const data::Dims&, const ControlRequest&,
+    const CompressOptions&, const std::string&, io::StreamingStats*);
+template CompressResult compress_to_file<double>(
+    std::span<const double>, const data::Dims&, const ControlRequest&,
+    const CompressOptions&, const std::string&, io::StreamingStats*);
+template sz::Decompressed<float> decompress_file<float>(const std::string&,
+                                                        std::size_t);
+template sz::Decompressed<double> decompress_file<double>(const std::string&,
+                                                          std::size_t);
+template sz::Decompressed<float> decompress_file_block<float>(
+    const std::string&, std::size_t);
+template sz::Decompressed<double> decompress_file_block<double>(
+    const std::string&, std::size_t);
 
 }  // namespace fpsnr::core

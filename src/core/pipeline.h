@@ -23,9 +23,14 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "core/codec_registry.h"
 #include "core/compressor.h"
+
+namespace fpsnr::io {
+struct StreamingStats;  // io/streaming_archive.h
+}
 
 namespace fpsnr::core {
 
@@ -62,6 +67,31 @@ CompressResult compress_blocked(std::span<const T> values,
                                 const ControlRequest& request,
                                 const CompressOptions& options);
 
+/// Streaming variant: identical block layout, budgets, and bytes as
+/// compress_blocked, but each block is spilled to `path` as its worker
+/// finishes (io::StreamingArchiveWriter) — peak memory is the in-flight
+/// reorder buffer, never the whole container. The returned result carries
+/// the usual accounting with an empty `stream`; `stats` (optional) reports
+/// the final size and the reorder-buffer high-water mark.
+template <typename T>
+CompressResult compress_to_file(std::span<const T> values,
+                                const data::Dims& dims,
+                                const ControlRequest& request,
+                                const CompressOptions& options,
+                                const std::string& path,
+                                io::StreamingStats* stats = nullptr);
+
+/// Decode a whole archive file through a read-only memory map.
+template <typename T>
+sz::Decompressed<T> decompress_file(const std::string& path,
+                                    std::size_t threads = 0);
+
+/// Random-access decode of one block straight from the mapped file: only
+/// the header, two index entries, and that block's extent are ever read.
+template <typename T>
+sz::Decompressed<T> decompress_file_block(const std::string& path,
+                                          std::size_t block_index);
+
 /// Decompress a full FPBK stream; blocks are decoded concurrently when
 /// threads > 1.
 template <typename T>
@@ -88,5 +118,19 @@ extern template sz::Decompressed<float> decompress_block<float>(
     std::span<const std::uint8_t>, std::size_t);
 extern template sz::Decompressed<double> decompress_block<double>(
     std::span<const std::uint8_t>, std::size_t);
+extern template CompressResult compress_to_file<float>(
+    std::span<const float>, const data::Dims&, const ControlRequest&,
+    const CompressOptions&, const std::string&, io::StreamingStats*);
+extern template CompressResult compress_to_file<double>(
+    std::span<const double>, const data::Dims&, const ControlRequest&,
+    const CompressOptions&, const std::string&, io::StreamingStats*);
+extern template sz::Decompressed<float> decompress_file<float>(
+    const std::string&, std::size_t);
+extern template sz::Decompressed<double> decompress_file<double>(
+    const std::string&, std::size_t);
+extern template sz::Decompressed<float> decompress_file_block<float>(
+    const std::string&, std::size_t);
+extern template sz::Decompressed<double> decompress_file_block<double>(
+    const std::string&, std::size_t);
 
 }  // namespace fpsnr::core

@@ -101,6 +101,8 @@ constexpr std::uint8_t kBlockMagic[4] = {'F', 'P', 'B', 'K'};
 constexpr std::uint8_t kBlockVersion = 1;
 constexpr std::uint8_t kMaxRank = 3;
 
+}  // namespace
+
 void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
   out.put_bytes(std::span<const std::uint8_t>(kBlockMagic, 4));
   out.put<std::uint8_t>(kBlockVersion);
@@ -115,6 +117,8 @@ void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
   out.put<std::uint8_t>(h.control_mode);
   out.put<double>(h.control_value);
 }
+
+namespace {
 
 /// Reads the header and leaves the reader positioned at the index table.
 BlockContainerHeader read_block_header(ByteReader& reader) {

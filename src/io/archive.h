@@ -65,6 +65,12 @@ struct BlockContainerHeader {
   double control_value = 0.0;     ///< the request's value (PSNR dB, bound, ...)
 };
 
+/// Serialize `h` (magic byte through control_value) — the byte prefix of
+/// every FPBK container. Shared by the in-memory writer below and the
+/// streaming writer (io/streaming_archive.h) so the two paths stay
+/// byte-identical.
+void write_block_header(const BlockContainerHeader& h, ByteWriter& out);
+
 /// Collects per-block streams and serializes them with a random-access
 /// index. `add_block` is thread-safe and accepts blocks in any completion
 /// order — this is what lets pipeline workers finish out of order.

@@ -1,0 +1,88 @@
+#include "parallel/shared_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace fpsnr::parallel {
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;  // hardware_concurrency workers
+  return pool;
+}
+
+namespace {
+
+/// Heap-held loop state shared with helper tasks. Helpers may still be
+/// sitting in the pool queue when the caller returns (the caller waits for
+/// every *index* to finish, never for the helper tasks themselves), so the
+/// state must outlive the call frame; late helpers find the cursor
+/// exhausted and return without touching the caller's function.
+struct LoopState {
+  std::atomic<std::size_t> next{0};
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;  ///< valid while done < count
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  void drain() {
+    std::size_t finished = 0;
+    std::exception_ptr error;
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      // done < count is guaranteed here, so *fn (a reference into the
+      // still-blocked caller's frame) is safe to use.
+      try {
+        (*fn)(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      ++finished;
+    }
+    if (finished == 0 && !error) return;
+    std::lock_guard lock(mutex);
+    if (error && !first_error) first_error = error;
+    done += finished;
+    if (done == count) all_done.notify_all();
+  }
+};
+
+}  // namespace
+
+void parallel_for_shared(std::size_t count, std::size_t max_workers,
+                         const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(max_workers, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->count = count;
+  state->fn = &fn;
+
+  // Helpers are *best effort*: each drains the shared cursor when (if) a
+  // pool worker picks it up. Nobody ever blocks on a helper task running,
+  // so nested loops cannot deadlock — every wait below is on an index that
+  // some executor is actively running, and the caller's own drain() makes
+  // progress even if the pool never schedules a single helper.
+  for (std::size_t w = 0; w + 1 < workers; ++w) {
+    try {
+      (void)shared_pool().submit([state] { state->drain(); });
+    } catch (...) {
+      break;  // pool shutting down: the caller still completes the loop
+    }
+  }
+  state->drain();
+
+  std::unique_lock lock(state->mutex);
+  state->all_done.wait(lock, [&] { return state->done == count; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace fpsnr::parallel

@@ -1,0 +1,35 @@
+// Process-wide shared worker pool.
+//
+// The block pipeline used to spin up a fresh ThreadPool for every
+// compress/decompress call; for many-small-field workloads (CESM-ATM has 79
+// fields) the thread churn dominated. shared_pool() is one lazily-created,
+// process-lifetime pool sized to the hardware, and parallel_for_shared()
+// runs an indexed loop on it with a caller-chosen concurrency cap.
+//
+// Nesting safety: the calling thread always participates in the loop, so a
+// parallel_for_shared issued from *inside* a shared-pool worker (batch fans
+// out fields, each field's pipeline fans out blocks) can never deadlock —
+// even if every pool worker is busy, the caller drains the whole loop
+// itself.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.h"
+
+namespace fpsnr::parallel {
+
+/// The process-wide pool (hardware_concurrency workers, created on first
+/// use, destroyed at exit). Prefer parallel_for_shared over submitting to
+/// it directly.
+ThreadPool& shared_pool();
+
+/// Run fn(i) for i in [0, count) with at most `max_workers` concurrent
+/// executors (the calling thread plus up to max_workers-1 shared-pool
+/// workers). max_workers <= 1 runs the loop inline on the caller. Blocks
+/// until every index has run; rethrows the first task exception.
+void parallel_for_shared(std::size_t count, std::size_t max_workers,
+                         const std::function<void(std::size_t)>& fn);
+
+}  // namespace fpsnr::parallel

@@ -7,7 +7,6 @@
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
-namespace parallel = fpsnr::parallel;
 
 namespace {
 
@@ -52,9 +51,8 @@ TEST(Batch, LowTargetDeviatesMore) {
 TEST(Batch, ParallelMatchesSequential) {
   const auto ds = small_hurricane();
   const auto seq = core::run_fixed_psnr_batch(ds, 70.0);
-  parallel::ThreadPool pool(4);
   core::BatchOptions opts;
-  opts.pool = &pool;
+  opts.threads = 4;
   const auto par = core::run_fixed_psnr_batch(ds, 70.0, opts);
   ASSERT_EQ(par.fields.size(), seq.fields.size());
   for (std::size_t i = 0; i < seq.fields.size(); ++i) {

@@ -1,0 +1,93 @@
+// Golden-file format test: a tiny reference FPBK archive checked in under
+// tests/data/ locks the on-disk format. If a change to the container
+// layout, the index, the SZ codec bytes, or the Huffman/lossless stages
+// breaks compatibility with archives written by earlier builds, this test
+// fails — bump the container version and keep the old reader instead of
+// silently orphaning every archive in the field.
+//
+// The fixture was produced by (see tests/data/README.md):
+//   fpsnr_cli compress -i golden_v1_input.f32 -d 16x8 -m psnr -v 60
+//             --block-size 4 -o golden_v1.fpbk
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "io/streaming_archive.h"
+
+namespace core = fpsnr::core;
+namespace io = fpsnr::io;
+
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(FPSNR_TEST_DATA_DIR) + "/" + name;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+std::vector<float> read_f32(const std::string& path) {
+  const auto raw = read_bytes(path);
+  EXPECT_EQ(raw.size() % sizeof(float), 0u);
+  std::vector<float> values(raw.size() / sizeof(float));
+  if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
+  return values;
+}
+
+}  // namespace
+
+TEST(GoldenFormat, HeaderFieldsAreStable) {
+  const auto archive = read_bytes(data_path("golden_v1.fpbk"));
+  ASSERT_TRUE(core::is_block_stream(archive));
+  const auto info = core::inspect_block_stream(archive);
+  EXPECT_EQ(info.codec, core::kCodecSzLorenzo);
+  EXPECT_EQ(info.codec_name, "sz-lorenzo");
+  EXPECT_EQ(info.dims, (fpsnr::data::Dims{16, 8}));
+  EXPECT_EQ(info.block_rows, 4u);
+  EXPECT_EQ(info.block_count, 4u);
+  EXPECT_EQ(info.control_mode, core::ControlMode::FixedPsnr);
+  EXPECT_DOUBLE_EQ(info.control_value, 60.0);
+}
+
+TEST(GoldenFormat, DecodesBitExactly) {
+  const auto archive = read_bytes(data_path("golden_v1.fpbk"));
+  const auto expected = read_f32(data_path("golden_v1_decoded.f32"));
+  ASSERT_EQ(expected.size(), 128u);
+
+  const auto full = core::decompress_blocked<float>(archive);
+  ASSERT_EQ(full.values.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(full.values[i], expected[i]) << "value " << i;
+
+  // Random access must agree with the full decode, block by block.
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto block = core::decompress_block<float>(archive, b);
+    for (std::size_t i = 0; i < block.values.size(); ++i)
+      ASSERT_EQ(block.values[i], expected[b * 4 * 8 + i])
+          << "block " << b << " value " << i;
+  }
+}
+
+TEST(GoldenFormat, DecodeStaysWithinQualityContract) {
+  // The archive promises fixed-PSNR 60 dB over the original input; the
+  // checked-in input lets us re-verify the contract, not just the bytes.
+  const auto archive = read_bytes(data_path("golden_v1.fpbk"));
+  const auto original = read_f32(data_path("golden_v1_input.f32"));
+  const auto report = core::verify<float>(original, archive);
+  EXPECT_GE(report.psnr_db, 59.5);
+}
+
+TEST(GoldenFormat, MmapReaderAcceptsGoldenArchive) {
+  const io::MmapArchiveReader reader(data_path("golden_v1.fpbk"));
+  EXPECT_EQ(reader.block_count(), 4u);
+  const auto expected = read_f32(data_path("golden_v1_decoded.f32"));
+  const auto full = core::decompress_file<float>(data_path("golden_v1.fpbk"));
+  EXPECT_EQ(full.values, expected);
+}

@@ -1,0 +1,291 @@
+// Tests for the streaming FPBK I/O subsystem (io/streaming_archive.h) and
+// its pipeline entry points: byte-identity with the in-memory path at every
+// thread count, reorder-buffer spilling, mmap decode, and the I/O-locality
+// guarantee of single-block random access.
+#include "io/streaming_archive.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/pipeline.h"
+#include "data/synth.h"
+#include "io/bitstream.h"
+
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+namespace io = fpsnr::io;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<float> sample_field(const data::Dims& dims, std::uint64_t seed) {
+  auto v = data::smoothed_noise(dims, seed, 3, 2);
+  data::rescale(v, -2.0f, 11.0f);
+  return v;
+}
+
+core::CompressOptions pipeline_options(std::size_t threads,
+                                       std::size_t block_rows = 0) {
+  core::CompressOptions opts;
+  opts.parallel.block_pipeline = true;
+  opts.parallel.threads = threads;
+  opts.parallel.block_rows = block_rows;
+  return opts;
+}
+
+/// Unique temp path, removed when the fixture object dies.
+struct TempFile {
+  fs::path path;
+  explicit TempFile(const std::string& stem)
+      : path(fs::temp_directory_path() / ("fpsnr-test-" + stem + ".fpbk")) {}
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::vector<std::uint8_t> slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << p;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+// --- byte-identity with the in-memory path ----------------------------------
+
+TEST(StreamingIo, FileMatchesInMemoryBytesAtEveryThreadCount) {
+  const data::Dims dims{61, 40};  // not divisible by the block size
+  const auto values = sample_field(dims, 3);
+  const auto request = core::ControlRequest::fixed_psnr(70.0);
+
+  const auto mem =
+      core::compress_blocked<float>(values, dims, request, pipeline_options(1, 8));
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    TempFile tmp("stream-identity-" + std::to_string(threads));
+    io::StreamingStats stats;
+    const auto result = core::compress_to_file<float>(
+        values, dims, request, pipeline_options(threads, 8), tmp.str(), &stats);
+    EXPECT_TRUE(result.stream.empty());
+    EXPECT_EQ(result.info.compressed_bytes, mem.stream.size());
+    EXPECT_EQ(stats.total_bytes, mem.stream.size());
+    ASSERT_EQ(slurp(tmp.path), mem.stream) << "threads=" << threads;
+    // The reorder buffer must never hold anything close to the container:
+    // streaming is pointless if everything is buffered before the spill.
+    EXPECT_LT(stats.peak_buffered_bytes, mem.stream.size());
+  }
+}
+
+TEST(StreamingIo, AccountingMatchesInMemoryPath) {
+  const data::Dims dims{48, 32};
+  const auto values = sample_field(dims, 5);
+  const auto request = core::ControlRequest::relative(1e-4);
+
+  const auto mem =
+      core::compress_blocked<float>(values, dims, request, pipeline_options(2, 6));
+  TempFile tmp("stream-accounting");
+  const auto str = core::compress_to_file<float>(values, dims, request,
+                                                 pipeline_options(2, 6),
+                                                 tmp.str());
+  EXPECT_DOUBLE_EQ(str.predicted_psnr_db, mem.predicted_psnr_db);
+  EXPECT_DOUBLE_EQ(str.rel_bound_used, mem.rel_bound_used);
+  EXPECT_DOUBLE_EQ(str.info.eb_abs_used, mem.info.eb_abs_used);
+  EXPECT_EQ(str.info.value_count, mem.info.value_count);
+  EXPECT_EQ(str.info.compressed_bytes, mem.info.compressed_bytes);
+  EXPECT_DOUBLE_EQ(str.info.compression_ratio, mem.info.compression_ratio);
+}
+
+// --- writer semantics -------------------------------------------------------
+
+TEST(StreamingIo, WriterSpillsOutOfOrderBlocksInIndexOrder) {
+  io::BlockContainerHeader h;
+  h.codec = 0;
+  h.scalar = 0;
+  h.extents = {9};
+  h.block_rows = 3;
+  h.block_count = 3;
+
+  // Reference bytes from the in-memory writer.
+  io::BlockContainerWriter mem(h);
+  mem.add_block(0, {1, 2});
+  mem.add_block(1, {3, 4, 5, 6});
+  mem.add_block(2, {7, 8, 9});
+  const auto expect = mem.finish();
+
+  TempFile tmp("stream-reorder");
+  io::StreamingArchiveWriter writer(tmp.str(), h);
+  writer.add_block(2, {7, 8, 9});  // two blocks arrive before block 0
+  writer.add_block(1, {3, 4, 5, 6});
+  writer.add_block(0, {1, 2});     // prefix complete -> everything spills
+  const auto total = writer.finish();
+
+  EXPECT_EQ(total, expect.size());
+  EXPECT_EQ(slurp(tmp.path), expect);
+  // Blocks 1 and 2 (7 bytes) had to wait for block 0; block 0 never did.
+  EXPECT_EQ(writer.stats().peak_buffered_blocks, 2u);
+  EXPECT_EQ(writer.stats().peak_buffered_bytes, 7u);
+}
+
+TEST(StreamingIo, WriterRejectsMisuse) {
+  io::BlockContainerHeader h;
+  h.extents = {4};
+  h.block_rows = 2;
+  h.block_count = 2;
+
+  TempFile tmp("stream-misuse");
+  io::StreamingArchiveWriter writer(tmp.str(), h);
+  writer.add_block(0, {1});
+  EXPECT_THROW(writer.add_block(0, {2}), std::logic_error);   // duplicate
+  EXPECT_THROW(writer.add_block(5, {2}), std::out_of_range);  // bad index
+  EXPECT_THROW(writer.finish(), std::logic_error);            // block 1 missing
+  writer.add_block(1, {2});
+  writer.finish();
+  EXPECT_THROW(writer.finish(), std::logic_error);            // finish twice
+  EXPECT_THROW(writer.add_block(0, {9}), std::logic_error);   // add after finish
+}
+
+TEST(StreamingIo, AbortedWriteLeavesPreExistingArchiveUntouched) {
+  // All-or-nothing: the writer works in path + ".partial" and renames only
+  // on finish(), so a failure partway neither destroys what was at `path`
+  // nor leaves a truncated container behind.
+  io::BlockContainerHeader h;
+  h.extents = {4};
+  h.block_rows = 2;
+  h.block_count = 2;
+
+  TempFile tmp("stream-abort");
+  const std::vector<std::uint8_t> precious{0xCA, 0xFE};
+  std::ofstream(tmp.path, std::ios::binary)
+      .write(reinterpret_cast<const char*>(precious.data()), 2);
+  {
+    io::StreamingArchiveWriter writer(tmp.str(), h);
+    writer.add_block(0, {1, 2, 3});
+    // Destroyed unfinished, as if a codec threw mid-compress.
+  }
+  EXPECT_EQ(slurp(tmp.path), precious);
+  EXPECT_FALSE(fs::exists(tmp.path.string() + ".partial"));
+
+  // And a finished writer does replace the old bytes.
+  {
+    io::StreamingArchiveWriter writer(tmp.str(), h);
+    writer.add_block(0, {1, 2, 3});
+    writer.add_block(1, {4});
+    writer.finish();
+  }
+  EXPECT_NE(slurp(tmp.path), precious);
+  EXPECT_FALSE(fs::exists(tmp.path.string() + ".partial"));
+  EXPECT_NO_THROW((void)io::open_block_container(slurp(tmp.path)));
+}
+
+TEST(StreamingIo, WriterRejectsUnwritablePath) {
+  io::BlockContainerHeader h;
+  h.extents = {2};
+  h.block_rows = 2;
+  h.block_count = 1;
+  EXPECT_THROW(
+      io::StreamingArchiveWriter("/nonexistent-dir/no/such/file.fpbk", h),
+      io::StreamError);
+}
+
+// --- mmap reader ------------------------------------------------------------
+
+TEST(StreamingIo, MmapReaderDecodesFullArchiveAndSingleBlocks) {
+  const data::Dims dims{50, 30};
+  const auto values = sample_field(dims, 13);
+  const auto request = core::ControlRequest::fixed_psnr(65.0);
+
+  TempFile tmp("mmap-decode");
+  core::compress_to_file<float>(values, dims, request, pipeline_options(2, 8),
+                                tmp.str());
+
+  io::MmapArchiveReader reader(tmp.str());
+  EXPECT_EQ(reader.header().block_rows, 8u);
+  EXPECT_EQ(reader.block_count(), (50 + 7) / 8u);
+
+  const auto full = core::decompress_file<float>(tmp.str(), 2);
+  EXPECT_EQ(full.dims, dims);
+  const auto mem = core::compress_blocked<float>(values, dims, request,
+                                                 pipeline_options(1, 8));
+  const auto ref = core::decompress_blocked<float>(mem.stream);
+  EXPECT_EQ(full.values, ref.values);
+
+  const std::size_t row_stride = dims.count() / dims[0];
+  for (std::size_t b = 0; b < reader.block_count(); ++b) {
+    const auto block = core::decompress_file_block<float>(tmp.str(), b);
+    const std::size_t first = b * reader.header().block_rows;
+    ASSERT_EQ(block.dims[0], std::min<std::size_t>(8, dims[0] - first));
+    for (std::size_t i = 0; i < block.values.size(); ++i)
+      ASSERT_EQ(block.values[i], ref.values[first * row_stride + i])
+          << "block " << b << " value " << i;
+  }
+  EXPECT_THROW(core::decompress_file_block<float>(tmp.str(),
+                                                  reader.block_count()),
+               std::out_of_range);
+}
+
+TEST(StreamingIo, SingleBlockDecodeNeedsOnlyThatBlocksExtent) {
+  // The I/O-locality guarantee: decoding block b must touch nothing past
+  // b's extent. Proof by truncation — cut the file right after block 1's
+  // payload; blocks 0 and 1 still decode bit-exactly, later blocks fail
+  // cleanly. (If the decoder read any byte beyond the block's extent, the
+  // truncated archive could not reproduce the block.)
+  const data::Dims dims{40, 25};
+  const auto values = sample_field(dims, 17);
+  const auto request = core::ControlRequest::fixed_psnr(60.0);
+
+  TempFile tmp("mmap-truncate");
+  core::compress_to_file<float>(values, dims, request, pipeline_options(2, 8),
+                                tmp.str());
+  const auto whole = slurp(tmp.path);
+  ASSERT_GE(io::block_container_header(whole).block_count, 4u);
+
+  // End of block 1's payload, relative to the file start.
+  const auto block1 = io::block_container_entry(whole, 1);
+  const std::size_t cut =
+      static_cast<std::size_t>(block1.data() + block1.size() - whole.data());
+  ASSERT_LT(cut, whole.size());
+
+  const auto ref0 = core::decompress_block<float>(whole, 0);
+  const auto ref1 = core::decompress_block<float>(whole, 1);
+  fs::resize_file(tmp.path, cut);
+
+  const auto got0 = core::decompress_file_block<float>(tmp.str(), 0);
+  const auto got1 = core::decompress_file_block<float>(tmp.str(), 1);
+  EXPECT_EQ(got0.values, ref0.values);
+  EXPECT_EQ(got1.values, ref1.values);
+  EXPECT_THROW(core::decompress_file_block<float>(tmp.str(), 2),
+               io::StreamError);
+}
+
+TEST(StreamingIo, MmapReaderRejectsBadFiles) {
+  EXPECT_THROW(io::MmapArchiveReader("/no/such/archive.fpbk"), io::StreamError);
+
+  TempFile empty("mmap-empty");
+  std::ofstream(empty.path, std::ios::binary).close();
+  EXPECT_THROW(io::MmapArchiveReader(empty.str()), io::StreamError);
+
+  TempFile junk("mmap-junk");
+  std::ofstream(junk.path, std::ios::binary) << "this is not an archive";
+  EXPECT_THROW(io::MmapArchiveReader(junk.str()), io::StreamError);
+}
+
+// --- double scalar through the file path ------------------------------------
+
+TEST(StreamingIo, DoubleScalarRoundTripsThroughFile) {
+  const data::Dims dims{24, 16};
+  const auto f = sample_field(dims, 23);
+  std::vector<double> values(f.begin(), f.end());
+
+  TempFile tmp("stream-double");
+  core::compress_to_file<double>(values, dims,
+                                 core::ControlRequest::fixed_psnr(90.0),
+                                 pipeline_options(2, 7), tmp.str());
+  const auto out = core::decompress_file<double>(tmp.str());
+  ASSERT_EQ(out.values.size(), values.size());
+  EXPECT_THROW(core::decompress_file<float>(tmp.str()), io::StreamError);
+}

@@ -1,10 +1,15 @@
-// Unit tests for parallel::ThreadPool and parallel_for.
+// Unit tests for parallel::ThreadPool / parallel_for and the process-wide
+// shared pool (parallel/shared_pool.h).
 #include "parallel/thread_pool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
+
+#include "parallel/shared_pool.h"
 
 namespace parallel = fpsnr::parallel;
 
@@ -71,4 +76,66 @@ TEST(ThreadPool, DestructorDrainsCleanly) {
     // Futures intentionally dropped; destructor must still join workers.
   }
   EXPECT_LE(done.load(), 50);
+}
+
+// --- process-wide shared pool ------------------------------------------------
+
+TEST(SharedPool, IsOneProcessWideInstance) {
+  parallel::ThreadPool& a = parallel::shared_pool();
+  parallel::ThreadPool& b = parallel::shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+TEST(SharedPool, ParallelForSharedCoversAllIndices) {
+  std::vector<int> hits(500, 0);
+  parallel::parallel_for_shared(hits.size(), 4,
+                                [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(SharedPool, SerialWhenSingleWorkerRequested) {
+  // max_workers <= 1 must run inline on the caller — the deterministic
+  // serial path the pipeline uses for threads 0/1.
+  const auto caller = std::this_thread::get_id();
+  parallel::parallel_for_shared(16, 1, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  parallel::parallel_for_shared(0, 8,
+                                [](std::size_t) { FAIL() << "count == 0"; });
+}
+
+TEST(SharedPool, RethrowsFirstTaskError) {
+  EXPECT_THROW(parallel::parallel_for_shared(
+                   32, 4,
+                   [](std::size_t i) {
+                     if (i % 7 == 0) throw std::logic_error("x");
+                   }),
+               std::logic_error);
+}
+
+TEST(SharedPool, NestedLoopsDoNotDeadlock) {
+  // Batch fans fields out on the shared pool and every field's pipeline
+  // fans blocks out on the same pool; the caller-participates design must
+  // survive that nesting even when workers are all busy.
+  std::atomic<int> leaves{0};
+  parallel::parallel_for_shared(8, 8, [&](std::size_t) {
+    parallel::parallel_for_shared(8, 8,
+                                  [&](std::size_t) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(SharedPool, ConcurrencyStaysWithinRequestedCap) {
+  std::atomic<int> active{0}, peak{0};
+  parallel::parallel_for_shared(64, 3, [&](std::size_t) {
+    const int now = active.fetch_add(1) + 1;
+    int seen = peak.load();
+    while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    active.fetch_sub(1);
+  });
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GE(peak.load(), 1);
 }
