@@ -6,6 +6,7 @@
 //   fpsnr_cli demo       --dataset atm --psnr 80
 //
 // Raw input files are little-endian float32 arrays in C order.
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -39,17 +40,22 @@ using namespace fpsnr;
       "      MODE        psnr | abs | rel | pwrel | nrmse\n"
       "      VALUE       target PSNR (dB) for psnr, bound otherwise\n"
       "      --predictor lorenzo | hybrid   (default lorenzo)\n"
-      "      --engine    sz | haar | dct    (default sz)\n"
+      "      --engine    sz | haar | dct | interp | zfpr | store (default sz)\n"
+      "      --budget    uniform | adaptive (default uniform; adaptive\n"
+      "                  reallocates per-block error bounds by smoothness\n"
+      "                  at the same global PSNR target)\n"
       "      --threads N     block-parallel compression on N workers\n"
       "                      (output bytes are identical for every N)\n"
       "      --block-size R  axis-0 rows per block (default: auto)\n"
       "      --stream        spill blocks to -o as workers finish (peak\n"
       "                      memory stays O(in-flight blocks); the file is\n"
       "                      byte-identical to the in-memory path)\n"
+      "      --report-psnr   print the exact achieved PSNR of the archive\n"
       "  fpsnr_cli decompress -i IN.fpsz -o OUT.f32 [--threads N] [--block I]\n"
       "      --block I   random-access decode of block I only\n"
       "      --mmap      memory-map IN instead of loading it; with --block,\n"
       "                  only that block's bytes are ever read\n"
+      "      --report-psnr   print the archive's recorded exact PSNR (v2)\n"
       "  fpsnr_cli inspect    -i IN.fpsz\n"
       "  fpsnr_cli demo       [--dataset nyx|atm|hurricane] [--psnr DB]\n"
       "  fpsnr_cli pack       --dataset NAME --psnr DB -o OUT.fpar\n"
@@ -90,13 +96,14 @@ core::ControlRequest parse_request(const std::string& mode, double value) {
 
 struct Args {
   std::string input, output, dims, mode = "psnr", dataset = "atm";
-  std::string predictor = "lorenzo", engine = "sz", field;
+  std::string predictor = "lorenzo", engine = "sz", budget = "uniform", field;
   double value = 80.0;
   std::size_t threads = 0;
   std::size_t block_size = 0;
   std::optional<std::size_t> block;  ///< random-access block index
   bool stream = false;  ///< compress: spill blocks to disk as they finish
   bool mmap = false;    ///< decompress: map the archive instead of loading
+  bool report_psnr = false;  ///< print the exact recorded PSNR
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -115,15 +122,44 @@ Args parse_args(int argc, char** argv, int first) {
     else if (flag == "--dataset") a.dataset = next();
     else if (flag == "--predictor") a.predictor = next();
     else if (flag == "--engine") a.engine = next();
+    else if (flag == "--budget") a.budget = next();
     else if (flag == "--field") a.field = next();
     else if (flag == "--threads") a.threads = std::stoull(next());
     else if (flag == "--block-size") a.block_size = std::stoull(next());
     else if (flag == "--block") a.block = std::stoull(next());
     else if (flag == "--stream") a.stream = true;
     else if (flag == "--mmap") a.mmap = true;
+    else if (flag == "--report-psnr") a.report_psnr = true;
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
+}
+
+/// Resolve --engine against the codec registry. Accepts the CLI short
+/// names and the registered codec names; anything else prints the live
+/// registry listing and exits non-zero.
+core::Engine parse_engine(const std::string& name) {
+  if (name == "sz" || name == "lorenzo") return core::Engine::SzLorenzo;
+  if (name == "haar") return core::Engine::TransformHaar;
+  if (name == "dct") return core::Engine::TransformDct;
+  const auto& registry = core::CodecRegistry::instance();
+  try {
+    return static_cast<core::Engine>(registry.id_of(name));
+  } catch (const std::out_of_range&) {
+    std::cerr << "error: unknown engine '" << name
+              << "'\nregistered codecs:\n";
+    for (core::CodecId id : registry.ids())
+      std::cerr << "  " << static_cast<int>(id) << "  "
+                << registry.at(id).name() << "\n";
+    std::cerr << "(short names: sz, haar, dct, interp, zfpr, store)\n";
+    std::exit(2);
+  }
+}
+
+core::BudgetMode parse_budget(const std::string& name) {
+  if (name == "uniform") return core::BudgetMode::Uniform;
+  if (name == "adaptive") return core::BudgetMode::Adaptive;
+  usage("unknown budget mode (want uniform|adaptive)");
 }
 
 int cmd_compress(const Args& a) {
@@ -141,9 +177,8 @@ int cmd_compress(const Args& a) {
     opts.sz_predictor = sz::Predictor::HybridRegression;
   else if (a.predictor != "lorenzo")
     usage("unknown predictor (want lorenzo|hybrid)");
-  if (a.engine == "haar") opts.engine = core::Engine::TransformHaar;
-  else if (a.engine == "dct") opts.engine = core::Engine::TransformDct;
-  else if (a.engine != "sz") usage("unknown engine (want sz|haar|dct)");
+  opts.engine = parse_engine(a.engine);
+  opts.budget = parse_budget(a.budget);
   if (a.threads > 0 || a.block_size > 0 || a.stream) {
     opts.parallel.block_pipeline = true;
     opts.parallel.threads = a.threads;
@@ -189,7 +224,29 @@ int cmd_compress(const Args& a) {
   if (a.mode == "psnr")
     std::cout << "target PSNR " << a.value << " dB, eb_rel used "
               << std::scientific << result.rel_bound_used << "\n";
+  if (a.report_psnr) {
+    if (std::isnan(result.achieved_psnr_db))
+      std::cout << "achieved PSNR: not tracked for this mode\n";
+    else
+      std::cout << "achieved PSNR " << std::fixed << std::setprecision(6)
+                << result.achieved_psnr_db
+                << " dB (exact, measured at compress time)\n";
+  }
   return 0;
+}
+
+/// Print the exact PSNR recorded in a v2 archive's per-block SSE column.
+void report_archive_psnr(std::span<const std::uint8_t> stream) {
+  if (!core::is_block_stream(stream)) {
+    std::cout << "recorded PSNR: n/a (not an FPBK archive)\n";
+    return;
+  }
+  const auto info = core::inspect_block_stream(stream);
+  if (std::isnan(info.achieved_psnr_db))
+    std::cout << "recorded PSNR: n/a (v1 archive, no per-block SSE index)\n";
+  else
+    std::cout << "recorded PSNR " << std::fixed << std::setprecision(6)
+              << info.achieved_psnr_db << " dB (exact, from per-block SSE)\n";
 }
 
 int cmd_decompress(const Args& a) {
@@ -210,6 +267,7 @@ int cmd_decompress(const Args& a) {
       else
         std::cout << "decompressed " << d.values.size() << " values (rank "
                   << d.dims.rank() << ", mmap)\n";
+      if (a.report_psnr) report_archive_psnr(reader.bytes());
       return 0;
     } catch (const io::StreamError&) {
       // Cold path: distinguish "not an FPBK archive" (mmap decode needs
@@ -241,6 +299,7 @@ int cmd_decompress(const Args& a) {
   write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
   std::cout << "decompressed " << d.values.size() << " values (rank "
             << d.dims.rank() << ")\n";
+  if (a.report_psnr) report_archive_psnr(stream);
   return 0;
 }
 
@@ -249,10 +308,15 @@ int cmd_inspect(const Args& a) {
   const auto stream = read_file(a.input);
   if (core::is_block_stream(stream)) {
     const auto info = core::inspect_block_stream(stream);
-    std::cout << "container   : block-parallel (FPBK)\n"
+    std::cout << "container   : block-parallel (FPBK v"
+              << static_cast<int>(info.version) << ")\n"
               << "codec       : " << info.codec_name << "\n"
               << "control     : " << core::control_mode_name(info.control_mode)
               << " = " << info.control_value << "\n"
+              << "budget      : "
+              << (info.budget_mode == core::BudgetMode::Adaptive ? "adaptive"
+                                                                 : "uniform")
+              << "\n"
               << "rank        : " << info.dims.rank() << "\n";
     std::cout << "extents     : ";
     for (std::size_t i = 0; i < info.dims.rank(); ++i)
@@ -261,8 +325,13 @@ int cmd_inspect(const Args& a) {
               << "blocks      : " << info.block_count << " x "
               << info.block_rows << " row(s)\n"
               << "eb_abs      : " << std::scientific << info.eb_abs << "\n"
-              << "value range : " << info.value_range << "\n"
-              << "stream size : " << stream.size() << " bytes\n";
+              << "value range : " << info.value_range << "\n";
+    if (std::isnan(info.achieved_psnr_db))
+      std::cout << "exact PSNR  : n/a (v1 archive)\n";
+    else
+      std::cout << "exact PSNR  : " << std::fixed << std::setprecision(6)
+                << info.achieved_psnr_db << " dB\n";
+    std::cout << "stream size : " << stream.size() << " bytes\n";
     return 0;
   }
   const auto h = sz::inspect(stream);

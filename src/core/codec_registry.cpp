@@ -1,10 +1,15 @@
 #include "core/codec_registry.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "io/bitstream.h"
+#include "io/bytebuffer.h"
 #include "sz/codec.h"
+#include "sz/interp.h"
+#include "transform/fixed_rate.h"
 #include "transform/transform_codec.h"
 
 namespace fpsnr::core {
@@ -65,6 +70,7 @@ class SzBlockCodec final : public BlockCodec {
       info->outlier_count = ci.outlier_count;
       info->compressed_bytes = bytes.size();
       info->sse_budget = sse_budget_for(values.size(), params.eb_abs);
+      info->achieved_sse = ci.achieved_sse;
     }
     return bytes;
   }
@@ -132,6 +138,7 @@ class TransformBlockCodec final : public BlockCodec {
       info->outlier_count = ti.outlier_count;
       info->compressed_bytes = bytes.size();
       info->sse_budget = sse_budget_for(values.size(), params.eb_abs);
+      info->achieved_sse = ti.achieved_sse;
     }
     return bytes;
   }
@@ -148,7 +155,224 @@ class TransformBlockCodec final : public BlockCodec {
   transform::Kind kind_;
 };
 
+/// SZ3-style multi-level interpolation predictor (pointwise bounded).
+class InterpBlockCodec final : public BlockCodec {
+ public:
+  std::string_view name() const override { return "interp"; }
+  bool pointwise_bounded() const override { return true; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<float> out) const override {
+    decompress_impl(block, out);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<double> out) const override {
+    decompress_impl(block, out);
+  }
+
+ private:
+  template <typename T>
+  std::vector<std::uint8_t> compress_impl(std::span<const T> values,
+                                          const data::Dims& dims,
+                                          const BlockParams& params,
+                                          BlockInfo* info) const {
+    sz::InterpParams p;
+    p.eb_abs = params.eb_abs;
+    p.quantization_bins = params.quantization_bins;
+    p.backend = params.backend;
+    sz::InterpInfo ii;
+    auto bytes = sz::interp_compress<T>(values, dims, p, &ii);
+    if (info) {
+      info->value_count = values.size();
+      info->outlier_count = ii.outlier_count;
+      info->compressed_bytes = bytes.size();
+      info->sse_budget = sse_budget_for(values.size(), params.eb_abs);
+      info->achieved_sse = ii.achieved_sse;
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  void decompress_impl(std::span<const std::uint8_t> block,
+                       std::span<T> out) const {
+    auto d = sz::interp_decompress<T>(block);
+    if (d.values.size() != out.size())
+      throw io::StreamError("block codec: slab size mismatch");
+    std::copy(d.values.begin(), d.values.end(), out.begin());
+  }
+};
+
+/// ZFP-style fixed-rate bit-packed DCT (aggregate budget only).
+class ZfpRateBlockCodec final : public BlockCodec {
+ public:
+  std::string_view name() const override { return "zfpr"; }
+  bool pointwise_bounded() const override { return false; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<float> out) const override {
+    decompress_impl(block, out);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<double> out) const override {
+    decompress_impl(block, out);
+  }
+
+ private:
+  template <typename T>
+  std::vector<std::uint8_t> compress_impl(std::span<const T> values,
+                                          const data::Dims& dims,
+                                          const BlockParams& params,
+                                          BlockInfo* info) const {
+    transform::FixedRateParams p;
+    p.eb_abs = params.eb_abs;
+    p.dct_block = params.dct_block;
+    transform::FixedRateInfo fi;
+    auto bytes = transform::fixed_rate_compress<T>(values, dims, p, &fi);
+    if (info) {
+      info->value_count = values.size();
+      info->outlier_count = fi.escaped_groups;
+      info->compressed_bytes = bytes.size();
+      info->sse_budget = sse_budget_for(values.size(), params.eb_abs);
+      info->achieved_sse = fi.achieved_sse;
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  void decompress_impl(std::span<const std::uint8_t> block,
+                       std::span<T> out) const {
+    auto d = transform::fixed_rate_decompress<T>(block);
+    if (d.values.size() != out.size())
+      throw io::StreamError("block codec: slab size mismatch");
+    std::copy(d.values.begin(), d.values.end(), out.begin());
+  }
+};
+
+// --- Store passthrough ------------------------------------------------------
+//
+// Raw IEEE bytes behind a tiny self-describing header. Lossless, so its
+// achieved SSE is exactly zero and any error budget is trivially met. The
+// engine falls back to it per block when the primary codec's output is not
+// smaller than this encoding — white-noise fields therefore never expand
+// beyond raw size plus the fixed header overhead.
+
+constexpr std::uint8_t kStoreMagic[4] = {'F', 'P', 'S', 'T'};
+constexpr std::uint8_t kStoreVersion = 1;
+
+class StoreBlockCodec final : public BlockCodec {
+ public:
+  std::string_view name() const override { return "store"; }
+  bool pointwise_bounded() const override { return true; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> values,
+                                     const data::Dims& dims,
+                                     const BlockParams& params,
+                                     BlockInfo* info) const override {
+    return compress_impl(values, dims, params, info);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<float> out) const override {
+    decompress_impl(block, out);
+  }
+  void decompress(std::span<const std::uint8_t> block,
+                  std::span<double> out) const override {
+    decompress_impl(block, out);
+  }
+
+ private:
+  template <typename T>
+  std::vector<std::uint8_t> compress_impl(std::span<const T> values,
+                                          const data::Dims& dims,
+                                          const BlockParams& params,
+                                          BlockInfo* info) const {
+    if (values.size() != dims.count())
+      throw std::invalid_argument("fpst: value count does not match dims");
+    io::ByteWriter out;
+    out.put_bytes(std::span<const std::uint8_t>(kStoreMagic, 4));
+    out.put<std::uint8_t>(kStoreVersion);
+    out.put<std::uint8_t>(std::is_same_v<T, double> ? 1 : 0);
+    out.put_varint(values.size());
+    out.put_bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(values.data()),
+        values.size() * sizeof(T)));
+    auto bytes = out.take();
+    if (info) {
+      info->value_count = values.size();
+      info->outlier_count = 0;
+      info->compressed_bytes = bytes.size();
+      info->sse_budget = sse_budget_for(values.size(), params.eb_abs);
+      info->achieved_sse = 0.0;
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  void decompress_impl(std::span<const std::uint8_t> block,
+                       std::span<T> out) const {
+    io::ByteReader reader(block);
+    const auto magic = reader.get_bytes(4);
+    if (!std::equal(magic.begin(), magic.end(), kStoreMagic))
+      throw io::StreamError("fpst: bad magic");
+    if (reader.get<std::uint8_t>() != kStoreVersion)
+      throw io::StreamError("fpst: unsupported version");
+    const std::uint8_t scalar = reader.get<std::uint8_t>();
+    if (scalar != (std::is_same_v<T, double> ? 1 : 0))
+      throw io::StreamError("fpst: scalar type mismatch");
+    const std::uint64_t count = reader.get_varint();
+    if (count != out.size())
+      throw io::StreamError("block codec: slab size mismatch");
+    const auto raw = reader.get_bytes(count * sizeof(T));
+    if (!reader.exhausted()) throw io::StreamError("fpst: trailing bytes");
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+  }
+};
+
 }  // namespace
+
+bool is_store_block_stream(std::span<const std::uint8_t> block) {
+  return block.size() >= 4 &&
+         std::equal(kStoreMagic, kStoreMagic + 4, block.begin());
+}
+
+std::size_t store_encoded_size(std::size_t value_count,
+                               std::size_t scalar_bytes) {
+  std::size_t varint_len = 1;
+  for (std::uint64_t v = value_count; v >= 0x80; v >>= 7) ++varint_len;
+  // magic + version + scalar + varint count + raw payload — mirrors
+  // StoreBlockCodec::compress_impl above.
+  return sizeof(kStoreMagic) + 1 + 1 + varint_len +
+         value_count * scalar_bytes;
+}
 
 CodecRegistry::CodecRegistry() {
   add(kCodecSzLorenzo, std::make_unique<SzBlockCodec>());
@@ -156,6 +380,9 @@ CodecRegistry::CodecRegistry() {
       std::make_unique<TransformBlockCodec>(transform::Kind::HaarMultiLevel));
   add(kCodecTransformDct,
       std::make_unique<TransformBlockCodec>(transform::Kind::BlockDct));
+  add(kCodecInterp, std::make_unique<InterpBlockCodec>());
+  add(kCodecZfpRate, std::make_unique<ZfpRateBlockCodec>());
+  add(kCodecStore, std::make_unique<StoreBlockCodec>());
 }
 
 CodecRegistry& CodecRegistry::instance() {
@@ -182,10 +409,33 @@ const BlockCodec* CodecRegistry::find(CodecId id) const {
   return slots_[id].get();
 }
 
+const BlockCodec* CodecRegistry::find(std::string_view name) const {
+  for (const auto& slot : slots_)
+    if (slot && slot->name() == name) return slot.get();
+  return nullptr;
+}
+
+CodecId CodecRegistry::id_of(std::string_view name) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i] && slots_[i]->name() == name) return static_cast<CodecId>(i);
+  std::string msg = "CodecRegistry: unknown codec '" + std::string(name) +
+                    "' (registered:";
+  for (std::string_view n : names()) msg += " " + std::string(n);
+  msg += ")";
+  throw std::out_of_range(msg);
+}
+
 std::vector<CodecId> CodecRegistry::ids() const {
   std::vector<CodecId> out;
   for (std::size_t i = 0; i < slots_.size(); ++i)
     if (slots_[i]) out.push_back(static_cast<CodecId>(i));
+  return out;
+}
+
+std::vector<std::string_view> CodecRegistry::names() const {
+  std::vector<std::string_view> out;
+  for (const auto& slot : slots_)
+    if (slot) out.push_back(slot->name());
   return out;
 }
 

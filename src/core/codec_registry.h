@@ -33,6 +33,13 @@ using CodecId = std::uint8_t;
 inline constexpr CodecId kCodecSzLorenzo = 0;
 inline constexpr CodecId kCodecTransformHaar = 1;
 inline constexpr CodecId kCodecTransformDct = 2;
+/// SZ3-style multi-level interpolation predictor (src/sz/interp.h).
+inline constexpr CodecId kCodecInterp = 3;
+/// ZFP-style fixed-rate bit-packed DCT (src/transform/fixed_rate.h).
+inline constexpr CodecId kCodecZfpRate = 4;
+/// Raw passthrough for incompressible blocks; the pipeline auto-selects it
+/// per block whenever the primary codec's output is no smaller than raw.
+inline constexpr CodecId kCodecStore = 5;
 
 /// Per-block compression parameters. `eb_abs` is the block's error budget:
 /// the quantization bin width is 2*eb_abs for every codec, so a block of n
@@ -56,6 +63,10 @@ struct BlockInfo {
   /// uniform model: value_count * eb_abs^2 / 3. The engine sums these to
   /// check the global budget is respected.
   double sse_budget = 0.0;
+  /// Exact sum of squared reconstruction errors this block's bytes decode
+  /// to (measured against the input at compress time). Recorded in the
+  /// FPBK v2 index so readers can report the measured global PSNR.
+  double achieved_sse = 0.0;
 };
 
 /// One codec family behind the block-parallel engine.
@@ -104,12 +115,34 @@ class CodecRegistry {
   /// Lookup; nullptr for an unknown id.
   const BlockCodec* find(CodecId id) const;
 
+  /// Reverse lookup by registered codec name; nullptr when absent.
+  const BlockCodec* find(std::string_view name) const;
+
+  /// Id of the codec registered under `name`; throws std::out_of_range
+  /// (with the list of registered names) when absent.
+  CodecId id_of(std::string_view name) const;
+
   std::vector<CodecId> ids() const;
+
+  /// Names of every registered codec, in id order (for CLI listings).
+  std::vector<std::string_view> names() const;
 
  private:
   CodecRegistry();
 
   std::vector<std::unique_ptr<BlockCodec>> slots_;  // indexed by CodecId
 };
+
+/// True if `block` is a store-codec (raw passthrough) stream. The engine
+/// uses this to dispatch per block: a container whose header names a lossy
+/// codec may still hold store-coded blocks where compression did not pay.
+bool is_store_block_stream(std::span<const std::uint8_t> block);
+
+/// Exact byte size of the store codec's encoding of an n-value slab of the
+/// given scalar width — the demotion threshold the engine compares lossy
+/// codec output against. Kept next to the codec so the two can never
+/// drift.
+std::size_t store_encoded_size(std::size_t value_count,
+                               std::size_t scalar_bytes);
 
 }  // namespace fpsnr::core

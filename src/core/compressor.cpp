@@ -15,6 +15,12 @@ bool is_transform_engine(Engine e) {
   return e == Engine::TransformHaar || e == Engine::TransformDct;
 }
 
+/// Engines that exist only behind the block-codec registry — they have no
+/// serial flat-stream path and always emit the FPBK container.
+bool is_registry_only_engine(Engine e) {
+  return e == Engine::Interp || e == Engine::ZfpRate || e == Engine::Store;
+}
+
 template <typename T>
 CompressResult compress_transform(std::span<const T> values, const data::Dims& dims,
                                   const ControlRequest& request,
@@ -59,10 +65,16 @@ CompressResult compress_transform(std::span<const T> values, const data::Dims& d
   out.predicted_psnr_db =
       vr > 0.0 ? psnr_for_bin_width(bin_width, vr)
                : std::numeric_limits<double>::infinity();
+  out.achieved_psnr_db =
+      vr > 0.0 && tinfo.value_count > 0
+          ? metrics::psnr_from_mse(
+                tinfo.achieved_sse / static_cast<double>(tinfo.value_count), vr)
+          : std::numeric_limits<double>::infinity();
   out.rel_bound_used = vr > 0.0 ? bin_width / (2.0 * vr) : 0.0;
   out.info.eb_abs_used = bin_width / 2.0;
   out.info.value_range = tinfo.value_range;
   out.info.value_count = tinfo.value_count;
+  out.info.achieved_sse = tinfo.achieved_sse;
   out.info.outlier_count = tinfo.outlier_count;
   out.info.compressed_bytes = tinfo.compressed_bytes;
   out.info.compression_ratio = tinfo.compression_ratio;
@@ -76,7 +88,8 @@ template <typename T>
 CompressResult compress(std::span<const T> values, const data::Dims& dims,
                         const ControlRequest& request,
                         const CompressOptions& options) {
-  if (options.parallel.enabled())
+  if (options.parallel.enabled() || is_registry_only_engine(options.engine) ||
+      options.budget == BudgetMode::Adaptive)
     return compress_blocked(values, dims, request, options);
   if (is_transform_engine(options.engine))
     return compress_transform(values, dims, request, options);
@@ -92,6 +105,17 @@ CompressResult compress(std::span<const T> values, const data::Dims& dims,
   CompressResult out;
   out.request = request;
   out.stream = sz::compress(values, dims, params, &out.info);
+  // The codec measured the exact achieved SSE during quantization (every
+  // non-pwrel mode); surface it as the measured PSNR like the block
+  // pipeline does.
+  if (out.info.achieved_sse >= 0.0 && out.info.value_count > 0) {
+    out.achieved_psnr_db =
+        out.info.value_range > 0.0
+            ? metrics::psnr_from_mse(out.info.achieved_sse /
+                                         static_cast<double>(out.info.value_count),
+                                     out.info.value_range)
+            : std::numeric_limits<double>::infinity();
+  }
   out.predicted_psnr_db = resolved.predicted_psnr_db;
   if (request.mode == ControlMode::Absolute && out.info.value_range > 0.0) {
     // Now that the value range is known, complete the Eq. (7) prediction.

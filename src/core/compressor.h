@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -19,11 +20,31 @@
 
 namespace fpsnr::core {
 
-/// Which codec family executes the request.
+/// Which codec family executes the request. Values match the CodecId wire
+/// bytes of the block-codec registry (core/codec_registry.h).
 enum class Engine : std::uint8_t {
   SzLorenzo = 0,       ///< prediction-based (Theorem 1); pointwise bounds hold
   TransformHaar = 1,   ///< orthogonal Haar DWT (Theorem 2); PSNR-only control
   TransformDct = 2,    ///< orthogonal block DCT (Theorem 2); PSNR-only control
+  Interp = 3,          ///< SZ3-style interpolation predictor; pointwise bounds
+  ZfpRate = 4,         ///< ZFP-style fixed-rate bit-packed DCT; PSNR-only
+  Store = 5,           ///< raw passthrough (lossless; the fallback codec)
+};
+
+/// How the global error budget is split across pipeline blocks.
+enum class BudgetMode : std::uint8_t {
+  /// Every block gets the same absolute bound derived from the global
+  /// value range — the paper's Eq. 6/7 setting.
+  Uniform = 0,
+  /// A per-block residual probe redistributes the budget: blocks that
+  /// never spend their allowance donate it, blocks on the rate curve get
+  /// wider bins, with the aggregate SSE budget never exceeding the
+  /// uniform level so the fixed-PSNR guarantee is unchanged (Eq. 3's
+  /// general form). Applies to the aggregate-distortion control modes
+  /// (FixedPsnr / FixedNrmse) only; pointwise-bound requests (Absolute /
+  /// ValueRangeRelative) always compress with the uniform plan, since
+  /// widening any block would break |err| <= bound.
+  Adaptive = 1,
 };
 
 /// Block-parallel execution knobs (the pipeline engine, core/pipeline.h).
@@ -53,7 +74,11 @@ struct CompressOptions {
   lossless::Method backend = lossless::Method::Deflate;
   unsigned haar_levels = 4;
   std::size_t dct_block = 8;
+  /// Per-block error-budget allocation (block pipeline only).
+  BudgetMode budget = BudgetMode::Uniform;
   /// Block-parallel pipeline execution; disabled by default (serial codecs).
+  /// The registry-only engines (Interp / ZfpRate / Store) always route
+  /// through the block pipeline regardless of these knobs.
   ParallelOptions parallel;
 };
 
@@ -63,6 +88,12 @@ struct CompressResult {
   /// Analytical PSNR prediction from the distortion model (Eq. 6/7);
   /// NaN for modes where the model does not apply.
   double predicted_psnr_db = 0.0;
+  /// Measured PSNR of the emitted stream, from the exact SSE the codec
+  /// tracked at compress time (recorded per block in the FPBK v2 index on
+  /// the pipeline path; computed from the recon buffer / decode replay on
+  /// the serial paths). NaN only where it is not tracked (serial
+  /// PointwiseRelative mode); +inf for a lossless result.
+  double achieved_psnr_db = std::numeric_limits<double>::quiet_NaN();
   /// Value-range relative bound actually used (fixed-PSNR / relative modes).
   double rel_bound_used = 0.0;
   sz::CompressionInfo info;

@@ -104,6 +104,7 @@ bool is_block_stream(std::span<const std::uint8_t> stream) {
 BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream) {
   const auto view = io::open_block_container(stream);
   BlockStreamInfo info;
+  info.version = view.header.version;
   info.codec = view.header.codec;
   const BlockCodec* codec = CodecRegistry::instance().find(view.header.codec);
   info.codec_name = codec ? codec->name() : "unknown";
@@ -114,6 +115,19 @@ BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream) {
   info.value_range = view.header.value_range;
   info.control_mode = static_cast<ControlMode>(view.header.control_mode);
   info.control_value = view.header.control_value;
+  info.budget_mode = static_cast<BudgetMode>(view.header.budget_mode);
+  if (view.header.has_block_sse()) {
+    double total = 0.0;
+    for (double s : view.block_sse) total += s;
+    info.achieved_sse = total;
+    const double mse = total / static_cast<double>(info.dims.count());
+    info.achieved_psnr_db =
+        info.value_range > 0.0
+            ? metrics::psnr_from_mse(mse, info.value_range)
+            : std::numeric_limits<double>::infinity();
+  } else {
+    info.achieved_psnr_db = std::numeric_limits<double>::quiet_NaN();
+  }
   return info;
 }
 
@@ -124,12 +138,93 @@ namespace {
 /// budgets, and header bytes cannot drift between the two paths.
 struct BlockPlan {
   double vr = 0.0;
-  double eb_abs = 0.0;
+  double eb_abs = 0.0;  ///< base (uniform-equivalent) bound
   BlockLayout layout;
+  CodecId codec_id = 0;
   const BlockCodec* codec = nullptr;
   BlockParams bp;
+  /// Per-block absolute bounds; all equal to eb_abs under Uniform budgets.
+  std::vector<double> block_eb;
   io::BlockContainerHeader header;
 };
+
+/// Adaptive per-block bounds (Eq. 3's general form, reverse-water-filling
+/// flavour). A cheap probe — the RMS first difference over the C-order
+/// scan — estimates each block's residual scale r_b. A block with
+/// r_b << eb never spends its allowance anyway: its residuals quantize to
+/// the zero bin at any nearby bound, its rate sits at the entropy floor,
+/// and its actual SSE is ~n*r^2, not n*eb^2/3. Such blocks donate ledger
+/// budget (they are re-encoded at a tightened bound of ~4*r_b, floored so
+/// no residual — not even an isolated spike — leaves the quantizable
+/// range, keeping their rate at the entropy floor), and blocks ON the
+/// rate curve (r_b >= eb/2) share the donations as one uniformly wider bin
+/// (the log-rate model's optimum is equal bounds across coded blocks), so
+/// their bits shrink log-linearly. Bounds stay within [eb/4, 4*eb] and the
+/// aggregate worst-case SSE never exceeds the uniform plan's
+/// N * eb^2 / 3 — the fixed-PSNR guarantee is preserved verbatim. The
+/// probe depends only on the data and the layout, never the thread count.
+///
+/// Returns per-block bounds, or {} when the plan degenerates to uniform
+/// (no block is on the rate curve, or there is nothing to donate).
+template <typename T>
+std::vector<double> adaptive_budgets(std::span<const T> values,
+                                     const data::Dims& dims,
+                                     const BlockLayout& layout, double eb,
+                                     std::uint32_t quantization_bins) {
+  const std::size_t count = layout.block_count;
+  if (count < 2) return {};
+  std::vector<double> residual(count, 0.0);
+  std::vector<double> peak(count, 0.0);
+  std::vector<double> n_of(count, 0.0);
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t first = block_first_row(layout, b);
+    const std::size_t rows = block_rows_of(layout, dims, b);
+    const std::size_t n = rows * layout.row_stride;
+    const auto slice = values.subspan(first * layout.row_stride, n);
+    double acc = 0.0, max_d = 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const double d = static_cast<double>(slice[i]) -
+                       static_cast<double>(slice[i - 1]);
+      acc += d * d;
+      max_d = std::max(max_d, std::abs(d));
+    }
+    residual[b] = n > 1 ? std::sqrt(acc / static_cast<double>(n - 1)) : 0.0;
+    peak[b] = max_d;
+    n_of[b] = static_cast<double>(n);
+  }
+
+  // Tightening a donor must never push one of its residuals outside the
+  // quantizable range (|d| <= radius * 2 * eb_b), or an isolated spike in
+  // an otherwise flat block would demote to an exactly-stored outlier and
+  // grow the block. Keep a 4x safety margin over the block's peak
+  // first difference relative to that range.
+  const double radius = static_cast<double>(quantization_bins / 2);
+
+  std::vector<double> block_eb(count, eb);
+  double donated = 0.0;      // ledger budget freed by floor blocks
+  double receiver_n = 0.0;   // values in rate-curve blocks
+  for (std::size_t b = 0; b < count; ++b) {
+    if (residual[b] < eb / 4.0) {
+      // Floor block: tighten the recorded bound toward 4x its residual
+      // scale (never below eb/4, never below the spike floor above);
+      // typical residuals stay deep inside the zero bin, so the coded
+      // bytes barely move while the ledger frees budget.
+      const double spike_floor = 2.0 * peak[b] / radius;
+      block_eb[b] =
+          std::min(eb, std::max({4.0 * residual[b], spike_floor, eb / 4.0}));
+      donated += n_of[b] * (eb * eb - block_eb[b] * block_eb[b]);
+    } else if (residual[b] >= eb / 2.0) {
+      receiver_n += n_of[b];
+    }
+  }
+  if (receiver_n == 0.0 || donated <= 0.0) return {};
+
+  const double widened =
+      std::min(std::sqrt(eb * eb + donated / receiver_n), 4.0 * eb);
+  for (std::size_t b = 0; b < count; ++b)
+    if (residual[b] >= eb / 2.0) block_eb[b] = widened;
+  return block_eb;
+}
 
 template <typename T>
 BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
@@ -142,8 +237,8 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   plan.eb_abs = resolve_budget(request, values, &plan.vr);
   plan.layout = make_layout(dims, options.parallel.block_rows);
 
-  const CodecId codec_id = static_cast<CodecId>(options.engine);
-  plan.codec = &CodecRegistry::instance().at(codec_id);
+  plan.codec_id = static_cast<CodecId>(options.engine);
+  plan.codec = &CodecRegistry::instance().at(plan.codec_id);
 
   plan.bp.eb_abs = plan.eb_abs;
   plan.bp.quantization_bins = options.quantization_bins;
@@ -152,7 +247,27 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   plan.bp.haar_levels = options.haar_levels;
   plan.bp.dct_block = options.dct_block;
 
-  plan.header.codec = codec_id;
+  plan.block_eb.assign(plan.layout.block_count, plan.eb_abs);
+  BudgetMode budget = options.budget;
+  // Adaptive reallocation trades pointwise slack for aggregate rate, so it
+  // only applies to the aggregate-distortion control modes (fixed-PSNR /
+  // fixed-NRMSE). Absolute and value-range-relative requests are pointwise
+  // |err| <= bound contracts — widening any block would break them, so
+  // those plans stay uniform no matter what the option says.
+  const bool aggregate_mode = request.mode == ControlMode::FixedPsnr ||
+                              request.mode == ControlMode::FixedNrmse;
+  if (budget == BudgetMode::Adaptive) {
+    auto bounds = aggregate_mode && plan.vr > 0.0
+                      ? adaptive_budgets(values, dims, plan.layout, plan.eb_abs,
+                                         plan.bp.quantization_bins)
+                      : std::vector<double>{};
+    if (bounds.empty())
+      budget = BudgetMode::Uniform;  // degenerate field: nothing to shift
+    else
+      plan.block_eb = std::move(bounds);
+  }
+
+  plan.header.codec = plan.codec_id;
   plan.header.scalar = static_cast<std::uint8_t>(sz::scalar_type_of<T>());
   plan.header.extents.assign(dims.extents.begin(), dims.extents.end());
   plan.header.block_rows = plan.layout.rows_per_block;
@@ -161,11 +276,15 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   plan.header.value_range = plan.vr;
   plan.header.control_mode = static_cast<std::uint8_t>(request.mode);
   plan.header.control_value = request.value;
+  plan.header.budget_mode = static_cast<std::uint8_t>(budget);
   return plan;
 }
 
 /// Compress every block on the shared pool, handing each finished block to
-/// `sink(b, bytes)` (thread-safe in both writers).
+/// `sink(b, bytes)` (thread-safe in both writers). A block whose primary
+/// encoding is no smaller than the raw passthrough is demoted to the store
+/// codec — the decision depends only on the data, so output bytes stay
+/// thread-count independent.
 template <typename T>
 void run_blocks(const BlockPlan& plan, std::span<const T> values,
                 const data::Dims& dims, std::size_t threads,
@@ -173,13 +292,22 @@ void run_blocks(const BlockPlan& plan, std::span<const T> values,
                 const std::function<void(std::size_t, std::vector<std::uint8_t>)>&
                     sink) {
   block_infos.assign(plan.layout.block_count, BlockInfo{});
+  const BlockCodec& store = CodecRegistry::instance().at(kCodecStore);
   for_each_block(plan.layout.block_count, threads, [&](std::size_t b) {
     const std::size_t first = block_first_row(plan.layout, b);
     const std::size_t rows = block_rows_of(plan.layout, dims, b);
     const auto slice = values.subspan(first * plan.layout.row_stride,
                                       rows * plan.layout.row_stride);
-    sink(b, plan.codec->compress(slice, slab_dims(dims, rows), plan.bp,
-                                 &block_infos[b]));
+    const data::Dims slab = slab_dims(dims, rows);
+    BlockParams bp = plan.bp;
+    bp.eb_abs = plan.block_eb[b];
+    auto bytes = plan.codec->compress(slice, slab, bp, &block_infos[b]);
+    if (plan.codec_id != kCodecStore &&
+        bytes.size() >= store_encoded_size(slice.size(), sizeof(T))) {
+      block_infos[b] = BlockInfo{};
+      bytes = store.compress(slice, slab, bp, &block_infos[b]);
+    }
+    sink(b, std::move(bytes));
   });
 }
 
@@ -198,9 +326,11 @@ CompressResult account_blocks(const BlockPlan& plan, std::span<const T> values,
   out.request = request;
   std::size_t covered = 0;
   double sse_budget = 0.0;
+  double achieved_sse = 0.0;
   for (const BlockInfo& bi : block_infos) {
     covered += bi.value_count;
     sse_budget += bi.sse_budget;
+    achieved_sse += bi.achieved_sse;
     out.info.outlier_count += bi.outlier_count;
   }
   if (covered != values.size())
@@ -214,10 +344,16 @@ CompressResult account_blocks(const BlockPlan& plan, std::span<const T> values,
   out.predicted_psnr_db = plan.vr > 0.0
                               ? psnr_for_abs_bound(plan.eb_abs, plan.vr)
                               : std::numeric_limits<double>::infinity();
+  out.achieved_psnr_db =
+      plan.vr > 0.0
+          ? metrics::psnr_from_mse(
+                achieved_sse / static_cast<double>(values.size()), plan.vr)
+          : std::numeric_limits<double>::infinity();
   out.rel_bound_used = plan.vr > 0.0 ? plan.eb_abs / plan.vr : 0.0;
   out.info.eb_abs_used = plan.eb_abs;
   out.info.value_range = plan.vr;
   out.info.value_count = values.size();
+  out.info.achieved_sse = achieved_sse;
   return out;
 }
 
@@ -241,7 +377,8 @@ CompressResult compress_blocked(std::span<const T> values,
   std::vector<BlockInfo> block_infos;
   run_blocks(plan, values, dims, options.parallel.threads, block_infos,
              [&](std::size_t b, std::vector<std::uint8_t> bytes) {
-               writer.add_block(b, std::move(bytes));
+               writer.add_block(b, std::move(bytes),
+                                block_infos[b].achieved_sse);
              });
   CompressResult out = account_blocks(plan, values, request, block_infos);
   out.stream = writer.finish();
@@ -261,7 +398,8 @@ CompressResult compress_to_file(std::span<const T> values,
   std::vector<BlockInfo> block_infos;
   run_blocks(plan, values, dims, options.parallel.threads, block_infos,
              [&](std::size_t b, std::vector<std::uint8_t> bytes) {
-               writer.add_block(b, std::move(bytes));
+               writer.add_block(b, std::move(bytes),
+                                block_infos[b].achieved_sse);
              });
   // Validate the budget accounting first: if it fails, the unfinished
   // writer is destroyed and the partial file removed — nothing is ever
@@ -283,6 +421,7 @@ sz::Decompressed<T> decompress_blocked(std::span<const std::uint8_t> stream,
   if (layout.block_count != view.blocks.size())
     throw io::StreamError("block pipeline: index/block-count mismatch");
   const BlockCodec& codec = CodecRegistry::instance().at(view.header.codec);
+  const BlockCodec& store = CodecRegistry::instance().at(kCodecStore);
 
   sz::Decompressed<T> out;
   out.dims = dims;
@@ -291,8 +430,12 @@ sz::Decompressed<T> decompress_blocked(std::span<const std::uint8_t> stream,
   for_each_block(layout.block_count, threads, [&](std::size_t b) {
     const std::size_t first = block_first_row(layout, b);
     const std::size_t rows = block_rows_of(layout, dims, b);
-    codec.decompress(view.blocks[b], all.subspan(first * layout.row_stride,
-                                                 rows * layout.row_stride));
+    // Incompressible blocks are store-demoted at compress time; each
+    // block's own magic says which codec wrote it.
+    const BlockCodec& c =
+        is_store_block_stream(view.blocks[b]) ? store : codec;
+    c.decompress(view.blocks[b], all.subspan(first * layout.row_stride,
+                                             rows * layout.row_stride));
   });
   return out;
 }
@@ -306,7 +449,8 @@ sz::Decompressed<T> decompress_block(std::span<const std::uint8_t> stream,
   const data::Dims dims = dims_from_header(header);
   const BlockLayout layout = make_layout(dims, header.block_rows);
   const std::size_t rows = block_rows_of(layout, dims, block_index);
-  const BlockCodec& codec = CodecRegistry::instance().at(header.codec);
+  const BlockCodec& codec = CodecRegistry::instance().at(
+      is_store_block_stream(bytes) ? kCodecStore : header.codec);
 
   sz::Decompressed<T> out;
   out.dims = slab_dims(dims, rows);

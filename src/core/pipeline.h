@@ -9,16 +9,31 @@
 //
 // Error-budget accounting: the user's control request is resolved ONCE
 // against the global value range to an absolute per-point budget eb_abs
-// (bin width 2*eb_abs). Every block inherits that same budget, so
+// (bin width 2*eb_abs). Under BudgetMode::Uniform every block inherits
+// that same budget, so
 //   * the SZ path keeps its pointwise |err| <= eb_abs guarantee, and
 //   * the global fixed-PSNR model is untouched: each block of n_b values
 //     contributes at most n_b * eb_abs^2 / 3 to the total SSE (Eq. 6), and
 //     sum_b n_b * eb^2/3 / N = eb^2/3 — exactly the serial model. The
 //     engine sums the per-block budgets and cross-checks the identity.
+// Under BudgetMode::Adaptive a per-block residual probe reallocates the
+// bounds, exploiting Eq. 3's general form: any allocation with
+// sum_b n_b * eb_b^2 <= N * eb^2 preserves the fixed-PSNR guarantee.
+// Blocks whose residuals sit far below their allowance (already coding at
+// the entropy floor) donate the budget they never spend; blocks on the
+// rate curve share it as uniformly wider bins, so their bits shrink
+// log-linearly at the same global PSNR target. The engine still
+// cross-checks the aggregate against the uniform-plan budget.
 //
-// Determinism: the block layout depends only on dims and block_rows, never
-// on the thread count, so compress() output is byte-identical for any
-// `threads` value.
+// Every block's exact achieved SSE is measured at compress time and stored
+// in the FPBK v2 index column, so readers report the *measured* global
+// PSNR of an archive, not just the model bound. Blocks whose compressed
+// form would be no smaller than raw are auto-demoted to the `store`
+// passthrough codec (self-describing per-block magic).
+//
+// Determinism: the block layout, budget split, and store fallback depend
+// only on the data, dims, and block_rows — never on the thread count — so
+// compress() output is byte-identical for any `threads` value.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +57,7 @@ std::size_t auto_block_rows(const data::Dims& dims);
 
 /// Parsed summary of an FPBK stream (inspect support).
 struct BlockStreamInfo {
+  std::uint8_t version = 0;  ///< container version (1 or 2)
   CodecId codec = 0;
   std::string_view codec_name;
   data::Dims dims;
@@ -51,6 +67,13 @@ struct BlockStreamInfo {
   double value_range = 0.0;
   ControlMode control_mode = ControlMode::FixedPsnr;
   double control_value = 0.0;
+  BudgetMode budget_mode = BudgetMode::Uniform;
+  /// Total achieved SSE from the v2 per-block index column; -1 for v1
+  /// streams (not recorded).
+  double achieved_sse = -1.0;
+  /// Measured global PSNR implied by achieved_sse (+inf for lossless);
+  /// NaN for v1 streams.
+  double achieved_psnr_db = 0.0;
 };
 
 /// True if `stream` is a block-pipeline (FPBK) container.

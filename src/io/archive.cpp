@@ -1,6 +1,7 @@
 #include "io/archive.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace fpsnr::io {
@@ -98,14 +99,17 @@ std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
 namespace {
 
 constexpr std::uint8_t kBlockMagic[4] = {'F', 'P', 'B', 'K'};
-constexpr std::uint8_t kBlockVersion = 1;
 constexpr std::uint8_t kMaxRank = 3;
 
 }  // namespace
 
+std::size_t block_index_entry_bytes(std::uint8_t version) {
+  return version >= 2 ? 3 * sizeof(std::uint64_t) : 2 * sizeof(std::uint64_t);
+}
+
 void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
   out.put_bytes(std::span<const std::uint8_t>(kBlockMagic, 4));
-  out.put<std::uint8_t>(kBlockVersion);
+  out.put<std::uint8_t>(kBlockContainerVersion);
   out.put<std::uint8_t>(h.codec);
   out.put<std::uint8_t>(h.scalar);
   out.put<std::uint8_t>(static_cast<std::uint8_t>(h.extents.size()));
@@ -116,6 +120,7 @@ void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
   out.put<double>(h.value_range);
   out.put<std::uint8_t>(h.control_mode);
   out.put<double>(h.control_value);
+  out.put<std::uint8_t>(h.budget_mode);
 }
 
 namespace {
@@ -125,9 +130,11 @@ BlockContainerHeader read_block_header(ByteReader& reader) {
   const auto magic = reader.get_bytes(4);
   if (!std::equal(magic.begin(), magic.end(), kBlockMagic))
     throw StreamError("block container: bad magic");
-  if (reader.get<std::uint8_t>() != kBlockVersion)
+  const std::uint8_t version = reader.get<std::uint8_t>();
+  if (version < 1 || version > kBlockContainerVersion)
     throw StreamError("block container: unsupported version");
   BlockContainerHeader h;
+  h.version = version;
   h.codec = reader.get<std::uint8_t>();
   h.scalar = reader.get<std::uint8_t>();
   const auto rank = reader.get<std::uint8_t>();
@@ -153,6 +160,11 @@ BlockContainerHeader read_block_header(ByteReader& reader) {
   h.value_range = reader.get<double>();
   h.control_mode = reader.get<std::uint8_t>();
   h.control_value = reader.get<double>();
+  if (version >= 2) {
+    h.budget_mode = reader.get<std::uint8_t>();
+    if (h.budget_mode > 1)
+      throw StreamError("block container: unknown budget mode");
+  }
   return h;
 }
 
@@ -160,14 +172,27 @@ struct IndexEntry {
   std::uint64_t offset, size;
 };
 
-std::vector<IndexEntry> read_block_index(ByteReader& reader,
-                                         std::uint64_t count,
-                                         std::size_t payload_bytes) {
-  std::vector<IndexEntry> index(count);
-  for (auto& e : index) e.offset = reader.get<std::uint64_t>();
-  for (auto& e : index) e.size = reader.get<std::uint64_t>();
+struct BlockIndex {
+  std::vector<IndexEntry> entries;
+  std::vector<double> sse;  ///< empty for v1 streams
+};
+
+BlockIndex read_block_index(ByteReader& reader, const BlockContainerHeader& h,
+                            std::size_t payload_bytes) {
+  BlockIndex index;
+  index.entries.resize(h.block_count);
+  for (auto& e : index.entries) e.offset = reader.get<std::uint64_t>();
+  for (auto& e : index.entries) e.size = reader.get<std::uint64_t>();
+  if (h.has_block_sse()) {
+    index.sse.resize(h.block_count);
+    for (auto& s : index.sse) {
+      s = reader.get<double>();
+      if (!std::isfinite(s) || s < 0.0)
+        throw StreamError("block container: invalid per-block SSE");
+    }
+  }
   std::uint64_t expect = 0;
-  for (const auto& e : index) {
+  for (const auto& e : index.entries) {
     if (e.offset != expect)
       throw StreamError("block container: non-contiguous index");
     expect += e.size;
@@ -182,6 +207,7 @@ std::vector<IndexEntry> read_block_index(ByteReader& reader,
 BlockContainerWriter::BlockContainerWriter(BlockContainerHeader header)
     : header_(std::move(header)),
       blocks_(header_.block_count),
+      sse_(header_.block_count, 0.0),
       present_(header_.block_count, 0),
       missing_(header_.block_count) {
   if (header_.block_count == 0)
@@ -189,7 +215,8 @@ BlockContainerWriter::BlockContainerWriter(BlockContainerHeader header)
 }
 
 void BlockContainerWriter::add_block(std::size_t index,
-                                     std::vector<std::uint8_t> bytes) {
+                                     std::vector<std::uint8_t> bytes,
+                                     double achieved_sse) {
   std::lock_guard lock(mutex_);
   if (finished_)
     throw std::logic_error("block container: add_block after finish");
@@ -197,7 +224,10 @@ void BlockContainerWriter::add_block(std::size_t index,
     throw std::out_of_range("block container: block index out of range");
   if (present_[index])
     throw std::logic_error("block container: duplicate block");
+  if (!std::isfinite(achieved_sse) || achieved_sse < 0.0)
+    throw std::invalid_argument("block container: invalid block SSE");
   blocks_[index] = std::move(bytes);
+  sse_[index] = achieved_sse;
   present_[index] = 1;
   --missing_;
 }
@@ -218,6 +248,7 @@ std::vector<std::uint8_t> BlockContainerWriter::finish() {
     offset += b.size();
   }
   for (const auto& b : blocks_) out.put<std::uint64_t>(b.size());
+  for (double s : sse_) out.put<double>(s);
   for (const auto& b : blocks_) out.put_bytes(b);
   return out.take();
 }
@@ -232,17 +263,19 @@ BlockContainerView open_block_container(std::span<const std::uint8_t> stream) {
   BlockContainerView view;
   view.header = read_block_header(reader);
   const std::uint64_t count = view.header.block_count;
+  const std::size_t entry_bytes = block_index_entry_bytes(view.header.version);
   // Divide instead of multiplying so a crafted block_count cannot wrap the
   // size computation past the truncation check.
-  if (count > reader.remaining() / (2 * sizeof(std::uint64_t)))
+  if (count > reader.remaining() / entry_bytes)
     throw StreamError("block container: truncated index");
-  const std::size_t index_bytes = count * 2 * sizeof(std::uint64_t);
+  const std::size_t index_bytes = count * entry_bytes;
   const std::size_t payload_bytes = reader.remaining() - index_bytes;
-  const auto index = read_block_index(reader, count, payload_bytes);
+  auto index = read_block_index(reader, view.header, payload_bytes);
   const std::size_t payload_start = reader.position();
   view.blocks.reserve(count);
-  for (const auto& e : index)
+  for (const auto& e : index.entries)
     view.blocks.push_back(stream.subspan(payload_start + e.offset, e.size));
+  view.block_sse = std::move(index.sse);
   return view;
 }
 
@@ -258,10 +291,11 @@ std::span<const std::uint8_t> block_container_entry(
   const BlockContainerHeader h = read_block_header(reader);
   if (index >= h.block_count)
     throw std::out_of_range("block container: block index out of range");
-  if (h.block_count > reader.remaining() / (2 * sizeof(std::uint64_t)))
+  const std::size_t entry_bytes = block_index_entry_bytes(h.version);
+  if (h.block_count > reader.remaining() / entry_bytes)
     throw StreamError("block container: truncated index");
   const std::size_t index_bytes =
-      static_cast<std::size_t>(h.block_count) * 2 * sizeof(std::uint64_t);
+      static_cast<std::size_t>(h.block_count) * entry_bytes;
   const std::size_t payload_bytes = reader.remaining() - index_bytes;
   const std::size_t table_start = reader.position();
   ByteReader offsets(stream.subspan(table_start + index * sizeof(std::uint64_t)));

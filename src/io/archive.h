@@ -44,25 +44,41 @@ std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
 // readers can decode any single block without touching the rest.
 //
 // Layout (little-endian):
-//   magic "FPBK", version u8,
+//   magic "FPBK", version u8 (1 or 2),
 //   codec u8, scalar u8, rank u8, extents varint x rank,
 //   block_rows varint, block_count varint,
 //   eb_abs f64, value_range f64, control_mode u8, control_value f64,
+//   budget_mode u8                     (v2 only),
 //   offset u64 x block_count (relative to payload start),
 //   size   u64 x block_count,
+//   sse    f64 x block_count           (v2 only; achieved per-block SSE),
 //   payload bytes (blocks concatenated in index order).
+//
+// v2 extends v1 with non-uniform budget metadata: a budget-mode byte in the
+// header and a third fixed-width index column recording each block's exact
+// achieved sum of squared errors, so a reader can report the *measured*
+// global PSNR without touching the payload. Writers always emit v2; the
+// reader accepts both versions (v1 archives simply report no SSE column).
 // ---------------------------------------------------------------------------
 
+/// Current version written by both container writers.
+inline constexpr std::uint8_t kBlockContainerVersion = 2;
+
 struct BlockContainerHeader {
+  std::uint8_t version = kBlockContainerVersion;  ///< set by the readers
   std::uint8_t codec = 0;   ///< core::CodecId of the per-block codec
   std::uint8_t scalar = 0;  ///< sz::ScalarType of the original data
   std::vector<std::uint64_t> extents;  ///< full-field dims, C order
   std::uint64_t block_rows = 0;   ///< axis-0 rows per block (last may be short)
   std::uint64_t block_count = 0;
-  double eb_abs = 0.0;        ///< shared per-block error budget
+  double eb_abs = 0.0;        ///< base per-block error budget
   double value_range = 0.0;   ///< global range the budget was derived from
   std::uint8_t control_mode = 0;  ///< core::ControlMode of the user request
   double control_value = 0.0;     ///< the request's value (PSNR dB, bound, ...)
+  std::uint8_t budget_mode = 0;   ///< core::BudgetMode (v2; 0 = uniform)
+
+  /// True when the stream carries the per-block achieved-SSE index column.
+  bool has_block_sse() const { return version >= 2; }
 };
 
 /// Serialize `h` (magic byte through control_value) — the byte prefix of
@@ -70,6 +86,11 @@ struct BlockContainerHeader {
 /// streaming writer (io/streaming_archive.h) so the two paths stay
 /// byte-identical.
 void write_block_header(const BlockContainerHeader& h, ByteWriter& out);
+
+/// Width of one per-block index entry for the given container version
+/// (offset u64 + size u64, + sse f64 from v2). Single source of truth for
+/// the readers and the streaming writer's reserved-region size.
+std::size_t block_index_entry_bytes(std::uint8_t version);
 
 /// Collects per-block streams and serializes them with a random-access
 /// index. `add_block` is thread-safe and accepts blocks in any completion
@@ -79,8 +100,13 @@ class BlockContainerWriter {
   explicit BlockContainerWriter(BlockContainerHeader header);
 
   /// Store block `index`'s bytes (0-based; must be < header.block_count and
-  /// not yet filled). Safe to call concurrently from pool workers.
-  void add_block(std::size_t index, std::vector<std::uint8_t> bytes);
+  /// not yet filled). `achieved_sse` is the block's exact sum of squared
+  /// reconstruction errors, recorded in the v2 index column — deliberately
+  /// not defaulted: 0 claims "this block decodes losslessly", which must
+  /// be an explicit statement, never an accident. Safe to call
+  /// concurrently from pool workers.
+  void add_block(std::size_t index, std::vector<std::uint8_t> bytes,
+                 double achieved_sse);
 
   /// Serialize. Throws std::logic_error if any block slot is still empty
   /// or finish() was already called.
@@ -89,6 +115,7 @@ class BlockContainerWriter {
  private:
   BlockContainerHeader header_;
   std::vector<std::vector<std::uint8_t>> blocks_;
+  std::vector<double> sse_;
   std::vector<char> present_;
   std::size_t missing_ = 0;
   bool finished_ = false;
@@ -102,6 +129,8 @@ bool is_block_container(std::span<const std::uint8_t> stream);
 struct BlockContainerView {
   BlockContainerHeader header;
   std::vector<std::span<const std::uint8_t>> blocks;  ///< views into stream
+  /// Achieved per-block SSE from the v2 index column; empty for v1 streams.
+  std::vector<double> block_sse;
 };
 
 /// Parse a complete container. Throws StreamError on malformed input.

@@ -1,5 +1,6 @@
 #include "io/streaming_archive.h"
 
+#include <cmath>
 #include <filesystem>
 #include <stdexcept>
 #include <utility>
@@ -27,6 +28,7 @@ StreamingArchiveWriter::StreamingArchiveWriter(std::string path,
   if (header_.block_count == 0)
     throw std::invalid_argument("streaming archive: zero blocks");
   sizes_.assign(header_.block_count, 0);
+  sse_.assign(header_.block_count, 0.0);
   present_.assign(header_.block_count, 0);
   stats_.block_rows = header_.block_rows;
   stats_.block_count = header_.block_count;
@@ -38,11 +40,12 @@ StreamingArchiveWriter::StreamingArchiveWriter(std::string path,
     ByteWriter head;
     write_block_header(header_, head);
     index_pos_ = head.size();
-    // Reserve the index region (offsets then sizes, u64 each) with zeros;
-    // finish() seeks back and fills it once every block size is known.
+    // Reserve the index region (offsets, sizes, then the v2 per-block SSE
+    // column) with zeros; finish() seeks back and fills it once every block
+    // size is known.
     const std::size_t index_bytes =
-        static_cast<std::size_t>(header_.block_count) * 2 *
-        sizeof(std::uint64_t);
+        static_cast<std::size_t>(header_.block_count) *
+        block_index_entry_bytes(kBlockContainerVersion);
     for (std::size_t i = 0; i < index_bytes; ++i) head.put<std::uint8_t>(0);
     payload_pos_ = head.size();
     write_or_throw(head.buffer().data(), head.buffer().size());
@@ -76,7 +79,8 @@ void StreamingArchiveWriter::write_or_throw(const void* data,
 }
 
 void StreamingArchiveWriter::add_block(std::size_t index,
-                                       std::vector<std::uint8_t> bytes) {
+                                       std::vector<std::uint8_t> bytes,
+                                       double achieved_sse) {
   std::unique_lock lock(mutex_);
   if (finished_)
     throw std::logic_error("streaming archive: add_block after finish");
@@ -84,8 +88,11 @@ void StreamingArchiveWriter::add_block(std::size_t index,
     throw std::out_of_range("streaming archive: block index out of range");
   if (present_[index])
     throw std::logic_error("streaming archive: duplicate block");
+  if (!std::isfinite(achieved_sse) || achieved_sse < 0.0)
+    throw std::invalid_argument("streaming archive: invalid block SSE");
   present_[index] = 1;
   sizes_[index] = bytes.size();
+  sse_[index] = achieved_sse;
 
   if (index != next_to_spill_ || spilling_) {
     // Ahead of the payload prefix — or a spill is in flight and the file
@@ -150,6 +157,7 @@ std::uint64_t StreamingArchiveWriter::finish() {
     offset += s;
   }
   for (std::uint64_t s : sizes_) index.put<std::uint64_t>(s);
+  for (double s : sse_) index.put<double>(s);
   out_.seekp(static_cast<std::streamoff>(index_pos_));
   if (!out_)
     throw StreamError("streaming archive: seek failed on " + partial_path_);

@@ -65,8 +65,12 @@ class StreamingArchiveWriter {
   StreamingArchiveWriter& operator=(const StreamingArchiveWriter&) = delete;
 
   /// Store block `index`'s bytes (0-based; must be < header.block_count and
-  /// not yet filled). Safe to call concurrently from pool workers.
-  void add_block(std::size_t index, std::vector<std::uint8_t> bytes);
+  /// not yet filled). `achieved_sse` lands in the v2 per-block SSE index
+  /// column at finish() — deliberately not defaulted: 0 claims "this block
+  /// decodes losslessly" and must be said explicitly. Safe to call
+  /// concurrently from pool workers.
+  void add_block(std::size_t index, std::vector<std::uint8_t> bytes,
+                 double achieved_sse);
 
   /// Fill the index region, flush, and rename the partial file onto
   /// `path`. Throws std::logic_error if any block slot is still empty or
@@ -84,6 +88,7 @@ class StreamingArchiveWriter {
   std::uint64_t index_pos_ = 0;    ///< file offset of the reserved index
   std::uint64_t payload_pos_ = 0;  ///< file offset of the payload start
   std::vector<std::uint64_t> sizes_;
+  std::vector<double> sse_;
   std::vector<char> present_;
   std::size_t next_to_spill_ = 0;  ///< first block not yet on disk
   std::map<std::size_t, std::vector<std::uint8_t>> reorder_;  ///< early blocks

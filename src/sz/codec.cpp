@@ -380,6 +380,10 @@ DecodedInner<T> decode_inner(std::span<const std::uint8_t> payload,
   const std::uint64_t outlier_count = reader.get_varint();
   if (outlier_count > count)
     throw io::StreamError("fpsz: outlier count exceeds value count");
+  // Bound against the bytes actually present before allocating: a crafted
+  // header must fail with a StreamError, not an oversized alloc.
+  if (outlier_count > reader.remaining() / sizeof(T))
+    throw io::StreamError("fpsz: truncated outlier list");
   DecodedInner<T> out;
   out.outliers.resize(outlier_count);
   const auto raw = reader.get_bytes(outlier_count * sizeof(T));
@@ -507,6 +511,11 @@ std::vector<std::uint8_t> compress(std::span<const T> values, const data::Dims& 
   };
 
   std::size_t outlier_count = 0;
+  // Exact achieved distortion: the quantize pass maintains the same T-domain
+  // reconstruction decompress will produce, so the SSE measured here equals
+  // the decode-side error bit for bit. Not available in PointwiseRelative
+  // mode, where the recon buffer lives in the log2 domain.
+  double achieved_sse = -1.0;
   if (params.mode == ErrorBoundMode::PointwiseRelative) {
     const auto t = pwrel_forward(values, params.pwrel_zero_floor);
     // Side channel: signs + exceptions, then the abs-mode core over y.
@@ -527,6 +536,12 @@ std::vector<std::uint8_t> compress(std::span<const T> values, const data::Dims& 
   } else {
     const auto q = run_quantize(values);
     outlier_count = q.outliers.size();
+    achieved_sse = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double err =
+          static_cast<double>(values[i]) - static_cast<double>(q.recon[i]);
+      achieved_sse += err * err;
+    }
     out.put_blob(encode_inner(q, params.quantization_bins, params));
   }
 
@@ -540,6 +555,7 @@ std::vector<std::uint8_t> compress(std::span<const T> values, const data::Dims& 
     info->compression_ratio =
         metrics::compression_ratio(values.size() * sizeof(T), bytes.size());
     info->bit_rate = metrics::bit_rate(bytes.size(), values.size());
+    info->achieved_sse = achieved_sse;
   }
   return bytes;
 }

@@ -73,7 +73,10 @@ Header read_tc_header(io::ByteReader& in) {
     throw io::StreamError("fptc: invalid quantization bin count");
   h.haar_levels = static_cast<unsigned>(in.get_varint());
   h.dct_block = in.get_varint();
-  if (h.dct_block < 2) throw io::StreamError("fptc: invalid DCT block");
+  // The upper cap bounds the per-axis scratch the DCT kernel allocates
+  // from this attacker-controlled field.
+  if (h.dct_block < 2 || h.dct_block > 4096)
+    throw io::StreamError("fptc: invalid DCT block");
   return h;
 }
 
@@ -168,6 +171,17 @@ std::vector<std::uint8_t> compress(std::span<const T> values, const data::Dims& 
     info->compression_ratio =
         metrics::compression_ratio(values.size() * sizeof(T), bytes.size());
     info->bit_rate = metrics::bit_rate(bytes.size(), values.size());
+    // Replay the decode side on the quantized coefficients so the reported
+    // SSE matches the decompressed values exactly, including the T cast.
+    std::vector<double> recon = q.quantized;
+    inverse_of(recon, dims, header);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double err = static_cast<double>(values[i]) -
+                         static_cast<double>(static_cast<T>(recon[i]));
+      sse += err * err;
+    }
+    info->achieved_sse = sse;
   }
   return bytes;
 }

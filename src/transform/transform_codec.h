@@ -45,6 +45,11 @@ struct Info {
   std::size_t compressed_bytes = 0;
   double compression_ratio = 0.0;
   double bit_rate = 0.0;
+  /// Exact sum of squared reconstruction errors, measured by inverting the
+  /// quantized coefficients and casting to the stored scalar type — i.e.
+  /// against the values decompress will actually return, not the Theorem-2
+  /// coefficient-domain estimate (which misses the final float cast).
+  double achieved_sse = 0.0;
 };
 
 template <typename T>

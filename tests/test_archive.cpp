@@ -104,9 +104,9 @@ TEST(BlockContainer, HeaderRoundTrip) {
   h.control_value = 80.0;
 
   io::BlockContainerWriter writer(h);
-  writer.add_block(1, {4, 5});
-  writer.add_block(0, {1, 2, 3});
-  writer.add_block(2, {});  // empty blocks are legal
+  writer.add_block(1, {4, 5}, 0.0);
+  writer.add_block(0, {1, 2, 3}, 0.0);
+  writer.add_block(2, {}, 0.0);  // empty blocks are legal
   const auto stream = writer.finish();
   ASSERT_TRUE(io::is_block_container(stream));
 
@@ -137,8 +137,8 @@ TEST(BlockContainer, MalformedStreamsRejected) {
   h.block_rows = 4;
   h.block_count = 2;
   io::BlockContainerWriter writer(h);
-  writer.add_block(0, {1, 2, 3});
-  writer.add_block(1, {4});
+  writer.add_block(0, {1, 2, 3}, 0.0);
+  writer.add_block(1, {4}, 0.0);
   const auto stream = writer.finish();
 
   auto bad = stream;
@@ -161,9 +161,9 @@ TEST(BlockContainer, LayoutMustTileTheField) {
   h.block_rows = 4;
   h.block_count = 3;  // should be 2
   io::BlockContainerWriter writer(h);
-  writer.add_block(0, {1});
-  writer.add_block(1, {2});
-  writer.add_block(2, {3});
+  writer.add_block(0, {1}, 0.0);
+  writer.add_block(1, {2}, 0.0);
+  writer.add_block(2, {3}, 0.0);
   const auto stream = writer.finish();
   EXPECT_THROW(io::open_block_container(stream), io::StreamError);
 }

@@ -1,12 +1,14 @@
 // Cross-codec conformance suite: one parameterized fixture sweeping every
-// block codec {SZ-Lorenzo, Haar, DCT} × PSNR target {40, 60, 80 dB} ×
-// field shape {1-D, 2-D, 3-D} × content {smooth random, constant}. Every
-// combination must (a) meet its fixed-PSNR target, (b) round-trip through
-// the block pipeline, and (c) produce a byte-identical archive through the
-// streaming file path — the format contract the paper's fixed-PSNR claim
-// rests on, enforced codec-by-codec.
+// block codec {SZ-Lorenzo, Haar, DCT, Interp, ZfpRate, Store} × PSNR
+// target {40, 60, 80 dB} × field shape {1-D, 2-D, 3-D} × content {smooth
+// random, constant}, plus an adaptive-budget sweep. Every combination must
+// (a) meet its fixed-PSNR target, (b) round-trip through the block
+// pipeline, and (c) produce a byte-identical archive through the streaming
+// file path — the format contract the paper's fixed-PSNR claim rests on,
+// enforced codec-by-codec.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 
@@ -28,6 +30,7 @@ struct Case {
   data::Dims dims;
   std::size_t block_rows;
   bool constant;
+  core::BudgetMode budget = core::BudgetMode::Uniform;
 };
 
 std::string engine_name(core::Engine e) {
@@ -35,6 +38,9 @@ std::string engine_name(core::Engine e) {
     case core::Engine::SzLorenzo: return "sz";
     case core::Engine::TransformHaar: return "haar";
     case core::Engine::TransformDct: return "dct";
+    case core::Engine::Interp: return "interp";
+    case core::Engine::ZfpRate: return "zfpr";
+    case core::Engine::Store: return "store";
   }
   return "unknown";
 }
@@ -45,13 +51,17 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
                      std::to_string(static_cast<int>(c.target_db)) + "db_" +
                      std::to_string(c.dims.rank()) + "d";
   if (c.constant) name += "_const";
+  if (c.budget == core::BudgetMode::Adaptive) name += "_adaptive";
   return name;
 }
 
 std::vector<Case> all_cases() {
   const core::Engine engines[] = {core::Engine::SzLorenzo,
                                   core::Engine::TransformHaar,
-                                  core::Engine::TransformDct};
+                                  core::Engine::TransformDct,
+                                  core::Engine::Interp,
+                                  core::Engine::ZfpRate,
+                                  core::Engine::Store};
   const double targets[] = {40.0, 60.0, 80.0};
   // One shape per rank, none divisible by its block_rows, so the short
   // final slab is exercised everywhere.
@@ -66,6 +76,11 @@ std::vector<Case> all_cases() {
       for (const auto& [dims, rows] : shapes)
         for (bool constant : {false, true})
           cases.push_back({e, t, dims, rows, constant});
+  // Adaptive budgets must honour the same contract; sweep every codec over
+  // the 2-D shape at the middle target.
+  for (core::Engine e : engines)
+    cases.push_back({e, 60.0, data::Dims{52, 36}, 15, false,
+                     core::BudgetMode::Adaptive});
   return cases;
 }
 
@@ -85,6 +100,7 @@ class Conformance : public ::testing::TestWithParam<Case> {
     const Case& c = GetParam();
     core::CompressOptions opts;
     opts.engine = c.engine;
+    opts.budget = c.budget;
     opts.parallel.block_pipeline = true;
     opts.parallel.threads = threads;
     opts.parallel.block_rows = c.block_rows;
@@ -109,13 +125,24 @@ TEST_P(Conformance, MeetsPsnrTargetAndStreamsByteIdentically) {
   // under it when residuals fill the bins uniformly. Allow that fraction,
   // nothing more.
   const auto report = core::verify<float>(values, mem.stream);
-  if (c.constant) {
+  if (c.constant || c.engine == core::Engine::Store) {
     const auto out = core::decompress<float>(mem.stream);
-    EXPECT_EQ(out.values, values) << "constant field must stay exact";
+    EXPECT_EQ(out.values, values)
+        << (c.constant ? "constant field" : "store codec")
+        << " must stay exact";
   } else {
     EXPECT_GE(report.psnr_db, c.target_db - 0.5)
         << engine_name(c.engine) << " missed " << c.target_db << " dB";
   }
+
+  // The v2 container must report the measured PSNR exactly (the per-block
+  // SSE column), matching an independent recomputation from the raw data.
+  const auto info = core::inspect_block_stream(mem.stream);
+  ASSERT_EQ(info.version, 2);
+  if (std::isinf(report.psnr_db))
+    EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
+  else
+    EXPECT_NEAR(info.achieved_psnr_db, report.psnr_db, 1e-6);
 
   // (b) Round-trip shape.
   const auto out = core::decompress_blocked<float>(mem.stream, 2);

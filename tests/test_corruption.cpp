@@ -5,8 +5,10 @@
 // out-of-bounds read. The whole file is meant to run under ASan/UBSan.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "core/pipeline.h"
 #include "data/synth.h"
@@ -14,6 +16,8 @@
 #include "io/bitstream.h"
 #include "io/bytebuffer.h"
 #include "io/streaming_archive.h"
+#include "sz/interp.h"
+#include "transform/fixed_rate.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
@@ -51,6 +55,8 @@ io::BlockContainerHeader tiny_header(std::uint64_t rows,
 }
 
 /// Header + hand-written index + payload, for crafting inconsistent files.
+/// write_block_header emits the current (v2) version, so the index carries
+/// the per-block SSE column after the size column.
 std::vector<std::uint8_t> craft(const io::BlockContainerHeader& h,
                                 std::span<const std::uint64_t> offsets,
                                 std::span<const std::uint64_t> sizes,
@@ -59,6 +65,7 @@ std::vector<std::uint8_t> craft(const io::BlockContainerHeader& h,
   io::write_block_header(h, w);
   for (std::uint64_t o : offsets) w.put<std::uint64_t>(o);
   for (std::uint64_t s : sizes) w.put<std::uint64_t>(s);
+  for (std::size_t i = 0; i < sizes.size(); ++i) w.put<double>(0.0);
   for (std::size_t i = 0; i < payload_bytes; ++i)
     w.put<std::uint8_t>(static_cast<std::uint8_t>(i));
   return w.take();
@@ -188,6 +195,76 @@ TEST(Corruption, OffsetSizeOverflowRejected) {
   const auto s = craft(h, offsets, sizes, 4);
   EXPECT_THROW(io::open_block_container(s), io::StreamError);
   EXPECT_THROW(io::block_container_entry(s, 1), io::StreamError);
+}
+
+TEST(Corruption, InvalidSseColumnRejected) {
+  // The v2 per-block SSE column must be finite and non-negative; a NaN or
+  // negative entry is corruption, not data.
+  const auto whole = valid_container();
+  const auto view = io::open_block_container(whole);
+  ASSERT_TRUE(view.header.has_block_sse());
+  std::size_t payload = 0;
+  for (const auto& b : view.blocks) payload += b.size();
+  // The SSE column is the last block_count doubles before the payload.
+  const std::size_t sse_start = whole.size() - payload -
+                                view.header.block_count * sizeof(double);
+  auto bad = whole;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(bad.data() + sse_start, &nan, sizeof(nan));
+  EXPECT_THROW(io::open_block_container(bad), io::StreamError);
+  EXPECT_THROW(core::decompress_blocked<float>(bad), io::StreamError);
+
+  bad = whole;
+  const double negative = -1.0;
+  std::memcpy(bad.data() + sse_start, &negative, sizeof(negative));
+  EXPECT_THROW(io::open_block_container(bad), io::StreamError);
+}
+
+// --- hostile codec-block headers ---------------------------------------------
+
+TEST(Corruption, InterpBlockWithHugeDeclaredSizesRejectedBeforeAllocating) {
+  // An FPIN block whose header declares ~2^60 values over a tiny payload
+  // must throw a clean StreamError, never attempt the allocation.
+  io::ByteWriter w;
+  const std::uint8_t magic[4] = {'F', 'P', 'I', 'N'};
+  w.put_bytes(std::span<const std::uint8_t>(magic, 4));
+  w.put<std::uint8_t>(1);                  // version
+  w.put<std::uint8_t>(0);                  // scalar = float32
+  w.put<std::uint8_t>(3);                  // rank
+  for (int d = 0; d < 3; ++d) w.put_varint(std::uint64_t{1} << 20);
+  w.put<double>(1e-3);                     // eb_abs
+  w.put_varint(65536);                     // quant bins
+  {
+    // Inner stream (Store backend): outlier count claims 2^59 entries.
+    io::ByteWriter inner;
+    inner.put_varint(std::uint64_t{1} << 59);
+    io::ByteWriter blob;
+    blob.put<std::uint8_t>(0);  // lossless::Method::Store tag
+    blob.put_bytes(inner.buffer());
+    w.put_blob(blob.buffer());
+  }
+  const auto s = w.take();
+  EXPECT_THROW((void)fpsnr::sz::interp_decompress<float>(s), io::StreamError);
+}
+
+TEST(Corruption, FixedRateBlockWithHugeDeclaredSizesRejectedBeforeAllocating) {
+  // Same for FPZR: the declared value count must be bounded by the
+  // payload (one width byte per group) before coeffs are allocated.
+  io::ByteWriter w;
+  const std::uint8_t magic[4] = {'F', 'P', 'Z', 'R'};
+  w.put_bytes(std::span<const std::uint8_t>(magic, 4));
+  w.put<std::uint8_t>(1);                  // version
+  w.put<std::uint8_t>(0);                  // scalar = float32
+  w.put<std::uint8_t>(3);                  // rank
+  for (int d = 0; d < 3; ++d) w.put_varint(std::uint64_t{1} << 20);
+  w.put<double>(1e-3);                     // eb_abs
+  w.put_varint(8);                         // dct block
+  w.put_varint(64);                        // group size
+  const std::uint8_t tiny_payload[2] = {0, 0};
+  w.put_blob(std::span<const std::uint8_t>(tiny_payload, 2));
+  const auto s = w.take();
+  EXPECT_THROW((void)fpsnr::transform::fixed_rate_decompress<float>(s),
+               io::StreamError);
 }
 
 // --- payload corruption -----------------------------------------------------

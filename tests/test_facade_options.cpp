@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/compressor.h"
+#include "core/pipeline.h"
 #include "data/synth.h"
 #include "sz/stream_format.h"
 
@@ -82,6 +85,60 @@ INSTANTIATE_TEST_SUITE_P(
                                          core::Engine::TransformHaar,
                                          core::Engine::TransformDct),
                        ::testing::Values(50.0, 80.0, 110.0)));
+
+TEST(FacadeOptions, RegistryOnlyEnginesRouteThroughBlockPipeline) {
+  // Interp / ZfpRate / Store have no serial flat-stream path; the facade
+  // must emit an FPBK container for them even with no parallel knobs set,
+  // and decompress() must dispatch it transparently.
+  const data::Dims dims{48, 32};
+  const auto values = sample_field(dims);
+  for (const core::Engine e :
+       {core::Engine::Interp, core::Engine::ZfpRate, core::Engine::Store}) {
+    core::CompressOptions opts;
+    opts.engine = e;
+    const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+    EXPECT_TRUE(core::is_block_stream(r.stream))
+        << "engine " << static_cast<int>(e);
+    const auto rep = core::verify<float>(values, r.stream);
+    EXPECT_GT(rep.psnr_db, 59.0) << "engine " << static_cast<int>(e);
+  }
+}
+
+TEST(FacadeOptions, RegistryNameLookupListsRegisteredCodecs) {
+  // The CLI resolves --engine through these lookups; an unknown name must
+  // fail with a message naming every registered codec.
+  auto& registry = core::CodecRegistry::instance();
+  EXPECT_EQ(registry.id_of("sz-lorenzo"), core::kCodecSzLorenzo);
+  EXPECT_EQ(registry.id_of("transform-haar"), core::kCodecTransformHaar);
+  EXPECT_EQ(registry.id_of("transform-dct"), core::kCodecTransformDct);
+  EXPECT_EQ(registry.id_of("interp"), core::kCodecInterp);
+  EXPECT_EQ(registry.id_of("zfpr"), core::kCodecZfpRate);
+  EXPECT_EQ(registry.id_of("store"), core::kCodecStore);
+  EXPECT_EQ(registry.find("interp"), &registry.at(core::kCodecInterp));
+  EXPECT_EQ(registry.find("no-such-codec"), nullptr);
+
+  const auto names = registry.names();
+  ASSERT_GE(names.size(), 6u);
+  try {
+    registry.id_of("no-such-codec");
+    FAIL() << "unknown codec name must throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    for (std::string_view n : names)
+      EXPECT_NE(what.find(n), std::string::npos)
+          << "error message must list '" << n << "'";
+  }
+}
+
+TEST(FacadeOptions, AdaptiveBudgetRoutesThroughBlockPipeline) {
+  const data::Dims dims{48, 32};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.budget = core::BudgetMode::Adaptive;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+  EXPECT_TRUE(core::is_block_stream(r.stream));
+  EXPECT_GT(core::verify<float>(values, r.stream).psnr_db, 59.0);
+}
 
 TEST(FacadeOptions, HybridPredictorIgnoredByTransformEngines) {
   // Transform engines have no Lorenzo/regression stage; the option must be

@@ -10,11 +10,13 @@
 //             --block-size 4 -o golden_v1.fpbk
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/compressor.h"
 #include "core/pipeline.h"
 #include "io/streaming_archive.h"
 
@@ -91,3 +93,96 @@ TEST(GoldenFormat, MmapReaderAcceptsGoldenArchive) {
   const auto full = core::decompress_file<float>(data_path("golden_v1.fpbk"));
   EXPECT_EQ(full.values, expected);
 }
+
+TEST(GoldenFormat, V1ArchiveReportsNoRecordedPsnr) {
+  // v1 has no per-block SSE index column; the reader must say so instead
+  // of inventing a number.
+  const auto archive = read_bytes(data_path("golden_v1.fpbk"));
+  const auto info = core::inspect_block_stream(archive);
+  EXPECT_EQ(info.version, 1);
+  EXPECT_EQ(info.budget_mode, core::BudgetMode::Uniform);
+  EXPECT_TRUE(std::isnan(info.achieved_psnr_db));
+  EXPECT_EQ(info.achieved_sse, -1.0);
+}
+
+// --- v2 fixtures: new codec bytes + per-block-SSE index column ------------
+//
+// Produced by (see tests/data/README.md):
+//   fpsnr_cli compress -i golden_v2_input.f32 -d 24x8 -m psnr -v 60
+//             --engine {interp|zfpr|store} [--budget adaptive] --block-size 6
+//             -o golden_v2_{interp|zfpr|store}.fpbk
+
+struct GoldenV2Case {
+  const char* archive;
+  const char* decoded;  ///< nullptr = decodes to the input bit-exactly
+  core::CodecId codec;
+  const char* codec_name;
+  core::BudgetMode budget;
+};
+
+class GoldenV2 : public ::testing::TestWithParam<GoldenV2Case> {};
+
+TEST_P(GoldenV2, HeaderCodecByteAndBudgetModeAreStable) {
+  const auto& c = GetParam();
+  const auto archive = read_bytes(data_path(c.archive));
+  ASSERT_TRUE(core::is_block_stream(archive));
+  const auto info = core::inspect_block_stream(archive);
+  EXPECT_EQ(info.version, 2);
+  EXPECT_EQ(info.codec, c.codec);
+  EXPECT_EQ(info.codec_name, c.codec_name);
+  EXPECT_EQ(info.budget_mode, c.budget);
+  EXPECT_EQ(info.dims, (fpsnr::data::Dims{24, 8}));
+  EXPECT_EQ(info.block_rows, 6u);
+  EXPECT_EQ(info.block_count, 4u);
+  EXPECT_EQ(info.control_mode, core::ControlMode::FixedPsnr);
+  EXPECT_DOUBLE_EQ(info.control_value, 60.0);
+}
+
+TEST_P(GoldenV2, DecodesBitExactly) {
+  const auto& c = GetParam();
+  const auto archive = read_bytes(data_path(c.archive));
+  const auto expected =
+      read_f32(data_path(c.decoded ? c.decoded : "golden_v2_input.f32"));
+  ASSERT_EQ(expected.size(), 192u);
+  const auto full = core::decompress_blocked<float>(archive);
+  ASSERT_EQ(full.values.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(full.values[i], expected[i]) << "value " << i;
+
+  // Random access must agree, including store-demoted blocks.
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto block = core::decompress_block<float>(archive, b);
+    for (std::size_t i = 0; i < block.values.size(); ++i)
+      ASSERT_EQ(block.values[i], expected[b * 6 * 8 + i])
+          << "block " << b << " value " << i;
+  }
+}
+
+TEST_P(GoldenV2, RecordedSseColumnMatchesDecodeExactly) {
+  // The per-block-SSE index field is part of the format contract: the
+  // recorded PSNR must reproduce a from-scratch recomputation against the
+  // checked-in input to 1e-6 dB.
+  const auto& c = GetParam();
+  const auto archive = read_bytes(data_path(c.archive));
+  const auto original = read_f32(data_path("golden_v2_input.f32"));
+  const auto info = core::inspect_block_stream(archive);
+  ASSERT_GE(info.achieved_sse, 0.0);
+  const auto report = core::verify<float>(original, archive);
+  if (std::isinf(report.psnr_db))
+    EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
+  else
+    EXPECT_NEAR(info.achieved_psnr_db, report.psnr_db, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewCodecs, GoldenV2,
+    ::testing::Values(
+        GoldenV2Case{"golden_v2_interp.fpbk", "golden_v2_interp_decoded.f32",
+                     core::kCodecInterp, "interp", core::BudgetMode::Adaptive},
+        GoldenV2Case{"golden_v2_zfpr.fpbk", "golden_v2_zfpr_decoded.f32",
+                     core::kCodecZfpRate, "zfpr", core::BudgetMode::Uniform},
+        GoldenV2Case{"golden_v2_store.fpbk", nullptr, core::kCodecStore,
+                     "store", core::BudgetMode::Uniform}),
+    [](const ::testing::TestParamInfo<GoldenV2Case>& info) {
+      return std::string(info.param.codec_name);
+    });

@@ -171,9 +171,9 @@ TEST(ParallelPipeline, WriterAcceptsOutOfOrderCompletion) {
   h.block_rows = 3;
   h.block_count = 3;
   io::BlockContainerWriter writer(h);
-  writer.add_block(2, {7, 8, 9});
-  writer.add_block(0, {1, 2});
-  writer.add_block(1, {3, 4, 5, 6});
+  writer.add_block(2, {7, 8, 9}, 0.0);
+  writer.add_block(0, {1, 2}, 0.0);
+  writer.add_block(1, {3, 4, 5, 6}, 0.0);
   const auto stream = writer.finish();
 
   const auto view = io::open_block_container(stream);
@@ -199,9 +199,9 @@ TEST(ParallelPipeline, WriterRejectsMissingAndDuplicateBlocks) {
   h.block_rows = 2;
   h.block_count = 2;
   io::BlockContainerWriter writer(h);
-  writer.add_block(0, {1});
-  EXPECT_THROW(writer.add_block(0, {2}), std::logic_error);
-  EXPECT_THROW(writer.add_block(5, {2}), std::out_of_range);
+  writer.add_block(0, {1}, 0.0);
+  EXPECT_THROW(writer.add_block(0, {2}, 0.0), std::logic_error);
+  EXPECT_THROW(writer.add_block(5, {2}, 0.0), std::out_of_range);
   EXPECT_THROW(writer.finish(), std::logic_error);  // block 1 missing
 }
 

@@ -112,16 +112,16 @@ TEST(StreamingIo, WriterSpillsOutOfOrderBlocksInIndexOrder) {
 
   // Reference bytes from the in-memory writer.
   io::BlockContainerWriter mem(h);
-  mem.add_block(0, {1, 2});
-  mem.add_block(1, {3, 4, 5, 6});
-  mem.add_block(2, {7, 8, 9});
+  mem.add_block(0, {1, 2}, 0.0);
+  mem.add_block(1, {3, 4, 5, 6}, 0.0);
+  mem.add_block(2, {7, 8, 9}, 0.0);
   const auto expect = mem.finish();
 
   TempFile tmp("stream-reorder");
   io::StreamingArchiveWriter writer(tmp.str(), h);
-  writer.add_block(2, {7, 8, 9});  // two blocks arrive before block 0
-  writer.add_block(1, {3, 4, 5, 6});
-  writer.add_block(0, {1, 2});     // prefix complete -> everything spills
+  writer.add_block(2, {7, 8, 9}, 0.0);  // two blocks arrive before block 0
+  writer.add_block(1, {3, 4, 5, 6}, 0.0);
+  writer.add_block(0, {1, 2}, 0.0);     // prefix complete -> everything spills
   const auto total = writer.finish();
 
   EXPECT_EQ(total, expect.size());
@@ -139,14 +139,14 @@ TEST(StreamingIo, WriterRejectsMisuse) {
 
   TempFile tmp("stream-misuse");
   io::StreamingArchiveWriter writer(tmp.str(), h);
-  writer.add_block(0, {1});
-  EXPECT_THROW(writer.add_block(0, {2}), std::logic_error);   // duplicate
-  EXPECT_THROW(writer.add_block(5, {2}), std::out_of_range);  // bad index
+  writer.add_block(0, {1}, 0.0);
+  EXPECT_THROW(writer.add_block(0, {2}, 0.0), std::logic_error);   // duplicate
+  EXPECT_THROW(writer.add_block(5, {2}, 0.0), std::out_of_range);  // bad index
   EXPECT_THROW(writer.finish(), std::logic_error);            // block 1 missing
-  writer.add_block(1, {2});
+  writer.add_block(1, {2}, 0.0);
   writer.finish();
   EXPECT_THROW(writer.finish(), std::logic_error);            // finish twice
-  EXPECT_THROW(writer.add_block(0, {9}), std::logic_error);   // add after finish
+  EXPECT_THROW(writer.add_block(0, {9}, 0.0), std::logic_error);   // add after finish
 }
 
 TEST(StreamingIo, AbortedWriteLeavesPreExistingArchiveUntouched) {
@@ -164,7 +164,7 @@ TEST(StreamingIo, AbortedWriteLeavesPreExistingArchiveUntouched) {
       .write(reinterpret_cast<const char*>(precious.data()), 2);
   {
     io::StreamingArchiveWriter writer(tmp.str(), h);
-    writer.add_block(0, {1, 2, 3});
+    writer.add_block(0, {1, 2, 3}, 0.0);
     // Destroyed unfinished, as if a codec threw mid-compress.
   }
   EXPECT_EQ(slurp(tmp.path), precious);
@@ -173,8 +173,8 @@ TEST(StreamingIo, AbortedWriteLeavesPreExistingArchiveUntouched) {
   // And a finished writer does replace the old bytes.
   {
     io::StreamingArchiveWriter writer(tmp.str(), h);
-    writer.add_block(0, {1, 2, 3});
-    writer.add_block(1, {4});
+    writer.add_block(0, {1, 2, 3}, 0.0);
+    writer.add_block(1, {4}, 0.0);
     writer.finish();
   }
   EXPECT_NE(slurp(tmp.path), precious);
