@@ -8,6 +8,7 @@
 // Raw input files are little-endian float32 arrays in C order.
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -57,6 +58,17 @@ using namespace fpsnr;
       "                  only that block's bytes are ever read\n"
       "      --report-psnr   print the archive's recorded exact PSNR (v2)\n"
       "  fpsnr_cli inspect    -i IN.fpsz\n"
+      "  fpsnr_cli compress-batch -i MANIFEST -o OUTDIR [--psnr DB]\n"
+      "      compress every field of a dataset manifest to the same PSNR\n"
+      "      target, interleaving all fields' blocks on one global work\n"
+      "      queue; one FPBK archive per field lands in OUTDIR/<name>.fpbk.\n"
+      "      MANIFEST is a text file, one field per line:\n"
+      "          <name> <raw-f32-file> <dims>     # '#' starts a comment\n"
+      "      (paths are relative to the manifest's directory)\n"
+      "      --threads/--engine/--budget/--block-size/--predictor pass\n"
+      "      through to every field; --stream spills each archive to disk as its blocks\n"
+      "      finish; --no-verify skips the decode check and reports the\n"
+      "      exact compress-time PSNR from the FPBK v2 SSE index instead\n"
       "  fpsnr_cli demo       [--dataset nyx|atm|hurricane] [--psnr DB]\n"
       "  fpsnr_cli pack       --dataset NAME --psnr DB -o OUT.fpar\n"
       "      compress every field of a synthetic dataset into one archive\n"
@@ -71,17 +83,36 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
 
+/// Write (or die with exit 1). An unwritable path must be an I/O *error*,
+/// not a usage error, and it must be detected on the in-memory path exactly
+/// like the streaming writer detects it: open, write, AND flush are all
+/// checked, so ENOSPC/EDQUOT surfacing only at flush time still fails the
+/// run instead of silently exiting 0 with a truncated file.
 void write_file(const std::string& path, const void* data, std::size_t bytes) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) usage(("cannot write " + path).c_str());
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  out.flush();
+  if (!out) throw std::runtime_error("write failed on " + path);
 }
 
 data::Dims parse_dims(const std::string& s) {
   std::vector<std::size_t> extents;
   std::stringstream ss(s);
   std::string part;
-  while (std::getline(ss, part, 'x')) extents.push_back(std::stoull(part));
+  while (std::getline(ss, part, 'x')) {
+    // std::stoull alone would accept '16y999' as 16 and wrap '-1' to
+    // 2^64-1 — every token must be pure digits (and fit) or the geometry
+    // silently changes.
+    if (part.empty() || part.find_first_not_of("0123456789") != std::string::npos)
+      usage(("bad dims '" + s + "': '" + part +
+             "' is not a number (want e.g. 512, 1800x3600)").c_str());
+    try {
+      extents.push_back(std::stoull(part));
+    } catch (const std::out_of_range&) {
+      usage(("bad dims '" + s + "': '" + part + "' is out of range").c_str());
+    }
+  }
   return data::Dims(std::move(extents));
 }
 
@@ -104,6 +135,7 @@ struct Args {
   bool stream = false;  ///< compress: spill blocks to disk as they finish
   bool mmap = false;    ///< decompress: map the archive instead of loading
   bool report_psnr = false;  ///< print the exact recorded PSNR
+  bool no_verify = false;    ///< batch: trust the recorded SSE, skip decode
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -130,6 +162,7 @@ Args parse_args(int argc, char** argv, int first) {
     else if (flag == "--stream") a.stream = true;
     else if (flag == "--mmap") a.mmap = true;
     else if (flag == "--report-psnr") a.report_psnr = true;
+    else if (flag == "--no-verify") a.no_verify = true;
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -162,15 +195,25 @@ core::BudgetMode parse_budget(const std::string& name) {
   usage("unknown budget mode (want uniform|adaptive)");
 }
 
+/// Load raw little-endian float32 values and wrap them as a named field.
+data::Field load_field(const std::string& name, const std::string& path,
+                       const data::Dims& dims) {
+  const auto raw = read_file(path);
+  if (raw.size() % sizeof(float) != 0)
+    usage((path + ": size is not a multiple of 4").c_str());
+  std::vector<float> values(raw.size() / sizeof(float));
+  if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
+  if (dims.count() != values.size())
+    usage((path + ": dims do not match file size").c_str());
+  return {name, dims, std::move(values)};
+}
+
 int cmd_compress(const Args& a) {
   if (a.input.empty() || a.output.empty() || a.dims.empty())
     usage("compress needs -i, -o, -d");
-  const auto raw = read_file(a.input);
-  if (raw.size() % sizeof(float) != 0) usage("input size is not a multiple of 4");
-  std::vector<float> values(raw.size() / sizeof(float));
-  if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
   const data::Dims dims = parse_dims(a.dims);
-  if (dims.count() != values.size()) usage("dims do not match input size");
+  const data::Field field = load_field("input", a.input, dims);
+  const std::span<const float> values = field.span();
 
   core::CompressOptions opts;
   if (a.predictor == "hybrid")
@@ -350,6 +393,133 @@ int cmd_inspect(const Args& a) {
   return 0;
 }
 
+/// Parse a batch manifest: one `<name> <raw-file> <dims>` triple per line,
+/// '#' comments, blank lines ignored. Relative file paths resolve against
+/// the manifest's own directory so a dataset folder is self-contained.
+data::Dataset read_manifest(const std::string& manifest_path) {
+  std::ifstream in(manifest_path);
+  if (!in) usage(("cannot open " + manifest_path).c_str());
+  const auto base = std::filesystem::path(manifest_path).parent_path();
+
+  data::Dataset ds;
+  ds.name = std::filesystem::path(manifest_path).stem().string();
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream fields(line);
+    std::string name, file, dims_text;
+    if (!(fields >> name)) continue;  // blank / comment-only line
+    if (!(fields >> file >> dims_text))
+      usage(("manifest line " + std::to_string(lineno) +
+             ": want '<name> <raw-f32-file> <dims>'").c_str());
+    // Reject trailing tokens: '128 x128' silently parsing as dims "128"
+    // would surface as a confusing size-mismatch error much later.
+    if (std::string extra; fields >> extra)
+      usage(("manifest line " + std::to_string(lineno) +
+             ": unexpected trailing token '" + extra + "'").c_str());
+    // The name becomes OUTDIR/<name>.fpbk: a path separator would let a
+    // manifest write outside OUTDIR, and a duplicate would make two
+    // writers fight over one archive. The duplicate check folds case —
+    // 'U' and 'u' are one file on default macOS/Windows volumes.
+    // ':' covers Windows drive-relative root-names ("C:payload"), which
+    // would make OUTDIR/<name> discard OUTDIR entirely.
+    if (name.find_first_of("/\\:") != std::string::npos)
+      usage(("manifest line " + std::to_string(lineno) + ": field name '" +
+             name + "' must not contain path separators or ':'").c_str());
+    if (!core::archive_name_ascii(name))
+      usage(("manifest line " + std::to_string(lineno) + ": field name '" +
+             name + "' must be printable ASCII (filesystem case folding "
+             "of non-ASCII names is volume-specific)").c_str());
+    for (const auto& existing : ds.fields)
+      if (core::fold_archive_name(existing.name) ==
+          core::fold_archive_name(name))
+        usage(("manifest line " + std::to_string(lineno) +
+               ": duplicate field name '" + name +
+               "' (names are compared case-insensitively: archives share "
+               "one file per name on case-insensitive filesystems)").c_str());
+    std::filesystem::path path(file);
+    if (path.is_relative()) path = base / path;
+    ds.fields.push_back(load_field(name, path.string(), parse_dims(dims_text)));
+  }
+  if (ds.fields.empty()) usage("manifest lists no fields");
+  return ds;
+}
+
+int cmd_compress_batch(const Args& a) {
+  if (a.input.empty() || a.output.empty())
+    usage("compress-batch needs -i MANIFEST -o OUTDIR");
+  // The batch engine is fixed-PSNR by definition; silently reinterpreting
+  // an `abs`/`rel` bound as a dB target would shred every field.
+  if (a.mode != "psnr")
+    usage("compress-batch supports only fixed-PSNR mode (-m psnr / --psnr DB)");
+  const data::Dataset ds = read_manifest(a.input);
+
+  core::BatchOptions opts;
+  if (a.predictor == "hybrid")
+    opts.compress.sz_predictor = sz::Predictor::HybridRegression;
+  else if (a.predictor != "lorenzo")
+    usage("unknown predictor (want lorenzo|hybrid)");
+  opts.compress.engine = parse_engine(a.engine);
+  opts.compress.budget = parse_budget(a.budget);
+  opts.compress.parallel.block_rows = a.block_size;
+  opts.threads = a.threads;
+  opts.verify = !a.no_verify;
+  std::filesystem::create_directories(a.output);
+  if (a.stream)
+    opts.stream_dir = a.output;  // archives land as their blocks finish
+  else
+    opts.keep_streams = true;  // written below, after the batch returns
+
+  const core::BatchResult batch =
+      core::run_fixed_psnr_batch(ds, a.value, opts);
+
+  std::size_t raw_total = 0, compressed_total = 0;
+  std::cout << std::left << std::setw(14) << "field" << std::right
+            << std::setw(12) << "values" << std::setw(12) << "bytes"
+            << std::setw(9) << "ratio" << std::setw(12) << "PSNR(dB)"
+            << std::setw(6) << "met\n";
+  for (std::size_t i = 0; i < batch.fields.size(); ++i) {
+    const auto& f = batch.fields[i];
+    const auto& field = ds.fields[i];
+    if (!a.stream) {
+      const auto path =
+          (std::filesystem::path(a.output) / (f.field_name + ".fpbk")).string();
+      write_file(path, f.stream.data(), f.stream.size());
+    }
+    raw_total += field.bytes();
+    compressed_total += f.compressed_bytes;
+    std::cout << std::left << std::setw(14) << f.field_name << std::right
+              << std::setw(12) << field.size() << std::setw(12)
+              << f.compressed_bytes << std::setw(9) << std::fixed
+              << std::setprecision(2) << f.compression_ratio << std::setw(12)
+              << f.actual_psnr_db << std::setw(5)
+              << (f.met_target ? "yes" : "no") << "\n";
+  }
+
+  const auto stats = batch.psnr_stats();
+  std::cout << "\n" << batch.fields.size() << " field(s) -> " << a.output
+            << ": " << raw_total << " raw -> " << compressed_total
+            << " compressed bytes (ratio " << std::fixed
+            << std::setprecision(2)
+            << (compressed_total
+                    ? static_cast<double>(raw_total) /
+                          static_cast<double>(compressed_total)
+                    : 0.0)
+            << ")\n"
+            << "target " << a.value << " dB: AVG " << stats.mean()
+            << " dB, STDEV " << stats.stdev() << " dB, met "
+            << 100.0 * batch.met_fraction() << "%, mean |deviation| "
+            << batch.mean_abs_deviation_db() << " dB\n"
+            << "queue: " << (a.threads > 1 ? a.threads : 1)
+            << " worker(s) over " << batch.fields.size()
+            << " field(s); per-field archives are byte-identical at any "
+               "thread count\n";
+  return 0;
+}
+
 data::Dataset make_named_dataset(const std::string& name) {
   data::DatasetConfig cfg;
   if (name == "nyx") return data::make_nyx(cfg);
@@ -424,6 +594,7 @@ int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv, 2);
     if (cmd == "compress") return cmd_compress(a);
+    if (cmd == "compress-batch") return cmd_compress_batch(a);
     if (cmd == "decompress") return cmd_decompress(a);
     if (cmd == "inspect") return cmd_inspect(a);
     if (cmd == "demo") return cmd_demo(a);

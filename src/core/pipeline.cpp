@@ -1,9 +1,12 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "core/distortion_model.h"
 #include "io/archive.h"
@@ -280,37 +283,6 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   return plan;
 }
 
-/// Compress every block on the shared pool, handing each finished block to
-/// `sink(b, bytes)` (thread-safe in both writers). A block whose primary
-/// encoding is no smaller than the raw passthrough is demoted to the store
-/// codec — the decision depends only on the data, so output bytes stay
-/// thread-count independent.
-template <typename T>
-void run_blocks(const BlockPlan& plan, std::span<const T> values,
-                const data::Dims& dims, std::size_t threads,
-                std::vector<BlockInfo>& block_infos,
-                const std::function<void(std::size_t, std::vector<std::uint8_t>)>&
-                    sink) {
-  block_infos.assign(plan.layout.block_count, BlockInfo{});
-  const BlockCodec& store = CodecRegistry::instance().at(kCodecStore);
-  for_each_block(plan.layout.block_count, threads, [&](std::size_t b) {
-    const std::size_t first = block_first_row(plan.layout, b);
-    const std::size_t rows = block_rows_of(plan.layout, dims, b);
-    const auto slice = values.subspan(first * plan.layout.row_stride,
-                                      rows * plan.layout.row_stride);
-    const data::Dims slab = slab_dims(dims, rows);
-    BlockParams bp = plan.bp;
-    bp.eb_abs = plan.block_eb[b];
-    auto bytes = plan.codec->compress(slice, slab, bp, &block_infos[b]);
-    if (plan.codec_id != kCodecStore &&
-        bytes.size() >= store_encoded_size(slice.size(), sizeof(T))) {
-      block_infos[b] = BlockInfo{};
-      bytes = store.compress(slice, slab, bp, &block_infos[b]);
-    }
-    sink(b, std::move(bytes));
-  });
-}
-
 /// Per-block budget accounting: every value must be covered exactly once,
 /// and the per-block SSE budgets must sum back to the serial model
 /// N * eb^2 / 3 — i.e. blocking spent exactly the global budget, no more.
@@ -367,23 +339,137 @@ void set_size_info(CompressResult& out, std::size_t raw_bytes,
 
 }  // namespace
 
+/// All job state behind the pimpl. Exactly one of `mem` / `file` is
+/// engaged, chosen by which constructor ran. `remaining` is the only
+/// cross-thread coordination run_block needs: the writers do their own
+/// locking, block_infos slots are per-index, and the plan is immutable
+/// after construction.
+template <typename T>
+struct FieldCompressor<T>::Impl {
+  std::span<const T> values;
+  data::Dims dims;
+  ControlRequest request;
+  BlockPlan plan;
+  std::vector<BlockInfo> block_infos;
+  std::optional<io::BlockContainerWriter> mem;
+  std::optional<io::StreamingArchiveWriter> file;
+  std::atomic<std::size_t> remaining{0};
+  bool finalized = false;
+
+  Impl(std::span<const T> v, const data::Dims& d, const ControlRequest& r,
+       const CompressOptions& options)
+      : values(v), dims(d), request(r),
+        plan(plan_blocks(v, d, r, options)),
+        block_infos(plan.layout.block_count),
+        remaining(plan.layout.block_count) {}
+};
+
+template <typename T>
+FieldCompressor<T>::FieldCompressor(std::span<const T> values,
+                                    const data::Dims& dims,
+                                    const ControlRequest& request,
+                                    const CompressOptions& options)
+    : impl_(std::make_unique<Impl>(values, dims, request, options)) {
+  impl_->mem.emplace(impl_->plan.header);
+}
+
+template <typename T>
+FieldCompressor<T>::FieldCompressor(std::span<const T> values,
+                                    const data::Dims& dims,
+                                    const ControlRequest& request,
+                                    const CompressOptions& options,
+                                    std::string path)
+    : impl_(std::make_unique<Impl>(values, dims, request, options)) {
+  impl_->file.emplace(std::move(path), impl_->plan.header);
+}
+
+template <typename T>
+FieldCompressor<T>::~FieldCompressor() = default;
+
+template <typename T>
+FieldCompressor<T>::FieldCompressor(FieldCompressor&&) noexcept = default;
+
+template <typename T>
+FieldCompressor<T>& FieldCompressor<T>::operator=(FieldCompressor&&) noexcept =
+    default;
+
+template <typename T>
+std::size_t FieldCompressor<T>::block_count() const {
+  return impl_->plan.layout.block_count;
+}
+
+template <typename T>
+bool FieldCompressor<T>::complete() const {
+  return impl_->remaining.load(std::memory_order_acquire) == 0;
+}
+
+template <typename T>
+bool FieldCompressor<T>::run_block(std::size_t b) {
+  Impl& im = *impl_;
+  const BlockPlan& plan = im.plan;
+  if (b >= plan.layout.block_count)
+    throw std::out_of_range("block pipeline: run_block index out of range");
+  const std::size_t first = block_first_row(plan.layout, b);
+  const std::size_t rows = block_rows_of(plan.layout, im.dims, b);
+  const auto slice = im.values.subspan(first * plan.layout.row_stride,
+                                       rows * plan.layout.row_stride);
+  const data::Dims slab = slab_dims(im.dims, rows);
+  BlockParams bp = plan.bp;
+  bp.eb_abs = plan.block_eb[b];
+  auto bytes = plan.codec->compress(slice, slab, bp, &im.block_infos[b]);
+  // A block whose primary encoding is no smaller than the raw passthrough
+  // is demoted to the store codec — the decision depends only on the data,
+  // so output bytes stay schedule- and thread-count independent.
+  if (plan.codec_id != kCodecStore &&
+      bytes.size() >= store_encoded_size(slice.size(), sizeof(T))) {
+    im.block_infos[b] = BlockInfo{};
+    bytes = CodecRegistry::instance().at(kCodecStore).compress(
+        slice, slab, bp, &im.block_infos[b]);
+  }
+  // The writers reject duplicate indices, so a double-run can never reach
+  // the counter and mis-report completion.
+  if (im.mem)
+    im.mem->add_block(b, std::move(bytes), im.block_infos[b].achieved_sse);
+  else
+    im.file->add_block(b, std::move(bytes), im.block_infos[b].achieved_sse);
+  return im.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+template <typename T>
+CompressResult FieldCompressor<T>::finalize(io::StreamingStats* stats) {
+  Impl& im = *impl_;
+  if (im.finalized)
+    throw std::logic_error("block pipeline: finalize called twice");
+  if (!complete())
+    throw std::logic_error("block pipeline: finalize before every block ran");
+  // Validate the budget accounting BEFORE finishing the writer: if it
+  // fails, the streaming writer is destroyed unfinished and the partial
+  // file removed — nothing is ever installed at the target path for a run
+  // the API reports as failed.
+  CompressResult out =
+      account_blocks(im.plan, im.values, im.request, im.block_infos);
+  if (im.mem) {
+    out.stream = im.mem->finish();
+    set_size_info(out, im.values.size() * sizeof(T), out.stream.size());
+  } else {
+    const std::uint64_t total = im.file->finish();
+    if (stats) *stats = im.file->stats();
+    set_size_info(out, im.values.size() * sizeof(T),
+                  static_cast<std::size_t>(total));
+  }
+  im.finalized = true;
+  return out;
+}
+
 template <typename T>
 CompressResult compress_blocked(std::span<const T> values,
                                 const data::Dims& dims,
                                 const ControlRequest& request,
                                 const CompressOptions& options) {
-  const BlockPlan plan = plan_blocks(values, dims, request, options);
-  io::BlockContainerWriter writer(plan.header);
-  std::vector<BlockInfo> block_infos;
-  run_blocks(plan, values, dims, options.parallel.threads, block_infos,
-             [&](std::size_t b, std::vector<std::uint8_t> bytes) {
-               writer.add_block(b, std::move(bytes),
-                                block_infos[b].achieved_sse);
-             });
-  CompressResult out = account_blocks(plan, values, request, block_infos);
-  out.stream = writer.finish();
-  set_size_info(out, values.size() * sizeof(T), out.stream.size());
-  return out;
+  FieldCompressor<T> job(values, dims, request, options);
+  for_each_block(job.block_count(), options.parallel.threads,
+                 [&](std::size_t b) { job.run_block(b); });
+  return job.finalize();
 }
 
 template <typename T>
@@ -393,22 +479,10 @@ CompressResult compress_to_file(std::span<const T> values,
                                 const CompressOptions& options,
                                 const std::string& path,
                                 io::StreamingStats* stats) {
-  const BlockPlan plan = plan_blocks(values, dims, request, options);
-  io::StreamingArchiveWriter writer(path, plan.header);
-  std::vector<BlockInfo> block_infos;
-  run_blocks(plan, values, dims, options.parallel.threads, block_infos,
-             [&](std::size_t b, std::vector<std::uint8_t> bytes) {
-               writer.add_block(b, std::move(bytes),
-                                block_infos[b].achieved_sse);
-             });
-  // Validate the budget accounting first: if it fails, the unfinished
-  // writer is destroyed and the partial file removed — nothing is ever
-  // installed at `path` for a run the API reports as failed.
-  CompressResult out = account_blocks(plan, values, request, block_infos);
-  const std::uint64_t total = writer.finish();
-  if (stats) *stats = writer.stats();
-  set_size_info(out, values.size() * sizeof(T), static_cast<std::size_t>(total));
-  return out;
+  FieldCompressor<T> job(values, dims, request, options, path);
+  for_each_block(job.block_count(), options.parallel.threads,
+                 [&](std::size_t b) { job.run_block(b); });
+  return job.finalize(stats);
 }
 
 template <typename T>
@@ -473,6 +547,8 @@ sz::Decompressed<T> decompress_file_block(const std::string& path,
   return decompress_block<T>(reader.bytes(), block_index);
 }
 
+template class FieldCompressor<float>;
+template class FieldCompressor<double>;
 template CompressResult compress_blocked<float>(std::span<const float>,
                                                 const data::Dims&,
                                                 const ControlRequest&,

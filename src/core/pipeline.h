@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -80,6 +81,66 @@ struct BlockStreamInfo {
 bool is_block_stream(std::span<const std::uint8_t> stream);
 
 BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream);
+
+/// Resumable per-field compression job — the pipeline decomposed into its
+/// three phases so callers can schedule the middle one themselves:
+///
+///   plan      the constructor resolves the budget, block layout, adaptive
+///             split, and container header (all data-dependent only, never
+///             thread-dependent), and opens the output writer;
+///   enqueue   run_block(b) compresses block b and hands it to the writer —
+///             safe to call concurrently for distinct b, in any order, from
+///             any thread;
+///   finalize  finalize() validates the budget accounting and finishes the
+///             archive once every block has run.
+///
+/// compress_blocked / compress_to_file are thin wrappers that run the
+/// blocks on parallel_for_shared; core/batch instead interleaves the
+/// blocks of MANY FieldCompressors onto one parallel::WorkQueue and
+/// finalizes each field as its last block completes. Because the plan and
+/// the per-block bytes depend only on the data and options, the archive is
+/// byte-identical however the blocks were scheduled.
+template <typename T>
+class FieldCompressor {
+ public:
+  /// In-memory plan: finalize() returns the FPBK stream in
+  /// CompressResult::stream. Throws exactly like compress_blocked for
+  /// invalid dims / control modes.
+  FieldCompressor(std::span<const T> values, const data::Dims& dims,
+                  const ControlRequest& request,
+                  const CompressOptions& options);
+  /// Streaming plan: blocks spill to `path` as their prefix completes
+  /// (io::StreamingArchiveWriter); finalize() renames the finished archive
+  /// onto `path` and leaves CompressResult::stream empty. The partial file
+  /// is removed if the job is destroyed unfinalized.
+  FieldCompressor(std::span<const T> values, const data::Dims& dims,
+                  const ControlRequest& request,
+                  const CompressOptions& options, std::string path);
+  ~FieldCompressor();
+
+  FieldCompressor(FieldCompressor&&) noexcept;
+  FieldCompressor& operator=(FieldCompressor&&) noexcept;
+
+  std::size_t block_count() const;
+
+  /// Compress block `b` and hand it to the writer. Thread-safe for
+  /// distinct indices; running the same index twice throws. Returns true
+  /// exactly once — when this call completed the field's LAST outstanding
+  /// block — so the completing worker knows to finalize.
+  bool run_block(std::size_t b);
+
+  /// True once every block has run.
+  bool complete() const;
+
+  /// Validate the per-block budget accounting and finish the archive.
+  /// Must be called exactly once, after complete(). `stats` reports the
+  /// streaming writer's layout/high-water marks (ignored in-memory).
+  CompressResult finalize(io::StreamingStats* stats = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Compress through the block pipeline. Supports every uniform-budget
 /// control mode (FixedPsnr / Absolute / ValueRangeRelative / FixedNrmse);
@@ -127,6 +188,8 @@ template <typename T>
 sz::Decompressed<T> decompress_block(std::span<const std::uint8_t> stream,
                                      std::size_t block_index);
 
+extern template class FieldCompressor<float>;
+extern template class FieldCompressor<double>;
 extern template CompressResult compress_blocked<float>(
     std::span<const float>, const data::Dims&, const ControlRequest&,
     const CompressOptions&);

@@ -1,0 +1,134 @@
+#include "parallel/work_queue.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "parallel/shared_pool.h"
+
+namespace fpsnr::parallel {
+
+struct WorkQueue::State {
+  std::mutex mutex;
+  std::condition_variable idle;  ///< queue empty + nothing running, or new work
+  std::deque<Task> tasks;
+  std::size_t running = 0;
+  std::exception_ptr first_error;
+  /// Set for the duration of a multi-worker drain: push() invokes it
+  /// (outside the lock) to offer the pool ONE more best-effort helper for
+  /// a task pushed mid-drain. Retired helpers never rejoin on their own,
+  /// so without this, a burst of follow-up tasks (e.g. the batch engine's
+  /// per-field verify decodes) pushed near the tail would serialize on
+  /// whichever executor pushed them.
+  std::function<void()> offer_helper;
+
+  /// Pop-and-run until the queue is empty — or, for helpers, until the
+  /// drain they belong to has ended. A helper may sit unscheduled in the
+  /// shared pool long past its drain() and wake at any later moment
+  /// (between drains, or inside a later drain(1) that promises
+  /// strictly-inline execution), so each drain hands its helpers a
+  /// per-drain `active` flag that is cleared the moment that drain
+  /// returns: a stale helper retires without touching tasks it was never
+  /// budgeted for. The drain() caller passes nullptr (it is always
+  /// entitled to run) and loops back in whenever an in-flight task
+  /// repopulates the queue.
+  void run_tasks(const std::atomic<bool>* active) {
+    std::unique_lock lock(mutex);
+    while (!tasks.empty() &&
+           (active == nullptr || active->load(std::memory_order_acquire))) {
+      Task task = std::move(tasks.front());
+      tasks.pop_front();
+      ++running;
+      lock.unlock();
+      try {
+        task();
+      } catch (...) {
+        lock.lock();
+        if (!first_error) first_error = std::current_exception();
+        lock.unlock();
+      }
+      lock.lock();
+      --running;
+    }
+    if (running == 0) idle.notify_all();
+  }
+};
+
+WorkQueue::WorkQueue() : state_(std::make_shared<State>()) {}
+
+WorkQueue::~WorkQueue() = default;
+
+void WorkQueue::push(Task task) {
+  std::function<void()> offer;
+  {
+    std::lock_guard lock(state_->mutex);
+    state_->tasks.push_back(std::move(task));
+    offer = state_->offer_helper;  // copy: cleared asynchronously by drain
+  }
+  // Wake the drain() caller if it is parked: an in-flight task may have
+  // produced follow-up work after the queue looked empty.
+  state_->idle.notify_all();
+  if (offer) offer();
+}
+
+std::size_t WorkQueue::pending() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->tasks.size();
+}
+
+void WorkQueue::drain(std::size_t max_workers) {
+  const std::shared_ptr<State> state = state_;
+  // Shared with this drain's helpers (which may outlive both the drain
+  // and the WorkQueue); cleared on every exit path so stale helpers can
+  // never execute tasks pushed after this drain returned.
+  const auto active = std::make_shared<std::atomic<bool>>(true);
+  // Helpers are best effort, exactly as in parallel_for_shared: if the
+  // pool never schedules one, the caller's own loop below still drains
+  // everything, so nesting inside a pool worker cannot deadlock.
+  const auto spawn_helper = [state, active] {
+    try {
+      (void)shared_pool().submit(
+          [state, active] { state->run_tasks(active.get()); });
+    } catch (...) {
+      // pool shutting down: the caller completes the drain alone
+    }
+  };
+  if (max_workers > 1) {
+    for (std::size_t w = 1; w < max_workers; ++w) spawn_helper();
+    // Tasks pushed while the drain is running re-offer the pool one
+    // helper each (see State::offer_helper) — retired helpers never
+    // rejoin by themselves.
+    std::lock_guard lock(state->mutex);
+    state->offer_helper = spawn_helper;
+  }
+
+  state->run_tasks(nullptr);
+  std::unique_lock lock(state->mutex);
+  for (;;) {
+    if (!state->tasks.empty()) {
+      // A task pushed follow-up work; its helper offer may lose the pool
+      // lottery, so the caller picks the work up itself.
+      lock.unlock();
+      state->run_tasks(nullptr);
+      lock.lock();
+      continue;
+    }
+    if (state->running == 0) break;
+    state->idle.wait(lock, [&] {
+      return !state->tasks.empty() || state->running == 0;
+    });
+  }
+  state->offer_helper = nullptr;
+  // Retire this drain's helpers BEFORE dropping the mutex: they re-check
+  // `active` under the same lock, so no helper can pop a task pushed
+  // after this drain's completion was decided.
+  active->store(false, std::memory_order_release);
+  std::exception_ptr error = std::exchange(state->first_error, nullptr);
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace fpsnr::parallel

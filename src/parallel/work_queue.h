@@ -1,0 +1,73 @@
+// Global MPMC work queue — the batch engine's task substrate.
+//
+// parallel_for_shared (shared_pool.h) parallelizes ONE indexed loop; a
+// whole-dataset batch is many loops of very different lengths (CESM-ATM:
+// 79 fields from tiny 2-D slices to huge 3-D volumes). Running them one
+// loop at a time serializes the pool behind each field's stragglers: a
+// 4-block field can keep at most 4 of 8 cores busy, and every field ends
+// with a barrier. WorkQueue instead holds the blocks of *all* fields as
+// independent tasks in one multi-producer/multi-consumer queue, so workers
+// always have somewhere to go until the entire dataset is drained.
+//
+// Tasks are coarse (one pipeline block: quantize -> Huffman -> lossless,
+// typically >= tens of microseconds), so a single lock-protected deque is
+// plenty — the lock is touched twice per task, far from contention, while
+// staying trivially work-stealing-friendly: any executor pops from the same
+// front, so an idle worker "steals" whatever is next regardless of which
+// field produced it.
+//
+// Nesting safety mirrors parallel_for_shared: drain() always executes tasks
+// on the calling thread too, and shared-pool helpers are best-effort, so a
+// drain issued from inside a pool worker can never deadlock. Tasks may push
+// further tasks (e.g. a field's finalize step) — drain() only returns when
+// the queue is empty AND no task is still running.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace fpsnr::parallel {
+
+class WorkQueue {
+ public:
+  using Task = std::function<void()>;
+
+  WorkQueue();
+  ~WorkQueue();
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Enqueue a task (FIFO). Safe from any thread, including from inside a
+  /// task that is currently draining.
+  void push(Task task);
+
+  /// Tasks enqueued but not yet started (snapshot; racy by nature).
+  std::size_t pending() const;
+
+  /// Run tasks until the queue is empty and every started task has
+  /// returned. The calling thread always participates; up to
+  /// max_workers - 1 shared-pool helpers join best-effort (max_workers
+  /// <= 1 drains everything inline on the caller). Rethrows the first
+  /// task exception after the drain completes — remaining tasks still
+  /// run, so producers with per-task cleanup always see every task
+  /// either executed or still queued, never silently dropped.
+  ///
+  /// One drain at a time: pushes are MPMC-safe concurrently with a
+  /// running drain, but overlapping drain() calls on the same queue are
+  /// not supported (the error slot and helper re-offer hook are
+  /// per-queue, so two concurrent drains would steal each other's
+  /// exceptions and helper offers). Drain sequentially, or use one queue
+  /// per drain site.
+  void drain(std::size_t max_workers);
+
+ private:
+  struct State;
+  /// Heap-shared with helper tasks: a helper may still sit in the pool
+  /// queue after drain() returns (it finds the queue empty and exits), so
+  /// the state must be able to outlive the WorkQueue itself.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace fpsnr::parallel

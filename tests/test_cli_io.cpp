@@ -1,0 +1,155 @@
+// Exit-code contract of the CLI's output paths: an unwritable -o must fail
+// with exit 1 (an I/O error, not a usage error and never a silent success)
+// on BOTH the in-memory and the streaming compress paths. Drives the real
+// fpsnr_cli binary as a subprocess (FPSNR_CLI_BIN is injected by CMake).
+#include <gtest/gtest.h>
+
+// The whole suite shells out through a POSIX /bin/sh (redirections, exit
+// status decoding, /dev paths); it has no Windows port, so it compiles to
+// an empty (passing) test binary there rather than pretending.
+#if !defined(_WIN32)
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Run a shell command, returning the process exit code (-1 if it died
+/// without exiting normally).
+int run(const std::string& command) {
+  const int status = std::system((command + " >/dev/null 2>&1").c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string cli() { return std::string(FPSNR_CLI_BIN); }
+
+class CliIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "fpsnr_cli_io";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    input_ = (dir_ / "in.f32").string();
+    std::ofstream out(input_, std::ios::binary);
+    std::vector<float> values(1024);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = static_cast<float>(i % 97) * 0.25f;
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(float)));
+    ASSERT_TRUE(out.good());
+    // A path *under a regular file* can never be created — portable way to
+    // make -o unwritable without relying on permissions (root ignores 0555).
+    unwritable_ = input_ + "/out.fpbk";
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string compress_cmd() const {
+    return cli() + " compress -i " + input_ + " -d 32x32 -m psnr -v 70";
+  }
+
+  fs::path dir_;
+  std::string input_;
+  std::string unwritable_;
+};
+
+}  // namespace
+
+TEST_F(CliIoTest, WritableOutputSucceeds) {
+  const std::string out = (dir_ / "ok.fpbk").string();
+  EXPECT_EQ(run(compress_cmd() + " -o " + out), 0);
+  EXPECT_TRUE(fs::exists(out));
+}
+
+TEST_F(CliIoTest, InMemoryUnwritableOutputExitsOne) {
+  EXPECT_EQ(run(compress_cmd() + " -o " + unwritable_), 1);
+  EXPECT_FALSE(fs::exists(unwritable_));
+}
+
+TEST_F(CliIoTest, StreamingUnwritableOutputExitsOne) {
+  EXPECT_EQ(run(compress_cmd() + " --stream --threads 2 -o " + unwritable_), 1);
+  EXPECT_FALSE(fs::exists(unwritable_));
+}
+
+TEST_F(CliIoTest, DecompressUnwritableOutputExitsOne) {
+  const std::string archive = (dir_ / "a.fpbk").string();
+  ASSERT_EQ(run(compress_cmd() + " -o " + archive), 0);
+  EXPECT_EQ(run(cli() + " decompress -i " + archive + " -o " + unwritable_), 1);
+}
+
+#if defined(__linux__)
+TEST_F(CliIoTest, FullDeviceIsDetectedAtFlushTime) {
+  // /dev/full accepts the open but fails every write with ENOSPC — exactly
+  // the failure mode the old in-memory path swallowed (open succeeded, the
+  // write error was never checked, exit was 0 with no output).
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "/dev/full unavailable";
+  EXPECT_EQ(run(compress_cmd() + " -o /dev/full"), 1);
+}
+#endif
+
+TEST_F(CliIoTest, CompressBatchRoundTrip) {
+  // Manifest smoke: two fields -> two archives, exit 0; a manifest entry
+  // with an unwritable OUTDIR fails with 1.
+  const std::string manifest = (dir_ / "m.txt").string();
+  {
+    std::ofstream m(manifest);
+    m << "# two views of the same raw file\n"
+      << "a in.f32 32x32\n"
+      << "b in.f32 1024\n";
+  }
+  const std::string outdir = (dir_ / "batch").string();
+  EXPECT_EQ(run(cli() + " compress-batch -i " + manifest + " -o " + outdir +
+                " --psnr 70 --threads 2"),
+            0);
+  EXPECT_TRUE(fs::exists(outdir + "/a.fpbk"));
+  EXPECT_TRUE(fs::exists(outdir + "/b.fpbk"));
+  EXPECT_EQ(run(cli() + " compress-batch -i " + manifest + " -o " +
+                input_ + "/batch --psnr 70"),
+            1);
+}
+
+TEST_F(CliIoTest, CompressBatchRejectsHostileManifestNames) {
+  // A field name with a path separator would write OUTDIR/../...fpbk —
+  // outside the output directory; a duplicate name would hand two archive
+  // writers the same file. Both must be manifest validation errors.
+  const std::string traversal = (dir_ / "traversal.txt").string();
+  std::ofstream(traversal) << "../evil in.f32 32x32\n";
+  const std::string outdir = (dir_ / "hostile").string();
+  EXPECT_EQ(run(cli() + " compress-batch -i " + traversal + " -o " + outdir +
+                " --psnr 70"),
+            2);
+  EXPECT_FALSE(fs::exists(dir_ / "evil.fpbk"));
+
+  const std::string dup = (dir_ / "dup.txt").string();
+  std::ofstream(dup) << "x in.f32 32x32\nx in.f32 1024\n";
+  EXPECT_EQ(run(cli() + " compress-batch -i " + dup + " -o " + outdir +
+                " --psnr 70 --stream"),
+            2);
+
+  // 'X' and 'x' are one archive file on case-insensitive filesystems.
+  const std::string cased = (dir_ / "cased.txt").string();
+  std::ofstream(cased) << "X in.f32 32x32\nx in.f32 1024\n";
+  EXPECT_EQ(run(cli() + " compress-batch -i " + cased + " -o " + outdir +
+                " --psnr 70 --stream"),
+            2);
+}
+
+TEST_F(CliIoTest, CompressBatchRejectsNonPsnrModes) {
+  // The batch engine is fixed-PSNR only; `-m abs -v 1e-3` must not be
+  // silently reinterpreted as a 0.001 dB PSNR target.
+  const std::string manifest = (dir_ / "m2.txt").string();
+  std::ofstream(manifest) << "a in.f32 32x32\n";
+  EXPECT_EQ(run(cli() + " compress-batch -i " + manifest + " -o " +
+                (dir_ / "modes").string() + " -m abs -v 0.001"),
+            2);
+}
+
+#endif  // !defined(_WIN32)

@@ -1,0 +1,150 @@
+// Tests for the global MPMC work queue (parallel/work_queue.h).
+#include "parallel/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/shared_pool.h"
+
+namespace parallel = fpsnr::parallel;
+
+TEST(WorkQueue, RunsEveryTask) {
+  parallel::WorkQueue queue;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i)
+    queue.push([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(queue.pending(), 1000u);
+  queue.drain(8);
+  EXPECT_EQ(ran.load(), 1000);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(WorkQueue, InlineDrainStaysOnCaller) {
+  parallel::WorkQueue queue;
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  for (int i = 0; i < 64; ++i)
+    queue.push([&] {
+      if (std::this_thread::get_id() != caller) ++off_thread;
+    });
+  queue.drain(1);  // <= 1 worker: everything runs inline
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(WorkQueue, TasksMayPushFollowUpTasks) {
+  parallel::WorkQueue queue;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i)
+    queue.push([&queue, &ran] {
+      ran.fetch_add(1);
+      // Two generations of follow-up work, pushed mid-drain.
+      queue.push([&queue, &ran] {
+        ran.fetch_add(1);
+        queue.push([&ran] { ran.fetch_add(1); });
+      });
+    });
+  queue.drain(4);
+  EXPECT_EQ(ran.load(), 30);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(WorkQueue, ExceptionRethrownAfterAllTasksRan) {
+  parallel::WorkQueue queue;
+  std::atomic<int> ran{0};
+  queue.push([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 100; ++i)
+    queue.push([&] { ran.fetch_add(1); });
+  EXPECT_THROW(queue.drain(4), std::runtime_error);
+  // The failing task never cancels the rest: producers with per-task
+  // cleanup must see every task either executed or still queued.
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(WorkQueue, ReusableAcrossDrains) {
+  parallel::WorkQueue queue;
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i)
+      queue.push([&] { ran.fetch_add(1); });
+    queue.drain(4);
+    EXPECT_EQ(ran.load(), 50 * (round + 1));
+  }
+}
+
+TEST(WorkQueue, ConcurrentProducers) {
+  parallel::WorkQueue queue;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < 250; ++i)
+        queue.push([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+  for (auto& t : producers) t.join();
+  queue.drain(8);
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(WorkQueue, NestedDrainInsidePoolWorkerDoesNotDeadlock) {
+  // A drain issued from inside a shared-pool worker must complete even
+  // when every pool worker is busy: the caller always participates.
+  parallel::WorkQueue outer;
+  std::atomic<int> ran{0};
+  const std::size_t lanes = parallel::shared_pool().thread_count() + 2;
+  for (std::size_t i = 0; i < lanes; ++i)
+    outer.push([&ran] {
+      parallel::WorkQueue inner;
+      for (int j = 0; j < 20; ++j)
+        inner.push([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      inner.drain(4);
+    });
+  outer.drain(lanes);
+  EXPECT_EQ(ran.load(), static_cast<int>(lanes) * 20);
+}
+
+TEST(WorkQueue, StaleHelpersCannotJoinALaterInlineDrain) {
+  // drain(8)'s best-effort helpers may still sit in the shared pool's
+  // queue after the drain returns. Pin the pool with blockers so that is
+  // guaranteed, then release the blockers DURING a later drain(1): the
+  // stale helpers wake mid-drain and must bow out (epoch check) instead
+  // of running tasks — drain(1) promises strictly-inline execution.
+  std::atomic<bool> release{false};
+  std::vector<std::future<void>> blockers;
+  const std::size_t pool_size = parallel::shared_pool().thread_count();
+  for (std::size_t i = 0; i < pool_size; ++i)
+    blockers.push_back(parallel::shared_pool().submit([&release] {
+      while (!release.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }));
+
+  parallel::WorkQueue queue;
+  queue.push([] {});
+  queue.drain(8);  // helpers enqueue behind the blockers and go stale
+
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  for (int i = 0; i < 500; ++i)
+    queue.push([&off_thread, caller] {
+      if (std::this_thread::get_id() != caller)
+        off_thread.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    });
+  release.store(true);  // stale helpers wake while drain(1) is running
+  queue.drain(1);
+  for (auto& b : blockers) b.get();
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(WorkQueue, EmptyDrainReturnsImmediately) {
+  parallel::WorkQueue queue;
+  queue.drain(8);
+  queue.drain(0);
+  EXPECT_EQ(queue.pending(), 0u);
+}

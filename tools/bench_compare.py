@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Merges one or more Google Benchmark JSON outputs into a single
+``BENCH_pr.json``, compares every benchmark against the checked-in
+baseline with a tolerance factor, and (on machines with enough cores)
+enforces the global-work-queue speedup claim:
+
+    time(BM_BatchSequentialPerField/8) / time(BM_BatchGlobalQueue/8) >= 1.3
+
+The absolute comparison is deliberately loose (default: fail only when a
+benchmark runs ``--tolerance`` times slower than the baseline): the
+baseline and the CI runner are different machines, so the gate exists to
+catch order-of-magnitude regressions (accidental O(n^2), lost parallelism,
+debug code left in), not 10% noise. The speedup gate, by contrast, is an
+*intra-run* ratio — machine-independent — and is the PR's actual claim; it
+is skipped when the runner has fewer than ``--min-cpus`` cores, where no
+scheduling win is physically possible.
+
+Usage:
+  bench_compare.py --baseline bench/BENCH_baseline.json \
+      --pr out1.json out2.json --out BENCH_pr.json \
+      [--tolerance 3.0] [--speedup-gate 1.3] [--min-cpus 4] \
+      [--summary "$GITHUB_STEP_SUMMARY"]
+
+Exit codes: 0 pass, 1 regression / missing benchmark, 2 bad input.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+SEQ8 = "BM_BatchSequentialPerField/8/real_time"
+QUEUE8 = "BM_BatchGlobalQueue/8/real_time"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def times_by_name(doc):
+    """name -> real_time in ns, keyed by the canonical benchmark name.
+
+    When a run used --benchmark_repetitions, the median aggregate is
+    preferred over individual iterations: shared CI runners are noisy, and
+    the gate should compare typical times, not one unlucky sample. Runs
+    without repetitions fall back to the single iteration entry, so old
+    baselines and new PR runs stay comparable.
+    """
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    raw, medians = {}, {}
+    for b in doc.get("benchmarks", []):
+        ns = float(b["real_time"]) * unit_ns.get(b.get("time_unit", "ns"), 1.0)
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b.get("run_name", b["name"])] = ns
+            continue
+        # repeated runs share one run_name; keep the first sample as the
+        # fallback when no median aggregate is present
+        raw.setdefault(b.get("run_name", b["name"]), ns)
+    return {**raw, **medians}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--pr", nargs="+", required=True,
+                    help="benchmark JSON output file(s) from this run")
+    ap.add_argument("--out", default="BENCH_pr.json",
+                    help="merged PR benchmark JSON to write")
+    ap.add_argument("--tolerance", type=float, default=3.0,
+                    help="fail when pr_time > tolerance * baseline_time")
+    ap.add_argument("--speedup-gate", type=float, default=1.3,
+                    help="required sequential/queue speedup at 8 workers")
+    ap.add_argument("--min-cpus", type=int, default=4,
+                    help="skip the speedup gate below this core count")
+    ap.add_argument("--summary", default=None,
+                    help="append a markdown report here (GITHUB_STEP_SUMMARY)")
+    args = ap.parse_args()
+
+    prs = [load(p) for p in args.pr]
+    merged = {"context": prs[0].get("context", {}), "benchmarks": []}
+    for doc in prs:
+        merged["benchmarks"].extend(doc.get("benchmarks", []))
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=1)
+    print(f"wrote {args.out} ({len(merged['benchmarks'])} benchmark entries)")
+
+    base = times_by_name(load(args.baseline))
+    pr = times_by_name(merged)
+
+    failures = []
+    rows = []
+    for name in sorted(base):
+        if name not in pr:
+            failures.append(f"baseline benchmark `{name}` missing from this run")
+            rows.append((name, base[name], None, None, "MISSING"))
+            continue
+        ratio = pr[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = "ok" if ratio <= args.tolerance else "REGRESSED"
+        if verdict != "ok":
+            failures.append(
+                f"`{name}`: {pr[name] / 1e6:.2f} ms vs baseline "
+                f"{base[name] / 1e6:.2f} ms ({ratio:.2f}x > {args.tolerance}x)")
+        rows.append((name, base[name], pr[name], ratio, verdict))
+    for name in sorted(set(pr) - set(base)):
+        rows.append((name, None, pr[name], None, "new"))
+
+    cpus = int(merged["context"].get("num_cpus", 0) or 0)
+    base_cpus = int(load(args.baseline).get("context", {}).get("num_cpus", 0) or 0)
+    baseline_note = ""
+    if base_cpus and base_cpus < args.min_cpus:
+        baseline_note = (
+            f"warning: baseline was recorded on {base_cpus} cpu(s) — its "
+            f"parallel-arm times are serial times, so the {args.tolerance}x "
+            f"tolerance cannot catch lost parallelism; refresh "
+            f"BENCH_baseline.json from a multi-core run's BENCH_pr.json")
+    speedup_note = ""
+    if SEQ8 in pr and QUEUE8 in pr:
+        speedup = pr[SEQ8] / pr[QUEUE8]
+        if cpus >= args.min_cpus:
+            gate = "ok" if speedup >= args.speedup_gate else "FAILED"
+            speedup_note = (f"global-queue speedup at 8 workers: "
+                            f"{speedup:.2f}x (gate >= {args.speedup_gate}x, "
+                            f"{cpus} cpus) — {gate}")
+            if gate != "ok":
+                failures.append(speedup_note)
+        else:
+            speedup_note = (f"global-queue speedup at 8 workers: {speedup:.2f}x "
+                            f"(gate skipped: only {cpus} cpus, need "
+                            f">= {args.min_cpus})")
+    else:
+        failures.append(
+            f"speedup gate benchmarks missing (`{SEQ8}`, `{QUEUE8}`)")
+
+    lines = ["| benchmark | baseline (ms) | this run (ms) | ratio | verdict |",
+             "|---|---|---|---|---|"]
+    for name, b, p, ratio, verdict in rows:
+        lines.append("| `{}` | {} | {} | {} | {} |".format(
+            name,
+            f"{b / 1e6:.2f}" if b is not None else "—",
+            f"{p / 1e6:.2f}" if p is not None else "—",
+            f"{ratio:.2f}x" if ratio is not None else "—",
+            verdict))
+    report = ["### Benchmark regression check", "",
+              f"tolerance {args.tolerance}x vs checked-in baseline "
+              f"(cross-machine guard), {cpus} cpus on this runner", "",
+              *lines, ""]
+    if speedup_note:
+        report += [speedup_note, ""]
+    if baseline_note:
+        report += [baseline_note, ""]
+    report += ["**" + (f"{len(failures)} failure(s)" if failures else "PASS") + "**"]
+    text = "\n".join(report)
+    print(text)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(text + "\n")
+
+    if failures:
+        print("\nfailures:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
