@@ -1,18 +1,20 @@
-// Climate batch workflow: the CESM-ATM scenario from the paper's intro.
+// Climate batch workflow through the Session facade: the CESM-ATM scenario
+// from the paper's intro.
 //
 // A climate run dumps ~80 variables per snapshot. Before fixed-PSNR
 // compression, hitting a quality target meant hand-tuning the error bound
 // per variable (each one has a different range and roughness). With it,
 // one PSNR number covers the whole batch: every field is compressed in a
-// single pass to the same quality.
+// single pass to the same quality, all fields' blocks interleaved on one
+// global work queue.
 //
 //   $ ./climate_batch [target_db]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/batch.h"
+#include "fpsnr/fpsnr.h"
+
 #include "data/dataset.h"
-#include "parallel/shared_pool.h"
 
 int main(int argc, char** argv) {
   using namespace fpsnr;
@@ -25,25 +27,24 @@ int main(int argc, char** argv) {
               atm.field_count(), atm.total_bytes() / (1024.0 * 1024.0),
               target_db);
 
-  // Fan the fields out over the process-wide shared pool — per-field codec
-  // runs stay sequential, so results are identical to a serial run.
-  core::BatchOptions options;
-  options.threads = parallel::shared_pool().thread_count();
-  const core::BatchResult batch =
-      core::run_fixed_psnr_batch(atm, target_db, options);
+  const Session session;  // threads = hardware concurrency
+  BatchJob job;
+  job.target = FixedPsnr{target_db};
+  for (const auto& f : atm.fields)
+    job.fields.push_back({f.name, Source::memory(f.span(), f.dims.extents)});
+  const BatchReport batch = session.compress_batch(job);
 
   std::printf("%-10s %10s %10s %8s %9s\n", "field", "PSNR(dB)", "ratio",
               "bits/val", "outliers");
   for (const auto& f : batch.fields)
-    std::printf("%-10s %10.2f %10.2f %8.2f %9zu\n", f.field_name.c_str(),
+    std::printf("%-10s %10.2f %10.2f %8.2f %9zu\n", f.name.c_str(),
                 f.actual_psnr_db, f.compression_ratio, f.bit_rate,
                 f.outlier_count);
 
-  const auto stats = batch.psnr_stats();
   std::printf("\nacross %zu fields: AVG %.2f dB, STDEV %.2f dB, "
-              "met-target %.1f%%, mean |deviation| %.2f dB\n",
-              batch.fields.size(), stats.mean(), stats.stdev(),
-              100.0 * batch.met_fraction(), batch.mean_abs_deviation_db());
+              "met-target %.1f%%\n",
+              batch.fields.size(), batch.mean_psnr_db, batch.stdev_psnr_db,
+              100.0 * batch.met_fraction);
 
   double total_ratio = 0.0;
   for (const auto& f : batch.fields) total_ratio += f.compression_ratio;

@@ -1,5 +1,5 @@
-// Cosmology storage-budget pipeline: the HACC/NYX scenario from the
-// paper's introduction.
+// Cosmology storage-budget pipeline through the Session facade: the
+// HACC/NYX scenario from the paper's introduction.
 //
 // The intro's motivating problem: a cosmology code wants to keep every
 // snapshot, but raw dumps exceed the file system budget, so researchers
@@ -14,9 +14,22 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/batch.h"
-#include "core/search_baseline.h"
+#include "fpsnr/fpsnr.h"
+
 #include "data/dataset.h"
+
+namespace {
+
+fpsnr::BatchJob nyx_job(const fpsnr::data::Dataset& nyx, double target_db) {
+  fpsnr::BatchJob job;
+  job.target = fpsnr::FixedPsnr{target_db};
+  for (const auto& f : nyx.fields)
+    job.fields.push_back(
+        {f.name, fpsnr::Source::memory(f.span(), f.dims.extents)});
+  return job;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fpsnr;
@@ -37,16 +50,14 @@ int main(int argc, char** argv) {
 
   // Strategy B (this library): sweep PSNR targets, find the highest quality
   // that fits the budget, keep every snapshot.
+  const Session session;
   std::printf("strategy B - fixed-PSNR compression of every snapshot:\n");
   std::printf("%8s %12s %12s %14s\n", "PSNR", "ratio", "size(MB)", "fits budget?");
   double chosen_psnr = 0.0;
   for (double target = 120.0; target >= 30.0; target -= 10.0) {
-    const auto batch = core::run_fixed_psnr_batch(nyx, target);
+    const auto batch = session.compress_batch(nyx_job(nyx, target));
     std::size_t bytes = 0;
-    for (const auto& f : batch.fields)
-      bytes += static_cast<std::size_t>(
-          static_cast<double>(nyx.total_bytes()) / nyx.field_count() /
-          f.compression_ratio);
+    for (const auto& f : batch.fields) bytes += f.compressed_bytes;
     const double frac = static_cast<double>(bytes) / nyx.total_bytes();
     const bool fits = frac <= budget;
     std::printf("%8.0f %12.1f %12.2f %14s\n", target,
@@ -59,10 +70,9 @@ int main(int argc, char** argv) {
     std::printf("\n=> every snapshot kept at %.0f dB; the %d-snapshot gap of "
                 "strategy A is gone.\n", chosen_psnr, k);
     // And the per-field guarantee costs one pass per field:
-    const auto batch = core::run_fixed_psnr_batch(nyx, chosen_psnr);
-    const auto stats = batch.psnr_stats();
+    const auto batch = session.compress_batch(nyx_job(nyx, chosen_psnr));
     std::printf("   achieved: AVG %.2f dB, STDEV %.2f dB across %zu fields\n",
-                stats.mean(), stats.stdev(), batch.fields.size());
+                batch.mean_psnr_db, batch.stdev_psnr_db, batch.fields.size());
   } else {
     std::printf("\n=> budget below what 30 dB buys; relax the budget or "
                 "decimate.\n");

@@ -1,70 +1,62 @@
-// Tour of every error-control mode on one Hurricane field, including the
-// search-based fixed-rate extension and the transform-codec engines.
+// Tour of every Target on one Hurricane field through the Session facade,
+// including the first-class fixed-rate mode (per-block rate bisection — no
+// external search loop) and the transform-codec engines.
 //
 //   $ ./error_mode_tour
 #include <cstdio>
 
-#include "core/compressor.h"
-#include "core/search_baseline.h"
+#include "fpsnr/fpsnr.h"
+
 #include "data/dataset.h"
 #include "metrics/metrics.h"
 
 namespace {
 
-void report(const char* label, const fpsnr::core::CompressResult& r,
-            const fpsnr::metrics::ErrorReport& rep) {
+using namespace fpsnr;
+
+void run(const Session& session, const char* label,
+         std::span<const float> values, const std::vector<std::size_t>& dims,
+         const Target& target) {
+  const auto r =
+      session.compress(Source::memory(values, dims), target, Sink::memory());
+  const auto d =
+      session.decompress(Source::memory(std::span<const std::uint8_t>(r.archive)));
+  const auto rep = metrics::compare<float>(values, d.f32);
   std::printf("%-24s PSNR %8.2f dB  max|err| %9.3e  pw-rel %9.3e  "
               "ratio %7.2f\n",
               label, rep.psnr_db, rep.max_abs_error, rep.max_pw_rel_error,
-              r.info.compression_ratio);
+              r.compression_ratio);
 }
 
 }  // namespace
 
 int main() {
-  using namespace fpsnr;
-
   const data::Dataset hurricane = data::make_hurricane({});
   const data::Field& f = hurricane.field("U");  // signed wind component
   const double vr = metrics::value_range<float>(f.span());
-  std::printf("field %s: %zu values, range %.2f\n\n", f.name.c_str(), f.size(), vr);
+  std::printf("field %s: %zu values, range %.2f\n\n", f.name.c_str(), f.size(),
+              vr);
 
-  {  // absolute bound: every point within 0.5 m/s
-    const auto r =
-        core::compress<float>(f.span(), f.dims, core::ControlRequest::absolute(0.5));
-    report("abs (eb = 0.5)", r, core::verify<float>(f.span(), r.stream));
-  }
-  {  // value-range relative: every point within 1e-3 * range
-    const auto r =
-        core::compress<float>(f.span(), f.dims, core::ControlRequest::relative(1e-3));
-    report("vr-rel (eb = 1e-3)", r, core::verify<float>(f.span(), r.stream));
-  }
-  {  // pointwise relative: every point within 1% of itself
-    const auto r =
-        core::compress<float>(f.span(), f.dims, core::ControlRequest::pointwise(0.01));
-    report("pw-rel (eb = 1%)", r, core::verify<float>(f.span(), r.stream));
-  }
-  {  // fixed PSNR: the paper's mode
-    const auto r = core::compress_fixed_psnr<float>(f.span(), f.dims, 85.0);
-    report("fixed-PSNR (85 dB)", r, core::verify<float>(f.span(), r.stream));
-  }
-  {  // fixed rate: future-work extension, bisection on the bound
-    const auto rr = core::search_fixed_rate<float>(f.span(), f.dims, 6.0);
-    report("fixed-rate (6 bits/val)", rr.result,
-           core::verify<float>(f.span(), rr.result.stream));
-    std::printf("%-24s   (%zu probe passes, achieved %.2f bits/value)\n", "",
-                rr.compression_passes, rr.achieved_bits_per_value);
-  }
+  const Session session;
+  const auto& dims = f.dims.extents;
+  run(session, "abs (eb = 0.5)", f.span(), dims, PointwiseAbs{0.5});
+  run(session, "vr-rel (eb = 1e-3)", f.span(), dims, ValueRangeRel{1e-3});
+  run(session, "pw-rel (eb = 1%)", f.span(), dims, PointwiseRel{0.01});
+  run(session, "fixed-PSNR (85 dB)", f.span(), dims, FixedPsnr{85.0});
+  // Fixed rate is a Target like any other now: each pipeline block bisects
+  // its own bound toward the bit budget in one compress() call.
+  const auto rate = session.compress(Source::memory(f.span(), dims),
+                                     FixedRate{6.0}, Sink::memory());
+  std::printf("%-24s achieved %.2f bits/value, PSNR %8.2f dB, ratio %7.2f\n",
+              "fixed-rate (6 bits/val)", rate.bit_rate, rate.achieved_psnr_db,
+              rate.compression_ratio);
+
   std::printf("\ntransform engines (Theorem 2 — PSNR-only control):\n");
-  {
-    core::CompressOptions opts;
-    opts.engine = core::Engine::TransformHaar;
-    const auto r = core::compress_fixed_psnr<float>(f.span(), f.dims, 85.0, opts);
-    report("Haar DWT (85 dB)", r, core::verify<float>(f.span(), r.stream));
-    opts.engine = core::Engine::TransformDct;
-    const auto r2 = core::compress_fixed_psnr<float>(f.span(), f.dims, 85.0, opts);
-    report("block DCT (85 dB)", r2, core::verify<float>(f.span(), r2.stream));
-  }
+  const Session haar({.engine = "haar"});
+  run(haar, "Haar DWT (85 dB)", f.span(), dims, FixedPsnr{85.0});
+  const Session dct({.engine = "dct"});
+  run(dct, "block DCT (85 dB)", f.span(), dims, FixedPsnr{85.0});
+
   std::printf("\nnote: prediction-based SZ bounds every *point*; the "
               "transform engines bound only the aggregate PSNR.\n");
   return 0;

@@ -1,5 +1,6 @@
-// Block-parallel pipeline tour: fixed-PSNR compression fanned out over a
-// thread pool, with byte-deterministic output and random-access decode.
+// Block-parallel pipeline tour through the Session facade: fixed-PSNR
+// compression fanned out over a thread pool, with byte-deterministic
+// output and random-access decode.
 //
 // The block layout depends only on the dims and the requested block size,
 // never on the thread count — so the archive you write on a 96-core
@@ -7,49 +8,47 @@
 // block can be decoded later without touching the rest of the stream.
 #include <cstdio>
 
-#include "core/pipeline.h"
-#include "data/synth.h"
-#include "metrics/metrics.h"
+#include "fpsnr/fpsnr.h"
 
-namespace core = fpsnr::core;
-namespace data = fpsnr::data;
-namespace metrics = fpsnr::metrics;
+#include "data/synth.h"
 
 int main() {
+  namespace data = fpsnr::data;
+
   const data::Dims dims{512, 256};
   auto values = data::smoothed_noise(dims, 20180713, 3, 2);
   data::rescale(values, -40.0f, 55.0f);
 
-  const double target_db = 80.0;
-  std::printf("field %zux%zu, target PSNR %.0f dB\n\n", dims[0], dims[1],
-              target_db);
-
-  core::CompressOptions opts;
-  opts.parallel.block_pipeline = true;
+  const fpsnr::Target target = fpsnr::FixedPsnr{80.0};
+  std::printf("field %zux%zu, target PSNR 80 dB\n\n", dims[0], dims[1]);
 
   std::vector<std::uint8_t> reference;
   for (std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
-    opts.parallel.threads = threads;
-    const auto result =
-        core::compress_fixed_psnr<float>(values, dims, target_db, opts);
-    const auto report = core::verify<float>(values, result.stream);
-    if (threads == 1) reference = result.stream;
+    const fpsnr::Session session({.threads = threads});
+    const auto report = session.compress(
+        fpsnr::Source::memory(std::span<const float>(values), dims.extents),
+        target, fpsnr::Sink::memory());
+    if (threads == 1) reference = report.archive;
     std::printf("threads %zu: %7zu bytes, ratio %6.2f, actual %6.2f dB, %s\n",
-                threads, result.stream.size(), result.info.compression_ratio,
-                report.psnr_db,
-                result.stream == reference ? "bytes == threads-1"
-                                           : "BYTES DIFFER (bug!)");
+                threads, report.archive.size(), report.compression_ratio,
+                report.achieved_psnr_db,
+                report.archive == reference ? "bytes == threads-1"
+                                            : "BYTES DIFFER (bug!)");
   }
 
-  const auto info = core::inspect_block_stream(reference);
-  std::printf("\ncontainer: %zu block(s) x %zu row(s), codec %.*s\n",
-              info.block_count, info.block_rows,
-              static_cast<int>(info.codec_name.size()), info.codec_name.data());
+  const fpsnr::Session session;
+  const auto info = session.inspect(
+      fpsnr::Source::memory(std::span<const std::uint8_t>(reference)));
+  std::printf("\ncontainer: %llu block(s) x %llu row(s), codec %s\n",
+              static_cast<unsigned long long>(info.block_count),
+              static_cast<unsigned long long>(info.block_rows),
+              info.codec.c_str());
 
   // Random access: pull one block out of the middle without a full decode.
   const std::size_t pick = info.block_count / 2;
-  const auto block = core::decompress_block<float>(reference, pick);
+  const auto block = session.decompress_block(
+      fpsnr::Source::memory(std::span<const std::uint8_t>(reference)), pick);
   std::printf("random-access block %zu: %zu values (%zu row(s))\n", pick,
-              block.values.size(), block.dims[0]);
+              block.size(), block.dims[0]);
   return 0;
 }

@@ -1,49 +1,61 @@
-// Quickstart: compress a 2-D field to an exact PSNR target in one call.
+// Quickstart: the 10-line Session workflow against the public API only.
 //
 //   $ ./quickstart
 //
-// Demonstrates the library's headline feature (the paper's contribution):
-// you name the PSNR, the compressor analytically derives the error bound
-// (Eq. 8) and runs a single pass — no trial-and-error tuning.
-#include <cstdio>
+// This file deliberately includes nothing but <fpsnr/fpsnr.h> and the
+// standard library — CI builds it a second time as a standalone downstream
+// project against the *installed* package (cmake --install + find_package)
+// to prove the public surface is self-contained.
+#include <fpsnr/fpsnr.h>
 
-#include "core/compressor.h"
-#include "data/synth.h"
+#include <cmath>
+#include <cstdio>
+#include <vector>
 
 int main() {
-  using namespace fpsnr;
-
   // 1. Some scientific-looking data: a smooth 2-D field, 256 x 384.
-  const data::Dims dims{256, 384};
-  std::vector<float> field = data::smoothed_noise(dims, /*seed=*/7, /*radius=*/4);
-  data::rescale(field, 230.0f, 310.0f);  // a temperature-like range
+  const std::vector<std::size_t> dims{256, 384};
+  std::vector<float> field(256 * 384);
+  for (std::size_t r = 0; r < 256; ++r)
+    for (std::size_t c = 0; c < 384; ++c)
+      field[r * 384 + c] = static_cast<float>(
+          270.0 + 40.0 * std::sin(r / 17.0) * std::cos(c / 23.0) +
+          3.0 * std::sin(r * c / 997.0));  // a temperature-like range
 
-  // 2. Compress with a fixed PSNR of 80 dB.
-  const double target_db = 80.0;
-  const core::CompressResult result =
-      core::compress_fixed_psnr<float>(field, dims, target_db);
+  // 2. One Session, one Target, one call: compress at a fixed 80 dB PSNR.
+  const fpsnr::Session session;
+  const fpsnr::CompressReport report = session.compress(
+      fpsnr::Source::memory(std::span<const float>(field), dims),
+      fpsnr::FixedPsnr{80.0}, fpsnr::Sink::memory());
 
-  // 3. Decompress and check what we actually got.
-  const metrics::ErrorReport report = core::verify<float>(field, result.stream);
+  // 3. Round-trip and report.
+  const fpsnr::Field restored = session.decompress(
+      fpsnr::Source::memory(std::span<const std::uint8_t>(report.archive)));
 
-  std::printf("target PSNR      : %.1f dB\n", target_db);
-  std::printf("achieved PSNR    : %.2f dB\n", report.psnr_db);
+  double sse = 0.0, lo = field[0], hi = field[0];
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const double e = field[i] - restored.f32[i];
+    sse += e * e;
+    lo = std::min<double>(lo, field[i]);
+    hi = std::max<double>(hi, field[i]);
+  }
+  const double psnr =
+      20.0 * std::log10((hi - lo) / std::sqrt(sse / field.size()));
+
+  std::printf("target PSNR      : 80.0 dB\n");
+  std::printf("achieved PSNR    : %.2f dB (recomputed %.2f dB)\n",
+              report.achieved_psnr_db, psnr);
   std::printf("rel. error bound : %.3e  (= sqrt(3) * 10^(-PSNR/20), Eq. 8)\n",
-              result.rel_bound_used);
-  std::printf("max point error  : %.3e  (bounded by eb_rel * value range)\n",
-              report.max_abs_error);
+              report.rel_bound_used);
   std::printf("compressed size  : %zu bytes (%.1fx smaller, %.2f bits/value)\n",
-              result.stream.size(), result.info.compression_ratio,
-              result.info.bit_rate);
+              report.archive.size(), report.compression_ratio,
+              report.bit_rate);
 
-  // 4. Other control modes share the same entry point:
-  const auto abs_run =
-      core::compress<float>(field, dims, core::ControlRequest::absolute(0.05));
-  const auto rel_run =
-      core::compress<float>(field, dims, core::ControlRequest::relative(1e-4));
-  std::printf("\nabs-bound run    : %.2f dB predicted by Eq. 7\n",
-              abs_run.predicted_psnr_db);
-  std::printf("rel-bound run    : %.2f dB predicted by Eq. 7\n",
-              rel_run.predicted_psnr_db);
-  return 0;
+  // 4. Other targets share the same call — including fixed rate:
+  const auto rate = session.compress(
+      fpsnr::Source::memory(std::span<const float>(field), dims),
+      fpsnr::FixedRate{8.0}, fpsnr::Sink::memory());
+  std::printf("\nfixed-rate 8 b/v : achieved %.2f bits/value at %.2f dB\n",
+              rate.bit_rate, rate.achieved_psnr_db);
+  return restored.f32.size() == field.size() ? 0 : 1;
 }

@@ -1,24 +1,23 @@
-// Snapshot-series archival: everything in one pipeline.
+// Snapshot-series archival: everything in one pipeline, via the facade.
 //
 // A small campaign writes a time series of snapshots. Each snapshot is
-// compressed to a fixed PSNR with the *chunked* codec (slab-parallel over
-// a thread pool), and all snapshots land in one self-describing archive —
-// the workflow a simulation's I/O layer would actually run. Reading back,
-// we verify every snapshot meets the quality target and show per-snapshot
-// whiteness of the compression error (errors stay uncorrelated, so
-// downstream spectra remain trustworthy).
+// compressed to a fixed PSNR through one reusable Session (block-parallel
+// over the shared pool), and all snapshots land in one self-describing
+// archive — the workflow a simulation's I/O layer would actually run.
+// Reading back, we verify every snapshot meets the quality target and show
+// per-snapshot whiteness of the compression error (errors stay
+// uncorrelated, so downstream spectra remain trustworthy).
 //
 //   $ ./snapshot_archive [target_db]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/distortion_model.h"
+#include "fpsnr/fpsnr.h"
+
 #include "data/timeseries.h"
 #include "io/archive.h"
 #include "metrics/autocorrelation.h"
 #include "metrics/metrics.h"
-#include "parallel/thread_pool.h"
-#include "sz/chunked.h"
 
 int main(int argc, char** argv) {
   using namespace fpsnr;
@@ -32,19 +31,18 @@ int main(int argc, char** argv) {
   std::printf("campaign: %zu snapshots of %zux%zu, target %.0f dB\n\n",
               series.size(), cfg.dims[0], cfg.dims[1], target_db);
 
-  parallel::ThreadPool pool;
+  const Session session({.threads = 4});
 
-  // Write phase: fixed-PSNR + chunked codec, one archive entry per snapshot.
+  // Write phase: fixed-PSNR, one archive entry per snapshot.
   std::vector<io::ArchiveEntry> entries;
   std::size_t raw_bytes = 0;
   for (const auto& snap : series) {
-    sz::Params params;
-    params.mode = sz::ErrorBoundMode::ValueRangeRelative;
-    params.bound = core::rel_bound_for_psnr(target_db);  // Eq. 8
     io::ArchiveEntry e;
     e.name = snap.name;
-    e.bytes = sz::chunked_compress<float>(snap.span(), snap.dims, params,
-                                          /*chunks=*/0, &pool);
+    e.bytes = session
+                  .compress(Source::memory(snap.span(), snap.dims.extents),
+                            FixedPsnr{target_db}, Sink::memory())
+                  .archive;
     raw_bytes += snap.bytes();
     entries.push_back(std::move(e));
   }
@@ -58,10 +56,11 @@ int main(int argc, char** argv) {
   std::size_t met = 0;
   for (const auto& snap : series) {
     const auto stream = io::archive_entry(archive, snap.name);
-    const auto out = sz::chunked_decompress<float>(stream, &pool);
-    const auto rep = metrics::compare<float>(snap.span(), out.values);
+    const auto out = session.decompress(
+        Source::memory(std::span<const std::uint8_t>(stream)));
+    const auto rep = metrics::compare<float>(snap.span(), out.f32);
     const double white =
-        metrics::error_whiteness<float>(snap.span(), out.values, 8);
+        metrics::error_whiteness<float>(snap.span(), out.f32, 8);
     if (rep.psnr_db >= target_db) ++met;
     std::printf("%-6s %10.2f %8s %12.3f\n", snap.name.c_str(), rep.psnr_db,
                 rep.psnr_db >= target_db ? "yes" : "no", white);

@@ -1,24 +1,26 @@
-// Streaming I/O walkthrough: compress a field straight to disk as blocks
-// finish, then read it back through a memory map — including pulling one
-// block out of the middle of the archive without touching the rest.
+// Streaming I/O walkthrough through the Session facade: compress a field
+// straight to disk as blocks finish (Sink::stream), then read it back from
+// the file — including pulling one block out of the middle of the archive
+// without touching the rest (file sources are memory-mapped).
 //
 // The point to notice in the output: the reorder buffer's high-water mark
 // (the only payload bytes ever held in RAM on the write side) is a small
 // fraction of the container, and it is the SAME archive byte-for-byte that
-// the in-memory path would have produced.
+// Sink::memory()/Sink::file() would have produced.
 //
 //   $ ./example_streaming_pipeline [target_db]
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
-#include "core/pipeline.h"
+#include "fpsnr/fpsnr.h"
+
 #include "data/synth.h"
-#include "io/streaming_archive.h"
 #include "metrics/metrics.h"
 
 int main(int argc, char** argv) {
-  using namespace fpsnr;
+  namespace data = fpsnr::data;
+  namespace metrics = fpsnr::metrics;
 
   const double target_db = argc > 1 ? std::atof(argv[1]) : 70.0;
   const data::Dims dims{512, 256};
@@ -28,47 +30,39 @@ int main(int argc, char** argv) {
   const auto path =
       (std::filesystem::temp_directory_path() / "streaming_demo.fpbk").string();
 
-  core::CompressOptions opts;
-  opts.parallel.block_pipeline = true;
-  opts.parallel.threads = 8;
-  opts.parallel.block_rows = 32;  // 16 blocks
+  const fpsnr::Session session({.threads = 8, .block_rows = 32});  // 16 blocks
 
   // Write side: blocks spill to disk the moment their worker finishes.
-  io::StreamingStats stats;
-  const auto result = core::compress_to_file<float>(
-      std::span<const float>(values), dims,
-      core::ControlRequest::fixed_psnr(target_db), opts, path, &stats);
-  std::printf("streamed %zu values -> %llu bytes on disk (ratio %.2f)\n",
-              values.size(), static_cast<unsigned long long>(stats.total_bytes),
-              result.info.compression_ratio);
+  const auto report = session.compress(
+      fpsnr::Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{target_db}, fpsnr::Sink::stream(path));
+  std::printf("streamed %zu values -> %zu bytes on disk (ratio %.2f)\n",
+              values.size(), report.compressed_bytes,
+              report.compression_ratio);
   std::printf("peak reorder buffer: %zu bytes in %zu block(s)  (%.1f%% of the "
               "container)\n",
-              stats.peak_buffered_bytes, stats.peak_buffered_blocks,
-              100.0 * static_cast<double>(stats.peak_buffered_bytes) /
-                  static_cast<double>(stats.total_bytes));
+              report.peak_buffered_bytes, report.peak_buffered_blocks,
+              100.0 * static_cast<double>(report.peak_buffered_bytes) /
+                  static_cast<double>(report.compressed_bytes));
 
-  // Read side: map the archive; only pages we touch are faulted in.
-  const io::MmapArchiveReader reader(path);
-  std::printf("archive: %zu block(s) x %llu row(s), eb_abs %.3e\n",
-              reader.block_count(),
-              static_cast<unsigned long long>(reader.header().block_rows),
-              reader.header().eb_abs);
+  // Read side: inspect + random access off the file; only the header, two
+  // index entries, and the picked block's extent are ever read.
+  const auto info = session.inspect(fpsnr::Source::file(path));
+  std::printf("archive: %llu block(s) x %llu row(s), eb_abs %.3e\n",
+              static_cast<unsigned long long>(info.block_count),
+              static_cast<unsigned long long>(info.block_rows), info.eb_abs);
 
-  // Random access: decode one mid-archive block; I/O is bounded by that
-  // block's extent (header + two index entries + the block bytes).
-  const std::size_t mid = reader.block_count() / 2;
-  const auto block = core::decompress_file_block<float>(path, mid);
-  std::printf("block %zu alone: %zu values (%zu row(s)), %zu compressed "
-              "bytes read\n",
-              mid, block.values.size(), block.dims[0],
-              reader.block(mid).size());
+  const std::size_t mid = info.block_count / 2;
+  const auto block = session.decompress_block(fpsnr::Source::file(path), mid);
+  std::printf("block %zu alone: %zu values (%zu row(s))\n", mid, block.size(),
+              block.dims[0]);
 
-  // Full decode for the quality report.
-  const auto full = core::decompress_file<float>(path, 8);
-  const auto report = metrics::compare<float>(values, full.values);
+  // Full decode (memory-mapped) for the quality report.
+  const auto full = session.decompress(fpsnr::Source::file(path));
+  const auto quality = metrics::compare<float>(values, full.f32);
   std::printf("full decode: PSNR %.2f dB (target %.1f) over %zu values\n",
-              report.psnr_db, target_db, full.values.size());
+              quality.psnr_db, target_db, full.size());
 
   std::filesystem::remove(path);
-  return report.psnr_db >= target_db - 0.5 ? 0 : 1;
+  return quality.psnr_db >= target_db - 0.5 ? 0 : 1;
 }

@@ -1,0 +1,19 @@
+// fpsnr — fixed-PSNR error-controlled lossy compression for scientific
+// data. Umbrella header: the whole public API in one include.
+//
+//   #include <fpsnr/fpsnr.h>
+//
+//   fpsnr::Session session;
+//   auto r = session.compress(fpsnr::Source::memory(values, {512, 512}),
+//                             fpsnr::FixedPsnr{80.0},
+//                             fpsnr::Sink::memory());
+//
+// Everything under include/fpsnr is the supported surface; headers under
+// src/ are internal and not installed.
+#pragma once
+
+#include "fpsnr/session.h"
+#include "fpsnr/stream.h"
+#include "fpsnr/target.h"
+#include "fpsnr/tuning.h"
+#include "fpsnr/version.h"

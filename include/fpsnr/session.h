@@ -1,0 +1,221 @@
+// fpsnr public API — the Session facade.
+//
+// One stable, installable surface for everything the library does:
+//
+//   fpsnr::Session session({.threads = 8, .engine = "sz-lorenzo"});
+//   auto report = session.compress(
+//       fpsnr::Source::memory(values, {512, 512}),
+//       fpsnr::FixedPsnr{80.0},
+//       fpsnr::Sink::memory());
+//   auto field = session.decompress(fpsnr::Source::memory(report.archive));
+//
+// A Session is a reusable handle that owns its concurrency budget (jobs it
+// issues run on at most `threads` workers of the process-wide pool), the
+// engine selection, and the per-engine tuning. compress/decompress/inspect
+// accept any Source/Sink combination — in-memory, whole-file, raw-file,
+// streaming spill, memory-mapped decode — through one signature, and the
+// Target sum type covers every control mode including fixed-rate.
+//
+// Archives produced through the facade are byte-identical to the legacy
+// core:: entry points for the same options (the facade routes through the
+// same block-parallel engine), at any thread count. The legacy free
+// functions are deprecated shims slated for removal.
+//
+// Self-contained: installed under <prefix>/include/fpsnr and includes only
+// the C++ standard library and sibling fpsnr/ headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpsnr/stream.h"
+#include "fpsnr/target.h"
+#include "fpsnr/tuning.h"
+
+namespace fpsnr {
+
+/// Session-wide configuration, fixed at construction.
+struct SessionOptions {
+  /// Worker cap for this session's jobs (the calling thread plus up to
+  /// threads-1 process-pool workers). 0 = hardware concurrency. Output
+  /// bytes never depend on this value.
+  std::size_t threads = 0;
+  /// Codec, by registry name or alias ("sz-lorenzo"/"sz", "transform-haar"/
+  /// "haar", "transform-dct"/"dct", "interp", "zfpr", "store", plus any
+  /// codec registered at startup). Unknown names throw from the
+  /// constructor, listing the live registry.
+  std::string engine = "sz-lorenzo";
+  /// Per-block error-budget split: "uniform" (the paper's Eq. 6/7 setting)
+  /// or "adaptive" (donor/receiver reallocation at the same global PSNR).
+  std::string budget = "uniform";
+  /// Axis-0 rows per pipeline block; 0 picks a deterministic size from the
+  /// field's dims.
+  std::size_t block_rows = 0;
+  /// Engine-specific knob overrides (see fpsnr/tuning.h).
+  CodecTuning tuning;
+};
+
+/// Outcome of one compression job.
+struct CompressReport {
+  /// The archive bytes — filled for Sink::memory() only.
+  std::vector<std::uint8_t> archive;
+  /// Where the archive landed — file/stream sinks only.
+  std::string archive_path;
+
+  std::size_t value_count = 0;
+  std::size_t compressed_bytes = 0;
+  double compression_ratio = 0.0;
+  double bit_rate = 0.0;  ///< compressed bits per value
+
+  /// Analytical PSNR prediction (Eq. 6/7); NaN where the model does not
+  /// apply (pointwise-rel, fixed-rate).
+  double predicted_psnr_db = 0.0;
+  /// Measured PSNR of the emitted archive, exact from the per-block SSE
+  /// recorded at compress time; +inf for lossless output, NaN only for the
+  /// pointwise-rel serial path.
+  double achieved_psnr_db = 0.0;
+  /// Value-range relative bound the job resolved to (0 in rate mode).
+  double rel_bound_used = 0.0;
+  std::size_t outlier_count = 0;
+
+  /// Block layout of the emitted FPBK container (0 for the pointwise-rel
+  /// flat stream).
+  std::uint64_t block_count = 0;
+  std::uint64_t block_rows = 0;
+  /// Streaming-sink reorder-buffer high-water marks (0 otherwise).
+  std::size_t peak_buffered_bytes = 0;
+  std::size_t peak_buffered_blocks = 0;
+};
+
+/// A decompressed field. Exactly one of f32/f64 is populated, matching the
+/// archive's recorded scalar type.
+struct Field {
+  std::vector<std::size_t> dims;  ///< C order
+  std::vector<float> f32;
+  std::vector<double> f64;
+
+  std::size_t size() const { return f32.empty() ? f64.size() : f32.size(); }
+  bool is_double() const { return f32.empty() && !f64.empty(); }
+};
+
+/// Parsed archive metadata (no payload decode).
+struct Inspection {
+  bool block_container = false;  ///< FPBK container vs legacy flat stream
+  std::uint8_t version = 0;      ///< container version (FPBK only)
+  std::string codec;             ///< registry name; "unknown" if unregistered
+  std::string target;            ///< target_name() of the recorded control
+  double target_value = 0.0;
+  std::string budget;            ///< "uniform" | "adaptive"
+  std::vector<std::size_t> dims;
+  std::uint64_t block_count = 0;
+  std::uint64_t block_rows = 0;
+  double eb_abs = 0.0;           ///< base absolute bound (0 in rate mode)
+  double value_range = 0.0;
+  /// Measured PSNR from the v2 per-block SSE column; NaN when the archive
+  /// does not record it (v1 containers, flat streams).
+  double achieved_psnr_db = 0.0;
+  std::size_t archive_bytes = 0;
+};
+
+/// One field of a batch job: a name (the archive's file stem in streaming
+/// mode) plus a field Source.
+struct BatchEntry {
+  std::string name;
+  Source source;
+};
+
+/// A multi-field compression job: every field lands on the same target,
+/// with all fields' blocks interleaved on one global work queue.
+struct BatchJob {
+  std::vector<BatchEntry> fields;
+  Target target = FixedPsnr{80.0};
+  /// true: decode each archive and measure PSNR/max-error independently.
+  /// false: trust the exact compress-time SSE column (identical by
+  /// construction; max_abs_error reported as 0).
+  bool verify = true;
+  /// Non-empty: stream every archive to <stream_dir>/<name>.fpbk as its
+  /// blocks finish; empty: archives are kept in memory.
+  std::string stream_dir;
+  /// Keep in-memory archives in BatchFieldReport::archive.
+  bool keep_archives = false;
+};
+
+struct BatchFieldReport {
+  std::string name;
+  double target_psnr_db = 0.0;
+  double predicted_psnr_db = 0.0;
+  double actual_psnr_db = 0.0;
+  double rel_bound_used = 0.0;
+  double compression_ratio = 0.0;
+  double bit_rate = 0.0;
+  double max_abs_error = 0.0;
+  std::size_t outlier_count = 0;
+  std::size_t value_count = 0;
+  std::size_t compressed_bytes = 0;
+  bool met_target = false;
+  std::vector<std::uint8_t> archive;  ///< BatchJob::keep_archives only
+  std::string archive_path;           ///< streaming mode only
+};
+
+struct BatchReport {
+  double target_psnr_db = 0.0;
+  std::vector<BatchFieldReport> fields;
+  double mean_psnr_db = 0.0;
+  double stdev_psnr_db = 0.0;
+  double met_fraction = 0.0;
+};
+
+/// The facade. Construct once, reuse for any number of jobs; the handle is
+/// movable, and all job methods are const (safe to share across threads —
+/// jobs coordinate through the process-wide pool).
+class Session {
+ public:
+  Session();
+  explicit Session(SessionOptions options);
+  ~Session();
+
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+
+  const SessionOptions& options() const;
+
+  /// The resolved worker cap this session runs jobs at (options().threads,
+  /// or hardware concurrency when that was 0).
+  std::size_t threads() const;
+
+  /// Compress a field Source to an archive Sink under `target`. Throws
+  /// std::invalid_argument for combinations the engine cannot honour
+  /// (e.g. pointwise targets on transform codecs) and io errors as
+  /// std::runtime_error subclasses.
+  CompressReport compress(const Source& input, const Target& target,
+                          const Sink& output) const;
+
+  /// Decompress a whole archive (any stream the library ever wrote; FPBK
+  /// containers decode block-parallel, file sources are memory-mapped).
+  Field decompress(const Source& archive) const;
+
+  /// Random-access decode of one pipeline block: only the header, two
+  /// index entries, and that block's extent are ever read.
+  Field decompress_block(const Source& archive, std::size_t block_index) const;
+
+  /// Archive metadata without touching the payload.
+  Inspection inspect(const Source& archive) const;
+
+  /// Compress every field of `job` to the same target, interleaving all
+  /// fields' blocks on one global work queue. Per-field archives are
+  /// byte-identical to single-field compress() runs at any thread count.
+  /// Only FixedPsnr targets are supported today.
+  BatchReport compress_batch(const BatchJob& job) const;
+
+  /// Names of every registered codec, in wire-id order.
+  static std::vector<std::string> engines();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fpsnr

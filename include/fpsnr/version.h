@@ -1,0 +1,11 @@
+// fpsnr public API — library version constants.
+#pragma once
+
+namespace fpsnr {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace fpsnr

@@ -1,11 +1,16 @@
 // fpsnr_cli — command-line front end for the fixed-PSNR compressor.
 //
-//   fpsnr_cli compress   -i data.f32 -d 100x500x500 -m psnr -v 80 -o out.fpsz
-//   fpsnr_cli decompress -i out.fpsz -o restored.f32
-//   fpsnr_cli inspect    -i out.fpsz
+//   fpsnr_cli compress   -i data.f32 -d 100x500x500 -m psnr -v 80 -o out.fpbk
+//   fpsnr_cli decompress -i out.fpbk -o restored.f32
+//   fpsnr_cli inspect    -i out.fpbk
 //   fpsnr_cli demo       --dataset atm --psnr 80
 //
-// Raw input files are little-endian float32 arrays in C order.
+// Raw input files are little-endian float32 arrays in C order. All
+// compression work routes through the fpsnr::Session facade
+// (include/fpsnr) — the CLI owns only argument parsing, raw-file I/O, and
+// report formatting. Engine names (and the --engine help/error listing)
+// come from the live codec registry, so a newly registered codec is
+// immediately addressable here with no CLI change.
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -18,14 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "fpsnr/fpsnr.h"
+
 #include "core/batch.h"
-#include "core/compressor.h"
-#include "core/pipeline.h"
-#include "core/version.h"
+#include "core/codec_registry.h"
 #include "data/dataset.h"
 #include "io/archive.h"
-#include "io/streaming_archive.h"
-#include "sz/stream_format.h"
 
 namespace {
 
@@ -36,12 +39,14 @@ using namespace fpsnr;
   std::cerr <<
       "fpsnr_cli " << kVersionString << " — fixed-PSNR lossy compression\n"
       "\n"
-      "  fpsnr_cli compress   -i IN.f32 -d DIMS -m MODE -v VALUE -o OUT.fpsz\n"
+      "  fpsnr_cli compress   -i IN.f32 -d DIMS -m MODE -v VALUE -o OUT.fpbk\n"
       "      DIMS        e.g. 512, 1800x3600, 100x500x500 (C order)\n"
-      "      MODE        psnr | abs | rel | pwrel | nrmse\n"
-      "      VALUE       target PSNR (dB) for psnr, bound otherwise\n"
-      "      --predictor lorenzo | hybrid   (default lorenzo)\n"
-      "      --engine    sz | haar | dct | interp | zfpr | store (default sz)\n"
+      "      MODE        psnr | abs | rel | pwrel | nrmse | rate\n"
+      "      VALUE       target PSNR (dB) for psnr, bits/value for rate,\n"
+      "                  bound otherwise\n"
+      "      --predictor lorenzo | hybrid   (default lorenzo; sz engine)\n"
+      "      --engine    codec name or alias (default sz); registered:\n"
+      << core::CodecRegistry::instance().listing() <<
       "      --budget    uniform | adaptive (default uniform; adaptive\n"
       "                  reallocates per-block error bounds by smoothness\n"
       "                  at the same global PSNR target)\n"
@@ -52,12 +57,12 @@ using namespace fpsnr;
       "                      memory stays O(in-flight blocks); the file is\n"
       "                      byte-identical to the in-memory path)\n"
       "      --report-psnr   print the exact achieved PSNR of the archive\n"
-      "  fpsnr_cli decompress -i IN.fpsz -o OUT.f32 [--threads N] [--block I]\n"
+      "  fpsnr_cli decompress -i IN.fpbk -o OUT.f32 [--threads N] [--block I]\n"
       "      --block I   random-access decode of block I only\n"
       "      --mmap      memory-map IN instead of loading it; with --block,\n"
       "                  only that block's bytes are ever read\n"
       "      --report-psnr   print the archive's recorded exact PSNR (v2)\n"
-      "  fpsnr_cli inspect    -i IN.fpsz\n"
+      "  fpsnr_cli inspect    -i IN.fpbk\n"
       "  fpsnr_cli compress-batch -i MANIFEST -o OUTDIR [--psnr DB]\n"
       "      compress every field of a dataset manifest to the same PSNR\n"
       "      target, interleaving all fields' blocks on one global work\n"
@@ -96,6 +101,14 @@ void write_file(const std::string& path, const void* data, std::size_t bytes) {
   if (!out) throw std::runtime_error("write failed on " + path);
 }
 
+/// Write a decompressed field back out as raw little-endian scalars.
+void write_field(const std::string& path, const Field& field) {
+  if (field.is_double())
+    write_file(path, field.f64.data(), field.f64.size() * sizeof(double));
+  else
+    write_file(path, field.f32.data(), field.f32.size() * sizeof(float));
+}
+
 data::Dims parse_dims(const std::string& s) {
   std::vector<std::size_t> extents;
   std::stringstream ss(s);
@@ -116,13 +129,12 @@ data::Dims parse_dims(const std::string& s) {
   return data::Dims(std::move(extents));
 }
 
-core::ControlRequest parse_request(const std::string& mode, double value) {
-  if (mode == "psnr") return core::ControlRequest::fixed_psnr(value);
-  if (mode == "abs") return core::ControlRequest::absolute(value);
-  if (mode == "rel") return core::ControlRequest::relative(value);
-  if (mode == "pwrel") return core::ControlRequest::pointwise(value);
-  if (mode == "nrmse") return core::ControlRequest::fixed_nrmse(value);
-  usage("unknown mode (want psnr|abs|rel|pwrel|nrmse)");
+Target parse_target(const std::string& mode, double value) {
+  try {
+    return make_target(mode, value);
+  } catch (const std::invalid_argument&) {
+    usage("unknown mode (want psnr|abs|rel|pwrel|nrmse|rate)");
+  }
 }
 
 struct Args {
@@ -168,31 +180,39 @@ Args parse_args(int argc, char** argv, int first) {
   return a;
 }
 
-/// Resolve --engine against the codec registry. Accepts the CLI short
-/// names and the registered codec names; anything else prints the live
-/// registry listing and exits non-zero.
-core::Engine parse_engine(const std::string& name) {
-  if (name == "sz" || name == "lorenzo") return core::Engine::SzLorenzo;
-  if (name == "haar") return core::Engine::TransformHaar;
-  if (name == "dct") return core::Engine::TransformDct;
+/// Resolve --engine against the live codec registry (primary names and
+/// aliases both work); anything else prints the registry listing and exits
+/// 2. No name table exists here — the registry is the single source of
+/// truth for what --engine accepts.
+std::string resolve_engine(const std::string& name) {
   const auto& registry = core::CodecRegistry::instance();
   try {
-    return static_cast<core::Engine>(registry.id_of(name));
+    return std::string(registry.at(registry.id_of(name)).name());
   } catch (const std::out_of_range&) {
     std::cerr << "error: unknown engine '" << name
-              << "'\nregistered codecs:\n";
-    for (core::CodecId id : registry.ids())
-      std::cerr << "  " << static_cast<int>(id) << "  "
-                << registry.at(id).name() << "\n";
-    std::cerr << "(short names: sz, haar, dct, interp, zfpr, store)\n";
+              << "'\nregistered codecs:\n"
+              << registry.listing();
     std::exit(2);
   }
 }
 
-core::BudgetMode parse_budget(const std::string& name) {
-  if (name == "uniform") return core::BudgetMode::Uniform;
-  if (name == "adaptive") return core::BudgetMode::Adaptive;
-  usage("unknown budget mode (want uniform|adaptive)");
+/// Build the Session every subcommand shares from the parsed flags.
+Session make_session(const Args& a) {
+  SessionOptions opts;
+  opts.engine = resolve_engine(a.engine);
+  if (a.budget != "uniform" && a.budget != "adaptive")
+    usage("unknown budget mode (want uniform|adaptive)");
+  opts.budget = a.budget;
+  opts.threads = a.threads;
+  opts.block_rows = a.block_size;
+  if (a.predictor != "lorenzo" && a.predictor != "hybrid")
+    usage("unknown predictor (want lorenzo|hybrid)");
+  // The predictor knob belongs to the sz engine; other engines have no
+  // such stage and the flag stays inert for them (tuning is validated
+  // per-engine, so it is only set where it applies).
+  if (opts.engine == "sz-lorenzo")
+    opts.tuning.set("sz-lorenzo", "predictor", a.predictor);
+  return Session(std::move(opts));
 }
 
 /// Load raw little-endian float32 values and wrap them as a named field.
@@ -213,78 +233,58 @@ int cmd_compress(const Args& a) {
     usage("compress needs -i, -o, -d");
   const data::Dims dims = parse_dims(a.dims);
   const data::Field field = load_field("input", a.input, dims);
-  const std::span<const float> values = field.span();
+  const Target target = parse_target(a.mode, a.value);
 
-  core::CompressOptions opts;
-  if (a.predictor == "hybrid")
-    opts.sz_predictor = sz::Predictor::HybridRegression;
-  else if (a.predictor != "lorenzo")
-    usage("unknown predictor (want lorenzo|hybrid)");
-  opts.engine = parse_engine(a.engine);
-  opts.budget = parse_budget(a.budget);
-  if (a.threads > 0 || a.block_size > 0 || a.stream) {
-    opts.parallel.block_pipeline = true;
-    opts.parallel.threads = a.threads;
-    opts.parallel.block_rows = a.block_size;
-  }
-  core::CompressResult result;
-  io::StreamingStats stats;
-  if (a.stream) {
-    result = core::compress_to_file<float>(
-        values, dims, parse_request(a.mode, a.value), opts, a.output, &stats);
+  const Session session = make_session(a);
+  const Source source = Source::memory(field.span(), dims.extents);
+  const CompressReport report = session.compress(
+      source, target, a.stream ? Sink::stream(a.output) : Sink::file(a.output));
+
+  if (a.stream)
     std::cout << "streamed to " << a.output << ": peak reorder buffer "
-              << stats.peak_buffered_bytes << " bytes ("
-              << stats.peak_buffered_blocks << " block(s)) vs "
-              << stats.total_bytes << " container bytes\n";
-  } else {
-    result = core::compress<float>(values, dims,
-                                   parse_request(a.mode, a.value), opts);
-    write_file(a.output, result.stream.data(), result.stream.size());
-  }
-
-  std::cout << "compressed " << values.size() << " values -> "
-            << result.info.compressed_bytes << " bytes  (ratio "
-            << std::fixed << std::setprecision(2) << result.info.compression_ratio
-            << ", " << result.info.bit_rate << " bits/value)\n";
-  if (opts.parallel.enabled()) {
-    // Everything here is known in-process: the streaming writer reports the
-    // layout it wrote, the in-memory path inspects its own bytes — the
-    // output file is never re-read just to print a summary.
-    std::uint64_t block_count = stats.block_count;
-    std::uint64_t block_rows = stats.block_rows;
-    if (!a.stream) {
-      const auto info = core::inspect_block_stream(result.stream);
-      block_count = info.block_count;
-      block_rows = info.block_rows;
-    }
-    const auto codec_name = core::CodecRegistry::instance()
-                                .at(static_cast<core::CodecId>(opts.engine))
-                                .name();
-    std::cout << "block pipeline: " << block_count << " block(s) x "
-              << block_rows << " row(s), codec " << codec_name << ", "
-              << (a.threads > 1 ? a.threads : 1) << " thread(s)\n";
-  }
-  if (a.mode == "psnr")
+              << report.peak_buffered_bytes << " bytes ("
+              << report.peak_buffered_blocks << " block(s)) vs "
+              << report.compressed_bytes << " container bytes\n";
+  std::cout << "compressed " << report.value_count << " values -> "
+            << report.compressed_bytes << " bytes  (ratio "
+            << std::fixed << std::setprecision(2) << report.compression_ratio
+            << ", " << report.bit_rate << " bits/value)\n";
+  if (report.block_count > 0)
+    std::cout << "block pipeline: " << report.block_count << " block(s) x "
+              << report.block_rows << " row(s), codec "
+              << session.options().engine << ", " << session.threads()
+              << " thread(s)\n";
+  // Match on the parsed Target, not the raw -m string, so the long-form
+  // spellings ("fixed-psnr", "fixed-rate") get the same summary lines.
+  if (std::holds_alternative<FixedPsnr>(target))
     std::cout << "target PSNR " << a.value << " dB, eb_rel used "
-              << std::scientific << result.rel_bound_used << "\n";
+              << std::scientific << report.rel_bound_used << "\n";
+  if (std::holds_alternative<FixedRate>(target))
+    std::cout << "target rate " << a.value << " bits/value, achieved "
+              << std::fixed << std::setprecision(3) << report.bit_rate
+              << " bits/value\n";
   if (a.report_psnr) {
-    if (std::isnan(result.achieved_psnr_db))
+    if (std::isnan(report.achieved_psnr_db))
       std::cout << "achieved PSNR: not tracked for this mode\n";
     else
       std::cout << "achieved PSNR " << std::fixed << std::setprecision(6)
-                << result.achieved_psnr_db
+                << report.achieved_psnr_db
                 << " dB (exact, measured at compress time)\n";
   }
   return 0;
 }
 
 /// Print the exact PSNR recorded in a v2 archive's per-block SSE column.
-void report_archive_psnr(std::span<const std::uint8_t> stream) {
-  if (!core::is_block_stream(stream)) {
+/// `is_fpbk` is the caller's magic probe: only FPBK containers are
+/// inspected, so real I/O/corruption errors propagate and fail the run
+/// instead of printing a benign n/a line.
+void report_archive_psnr(const Session& session, const Source& archive,
+                         bool is_fpbk) {
+  if (!is_fpbk) {
     std::cout << "recorded PSNR: n/a (not an FPBK archive)\n";
     return;
   }
-  const auto info = core::inspect_block_stream(stream);
+  const Inspection info = session.inspect(archive);
   if (std::isnan(info.achieved_psnr_db))
     std::cout << "recorded PSNR: n/a (v1 archive, no per-block SSE index)\n";
   else
@@ -294,75 +294,74 @@ void report_archive_psnr(std::span<const std::uint8_t> stream) {
 
 int cmd_decompress(const Args& a) {
   if (a.input.empty() || a.output.empty()) usage("decompress needs -i, -o");
+  const Session session = make_session(a);
   if (a.mmap) {
-    // Memory-map the archive once: the payload is faulted in lazily, and
-    // with --block only that block's extent is ever read.
-    try {
-      const io::MmapArchiveReader reader(a.input);
-      const auto d =
-          a.block ? core::decompress_block<float>(reader.bytes(), *a.block)
-                  : core::decompress_blocked<float>(reader.bytes(), a.threads);
-      write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
-      if (a.block)
-        std::cout << "decompressed block " << *a.block << ": "
-                  << d.values.size() << " values (" << d.dims[0]
-                  << " row(s), mmap)\n";
-      else
-        std::cout << "decompressed " << d.values.size() << " values (rank "
-                  << d.dims.rank() << ", mmap)\n";
-      if (a.report_psnr) report_archive_psnr(reader.bytes());
-      return 0;
-    } catch (const io::StreamError&) {
-      // Cold path: distinguish "not an FPBK archive" (mmap decode needs
-      // the block index; legacy .fpsz streams don't have one) from real
-      // I/O or corruption errors, which propagate as-is.
+    // Memory-map the archive: the payload is faulted in lazily, and with
+    // --block only that block's extent is ever read. Requires the block
+    // container (legacy flat streams have no index to seek).
+    {
       std::ifstream probe(a.input, std::ios::binary);
       std::uint8_t magic[4] = {};
       probe.read(reinterpret_cast<char*>(magic), 4);
-      if (probe.gcount() == 4 &&
+      if (probe.gcount() != 4 ||
           !io::is_block_container(std::span<const std::uint8_t>(magic, 4)))
         usage("--mmap requires a block-pipeline (FPBK) archive "
               "(compress with --threads/--block-size/--stream)");
-      throw;
     }
+    const Source source = Source::file(a.input);
+    const Field d = a.block ? session.decompress_block(source, *a.block)
+                            : session.decompress(source);
+    write_field(a.output, d);
+    if (a.block)
+      std::cout << "decompressed block " << *a.block << ": " << d.size()
+                << " values (" << d.dims[0] << " row(s), mmap)\n";
+    else
+      std::cout << "decompressed " << d.size() << " values (rank "
+                << d.dims.size() << ", mmap)\n";
+    if (a.report_psnr)
+      report_archive_psnr(session, source, /*is_fpbk=*/true);  // probed above
+    return 0;
   }
   const auto stream = read_file(a.input);
+  const Source source = Source::memory(std::span<const std::uint8_t>(stream));
   if (a.block) {
-    if (!core::is_block_stream(stream))
+    Field d;
+    try {
+      d = session.decompress_block(source, *a.block);
+    } catch (const std::invalid_argument&) {
       usage("--block requires a block-pipeline (FPBK) stream");
-    const auto d = core::decompress_block<float>(stream, *a.block);
-    write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
-    std::cout << "decompressed block " << *a.block << ": " << d.values.size()
+    }
+    write_field(a.output, d);
+    std::cout << "decompressed block " << *a.block << ": " << d.size()
               << " values (" << d.dims[0] << " row(s))\n";
     return 0;
   }
-  const auto d = core::is_block_stream(stream)
-                     ? core::decompress_blocked<float>(stream, a.threads)
-                     : core::decompress<float>(stream);
-  write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
-  std::cout << "decompressed " << d.values.size() << " values (rank "
-            << d.dims.rank() << ")\n";
-  if (a.report_psnr) report_archive_psnr(stream);
+  const Field d = session.decompress(source);
+  write_field(a.output, d);
+  std::cout << "decompressed " << d.size() << " values (rank "
+            << d.dims.size() << ")\n";
+  if (a.report_psnr)
+    report_archive_psnr(session, source,
+                        io::is_block_container(std::span<const std::uint8_t>(stream)));
   return 0;
 }
 
 int cmd_inspect(const Args& a) {
   if (a.input.empty()) usage("inspect needs -i");
   const auto stream = read_file(a.input);
-  if (core::is_block_stream(stream)) {
-    const auto info = core::inspect_block_stream(stream);
+  const Session session = make_session(a);
+  const auto info =
+      session.inspect(Source::memory(std::span<const std::uint8_t>(stream)));
+  if (info.block_container) {
     std::cout << "container   : block-parallel (FPBK v"
               << static_cast<int>(info.version) << ")\n"
-              << "codec       : " << info.codec_name << "\n"
-              << "control     : " << core::control_mode_name(info.control_mode)
-              << " = " << info.control_value << "\n"
-              << "budget      : "
-              << (info.budget_mode == core::BudgetMode::Adaptive ? "adaptive"
-                                                                 : "uniform")
+              << "codec       : " << info.codec << "\n"
+              << "control     : " << info.target << " = " << info.target_value
               << "\n"
-              << "rank        : " << info.dims.rank() << "\n";
+              << "budget      : " << info.budget << "\n"
+              << "rank        : " << info.dims.size() << "\n";
     std::cout << "extents     : ";
-    for (std::size_t i = 0; i < info.dims.rank(); ++i)
+    for (std::size_t i = 0; i < info.dims.size(); ++i)
       std::cout << (i ? " x " : "") << info.dims[i];
     std::cout << "\n"
               << "blocks      : " << info.block_count << " x "
@@ -374,22 +373,21 @@ int cmd_inspect(const Args& a) {
     else
       std::cout << "exact PSNR  : " << std::fixed << std::setprecision(6)
                 << info.achieved_psnr_db << " dB\n";
-    std::cout << "stream size : " << stream.size() << " bytes\n";
+    std::cout << "stream size : " << info.archive_bytes << " bytes\n";
     return 0;
   }
-  const auto h = sz::inspect(stream);
-  std::cout << "scalar      : " << (h.scalar == sz::ScalarType::Float32 ? "float32" : "float64") << "\n"
-            << "mode        : " << sz::mode_name(h.mode) << "\n"
-            << "rank        : " << h.dims.rank() << "\n";
+  std::cout << "container   : flat stream\n"
+            << "codec       : " << info.codec << "\n"
+            << "control     : " << info.target << " = " << info.target_value
+            << "\n"
+            << "rank        : " << info.dims.size() << "\n";
   std::cout << "extents     : ";
-  for (std::size_t i = 0; i < h.dims.rank(); ++i)
-    std::cout << (i ? " x " : "") << h.dims[i];
+  for (std::size_t i = 0; i < info.dims.size(); ++i)
+    std::cout << (i ? " x " : "") << info.dims[i];
   std::cout << "\n"
-            << "eb_abs      : " << std::scientific << h.eb_abs << "\n"
-            << "user bound  : " << h.user_bound << "\n"
-            << "value range : " << h.value_range << "\n"
-            << "quant bins  : " << h.quant_bins << "\n"
-            << "stream size : " << stream.size() << " bytes\n";
+            << "eb_abs      : " << std::scientific << info.eb_abs << "\n"
+            << "value range : " << info.value_range << "\n"
+            << "stream size : " << info.archive_bytes << " bytes\n";
   return 0;
 }
 
@@ -457,49 +455,41 @@ int cmd_compress_batch(const Args& a) {
     usage("compress-batch supports only fixed-PSNR mode (-m psnr / --psnr DB)");
   const data::Dataset ds = read_manifest(a.input);
 
-  core::BatchOptions opts;
-  if (a.predictor == "hybrid")
-    opts.compress.sz_predictor = sz::Predictor::HybridRegression;
-  else if (a.predictor != "lorenzo")
-    usage("unknown predictor (want lorenzo|hybrid)");
-  opts.compress.engine = parse_engine(a.engine);
-  opts.compress.budget = parse_budget(a.budget);
-  opts.compress.parallel.block_rows = a.block_size;
-  opts.threads = a.threads;
-  opts.verify = !a.no_verify;
+  const Session session = make_session(a);
+  BatchJob job;
+  job.target = FixedPsnr{a.value};
+  job.verify = !a.no_verify;
   std::filesystem::create_directories(a.output);
   if (a.stream)
-    opts.stream_dir = a.output;  // archives land as their blocks finish
+    job.stream_dir = a.output;  // archives land as their blocks finish
   else
-    opts.keep_streams = true;  // written below, after the batch returns
+    job.keep_archives = true;  // written below, after the batch returns
+  for (const auto& f : ds.fields)
+    job.fields.push_back({f.name, Source::memory(f.span(), f.dims.extents)});
 
-  const core::BatchResult batch =
-      core::run_fixed_psnr_batch(ds, a.value, opts);
+  const BatchReport batch = session.compress_batch(job);
 
   std::size_t raw_total = 0, compressed_total = 0;
   std::cout << std::left << std::setw(14) << "field" << std::right
             << std::setw(12) << "values" << std::setw(12) << "bytes"
             << std::setw(9) << "ratio" << std::setw(12) << "PSNR(dB)"
             << std::setw(6) << "met\n";
-  for (std::size_t i = 0; i < batch.fields.size(); ++i) {
-    const auto& f = batch.fields[i];
-    const auto& field = ds.fields[i];
+  for (const auto& f : batch.fields) {
     if (!a.stream) {
       const auto path =
-          (std::filesystem::path(a.output) / (f.field_name + ".fpbk")).string();
-      write_file(path, f.stream.data(), f.stream.size());
+          (std::filesystem::path(a.output) / (f.name + ".fpbk")).string();
+      write_file(path, f.archive.data(), f.archive.size());
     }
-    raw_total += field.bytes();
+    raw_total += f.value_count * sizeof(float);
     compressed_total += f.compressed_bytes;
-    std::cout << std::left << std::setw(14) << f.field_name << std::right
-              << std::setw(12) << field.size() << std::setw(12)
+    std::cout << std::left << std::setw(14) << f.name << std::right
+              << std::setw(12) << f.value_count << std::setw(12)
               << f.compressed_bytes << std::setw(9) << std::fixed
               << std::setprecision(2) << f.compression_ratio << std::setw(12)
               << f.actual_psnr_db << std::setw(5)
               << (f.met_target ? "yes" : "no") << "\n";
   }
 
-  const auto stats = batch.psnr_stats();
   std::cout << "\n" << batch.fields.size() << " field(s) -> " << a.output
             << ": " << raw_total << " raw -> " << compressed_total
             << " compressed bytes (ratio " << std::fixed
@@ -509,11 +499,10 @@ int cmd_compress_batch(const Args& a) {
                           static_cast<double>(compressed_total)
                     : 0.0)
             << ")\n"
-            << "target " << a.value << " dB: AVG " << stats.mean()
-            << " dB, STDEV " << stats.stdev() << " dB, met "
-            << 100.0 * batch.met_fraction() << "%, mean |deviation| "
-            << batch.mean_abs_deviation_db() << " dB\n"
-            << "queue: " << (a.threads > 1 ? a.threads : 1)
+            << "target " << a.value << " dB: AVG " << batch.mean_psnr_db
+            << " dB, STDEV " << batch.stdev_psnr_db << " dB, met "
+            << 100.0 * batch.met_fraction << "%\n"
+            << "queue: " << session.threads()
             << " worker(s) over " << batch.fields.size()
             << " field(s); per-field archives are byte-identical at any "
                "thread count\n";
@@ -531,11 +520,15 @@ data::Dataset make_named_dataset(const std::string& name) {
 int cmd_pack(const Args& a) {
   if (a.output.empty()) usage("pack needs -o");
   const data::Dataset ds = make_named_dataset(a.dataset);
+  const Session session = make_session(a);
   std::vector<io::ArchiveEntry> entries;
   for (const auto& f : ds.fields) {
     io::ArchiveEntry e;
     e.name = f.name;
-    e.bytes = core::compress_fixed_psnr<float>(f.span(), f.dims, a.value).stream;
+    e.bytes = session
+                  .compress(Source::memory(f.span(), f.dims.extents),
+                            FixedPsnr{a.value}, Sink::memory())
+                  .archive;
     entries.push_back(std::move(e));
   }
   const auto archive = io::write_archive(entries);
@@ -558,9 +551,11 @@ int cmd_unpack(const Args& a) {
     usage("unpack needs -i, -o, --field");
   const auto archive = read_file(a.input);
   const auto stream = io::archive_entry(archive, a.field);
-  const auto d = core::decompress<float>(stream);
-  write_file(a.output, d.values.data(), d.values.size() * sizeof(float));
-  std::cout << "extracted " << a.field << ": " << d.values.size() << " values\n";
+  const Session session = make_session(a);
+  const Field d =
+      session.decompress(Source::memory(std::span<const std::uint8_t>(stream)));
+  write_field(a.output, d);
+  std::cout << "extracted " << a.field << ": " << d.size() << " values\n";
   return 0;
 }
 
@@ -571,18 +566,24 @@ int cmd_demo(const Args& a) {
             << ds.total_bytes() / (1024.0 * 1024.0) << " MB raw\n"
             << "target PSNR " << a.value << " dB (fixed-PSNR mode)\n\n";
 
-  const auto batch = core::run_fixed_psnr_batch(ds, a.value);
+  const Session session = make_session(a);
+  BatchJob job;
+  job.target = FixedPsnr{a.value};
+  for (const auto& f : ds.fields)
+    job.fields.push_back({f.name, Source::memory(f.span(), f.dims.extents)});
+  const BatchReport batch = session.compress_batch(job);
+
   std::cout << std::left << std::setw(12) << "field" << std::right
             << std::setw(12) << "actual dB" << std::setw(10) << "ratio"
             << std::setw(8) << "met\n";
   for (const auto& f : batch.fields)
-    std::cout << std::left << std::setw(12) << f.field_name << std::right
+    std::cout << std::left << std::setw(12) << f.name << std::right
               << std::setw(12) << std::fixed << std::setprecision(2)
               << f.actual_psnr_db << std::setw(10) << f.compression_ratio
               << std::setw(7) << (f.met_target ? "yes" : "no") << "\n";
-  const auto stats = batch.psnr_stats();
-  std::cout << "\nAVG " << stats.mean() << " dB, STDEV " << stats.stdev()
-            << " dB, met " << 100.0 * batch.met_fraction() << "%\n";
+  std::cout << "\nAVG " << batch.mean_psnr_db << " dB, STDEV "
+            << batch.stdev_psnr_db << " dB, met "
+            << 100.0 * batch.met_fraction << "%\n";
   return 0;
 }
 

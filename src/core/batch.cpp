@@ -53,7 +53,7 @@ std::string archive_path_for(const BatchOptions& options,
 
 /// Turn one field's finished CompressResult into its FieldOutcome. Runs on
 /// whichever worker finalized the field; writes only this field's slot.
-void fill_outcome(FieldOutcome& out, const data::Field& field,
+void fill_outcome(FieldOutcome& out, const data::FieldView& field,
                   double target_psnr_db, CompressResult cr,
                   const BatchOptions& options, const std::string& path) {
   out.field_name = field.name;
@@ -102,10 +102,21 @@ bool archive_name_ascii(std::string_view name) {
 
 BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psnr_db,
                                  const BatchOptions& options) {
+  std::vector<data::FieldView> views;
+  views.reserve(dataset.fields.size());
+  for (const data::Field& f : dataset.fields)
+    views.push_back({f.name, f.dims, f.span()});
+  return run_fixed_psnr_batch(views, dataset.name, target_psnr_db, options);
+}
+
+BatchResult run_fixed_psnr_batch(std::span<const data::FieldView> fields,
+                                 std::string_view dataset_name,
+                                 double target_psnr_db,
+                                 const BatchOptions& options) {
   BatchResult result;
-  result.dataset_name = dataset.name;
+  result.dataset_name = std::string(dataset_name);
   result.target_psnr_db = target_psnr_db;
-  const std::size_t field_count = dataset.fields.size();
+  const std::size_t field_count = fields.size();
   result.fields.resize(field_count);
   if (field_count == 0) return result;
 
@@ -120,20 +131,20 @@ BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psn
   // is worse than a portable rejection.
   std::vector<std::string> paths(field_count);
   for (std::size_t i = 0; i < field_count; ++i) {
-    paths[i] = archive_path_for(options, dataset.fields[i].name);
+    paths[i] = archive_path_for(options, fields[i].name);
     if (paths[i].empty()) continue;
     // ASCII case folding cannot predict how the volume folds Unicode
     // names ("Ä" vs "ä" is one APFS file); keep filesystem-bound names
     // inside the range the collision guard actually covers.
-    if (!archive_name_ascii(dataset.fields[i].name))
+    if (!archive_name_ascii(fields[i].name))
       throw std::invalid_argument(
-          "batch: field '" + dataset.fields[i].name +
+          "batch: field '" + fields[i].name +
           "' cannot be streamed: archive names must be printable ASCII");
     for (std::size_t j = 0; j < i; ++j)
       if (fold_archive_name(paths[j]) == fold_archive_name(paths[i]))
         throw std::invalid_argument(
-            "batch: fields '" + dataset.fields[j].name + "' and '" +
-            dataset.fields[i].name + "' both stream to " + paths[i] +
+            "batch: fields '" + fields[j].name + "' and '" +
+            fields[i].name + "' both stream to " + paths[i] +
             (paths[j] == paths[i]
                  ? " (names map to one archive after separator flattening)"
                  : " (archive names collide case-insensitively)"));
@@ -150,7 +161,7 @@ BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psn
     // differ.
     copts.parallel.threads = options.threads;
     for (std::size_t i = 0; i < field_count; ++i) {
-      const data::Field& field = dataset.fields[i];
+      const data::FieldView& field = fields[i];
       CompressResult cr =
           paths[i].empty()
               ? compress_blocked<float>(field.span(), field.dims, request, copts)
@@ -190,7 +201,7 @@ BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psn
     parallel::parallel_for_shared(
         jobs.size(), options.threads, [&](std::size_t w) {
           const std::size_t i = wave_begin + w;
-          const data::Field& field = dataset.fields[i];
+          const data::FieldView& field = fields[i];
           jobs[w] = paths[i].empty()
                         ? std::make_unique<FieldCompressor<float>>(
                               field.span(), field.dims, request, copts)
@@ -211,7 +222,7 @@ BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psn
       for (std::size_t w = 0; w < jobs.size(); ++w) {
         if (r >= jobs[w]->block_count()) continue;
         const std::size_t i = wave_begin + w;
-        queue.push([&queue, &result, &dataset, &jobs, &paths, &options,
+        queue.push([&queue, &result, &fields, &jobs, &paths, &options,
                     target_psnr_db, i, w, r] {
           // Phase 3 — the worker that completes a field's last block
           // finalizes its archive right here, inside the drain: when the
@@ -224,14 +235,14 @@ BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psn
           if (jobs[w]->run_block(r)) {
             auto cr = std::make_shared<CompressResult>(jobs[w]->finalize());
             if (options.verify)
-              queue.push([&result, &dataset, &paths, &options,
+              queue.push([&result, &fields, &paths, &options,
                           target_psnr_db, i, cr] {
-                fill_outcome(result.fields[i], dataset.fields[i],
+                fill_outcome(result.fields[i], fields[i],
                              target_psnr_db, std::move(*cr), options,
                              paths[i]);
               });
             else
-              fill_outcome(result.fields[i], dataset.fields[i],
+              fill_outcome(result.fields[i], fields[i],
                            target_psnr_db, std::move(*cr), options, paths[i]);
           }
         });

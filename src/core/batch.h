@@ -12,6 +12,10 @@
 // byte-identical to a single-field compress_blocked/compress_to_file run
 // at any thread count, and the per-field fixed-PSNR guarantee is exactly
 // the single-field one.
+//
+// DEPRECATED as public surface: external callers should use
+// fpsnr::Session::compress_batch (include/fpsnr/session.h), which wraps
+// this engine with byte-identical per-field archives.
 #pragma once
 
 #include <cstdint>
@@ -115,6 +119,15 @@ bool archive_name_ascii(std::string_view name);
 
 /// Compress + evaluate every field of `dataset` at `target_psnr_db`.
 BatchResult run_fixed_psnr_batch(const data::Dataset& dataset, double target_psnr_db,
+                                 const BatchOptions& options = {});
+
+/// Span-backed variant: the fields are borrowed views, so a caller that
+/// already owns the storage (the Session facade, a service buffer) runs
+/// the batch without duplicating the dataset. The Dataset overload
+/// delegates here.
+BatchResult run_fixed_psnr_batch(std::span<const data::FieldView> fields,
+                                 std::string_view dataset_name,
+                                 double target_psnr_db,
                                  const BatchOptions& options = {});
 
 /// Sweep several PSNR targets (one BatchResult per target) — a Table II row

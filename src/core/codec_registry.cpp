@@ -383,6 +383,12 @@ CodecRegistry::CodecRegistry() {
   add(kCodecInterp, std::make_unique<InterpBlockCodec>());
   add(kCodecZfpRate, std::make_unique<ZfpRateBlockCodec>());
   add(kCodecStore, std::make_unique<StoreBlockCodec>());
+  // Historical CLI short names; resolved through the same table as the
+  // primary names so `--engine sz` and `--engine sz-lorenzo` cannot drift.
+  add_alias("sz", kCodecSzLorenzo);
+  add_alias("lorenzo", kCodecSzLorenzo);
+  add_alias("haar", kCodecTransformHaar);
+  add_alias("dct", kCodecTransformDct);
 }
 
 CodecRegistry& CodecRegistry::instance() {
@@ -394,6 +400,18 @@ void CodecRegistry::add(CodecId id, std::unique_ptr<BlockCodec> codec) {
   if (!codec) throw std::invalid_argument("CodecRegistry: null codec");
   if (slots_.size() <= id) slots_.resize(static_cast<std::size_t>(id) + 1);
   slots_[id] = std::move(codec);
+}
+
+void CodecRegistry::add_alias(std::string_view alias, CodecId id) {
+  if (!find(id))
+    throw std::out_of_range("CodecRegistry: alias '" + std::string(alias) +
+                            "' targets unknown codec id " + std::to_string(id));
+  for (auto& [name, target] : aliases_)
+    if (name == alias) {
+      target = id;  // re-registration wins, like add()
+      return;
+    }
+  aliases_.emplace_back(std::string(alias), id);
 }
 
 const BlockCodec& CodecRegistry::at(CodecId id) const {
@@ -412,12 +430,16 @@ const BlockCodec* CodecRegistry::find(CodecId id) const {
 const BlockCodec* CodecRegistry::find(std::string_view name) const {
   for (const auto& slot : slots_)
     if (slot && slot->name() == name) return slot.get();
+  for (const auto& [alias, id] : aliases_)
+    if (alias == name) return find(id);
   return nullptr;
 }
 
 CodecId CodecRegistry::id_of(std::string_view name) const {
   for (std::size_t i = 0; i < slots_.size(); ++i)
     if (slots_[i] && slots_[i]->name() == name) return static_cast<CodecId>(i);
+  for (const auto& [alias, id] : aliases_)
+    if (alias == name) return id;
   std::string msg = "CodecRegistry: unknown codec '" + std::string(name) +
                     "' (registered:";
   for (std::string_view n : names()) msg += " " + std::string(n);
@@ -436,6 +458,28 @@ std::vector<std::string_view> CodecRegistry::names() const {
   std::vector<std::string_view> out;
   for (const auto& slot : slots_)
     if (slot) out.push_back(slot->name());
+  return out;
+}
+
+std::vector<std::string_view> CodecRegistry::aliases_of(CodecId id) const {
+  std::vector<std::string_view> out;
+  for (const auto& [alias, target] : aliases_)
+    if (target == id) out.push_back(alias);
+  return out;
+}
+
+std::string CodecRegistry::listing() const {
+  std::string out;
+  for (CodecId id : ids()) {
+    out += "  " + std::to_string(id) + "  " + std::string(at(id).name());
+    const auto aliases = aliases_of(id);
+    if (!aliases.empty()) {
+      out += " (aliases:";
+      for (std::string_view a : aliases) out += " " + std::string(a);
+      out += ")";
+    }
+    out += "\n";
+  }
   return out;
 }
 

@@ -109,17 +109,25 @@ class CodecRegistry {
   /// Register (or replace) a codec under `id`.
   void add(CodecId id, std::unique_ptr<BlockCodec> codec);
 
+  /// Register a short alias (e.g. "sz") for an already-registered codec.
+  /// Aliases resolve through id_of/find exactly like primary names; the
+  /// CLI and the Session facade derive their accepted `--engine` spellings
+  /// from this table, so there is no second copy of the name list to
+  /// drift.
+  void add_alias(std::string_view alias, CodecId id);
+
   /// Lookup; throws std::out_of_range for an unknown id.
   const BlockCodec& at(CodecId id) const;
 
   /// Lookup; nullptr for an unknown id.
   const BlockCodec* find(CodecId id) const;
 
-  /// Reverse lookup by registered codec name; nullptr when absent.
+  /// Reverse lookup by registered codec name or alias; nullptr when absent.
   const BlockCodec* find(std::string_view name) const;
 
-  /// Id of the codec registered under `name`; throws std::out_of_range
-  /// (with the list of registered names) when absent.
+  /// Id of the codec registered under `name` (primary name or alias);
+  /// throws std::out_of_range (with the list of registered names) when
+  /// absent.
   CodecId id_of(std::string_view name) const;
 
   std::vector<CodecId> ids() const;
@@ -127,10 +135,19 @@ class CodecRegistry {
   /// Names of every registered codec, in id order (for CLI listings).
   std::vector<std::string_view> names() const;
 
+  /// Aliases registered for `id`, in registration order.
+  std::vector<std::string_view> aliases_of(CodecId id) const;
+
+  /// Human-readable one-line-per-codec listing — "<id>  <name> (aliases:
+  /// ...)" — the single string the CLI prints for --engine help and
+  /// unknown-engine errors.
+  std::string listing() const;
+
  private:
   CodecRegistry();
 
   std::vector<std::unique_ptr<BlockCodec>> slots_;  // indexed by CodecId
+  std::vector<std::pair<std::string, CodecId>> aliases_;
 };
 
 /// True if `block` is a store-codec (raw passthrough) stream. The engine

@@ -88,8 +88,11 @@ template <typename T>
 CompressResult compress(std::span<const T> values, const data::Dims& dims,
                         const ControlRequest& request,
                         const CompressOptions& options) {
+  // FixedRate exists only behind the block pipeline (the per-block rate
+  // search IS the parallel decomposition), like the registry-only engines.
   if (options.parallel.enabled() || is_registry_only_engine(options.engine) ||
-      options.budget == BudgetMode::Adaptive)
+      options.budget == BudgetMode::Adaptive ||
+      request.mode == ControlMode::FixedRate)
     return compress_blocked(values, dims, request, options);
   if (is_transform_engine(options.engine))
     return compress_transform(values, dims, request, options);

@@ -96,12 +96,21 @@ struct CompressResult {
   double achieved_psnr_db = std::numeric_limits<double>::quiet_NaN();
   /// Value-range relative bound actually used (fixed-PSNR / relative modes).
   double rel_bound_used = 0.0;
+  /// Block layout of the emitted FPBK container, straight from the plan
+  /// (0 on the serial flat-stream paths) — callers never need to re-parse
+  /// the archive just to describe it.
+  std::uint64_t block_count = 0;
+  std::uint64_t block_rows = 0;
   sz::CompressionInfo info;
 };
 
-/// Compress one field under any control mode.
-/// FixedRate requests are rejected here (no closed form) — see
-/// search_baseline.h.
+/// Compress one field under any control mode. FixedRate routes through the
+/// block pipeline's per-block rate bisection (core/pipeline.h); the other
+/// modes resolve analytically.
+///
+/// DEPRECATED: new code should use the fpsnr::Session facade
+/// (include/fpsnr/session.h) — these free functions remain as thin shims
+/// for one more release and will then be removed from the public surface.
 template <typename T>
 CompressResult compress(std::span<const T> values, const data::Dims& dims,
                         const ControlRequest& request,

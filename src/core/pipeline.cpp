@@ -14,6 +14,7 @@
 #include "metrics/metrics.h"
 #include "parallel/shared_pool.h"
 #include "sz/stream_format.h"
+#include "transform/fixed_rate.h"
 
 namespace fpsnr::core {
 
@@ -28,8 +29,9 @@ data::Dims slab_dims(const data::Dims& dims, std::size_t rows) {
 /// Resolve any uniform-budget control request to the absolute per-point
 /// budget every block shares. Throws for modes without one. Validation is
 /// delegated to resolve_control so bad requests (non-positive bounds,
-/// non-finite PSNR targets, fixed-rate) are rejected exactly as the serial
-/// facade rejects them.
+/// non-finite PSNR targets) are rejected exactly as the serial facade
+/// rejects them. (FixedRate never reaches here — plan_blocks branches to
+/// the per-block rate search first.)
 template <typename T>
 double resolve_budget(const ControlRequest& request, std::span<const T> values,
                       double* value_range_out) {
@@ -124,10 +126,11 @@ BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream) {
     for (double s : view.block_sse) total += s;
     info.achieved_sse = total;
     const double mse = total / static_cast<double>(info.dims.count());
+    // vr == 0 follows metrics::compare: +inf only for exact reconstruction.
     info.achieved_psnr_db =
         info.value_range > 0.0
             ? metrics::psnr_from_mse(mse, info.value_range)
-            : std::numeric_limits<double>::infinity();
+            : (total == 0.0 ? std::numeric_limits<double>::infinity() : 0.0);
   } else {
     info.achieved_psnr_db = std::numeric_limits<double>::quiet_NaN();
   }
@@ -141,13 +144,18 @@ namespace {
 /// budgets, and header bytes cannot drift between the two paths.
 struct BlockPlan {
   double vr = 0.0;
-  double eb_abs = 0.0;  ///< base (uniform-equivalent) bound
+  double eb_abs = 0.0;  ///< base (uniform-equivalent) bound; 0 in rate mode
   BlockLayout layout;
   CodecId codec_id = 0;
   const BlockCodec* codec = nullptr;
   BlockParams bp;
   /// Per-block absolute bounds; all equal to eb_abs under Uniform budgets.
   std::vector<double> block_eb;
+  /// FixedRate mode: each block bisects its own bound toward this many
+  /// compressed bits per value (run_block performs the search, so the
+  /// searches parallelize like any other block work).
+  bool rate_mode = false;
+  double target_bits_per_value = 0.0;
   io::BlockContainerHeader header;
 };
 
@@ -237,7 +245,21 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
     throw std::invalid_argument("block pipeline: value count does not match dims");
 
   BlockPlan plan;
-  plan.eb_abs = resolve_budget(request, values, &plan.vr);
+  if (request.mode == ControlMode::FixedRate) {
+    // Rate mode has no global error budget to split: every block bisects
+    // its own bound in run_block. eb_abs = 0 in the header says "per-block,
+    // see the self-describing block payloads" (each block stream records
+    // the bound it was coded at).
+    if (!(request.value > 0.0) || !std::isfinite(request.value))
+      throw std::invalid_argument(
+          "block pipeline: fixed-rate target must be positive and finite "
+          "bits per value");
+    plan.vr = metrics::value_range(values);
+    plan.rate_mode = true;
+    plan.target_bits_per_value = request.value;
+  } else {
+    plan.eb_abs = resolve_budget(request, values, &plan.vr);
+  }
   plan.layout = make_layout(dims, options.parallel.block_rows);
 
   plan.codec_id = static_cast<CodecId>(options.engine);
@@ -283,6 +305,121 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   return plan;
 }
 
+/// Per-block fixed-rate search: bisect the block's absolute bound until the
+/// codec's output lands on `target_bits` compressed bits per value.
+///
+/// The seed is closed-form, not a blind probe: a zfpr-style width census at
+/// a reference bound eb0 (transform::fixed_rate_bits_estimate — one forward
+/// DCT plus a per-group max-|index| scan, no encoding) gives rate(eb0), and
+/// since every halving of the bound widens each bit-packed group by ~1 bit,
+/// rate(eb) ~= rate(eb0) + log2(eb0/eb). Inverting that law lands the seed
+/// within a bit or two of the target for any codec (the DCT census is a
+/// decorrelation proxy even for the predictor paths), so the geometric
+/// bisection that follows converges in a handful of real encodes.
+///
+/// Deterministic by construction: the search depends only on the block's
+/// data and the plan — never on scheduling — so fixed-rate archives are
+/// byte-identical at any thread count like every other mode.
+template <typename T>
+std::vector<std::uint8_t> rate_search_block(const BlockPlan& plan,
+                                            std::span<const T> slice,
+                                            const data::Dims& slab,
+                                            BlockInfo* info) {
+  const double n = static_cast<double>(slice.size());
+  const double target_bytes = plan.target_bits_per_value * n / 8.0;
+  if (!(plan.vr > 0.0)) {
+    // Degenerate (constant) field: its rate sits at the entropy floor for
+    // any bound, so searching could only trade exactness for nothing —
+    // encode once with the same tiny budget the error-bounded modes use
+    // and keep the field exact.
+    BlockParams bp = plan.bp;
+    bp.eb_abs = std::numeric_limits<double>::min() * 1e6;
+    return plan.codec->compress(slice, slab, bp, info);
+  }
+  const double scale = plan.vr;
+  // Bounds outside this window are degenerate: below eb_min the quantizer
+  // is at float-precision resolution; above eb_max the whole range fits in
+  // one bin and the rate cannot drop further.
+  const double eb_min = scale * 1e-12;
+  const double eb_max = scale * 4.0;
+
+  auto encode = [&](double eb, BlockInfo* bi) {
+    BlockParams bp = plan.bp;
+    bp.eb_abs = eb;
+    return plan.codec->compress(slice, slab, bp, bi);
+  };
+
+  // Closed-form seed from the per-group width census.
+  transform::FixedRateParams census;
+  census.eb_abs = scale * 1e-4;
+  census.dct_block = plan.bp.dct_block;
+  const double est_bits =
+      transform::fixed_rate_bits_estimate(slice, slab, census);
+  double eb = std::clamp(
+      census.eb_abs * std::exp2(est_bits - plan.target_bits_per_value),
+      eb_min, eb_max);
+
+  BlockInfo best_info;
+  std::vector<std::uint8_t> best_bytes = encode(eb, &best_info);
+  double best_gap = std::abs(static_cast<double>(best_bytes.size()) -
+                             target_bytes);
+  double best_eb = eb;
+
+  // Keep the encode whose size sits closest to the target; ties go to the
+  // smaller bound (same bytes, less distortion).
+  auto consider = [&](double cand_eb, std::vector<std::uint8_t>&& bytes,
+                      const BlockInfo& bi) {
+    const double gap =
+        std::abs(static_cast<double>(bytes.size()) - target_bytes);
+    if (gap < best_gap || (gap == best_gap && cand_eb < best_eb)) {
+      best_gap = gap;
+      best_eb = cand_eb;
+      best_bytes = std::move(bytes);
+      best_info = bi;
+    }
+  };
+
+  // Bracket the target: rate decreases monotonically as the bound grows.
+  double lo = eb, hi = eb;  // bytes(lo) >= target >= bytes(hi)
+  if (static_cast<double>(best_bytes.size()) > target_bytes) {
+    while (hi < eb_max) {
+      hi = std::min(hi * 4.0, eb_max);
+      BlockInfo bi;
+      auto bytes = encode(hi, &bi);
+      const bool done = static_cast<double>(bytes.size()) <= target_bytes;
+      consider(hi, std::move(bytes), bi);
+      if (done) break;
+      lo = hi;  // still over target: the bracket floor moves up with it
+    }
+  } else {
+    while (lo > eb_min) {
+      lo = std::max(lo / 4.0, eb_min);
+      BlockInfo bi;
+      auto bytes = encode(lo, &bi);
+      const bool done = static_cast<double>(bytes.size()) >= target_bytes;
+      consider(lo, std::move(bytes), bi);
+      if (done) break;
+      hi = lo;  // still under target: the bracket ceiling moves down
+    }
+  }
+
+  // Geometric bisection inside the bracket; keep the closest encode seen.
+  for (int iter = 0; iter < 14 && hi / lo > 1.0 + 1e-3; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    BlockInfo bi;
+    auto bytes = encode(mid, &bi);
+    const bool over = static_cast<double>(bytes.size()) > target_bytes;
+    consider(mid, std::move(bytes), bi);
+    if (over)
+      lo = mid;
+    else
+      hi = mid;
+  }
+
+  if (info) *info = best_info;
+  return best_bytes;
+}
+
 /// Per-block budget accounting: every value must be covered exactly once,
 /// and the per-block SSE budgets must sum back to the serial model
 /// N * eb^2 / 3 — i.e. blocking spent exactly the global budget, no more.
@@ -296,6 +433,8 @@ CompressResult account_blocks(const BlockPlan& plan, std::span<const T> values,
                               const std::vector<BlockInfo>& block_infos) {
   CompressResult out;
   out.request = request;
+  out.block_count = plan.layout.block_count;
+  out.block_rows = plan.layout.rows_per_block;
   std::size_t covered = 0;
   double sse_budget = 0.0;
   double achieved_sse = 0.0;
@@ -307,6 +446,27 @@ CompressResult account_blocks(const BlockPlan& plan, std::span<const T> values,
   }
   if (covered != values.size())
     throw std::logic_error("block pipeline: blocks do not cover the field");
+  if (plan.rate_mode) {
+    // Fixed-rate mode has no global error budget to enforce: each block
+    // chose its own bound to land on the rate target, so the only honest
+    // PSNR is the measured one from the per-block SSE column.
+    out.predicted_psnr_db = std::numeric_limits<double>::quiet_NaN();
+    // vr == 0 follows metrics::compare's convention: +inf only when the
+    // reconstruction is exact.
+    out.achieved_psnr_db =
+        plan.vr > 0.0
+            ? metrics::psnr_from_mse(
+                  achieved_sse / static_cast<double>(values.size()), plan.vr)
+            : (achieved_sse == 0.0
+                   ? std::numeric_limits<double>::infinity()
+                   : 0.0);
+    out.rel_bound_used = 0.0;
+    out.info.eb_abs_used = 0.0;
+    out.info.value_range = plan.vr;
+    out.info.value_count = values.size();
+    out.info.achieved_sse = achieved_sse;
+    return out;
+  }
   const double global_budget =
       static_cast<double>(values.size()) * plan.eb_abs * plan.eb_abs / 3.0;
   if (sse_budget > global_budget * (1.0 + 1e-9))
@@ -414,17 +574,27 @@ bool FieldCompressor<T>::run_block(std::size_t b) {
   const auto slice = im.values.subspan(first * plan.layout.row_stride,
                                        rows * plan.layout.row_stride);
   const data::Dims slab = slab_dims(im.dims, rows);
-  BlockParams bp = plan.bp;
-  bp.eb_abs = plan.block_eb[b];
-  auto bytes = plan.codec->compress(slice, slab, bp, &im.block_infos[b]);
+  std::vector<std::uint8_t> bytes;
+  if (plan.rate_mode) {
+    bytes = rate_search_block(plan, slice, slab, &im.block_infos[b]);
+  } else {
+    BlockParams bp = plan.bp;
+    bp.eb_abs = plan.block_eb[b];
+    bytes = plan.codec->compress(slice, slab, bp, &im.block_infos[b]);
+  }
   // A block whose primary encoding is no smaller than the raw passthrough
   // is demoted to the store codec — the decision depends only on the data,
   // so output bytes stay schedule- and thread-count independent.
   if (plan.codec_id != kCodecStore &&
       bytes.size() >= store_encoded_size(slice.size(), sizeof(T))) {
     im.block_infos[b] = BlockInfo{};
+    // The store stand-in must account the block's OWN bound (adaptive
+    // plans tighten/widen per block; rate mode records 0) or the
+    // sse_budget sum drifts from the plan the accounting validates.
+    BlockParams store_bp = plan.bp;
+    store_bp.eb_abs = plan.block_eb[b];
     bytes = CodecRegistry::instance().at(kCodecStore).compress(
-        slice, slab, bp, &im.block_infos[b]);
+        slice, slab, store_bp, &im.block_infos[b]);
   }
   // The writers reject duplicate indices, so a double-run can never reach
   // the counter and mis-report completion.

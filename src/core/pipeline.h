@@ -34,6 +34,12 @@
 // Determinism: the block layout, budget split, and store fallback depend
 // only on the data, dims, and block_rows — never on the thread count — so
 // compress() output is byte-identical for any `threads` value.
+//
+// DEPRECATED as public surface: external callers should use the
+// fpsnr::Session facade (include/fpsnr/session.h), which emits
+// byte-identical archives through these same internals. The free
+// functions below remain as shims for in-tree callers for one more
+// release and will then become internal-only.
 #pragma once
 
 #include <cstdint>
@@ -143,8 +149,11 @@ class FieldCompressor {
 };
 
 /// Compress through the block pipeline. Supports every uniform-budget
-/// control mode (FixedPsnr / Absolute / ValueRangeRelative / FixedNrmse);
-/// PointwiseRelative and FixedRate throw std::invalid_argument.
+/// control mode (FixedPsnr / Absolute / ValueRangeRelative / FixedNrmse)
+/// plus FixedRate (each block bisects its own bound toward the requested
+/// bits/value, seeded by a zfpr-style width census — the searches run
+/// per block, so they parallelize like any other block work);
+/// PointwiseRelative throws std::invalid_argument.
 template <typename T>
 CompressResult compress_blocked(std::span<const T> values,
                                 const data::Dims& dims,

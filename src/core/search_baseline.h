@@ -8,8 +8,12 @@
 // The overhead benchmark contrasts its k full passes against the
 // fixed-PSNR mode's single pass.
 //
-// Also hosts the fixed-rate extension (bisection on achieved bit rate),
-// one of the paper's future-work directions.
+// Also hosts the original fixed-rate extension (whole-field bisection on
+// achieved bit rate). Fixed rate is now a first-class pipeline mode —
+// Target::FixedRate / ControlRequest::fixed_rate run a parallel per-block
+// bisection seeded by a closed-form width census (core/pipeline.h) — so
+// search_fixed_rate remains only as the k-full-passes baseline the
+// overhead benchmark contrasts against.
 #pragma once
 
 #include <cstddef>

@@ -1,11 +1,5 @@
-// Library version constants.
+// Library version constants — re-exported from the public header so the
+// internal and installed spellings can never drift.
 #pragma once
 
-namespace fpsnr {
-
-inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 0;
-inline constexpr int kVersionPatch = 0;
-inline constexpr const char* kVersionString = "1.0.0";
-
-}  // namespace fpsnr
+#include "fpsnr/version.h"

@@ -36,6 +36,19 @@ struct Dims {
   }
 };
 
+/// A non-owning view of a field: name + dims + borrowed values. Batch
+/// jobs accept views so callers that already hold the storage (the
+/// Session facade, a service's request buffers) never copy a dataset just
+/// to compress it.
+struct FieldView {
+  std::string name;
+  Dims dims;
+  std::span<const float> values;
+
+  std::size_t size() const { return values.size(); }
+  std::span<const float> span() const { return values; }
+};
+
 /// One named single-precision field (the paper evaluates on float data).
 struct Field {
   std::string name;

@@ -1,0 +1,709 @@
+// fpsnr::Session — implementation of the public facade.
+//
+// This is the only translation unit that bridges the installable
+// include/fpsnr headers to the internal src/ layers: it resolves the
+// engine name against the codec registry, applies CodecTuning overrides
+// onto core::CompressOptions, routes every Target through the
+// block-parallel pipeline (or the serial pointwise-rel path, the one mode
+// without a block container), and maps Source/Sink shapes onto the
+// in-memory, whole-file, raw-file, streaming-writer, and mmap-reader
+// entry points. Archives are byte-identical to the legacy core:: free
+// functions for equivalent options by construction — both run the same
+// engine.
+#include "fpsnr/fpsnr.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "core/batch.h"
+#include "core/compressor.h"
+#include "core/pipeline.h"
+#include "io/archive.h"
+#include "io/streaming_archive.h"
+#include "sz/stream_format.h"
+
+namespace fpsnr {
+
+namespace detail {
+
+/// session.cpp's window into the Source/Sink/CodecTuning internals — the
+/// public headers stay std-only, the bridging stays here.
+struct Access {
+  using SourceKind = Source::Kind;
+  using SinkKind = Sink::Kind;
+
+  static SourceKind kind(const Source& s) { return s.kind_; }
+  static const void* data(const Source& s) { return s.data_; }
+  static std::size_t count(const Source& s) { return s.count_; }
+  static const std::vector<std::size_t>& dims(const Source& s) {
+    return s.dims_;
+  }
+  static const std::string& path(const Source& s) { return s.path_; }
+
+  static SinkKind kind(const Sink& s) { return s.kind_; }
+  static const std::string& path(const Sink& s) { return s.path_; }
+
+  static const auto& values(const CodecTuning& t) { return t.values_; }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::Access;
+using SourceKind = Access::SourceKind;
+using SinkKind = Access::SinkKind;
+
+// --- tuning schema ----------------------------------------------------------
+
+struct KeySpec {
+  std::string_view key, doc, def;
+};
+
+constexpr KeySpec kGenericKeys[] = {
+    {"quantization-bins", "quantizer bins (2n in the paper's notation)",
+     "65536"},
+    {"lossless", "final lossless stage: store|rle|deflate|auto", "deflate"},
+};
+
+std::vector<KeySpec> engine_specific_keys(core::CodecId id) {
+  switch (id) {
+    case core::kCodecSzLorenzo:
+      return {{"predictor", "prediction scheme: lorenzo|hybrid", "lorenzo"}};
+    case core::kCodecTransformHaar:
+      return {{"levels", "Haar decomposition levels", "4"}};
+    case core::kCodecTransformDct:
+    case core::kCodecZfpRate:
+      return {{"dct-block", "DCT tile edge length", "8"}};
+    default:
+      return {};
+  }
+}
+
+double parse_number(std::string_view engine, std::string_view key,
+                    const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    while (pos < value.size() &&
+           (value[pos] == ' ' || value[pos] == '\t'))
+      ++pos;
+    if (pos != value.size()) throw std::invalid_argument("trailing text");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("tuning " + std::string(engine) + "." +
+                                std::string(key) + ": '" + value +
+                                "' is not a number");
+  }
+}
+
+[[noreturn]] void bad_tuning_key(std::string_view engine,
+                                 std::string_view key) {
+  std::string msg = "tuning: engine '" + std::string(engine) +
+                    "' has no knob '" + std::string(key) + "' (valid:";
+  for (const TuningKey& k : tuning_keys(engine)) msg += " " + k.key;
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+/// Apply one (key, value) override for the selected engine onto `opts`.
+void apply_tuning(std::string_view engine, std::string_view key,
+                  const std::string& value, core::CompressOptions& opts) {
+  if (key == "quantization-bins") {
+    const double v = parse_number(engine, key, value);
+    if (!(v >= 4.0) || v > 4294967295.0)
+      throw std::invalid_argument("tuning: quantization-bins out of range");
+    opts.quantization_bins = static_cast<std::uint32_t>(std::llround(v));
+    return;
+  }
+  if (key == "lossless") {
+    if (value == "store") opts.backend = lossless::Method::Store;
+    else if (value == "rle") opts.backend = lossless::Method::Rle;
+    else if (value == "deflate") opts.backend = lossless::Method::Deflate;
+    else if (value == "auto") opts.backend = lossless::Method::Auto;
+    else
+      throw std::invalid_argument(
+          "tuning: lossless must be store|rle|deflate|auto, got '" + value +
+          "'");
+    return;
+  }
+  if (key == "predictor") {
+    if (value == "lorenzo") opts.sz_predictor = sz::Predictor::Lorenzo;
+    else if (value == "hybrid")
+      opts.sz_predictor = sz::Predictor::HybridRegression;
+    else
+      throw std::invalid_argument(
+          "tuning: predictor must be lorenzo|hybrid, got '" + value + "'");
+    return;
+  }
+  if (key == "levels") {
+    const double v = parse_number(engine, key, value);
+    if (!(v >= 1.0) || v > 32.0)
+      throw std::invalid_argument("tuning: levels out of 1..32");
+    opts.haar_levels = static_cast<unsigned>(std::llround(v));
+    return;
+  }
+  if (key == "dct-block") {
+    const double v = parse_number(engine, key, value);
+    if (!(v >= 2.0) || v > 4096.0)
+      throw std::invalid_argument("tuning: dct-block out of 2..4096");
+    opts.dct_block = static_cast<std::size_t>(std::llround(v));
+    return;
+  }
+  bad_tuning_key(engine, key);
+}
+
+bool key_known(std::string_view engine_name, core::CodecId id,
+               std::string_view key) {
+  for (const KeySpec& k : kGenericKeys)
+    if (k.key == key) return true;
+  for (const KeySpec& k : engine_specific_keys(id))
+    if (k.key == key) return true;
+  (void)engine_name;
+  return false;
+}
+
+// --- request / options resolution -------------------------------------------
+
+core::ControlRequest to_request(const Target& target) {
+  struct Mapper {
+    core::ControlRequest operator()(const FixedPsnr& t) const {
+      return core::ControlRequest::fixed_psnr(t.db);
+    }
+    core::ControlRequest operator()(const FixedNrmse& t) const {
+      return core::ControlRequest::fixed_nrmse(t.nrmse);
+    }
+    core::ControlRequest operator()(const PointwiseAbs& t) const {
+      return core::ControlRequest::absolute(t.bound);
+    }
+    core::ControlRequest operator()(const PointwiseRel& t) const {
+      return core::ControlRequest::pointwise(t.fraction);
+    }
+    core::ControlRequest operator()(const ValueRangeRel& t) const {
+      return core::ControlRequest::relative(t.fraction);
+    }
+    core::ControlRequest operator()(const FixedRate& t) const {
+      return core::ControlRequest::fixed_rate(t.bits_per_value);
+    }
+  };
+  return std::visit(Mapper{}, target);
+}
+
+/// Facade name of a recorded control mode — derived from target_name() so
+/// include/fpsnr/target.h stays the single string table.
+std::string facade_mode_name(core::ControlMode m) {
+  switch (m) {
+    case core::ControlMode::Absolute: return std::string(target_name(PointwiseAbs{}));
+    case core::ControlMode::ValueRangeRelative: return std::string(target_name(ValueRangeRel{}));
+    case core::ControlMode::PointwiseRelative: return std::string(target_name(PointwiseRel{}));
+    case core::ControlMode::FixedPsnr: return std::string(target_name(FixedPsnr{}));
+    case core::ControlMode::FixedRate: return std::string(target_name(FixedRate{}));
+    case core::ControlMode::FixedNrmse: return std::string(target_name(FixedNrmse{}));
+  }
+  return "unknown";
+}
+
+std::string facade_mode_name(sz::ErrorBoundMode m) {
+  switch (m) {
+    case sz::ErrorBoundMode::Absolute: return facade_mode_name(core::ControlMode::Absolute);
+    case sz::ErrorBoundMode::ValueRangeRelative: return facade_mode_name(core::ControlMode::ValueRangeRelative);
+    case sz::ErrorBoundMode::PointwiseRelative: return facade_mode_name(core::ControlMode::PointwiseRelative);
+  }
+  return "unknown";
+}
+
+// --- I/O helpers ------------------------------------------------------------
+
+std::vector<std::uint8_t> read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Write or throw. open, write, AND flush are all checked so ENOSPC
+/// surfacing only at flush time still fails the job instead of leaving a
+/// silently truncated archive.
+void write_whole_file(const std::string& path, const void* data,
+                      std::size_t bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  out.flush();
+  if (!out) throw std::runtime_error("write failed on " + path);
+}
+
+std::vector<float> load_raw_f32(const std::string& path,
+                                const data::Dims& dims) {
+  const auto raw = read_whole_file(path);
+  if (raw.size() % sizeof(float) != 0)
+    throw std::invalid_argument(path + ": size is not a multiple of 4");
+  std::vector<float> values(raw.size() / sizeof(float));
+  if (!raw.empty()) std::memcpy(values.data(), raw.data(), raw.size());
+  if (values.size() != dims.count())
+    throw std::invalid_argument(path + ": dims do not match file size");
+  return values;
+}
+
+data::Dims to_dims(const std::vector<std::size_t>& extents) {
+  return data::Dims(std::vector<std::size_t>(extents));
+}
+
+/// True when the file at `path` starts with the FPBK magic.
+bool file_is_block_container(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::uint8_t magic[4] = {};
+  in.read(reinterpret_cast<char*>(magic), 4);
+  return in.gcount() == 4 &&
+         io::is_block_container(std::span<const std::uint8_t>(magic, 4));
+}
+
+std::vector<std::size_t> from_dims(const data::Dims& dims) {
+  return dims.extents;
+}
+
+}  // namespace
+
+// --- tuning_keys (declared in fpsnr/tuning.h) -------------------------------
+
+std::vector<TuningKey> tuning_keys(std::string_view engine) {
+  const auto id = core::CodecRegistry::instance().id_of(engine);  // may throw
+  std::vector<TuningKey> out;
+  for (const KeySpec& k : kGenericKeys)
+    out.push_back({std::string(k.key), std::string(k.doc), std::string(k.def)});
+  for (const KeySpec& k : engine_specific_keys(id))
+    out.push_back({std::string(k.key), std::string(k.doc), std::string(k.def)});
+  return out;
+}
+
+// --- Session ----------------------------------------------------------------
+
+struct Session::Impl {
+  SessionOptions opts;
+  core::CompressOptions base;   ///< engine/budget/tuning resolved once
+  std::size_t threads = 1;
+
+  explicit Impl(SessionOptions o) : opts(std::move(o)) {
+    auto& registry = core::CodecRegistry::instance();
+    const core::CodecId engine_id = registry.id_of(opts.engine);  // may throw
+    base.engine = static_cast<core::Engine>(engine_id);
+
+    if (opts.budget == "uniform") base.budget = core::BudgetMode::Uniform;
+    else if (opts.budget == "adaptive")
+      base.budget = core::BudgetMode::Adaptive;
+    else
+      throw std::invalid_argument("Session: budget must be uniform|adaptive, got '" +
+                                  opts.budget + "'");
+
+    // Validate EVERY tuning entry up front (unknown engines or keys are
+    // session-construction errors, not job-time surprises); apply the
+    // selected engine's overrides onto the base options.
+    for (const auto& [engine_name, kv] : Access::values(opts.tuning)) {
+      const core::CodecId id = registry.id_of(engine_name);  // may throw
+      for (const auto& [key, value] : kv) {
+        if (!key_known(engine_name, id, key)) bad_tuning_key(engine_name, key);
+        if (id == engine_id) apply_tuning(engine_name, key, value, base);
+      }
+    }
+
+    base.parallel.block_pipeline = true;
+    base.parallel.block_rows = opts.block_rows;
+    threads = opts.threads ? opts.threads
+                           : std::max<std::size_t>(
+                                 1, std::thread::hardware_concurrency());
+    base.parallel.threads = threads;
+  }
+};
+
+Session::Session() : Session(SessionOptions{}) {}
+
+Session::Session(SessionOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+const SessionOptions& Session::options() const { return impl_->opts; }
+
+std::size_t Session::threads() const { return impl_->threads; }
+
+std::vector<std::string> Session::engines() {
+  std::vector<std::string> out;
+  for (std::string_view n : core::CodecRegistry::instance().names())
+    out.emplace_back(n);
+  return out;
+}
+
+namespace {
+
+/// The field a Source resolves to: borrowed spans for memory sources, an
+/// owned buffer for raw files.
+template <typename T>
+struct FieldView {
+  std::span<const T> values;
+  data::Dims dims;
+  std::vector<T> owned;
+};
+
+template <typename T>
+CompressReport run_compress(const core::CompressOptions& base,
+                            std::span<const T> values, const data::Dims& dims,
+                            const Target& target, const Sink& sink) {
+  const core::ControlRequest request = to_request(target);
+  core::CompressOptions opts = base;
+
+  CompressReport report;
+  core::CompressResult result;
+
+  const bool pwrel = std::holds_alternative<PointwiseRel>(target);
+  if (pwrel) {
+    // Pointwise-relative has no block container (the log-domain transform
+    // is stream-global); it runs the serial codec and emits the flat
+    // stream, byte-identical to legacy core::compress. A stream sink
+    // degrades to a buffered whole-file write.
+    opts.parallel = {};
+    result = core::compress<T>(values, dims, request, opts);
+    switch (Access::kind(sink)) {
+      case SinkKind::Memory:
+        report.archive = std::move(result.stream);
+        break;
+      case SinkKind::File:
+      case SinkKind::Stream:
+        write_whole_file(Access::path(sink), result.stream.data(),
+                         result.stream.size());
+        report.archive_path = Access::path(sink);
+        break;
+    }
+  } else if (Access::kind(sink) == SinkKind::Stream) {
+    io::StreamingStats stats;
+    result = core::compress_to_file<T>(values, dims, request, opts,
+                                       Access::path(sink), &stats);
+    report.archive_path = Access::path(sink);
+    report.block_count = stats.block_count;
+    report.block_rows = stats.block_rows;
+    report.peak_buffered_bytes = stats.peak_buffered_bytes;
+    report.peak_buffered_blocks = stats.peak_buffered_blocks;
+  } else {
+    result = core::compress_blocked<T>(values, dims, request, opts);
+    report.block_count = result.block_count;
+    report.block_rows = result.block_rows;
+    if (Access::kind(sink) == SinkKind::File) {
+      write_whole_file(Access::path(sink), result.stream.data(),
+                       result.stream.size());
+      report.archive_path = Access::path(sink);
+    } else {
+      report.archive = std::move(result.stream);
+    }
+  }
+
+  report.value_count = result.info.value_count;
+  report.compressed_bytes = result.info.compressed_bytes;
+  report.compression_ratio = result.info.compression_ratio;
+  report.bit_rate = result.info.bit_rate;
+  report.predicted_psnr_db = result.predicted_psnr_db;
+  report.achieved_psnr_db = result.achieved_psnr_db;
+  report.rel_bound_used = result.rel_bound_used;
+  report.outlier_count = result.info.outlier_count;
+  return report;
+}
+
+}  // namespace
+
+CompressReport Session::compress(const Source& input, const Target& target,
+                                 const Sink& output) const {
+  switch (Access::kind(input)) {
+    case SourceKind::FieldF32: {
+      const std::span<const float> values(
+          static_cast<const float*>(Access::data(input)),
+          Access::count(input));
+      return run_compress<float>(impl_->base, values,
+                                 to_dims(Access::dims(input)), target,
+                                 output);
+    }
+    case SourceKind::FieldF64: {
+      const std::span<const double> values(
+          static_cast<const double*>(Access::data(input)),
+          Access::count(input));
+      return run_compress<double>(impl_->base, values,
+                                  to_dims(Access::dims(input)), target,
+                                  output);
+    }
+    case SourceKind::RawFileF32: {
+      const data::Dims dims = to_dims(Access::dims(input));
+      const auto values = load_raw_f32(Access::path(input), dims);
+      return run_compress<float>(impl_->base, values, dims, target, output);
+    }
+    case SourceKind::ArchiveMemory:
+    case SourceKind::ArchiveFile:
+      throw std::invalid_argument(
+          "Session::compress: input must be a field source "
+          "(Source::memory(values, dims) or Source::raw_file)");
+  }
+  throw std::logic_error("Session::compress: unreachable source kind");
+}
+
+namespace {
+
+Field to_field(sz::Decompressed<float>&& d) {
+  Field f;
+  f.dims = from_dims(d.dims);
+  f.f32 = std::move(d.values);
+  return f;
+}
+
+Field to_field(sz::Decompressed<double>&& d) {
+  Field f;
+  f.dims = from_dims(d.dims);
+  f.f64 = std::move(d.values);
+  return f;
+}
+
+Field decompress_bytes(std::span<const std::uint8_t> bytes,
+                       std::size_t threads) {
+  if (io::is_block_container(bytes)) {
+    const auto header = io::block_container_header(bytes);
+    return header.scalar == 1
+               ? to_field(core::decompress_blocked<double>(bytes, threads))
+               : to_field(core::decompress_blocked<float>(bytes, threads));
+  }
+  // Flat streams: FPSZ records its scalar; other legacy flat magics are
+  // resolved by attempting float first (the library's default scalar) and
+  // falling back to double on a scalar mismatch.
+  try {
+    const auto h = sz::inspect(bytes);
+    return h.scalar == sz::ScalarType::Float64
+               ? to_field(core::decompress<double>(bytes))
+               : to_field(core::decompress<float>(bytes));
+  } catch (const io::StreamError&) {
+  }
+  try {
+    return to_field(core::decompress<float>(bytes));
+  } catch (const io::StreamError&) {
+    return to_field(core::decompress<double>(bytes));
+  }
+}
+
+}  // namespace
+
+Field Session::decompress(const Source& archive) const {
+  switch (Access::kind(archive)) {
+    case SourceKind::ArchiveMemory:
+      return decompress_bytes(
+          std::span<const std::uint8_t>(
+              static_cast<const std::uint8_t*>(Access::data(archive)),
+              Access::count(archive)),
+          impl_->threads);
+    case SourceKind::ArchiveFile: {
+      // FPBK archives decode straight off a read-only memory map; flat
+      // legacy streams have no block index and are loaded whole (the
+      // mmap reader validates the FPBK header eagerly, so probe the magic
+      // first).
+      if (file_is_block_container(Access::path(archive))) {
+        const io::MmapArchiveReader reader(Access::path(archive));
+        return decompress_bytes(reader.bytes(), impl_->threads);
+      }
+      const auto bytes = read_whole_file(Access::path(archive));
+      return decompress_bytes(bytes, impl_->threads);
+    }
+    default:
+      throw std::invalid_argument(
+          "Session::decompress: input must be an archive source "
+          "(Source::memory(bytes) or Source::file)");
+  }
+}
+
+Field Session::decompress_block(const Source& archive,
+                                std::size_t block_index) const {
+  auto decode = [&](std::span<const std::uint8_t> bytes) {
+    if (!io::is_block_container(bytes))
+      throw std::invalid_argument(
+          "Session::decompress_block: archive is not a block-pipeline "
+          "(FPBK) container");
+    const auto header = io::block_container_header(bytes);
+    return header.scalar == 1
+               ? to_field(core::decompress_block<double>(bytes, block_index))
+               : to_field(core::decompress_block<float>(bytes, block_index));
+  };
+  switch (Access::kind(archive)) {
+    case SourceKind::ArchiveMemory:
+      return decode(std::span<const std::uint8_t>(
+          static_cast<const std::uint8_t*>(Access::data(archive)),
+          Access::count(archive)));
+    case SourceKind::ArchiveFile: {
+      const io::MmapArchiveReader reader(Access::path(archive));
+      return decode(reader.bytes());
+    }
+    default:
+      throw std::invalid_argument(
+          "Session::decompress_block: input must be an archive source");
+  }
+}
+
+Inspection Session::inspect(const Source& archive) const {
+  std::vector<std::uint8_t> owned;
+  std::optional<io::MmapArchiveReader> mapped;
+  std::span<const std::uint8_t> bytes;
+  switch (Access::kind(archive)) {
+    case SourceKind::ArchiveMemory:
+      bytes = std::span<const std::uint8_t>(
+          static_cast<const std::uint8_t*>(Access::data(archive)),
+          Access::count(archive));
+      break;
+    case SourceKind::ArchiveFile:
+      // FPBK containers are memory-mapped: inspect touches only the header
+      // and the index columns, never the payload pages. Flat legacy
+      // streams have no index and are small enough to load.
+      if (file_is_block_container(Access::path(archive))) {
+        mapped.emplace(Access::path(archive));
+        bytes = mapped->bytes();
+      } else {
+        owned = read_whole_file(Access::path(archive));
+        bytes = owned;
+      }
+      break;
+    default:
+      throw std::invalid_argument(
+          "Session::inspect: input must be an archive source");
+  }
+
+  Inspection out;
+  out.archive_bytes = bytes.size();
+  if (core::is_block_stream(bytes)) {
+    const auto info = core::inspect_block_stream(bytes);
+    out.block_container = true;
+    out.version = info.version;
+    out.codec = std::string(info.codec_name);
+    out.target = facade_mode_name(info.control_mode);
+    out.target_value = info.control_value;
+    out.budget = info.budget_mode == core::BudgetMode::Adaptive ? "adaptive"
+                                                                : "uniform";
+    out.dims = from_dims(info.dims);
+    out.block_count = info.block_count;
+    out.block_rows = info.block_rows;
+    out.eb_abs = info.eb_abs;
+    out.value_range = info.value_range;
+    out.achieved_psnr_db = info.achieved_psnr_db;
+    return out;
+  }
+  const auto h = sz::inspect(bytes);  // throws StreamError on foreign bytes
+  out.codec = "sz-lorenzo";
+  out.target = facade_mode_name(h.mode);
+  out.target_value = h.user_bound;
+  out.budget = "uniform";
+  out.dims = from_dims(h.dims);
+  out.eb_abs = h.eb_abs;
+  out.value_range = h.value_range;
+  out.achieved_psnr_db = std::numeric_limits<double>::quiet_NaN();
+  return out;
+}
+
+BatchReport Session::compress_batch(const BatchJob& job) const {
+  const auto* psnr = std::get_if<FixedPsnr>(&job.target);
+  if (!psnr)
+    throw std::invalid_argument(
+        "Session::compress_batch: only FixedPsnr targets are supported "
+        "(the batch engine equalizes a dataset at one PSNR)");
+  if (job.fields.empty())
+    throw std::invalid_argument("Session::compress_batch: no fields");
+
+  // Fields are borrowed as views — a memory-source batch never copies the
+  // dataset; only raw-file fields are loaded, into `loaded`, which the
+  // views then reference for the duration of the run.
+  std::vector<data::FieldView> views;
+  std::vector<std::vector<float>> loaded;
+  views.reserve(job.fields.size());
+  // Reserve up front: views hold spans into `loaded`'s vectors, and a
+  // reallocation of the outer vector would move them (the inner buffers
+  // would survive a move, but reserving keeps the aliasing obviously
+  // sound).
+  loaded.reserve(job.fields.size());
+  for (const BatchEntry& entry : job.fields) {
+    if (entry.name.empty())
+      throw std::invalid_argument("Session::compress_batch: empty field name");
+    if (!core::archive_name_ascii(entry.name))
+      throw std::invalid_argument("Session::compress_batch: field name '" +
+                                  entry.name + "' must be printable ASCII");
+    if (entry.name.find_first_of("/\\:") != std::string::npos)
+      throw std::invalid_argument(
+          "Session::compress_batch: field name '" + entry.name +
+          "' must not contain path separators or ':'");
+    for (const auto& existing : views)
+      if (core::fold_archive_name(existing.name) ==
+          core::fold_archive_name(entry.name))
+        throw std::invalid_argument(
+            "Session::compress_batch: duplicate field name '" + entry.name +
+            "' (names are compared case-insensitively)");
+
+    switch (Access::kind(entry.source)) {
+      case SourceKind::FieldF32: {
+        const auto* p = static_cast<const float*>(Access::data(entry.source));
+        views.push_back(
+            {entry.name, to_dims(Access::dims(entry.source)),
+             std::span<const float>(p, Access::count(entry.source))});
+        break;
+      }
+      case SourceKind::RawFileF32: {
+        const data::Dims dims = to_dims(Access::dims(entry.source));
+        loaded.push_back(load_raw_f32(Access::path(entry.source), dims));
+        views.push_back({entry.name, dims,
+                         std::span<const float>(loaded.back())});
+        break;
+      }
+      case SourceKind::FieldF64:
+        throw std::invalid_argument(
+            "Session::compress_batch: the batch engine is float32-only "
+            "(field '" + entry.name + "' is float64)");
+      default:
+        throw std::invalid_argument(
+            "Session::compress_batch: field '" + entry.name +
+            "' must be a field source");
+    }
+  }
+
+  core::BatchOptions opts;
+  opts.compress = impl_->base;
+  opts.threads = impl_->threads;
+  opts.verify = job.verify;
+  opts.stream_dir = job.stream_dir;
+  opts.keep_streams = job.keep_archives;
+
+  core::BatchResult result =
+      core::run_fixed_psnr_batch(views, "session-batch", psnr->db, opts);
+
+  BatchReport report;
+  report.target_psnr_db = result.target_psnr_db;
+  for (core::FieldOutcome& f : result.fields) {
+    BatchFieldReport r;
+    r.name = f.field_name;
+    r.target_psnr_db = f.target_psnr_db;
+    r.predicted_psnr_db = f.predicted_psnr_db;
+    r.actual_psnr_db = f.actual_psnr_db;
+    r.rel_bound_used = f.rel_bound_used;
+    r.compression_ratio = f.compression_ratio;
+    r.bit_rate = f.bit_rate;
+    r.max_abs_error = f.max_abs_error;
+    r.outlier_count = f.outlier_count;
+    r.compressed_bytes = f.compressed_bytes;
+    r.met_target = f.met_target;
+    r.archive = std::move(f.stream);
+    r.archive_path = f.archive_path;
+    report.fields.push_back(std::move(r));
+  }
+  for (std::size_t i = 0; i < report.fields.size(); ++i)
+    report.fields[i].value_count = views[i].size();
+  const auto stats = result.psnr_stats();
+  report.mean_psnr_db = stats.mean();
+  report.stdev_psnr_db = stats.stdev();
+  report.met_fraction = result.met_fraction();
+  return report;
+}
+
+}  // namespace fpsnr

@@ -16,6 +16,7 @@
 
 #include "core/pipeline.h"
 #include "data/synth.h"
+#include "fpsnr/fpsnr.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
@@ -299,4 +300,39 @@ TEST(BatchQueue, ArchivesDecodeThroughTheRegularReaders) {
     ASSERT_EQ(decoded.values.size(), ds.fields[i].size());
     EXPECT_EQ(decoded.dims, ds.fields[i].dims);
   }
+}
+
+TEST(BatchQueue, SessionFacadeBatchMatchesEngineBytes) {
+  // The public Session::compress_batch wraps this engine; its per-field
+  // archives must be the byte-exact single-field references, through both
+  // the in-memory and the streaming paths.
+  const auto ds = mixed_dataset();
+  const double target = 72.0;
+
+  fpsnr::SessionOptions sopts;
+  sopts.threads = 4;
+  const fpsnr::Session session(sopts);
+
+  fpsnr::BatchJob job;
+  job.target = fpsnr::FixedPsnr{target};
+  job.keep_archives = true;
+  for (const auto& f : ds.fields)
+    job.fields.push_back(
+        {f.name, fpsnr::Source::memory(f.span(), f.dims.extents)});
+  const auto batch = session.compress_batch(job);
+  ASSERT_EQ(batch.fields.size(), ds.fields.size());
+  for (std::size_t i = 0; i < ds.fields.size(); ++i)
+    EXPECT_EQ(batch.fields[i].archive,
+              single_field_bytes(ds.fields[i], target, {}))
+        << ds.fields[i].name;
+
+  TempDir dir("facade_stream");
+  fpsnr::BatchJob stream_job = job;
+  stream_job.keep_archives = false;
+  stream_job.stream_dir = dir.str();
+  const auto streamed = session.compress_batch(stream_job);
+  for (std::size_t i = 0; i < ds.fields.size(); ++i)
+    EXPECT_EQ(read_all(streamed.fields[i].archive_path),
+              single_field_bytes(ds.fields[i], target, {}))
+        << ds.fields[i].name;
 }

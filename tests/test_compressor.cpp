@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "core/pipeline.h"
 #include "data/synth.h"
 
 namespace core = fpsnr::core;
@@ -103,11 +104,24 @@ TEST(Compressor, TransformEngineRejectsPointwise) {
       std::invalid_argument);
 }
 
-TEST(Compressor, FixedRateRejected) {
-  const data::Dims dims{16, 16};
+TEST(Compressor, FixedRateRoutesThroughBlockPipeline) {
+  // FixedRate used to be rejected here; it is now a first-class mode that
+  // always routes through the block pipeline's per-block rate bisection
+  // (there is no serial flat-stream form of a rate-searched field).
+  const data::Dims dims{64, 64};
   const auto values = sample_field(dims, 8);
+  const auto r =
+      core::compress<float>(values, dims, core::ControlRequest::fixed_rate(8.0));
+  EXPECT_TRUE(core::is_block_stream(r.stream));
+  EXPECT_TRUE(std::isnan(r.predicted_psnr_db));  // no closed-form prediction
+  const auto d = core::decompress<float>(r.stream);
+  EXPECT_EQ(d.values.size(), values.size());
+  // Invalid budgets are still rejected.
   EXPECT_THROW(
-      core::compress<float>(values, dims, core::ControlRequest::fixed_rate(4.0)),
+      core::compress<float>(values, dims, core::ControlRequest::fixed_rate(0.0)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::compress<float>(values, dims, core::ControlRequest::fixed_rate(-4.0)),
       std::invalid_argument);
 }
 

@@ -1,24 +1,28 @@
-// Cross-codec conformance suite: one parameterized fixture sweeping every
-// block codec {SZ-Lorenzo, Haar, DCT, Interp, ZfpRate, Store} × PSNR
-// target {40, 60, 80 dB} × field shape {1-D, 2-D, 3-D} × content {smooth
-// random, constant}, plus an adaptive-budget sweep. Every combination must
-// (a) meet its fixed-PSNR target, (b) round-trip through the block
-// pipeline, and (c) produce a byte-identical archive through the streaming
-// file path — the format contract the paper's fixed-PSNR claim rests on,
-// enforced codec-by-codec.
+// Cross-codec conformance suite, driven through the public fpsnr::Session
+// facade: one parameterized fixture sweeping every block codec
+// {SZ-Lorenzo, Haar, DCT, Interp, ZfpRate, Store} × PSNR target {40, 60,
+// 80 dB} × field shape {1-D, 2-D, 3-D} × content {smooth random,
+// constant}, plus an adaptive-budget sweep. Every combination must (a)
+// meet its fixed-PSNR target, (b) round-trip through the facade, and (c)
+// produce a byte-identical archive through the streaming sink AND the
+// legacy core::compress_blocked entry point — the format contract the
+// paper's fixed-PSNR claim rests on, enforced codec-by-codec. Engine names
+// come from the live codec registry, never a local table.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 
+#include "fpsnr/fpsnr.h"
+
 #include "core/pipeline.h"
 #include "data/synth.h"
-#include "io/streaming_archive.h"
+#include "metrics/metrics.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
-namespace io = fpsnr::io;
+namespace metrics = fpsnr::metrics;
 
 namespace {
 
@@ -33,16 +37,12 @@ struct Case {
   core::BudgetMode budget = core::BudgetMode::Uniform;
 };
 
+/// Registry name of the engine — the same string the CLI and the Session
+/// accept, so the test sweep can never drift from the live codec set.
 std::string engine_name(core::Engine e) {
-  switch (e) {
-    case core::Engine::SzLorenzo: return "sz";
-    case core::Engine::TransformHaar: return "haar";
-    case core::Engine::TransformDct: return "dct";
-    case core::Engine::Interp: return "interp";
-    case core::Engine::ZfpRate: return "zfpr";
-    case core::Engine::Store: return "store";
-  }
-  return "unknown";
+  return std::string(core::CodecRegistry::instance()
+                         .at(static_cast<core::CodecId>(e))
+                         .name());
 }
 
 std::string case_name(const ::testing::TestParamInfo<Case>& info) {
@@ -52,6 +52,9 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
                      std::to_string(c.dims.rank()) + "d";
   if (c.constant) name += "_const";
   if (c.budget == core::BudgetMode::Adaptive) name += "_adaptive";
+  // Gtest parameter names must be alphanumeric/underscore only.
+  for (char& ch : name)
+    if (ch == '-') ch = '_';
   return name;
 }
 
@@ -96,15 +99,15 @@ class Conformance : public ::testing::TestWithParam<Case> {
     return v;
   }
 
-  core::CompressOptions options(std::size_t threads) const {
+  fpsnr::Session make_session(std::size_t threads) const {
     const Case& c = GetParam();
-    core::CompressOptions opts;
-    opts.engine = c.engine;
-    opts.budget = c.budget;
-    opts.parallel.block_pipeline = true;
-    opts.parallel.threads = threads;
-    opts.parallel.block_rows = c.block_rows;
-    return opts;
+    fpsnr::SessionOptions opts;
+    opts.engine = engine_name(c.engine);
+    opts.budget =
+        c.budget == core::BudgetMode::Adaptive ? "adaptive" : "uniform";
+    opts.threads = threads;
+    opts.block_rows = c.block_rows;
+    return fpsnr::Session(std::move(opts));
   }
 };
 
@@ -113,10 +116,12 @@ class Conformance : public ::testing::TestWithParam<Case> {
 TEST_P(Conformance, MeetsPsnrTargetAndStreamsByteIdentically) {
   const Case& c = GetParam();
   const auto values = make_field();
-  const auto request = core::ControlRequest::fixed_psnr(c.target_db);
+  const fpsnr::Target target = fpsnr::FixedPsnr{c.target_db};
+  const fpsnr::Source source =
+      fpsnr::Source::memory(std::span<const float>(values), c.dims.extents);
 
-  const auto mem = core::compress_blocked<float>(std::span<const float>(values),
-                                                 c.dims, request, options(2));
+  const auto mem =
+      make_session(2).compress(source, target, fpsnr::Sink::memory());
 
   // (a) Quality: the fixed-PSNR guarantee. The per-point budget comes from
   // the uniform-quantization model (Eq. 6), whose MSE prediction eb^2/3 is
@@ -124,10 +129,11 @@ TEST_P(Conformance, MeetsPsnrTargetAndStreamsByteIdentically) {
   // from above for predictable content but may sit a fraction of a dB
   // under it when residuals fill the bins uniformly. Allow that fraction,
   // nothing more.
-  const auto report = core::verify<float>(values, mem.stream);
+  const auto decoded = make_session(2).decompress(
+      fpsnr::Source::memory(std::span<const std::uint8_t>(mem.archive)));
+  const auto report = metrics::compare<float>(values, decoded.f32);
   if (c.constant || c.engine == core::Engine::Store) {
-    const auto out = core::decompress<float>(mem.stream);
-    EXPECT_EQ(out.values, values)
+    EXPECT_EQ(decoded.f32, values)
         << (c.constant ? "constant field" : "store codec")
         << " must stay exact";
   } else {
@@ -137,7 +143,8 @@ TEST_P(Conformance, MeetsPsnrTargetAndStreamsByteIdentically) {
 
   // The v2 container must report the measured PSNR exactly (the per-block
   // SSE column), matching an independent recomputation from the raw data.
-  const auto info = core::inspect_block_stream(mem.stream);
+  const auto info = make_session(1).inspect(
+      fpsnr::Source::memory(std::span<const std::uint8_t>(mem.archive)));
   ASSERT_EQ(info.version, 2);
   if (std::isinf(report.psnr_db))
     EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
@@ -145,21 +152,32 @@ TEST_P(Conformance, MeetsPsnrTargetAndStreamsByteIdentically) {
     EXPECT_NEAR(info.achieved_psnr_db, report.psnr_db, 1e-6);
 
   // (b) Round-trip shape.
-  const auto out = core::decompress_blocked<float>(mem.stream, 2);
-  ASSERT_EQ(out.dims, c.dims);
-  ASSERT_EQ(out.values.size(), values.size());
+  ASSERT_EQ(decoded.dims, c.dims.extents);
+  ASSERT_EQ(decoded.f32.size(), values.size());
 
-  // (c) Streaming byte-identity, including at a different thread count.
+  // (c) Byte identity: the streaming sink at a different thread count AND
+  // the legacy core:: entry point both produce the same archive.
   const auto path = fs::temp_directory_path() /
                     ("fpsnr-conformance-" +
                      case_name({GetParam(), 0}) + ".fpbk");
-  core::compress_to_file<float>(std::span<const float>(values), c.dims,
-                                request, options(4), path.string());
+  make_session(4).compress(source, target, fpsnr::Sink::stream(path.string()));
   std::ifstream in(path, std::ios::binary);
   const std::vector<std::uint8_t> file_bytes(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  EXPECT_EQ(file_bytes, mem.stream);
+  EXPECT_EQ(file_bytes, mem.archive);
   fs::remove(path);
+
+  core::CompressOptions lopts;
+  lopts.engine = c.engine;
+  lopts.budget = c.budget;
+  lopts.parallel.block_pipeline = true;
+  lopts.parallel.threads = 2;
+  lopts.parallel.block_rows = c.block_rows;
+  const auto legacy = core::compress_blocked<float>(
+      std::span<const float>(values), c.dims,
+      core::ControlRequest::fixed_psnr(c.target_db), lopts);
+  EXPECT_EQ(legacy.stream, mem.archive)
+      << "facade and legacy entry points must emit identical archives";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, Conformance,

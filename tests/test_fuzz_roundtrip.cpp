@@ -27,6 +27,8 @@
 #include <random>
 #include <sstream>
 
+#include "fpsnr/fpsnr.h"
+
 #include "core/pipeline.h"
 #include "data/synth.h"
 #include "io/streaming_archive.h"
@@ -158,6 +160,19 @@ bool pointwise_engine(core::Engine e) {
          e == core::Engine::Store;
 }
 
+/// The same case expressed through the public Session facade.
+fpsnr::Session session_for(const FuzzCase& c, std::size_t threads) {
+  fpsnr::SessionOptions opts;
+  opts.engine = std::string(core::CodecRegistry::instance()
+                                .at(static_cast<core::CodecId>(c.engine))
+                                .name());
+  opts.budget =
+      c.budget == core::BudgetMode::Adaptive ? "adaptive" : "uniform";
+  opts.threads = threads;
+  opts.block_rows = c.block_rows;
+  return fpsnr::Session(std::move(opts));
+}
+
 }  // namespace
 
 TEST(FuzzRoundTrip, SeededSweepHoldsAllPipelineProperties) {
@@ -190,6 +205,14 @@ TEST(FuzzRoundTrip, SeededSweepHoldsAllPipelineProperties) {
         std::istreambuf_iterator<char>());
     ASSERT_EQ(file_bytes, r1.stream);
     fs::remove(tmp);
+
+    // P6: the public Session facade emits the identical archive (it runs
+    // the same engine; this property pins the equivalence for every drawn
+    // shape/codec/budget combination).
+    const auto facade = session_for(c, 2).compress(
+        fpsnr::Source::memory(span, c.dims.extents),
+        fpsnr::FixedPsnr{c.target_db}, fpsnr::Sink::memory());
+    ASSERT_EQ(facade.archive, r1.stream);
 
     // P3: round-trip and the quality contract.
     const auto out = core::decompress_blocked<float>(r1.stream, 2);
@@ -259,6 +282,45 @@ TEST(FuzzRoundTrip, DoubleScalarSweep) {
       EXPECT_EQ(out.values, values);
     else
       EXPECT_GE(report.psnr_db, c.target_db - 2.0);
+    if (std::isinf(report.psnr_db))
+      EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
+    else
+      EXPECT_NEAR(info.achieved_psnr_db, report.psnr_db, 1e-6);
+  }
+}
+
+TEST(FuzzRoundTrip, FixedRateSweep) {
+  // The per-block rate search is data-driven iteration — the property most
+  // worth fuzzing is that it stays deterministic across thread counts and
+  // emits decodable archives for awkward shapes and content classes.
+  std::mt19937_64 rng(kSeed ^ 0xF1CED);
+  for (int it = 0; it < 10; ++it) {
+    FuzzCase c = draw_case(rng, it);
+    if (c.engine == core::Engine::Store) c.engine = core::Engine::SzLorenzo;
+    const double bits = 4.0 + static_cast<double>(rng() % 9);
+    SCOPED_TRACE("rate iteration " + std::to_string(it) + " bits=" +
+                 std::to_string(bits) + ": " + c.describe());
+    const auto values = make_content(c.content, c.dims, c.content_seed);
+    const std::span<const float> span(values);
+    const auto request = core::ControlRequest::fixed_rate(bits);
+
+    const auto r1 = core::compress_blocked<float>(span, c.dims, request,
+                                                  options_for(c, 1));
+    const auto r8 = core::compress_blocked<float>(span, c.dims, request,
+                                                  options_for(c, 8));
+    ASSERT_EQ(r1.stream, r8.stream);
+
+    const auto facade = session_for(c, 2).compress(
+        fpsnr::Source::memory(span, c.dims.extents), fpsnr::FixedRate{bits},
+        fpsnr::Sink::memory());
+    ASSERT_EQ(facade.archive, r1.stream);
+
+    const auto out = core::decompress_blocked<float>(r1.stream, 2);
+    ASSERT_EQ(out.dims, c.dims);
+    const auto info = core::inspect_block_stream(r1.stream);
+    EXPECT_EQ(info.control_mode, core::ControlMode::FixedRate);
+    // The recorded PSNR stays exact in rate mode too.
+    const auto report = metrics::compare<float>(values, out.values);
     if (std::isinf(report.psnr_db))
       EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
     else

@@ -231,10 +231,38 @@ TEST(ParallelPipeline, UnsupportedModesThrow) {
                                      core::ControlRequest::pointwise(0.01),
                                      pipeline_options(2)),
                std::invalid_argument);
-  EXPECT_THROW(core::compress<float>(values, dims,
-                                     core::ControlRequest::fixed_rate(4.0),
-                                     pipeline_options(2)),
-               std::invalid_argument);
+}
+
+TEST(ParallelPipeline, FixedRateSearchesPerBlockAndStaysDeterministic) {
+  // Fixed-rate is pipeline-native now: each block bisects its own bound to
+  // the byte budget, the header records the fixed-rate control byte, and
+  // the archive bytes stay thread-count independent like every other mode.
+  const data::Dims dims{96, 40};
+  const auto values = sample_field(dims, 21);
+  const double bits = 7.0;
+  auto opts = pipeline_options(1);
+  opts.parallel.block_rows = 16;
+  const auto one = core::compress<float>(
+      values, dims, core::ControlRequest::fixed_rate(bits), opts);
+  opts.parallel.threads = 4;
+  const auto four = core::compress<float>(
+      values, dims, core::ControlRequest::fixed_rate(bits), opts);
+  EXPECT_EQ(one.stream, four.stream);
+
+  const auto info = core::inspect_block_stream(one.stream);
+  EXPECT_EQ(info.control_mode, core::ControlMode::FixedRate);
+  EXPECT_DOUBLE_EQ(info.control_value, bits);
+  EXPECT_EQ(info.eb_abs, 0.0);
+
+  // The rate lands near the budget (the search targets payload bytes
+  // within ±5%; header + index add ~0.6 bits/value on this small field).
+  EXPECT_NEAR(one.info.bit_rate, bits, 0.05 * bits + 0.7);
+  const auto d = core::decompress_blocked<float>(one.stream, 2);
+  EXPECT_EQ(d.values.size(), values.size());
+  // Random access works off the self-describing per-block streams even
+  // though the header's eb_abs is 0 in rate mode.
+  const auto block = core::decompress_block<float>(one.stream, 1);
+  EXPECT_EQ(block.dims[0], 16u);
 }
 
 TEST(ParallelPipeline, InvalidRequestsRejectedLikeSerialPath) {

@@ -1,0 +1,580 @@
+// The public fpsnr::Session facade, and the legacy option plumbing it
+// wraps.
+//
+// Facade contract under test here:
+//   * every Target × {memory, file, stream} Sink produces archives
+//     byte-identical to the legacy core:: entry points (same engine runs
+//     underneath), and every Source shape decodes them back;
+//   * Target::FixedRate lands within ±5% of the requested bits/value
+//     (payload bytes — the quantity the per-block search controls) across
+//     the conformance engine matrix;
+//   * CodecTuning keys are validated per engine and reach the codec;
+//   * the CodecRegistry's names/aliases are the single source of truth for
+//     engine selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "fpsnr/fpsnr.h"
+
+#include "core/batch.h"
+#include "core/compressor.h"
+#include "core/pipeline.h"
+#include "data/synth.h"
+#include "io/archive.h"
+#include "sz/stream_format.h"
+
+namespace core = fpsnr::core;
+namespace data = fpsnr::data;
+namespace sz = fpsnr::sz;
+namespace io = fpsnr::io;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<float> sample_field(const data::Dims& dims) {
+  auto v = data::smoothed_noise(dims, 31, 3, 2);
+  data::rescale(v, -2.0f, 5.0f);
+  return v;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+fs::path temp_file(const std::string& stem) {
+  return fs::temp_directory_path() / ("fpsnr-session-" + stem);
+}
+
+}  // namespace
+
+TEST(FacadeOptions, PredictorReachesStreamHeader) {
+  const data::Dims dims{48, 48};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.sz_predictor = sz::Predictor::HybridRegression;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
+  EXPECT_EQ(sz::inspect(r.stream).predictor, sz::Predictor::HybridRegression);
+  const auto rep = core::verify<float>(values, r.stream);
+  EXPECT_NEAR(rep.psnr_db, 70.0, 2.0);
+}
+
+TEST(FacadeOptions, QuantizationBinsReachStream) {
+  const data::Dims dims{32, 32};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.quantization_bins = 1024;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+  EXPECT_EQ(sz::inspect(r.stream).quant_bins, 1024u);
+}
+
+TEST(FacadeOptions, BackendChoicesAllDecodeIdentically) {
+  const data::Dims dims{40, 40};
+  const auto values = sample_field(dims);
+  std::vector<float> reference;
+  for (auto backend :
+       {fpsnr::lossless::Method::Store, fpsnr::lossless::Method::Deflate,
+        fpsnr::lossless::Method::Auto}) {
+    core::CompressOptions opts;
+    opts.backend = backend;
+    const auto r = core::compress_fixed_psnr<float>(values, dims, 75.0, opts);
+    const auto out = core::decompress<float>(r.stream);
+    if (reference.empty())
+      reference = out.values;
+    else
+      EXPECT_EQ(out.values, reference);
+  }
+}
+
+class FacadeMatrix
+    : public ::testing::TestWithParam<std::tuple<core::Engine, double>> {};
+
+TEST_P(FacadeMatrix, EveryEngineHitsEveryTarget) {
+  const auto [engine, target] = GetParam();
+  const data::Dims dims{64, 64};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.engine = engine;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, target, opts);
+  const auto rep = core::verify<float>(values, r.stream);
+  // Fixed-PSNR contract: never undershoot by more than ~1 dB.
+  EXPECT_GT(rep.psnr_db, target - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FacadeMatrix,
+    ::testing::Combine(::testing::Values(core::Engine::SzLorenzo,
+                                         core::Engine::TransformHaar,
+                                         core::Engine::TransformDct),
+                       ::testing::Values(50.0, 80.0, 110.0)));
+
+TEST(FacadeOptions, RegistryOnlyEnginesRouteThroughBlockPipeline) {
+  // Interp / ZfpRate / Store have no serial flat-stream path; the facade
+  // must emit an FPBK container for them even with no parallel knobs set,
+  // and decompress() must dispatch it transparently.
+  const data::Dims dims{48, 32};
+  const auto values = sample_field(dims);
+  for (const core::Engine e :
+       {core::Engine::Interp, core::Engine::ZfpRate, core::Engine::Store}) {
+    core::CompressOptions opts;
+    opts.engine = e;
+    const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+    EXPECT_TRUE(core::is_block_stream(r.stream))
+        << "engine " << static_cast<int>(e);
+    const auto rep = core::verify<float>(values, r.stream);
+    EXPECT_GT(rep.psnr_db, 59.0) << "engine " << static_cast<int>(e);
+  }
+}
+
+TEST(FacadeOptions, RegistryNameLookupListsRegisteredCodecs) {
+  // The CLI resolves --engine through these lookups; an unknown name must
+  // fail with a message naming every registered codec.
+  auto& registry = core::CodecRegistry::instance();
+  EXPECT_EQ(registry.id_of("sz-lorenzo"), core::kCodecSzLorenzo);
+  EXPECT_EQ(registry.id_of("transform-haar"), core::kCodecTransformHaar);
+  EXPECT_EQ(registry.id_of("transform-dct"), core::kCodecTransformDct);
+  EXPECT_EQ(registry.id_of("interp"), core::kCodecInterp);
+  EXPECT_EQ(registry.id_of("zfpr"), core::kCodecZfpRate);
+  EXPECT_EQ(registry.id_of("store"), core::kCodecStore);
+  EXPECT_EQ(registry.find("interp"), &registry.at(core::kCodecInterp));
+  EXPECT_EQ(registry.find("no-such-codec"), nullptr);
+
+  const auto names = registry.names();
+  ASSERT_GE(names.size(), 6u);
+  try {
+    registry.id_of("no-such-codec");
+    FAIL() << "unknown codec name must throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    for (std::string_view n : names)
+      EXPECT_NE(what.find(n), std::string::npos)
+          << "error message must list '" << n << "'";
+  }
+}
+
+TEST(FacadeOptions, AdaptiveBudgetRoutesThroughBlockPipeline) {
+  const data::Dims dims{48, 32};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.budget = core::BudgetMode::Adaptive;
+  const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+  EXPECT_TRUE(core::is_block_stream(r.stream));
+  EXPECT_GT(core::verify<float>(values, r.stream).psnr_db, 59.0);
+}
+
+TEST(FacadeOptions, HybridPredictorIgnoredByTransformEngines) {
+  // Transform engines have no Lorenzo/regression stage; the option must be
+  // harmless, not an error.
+  const data::Dims dims{32, 32};
+  const auto values = sample_field(dims);
+  core::CompressOptions opts;
+  opts.engine = core::Engine::TransformHaar;
+  opts.sz_predictor = sz::Predictor::HybridRegression;
+  EXPECT_NO_THROW({
+    const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
+    (void)core::decompress<float>(r.stream);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Session facade
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using fpsnr::BatchJob;
+using fpsnr::CompressReport;
+using fpsnr::Session;
+using fpsnr::SessionOptions;
+using fpsnr::Sink;
+using fpsnr::Source;
+using fpsnr::Target;
+
+/// The Targets the byte-identity sweep covers, with their legacy
+/// ControlRequest twins.
+struct TargetCase {
+  const char* name;
+  Target target;
+  core::ControlRequest request;
+};
+
+std::vector<TargetCase> block_pipeline_targets() {
+  return {
+      {"fixed_psnr", fpsnr::FixedPsnr{70.0},
+       core::ControlRequest::fixed_psnr(70.0)},
+      {"fixed_nrmse", fpsnr::FixedNrmse{1e-3},
+       core::ControlRequest::fixed_nrmse(1e-3)},
+      {"pointwise_abs", fpsnr::PointwiseAbs{0.01},
+       core::ControlRequest::absolute(0.01)},
+      {"value_range_rel", fpsnr::ValueRangeRel{1e-4},
+       core::ControlRequest::relative(1e-4)},
+      {"fixed_rate", fpsnr::FixedRate{8.0},
+       core::ControlRequest::fixed_rate(8.0)},
+  };
+}
+
+}  // namespace
+
+TEST(SessionApi, EveryTargetAndEverySinkMatchesLegacyBytes) {
+  // The acceptance bar of the facade: for every Target, the memory, file,
+  // and stream sinks all emit the byte-exact archive the legacy
+  // compress_blocked / compress_to_file free functions emit, and both
+  // Source shapes decode it back to the legacy decompress output.
+  const data::Dims dims{72, 48};
+  const auto values = sample_field(dims);
+
+  SessionOptions sopts;
+  sopts.threads = 2;
+  sopts.block_rows = 16;
+  const Session session(sopts);
+
+  core::CompressOptions lopts;
+  lopts.parallel.block_pipeline = true;
+  lopts.parallel.threads = 2;
+  lopts.parallel.block_rows = 16;
+
+  for (const TargetCase& tc : block_pipeline_targets()) {
+    SCOPED_TRACE(tc.name);
+    const auto legacy = core::compress_blocked<float>(
+        std::span<const float>(values), dims, tc.request, lopts);
+
+    // memory sink
+    const auto mem = session.compress(
+        Source::memory(std::span<const float>(values), dims.extents),
+        tc.target, Sink::memory());
+    EXPECT_EQ(mem.archive, legacy.stream);
+
+    // file sink
+    const auto file_path = temp_file(std::string(tc.name) + ".fpbk");
+    session.compress(
+        Source::memory(std::span<const float>(values), dims.extents),
+        tc.target, Sink::file(file_path.string()));
+    EXPECT_EQ(slurp(file_path.string()), legacy.stream);
+
+    // stream sink (spill-as-they-finish writer)
+    const auto stream_path = temp_file(std::string(tc.name) + "-s.fpbk");
+    session.compress(
+        Source::memory(std::span<const float>(values), dims.extents),
+        tc.target, Sink::stream(stream_path.string()));
+    EXPECT_EQ(slurp(stream_path.string()), legacy.stream);
+
+    // decode: memory source, file source (mmap), and legacy all agree
+    const auto legacy_out = core::decompress_blocked<float>(legacy.stream, 2);
+    const auto from_mem = session.decompress(
+        Source::memory(std::span<const std::uint8_t>(legacy.stream)));
+    EXPECT_EQ(from_mem.f32, legacy_out.values);
+    const auto from_file =
+        session.decompress(Source::file(stream_path.string()));
+    EXPECT_EQ(from_file.f32, legacy_out.values);
+
+    // random-access block decode
+    const auto legacy_block = core::decompress_block<float>(legacy.stream, 1);
+    const auto block = session.decompress_block(
+        Source::file(stream_path.string()), 1);
+    EXPECT_EQ(block.f32, legacy_block.values);
+    EXPECT_EQ(block.dims[0], legacy_block.dims[0]);
+
+    fs::remove(file_path);
+    fs::remove(stream_path);
+  }
+}
+
+TEST(SessionApi, PointwiseRelMatchesLegacySerialBytes) {
+  // Pointwise-relative is the one Target with no block container: the
+  // facade runs the serial codec and must emit the legacy flat stream.
+  const data::Dims dims{40, 40};
+  const auto values = sample_field(dims);
+  const Session session;
+  const auto legacy = core::compress<float>(
+      std::span<const float>(values), dims, core::ControlRequest::pointwise(0.01));
+  const auto mem = session.compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::PointwiseRel{0.01}, Sink::memory());
+  EXPECT_EQ(mem.archive, legacy.stream);
+  EXPECT_FALSE(core::is_block_stream(mem.archive));
+  const auto out = session.decompress(
+      Source::memory(std::span<const std::uint8_t>(mem.archive)));
+  EXPECT_EQ(out.f32, core::decompress<float>(legacy.stream).values);
+}
+
+TEST(SessionApi, RawFileSourceMatchesMemorySource) {
+  const data::Dims dims{32, 32};
+  const auto values = sample_field(dims);
+  const auto raw_path = temp_file("raw-in.f32");
+  {
+    std::ofstream out(raw_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(float)));
+  }
+  const Session session;
+  const auto from_mem = session.compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{70.0}, Sink::memory());
+  const auto from_raw =
+      session.compress(Source::raw_file(raw_path.string(), dims.extents),
+                       fpsnr::FixedPsnr{70.0}, Sink::memory());
+  EXPECT_EQ(from_raw.archive, from_mem.archive);
+  // Bad geometry is an invalid_argument, like the legacy loaders.
+  EXPECT_THROW(session.compress(Source::raw_file(raw_path.string(), {999}),
+                                fpsnr::FixedPsnr{70.0}, Sink::memory()),
+               std::invalid_argument);
+  fs::remove(raw_path);
+}
+
+TEST(SessionApi, DoubleFieldsRoundTrip) {
+  const data::Dims dims{48, 24};
+  const auto f32 = sample_field(dims);
+  std::vector<double> values(f32.begin(), f32.end());
+  const Session session;
+  const auto r = session.compress(
+      Source::memory(std::span<const double>(values), dims.extents),
+      fpsnr::FixedPsnr{90.0}, Sink::memory());
+  const auto out = session.decompress(
+      Source::memory(std::span<const std::uint8_t>(r.archive)));
+  ASSERT_TRUE(out.is_double());
+  ASSERT_EQ(out.f64.size(), values.size());
+  const auto legacy = core::decompress<double>(r.archive);
+  EXPECT_EQ(out.f64, legacy.values);
+}
+
+TEST(SessionApi, FixedRateHitsBudgetAcrossEngineMatrix) {
+  // The FixedRate acceptance bar: payload bits/value (the quantity the
+  // per-block bisection controls — container header/index overhead is
+  // constant per archive, not rate-dependent) lands within ±5% of the
+  // request across the conformance engines and two budgets.
+  const data::Dims dims{80, 60};
+  auto values = data::smoothed_noise(dims, 97, 1, 1);  // mildly compressible
+  data::rescale(values, -3.0f, 9.0f);
+
+  for (const char* engine :
+       {"sz-lorenzo", "transform-haar", "transform-dct", "interp", "zfpr"}) {
+    for (const double bits : {6.0, 10.0}) {
+      SCOPED_TRACE(std::string(engine) + " @ " + std::to_string(bits));
+      SessionOptions sopts;
+      sopts.engine = engine;
+      sopts.block_rows = 20;
+      const Session session(sopts);
+      const auto r = session.compress(
+          Source::memory(std::span<const float>(values), dims.extents),
+          fpsnr::FixedRate{bits}, Sink::memory());
+
+      const auto view = io::open_block_container(r.archive);
+      std::size_t payload = 0;
+      for (const auto& b : view.blocks) payload += b.size();
+      const double payload_rate =
+          8.0 * static_cast<double>(payload) / values.size();
+      EXPECT_NEAR(payload_rate, bits, 0.05 * bits)
+          << "payload " << payload << " bytes";
+
+      // Rate archives decode like any other (per-block streams are
+      // self-describing; header eb_abs is 0 by design).
+      const auto out = session.decompress(
+          Source::memory(std::span<const std::uint8_t>(r.archive)));
+      EXPECT_EQ(out.f32.size(), values.size());
+      const auto info = session.inspect(
+          Source::memory(std::span<const std::uint8_t>(r.archive)));
+      EXPECT_EQ(info.target, "fixed-rate");
+      EXPECT_DOUBLE_EQ(info.target_value, bits);
+      EXPECT_EQ(info.eb_abs, 0.0);
+    }
+  }
+}
+
+TEST(SessionApi, InspectReportsFacadeNames) {
+  const data::Dims dims{48, 32};
+  const auto values = sample_field(dims);
+  const Session session;
+  const auto r = session.compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{75.0}, Sink::memory());
+  const auto info = session.inspect(
+      Source::memory(std::span<const std::uint8_t>(r.archive)));
+  EXPECT_TRUE(info.block_container);
+  EXPECT_EQ(info.version, 2);
+  EXPECT_EQ(info.codec, "sz-lorenzo");
+  EXPECT_EQ(info.target, "fixed-psnr");
+  EXPECT_DOUBLE_EQ(info.target_value, 75.0);
+  EXPECT_EQ(info.budget, "uniform");
+  EXPECT_EQ(info.dims, (std::vector<std::size_t>{48, 32}));
+  EXPECT_NEAR(info.achieved_psnr_db, r.achieved_psnr_db, 1e-9);
+  EXPECT_EQ(info.archive_bytes, r.archive.size());
+}
+
+TEST(SessionApi, TuningKeysAreValidatedPerEngine) {
+  // Schema queries come from the same table the session validates against.
+  const auto haar = fpsnr::tuning_keys("haar");  // alias resolves too
+  bool has_levels = false;
+  for (const auto& k : haar) has_levels |= k.key == "levels";
+  EXPECT_TRUE(has_levels);
+  EXPECT_THROW(fpsnr::tuning_keys("no-such-engine"), std::out_of_range);
+
+  // Unknown key for a known engine: construction-time error.
+  SessionOptions bad;
+  bad.engine = "transform-haar";
+  bad.tuning.set("transform-haar", "dct-block", 16.0);  // a DCT knob
+  EXPECT_THROW(Session{bad}, std::invalid_argument);
+
+  // Unknown engine inside the tuning block: also a construction error.
+  SessionOptions bad2;
+  bad2.tuning.set("no-such-engine", "levels", 2.0);
+  EXPECT_THROW(Session{bad2}, std::out_of_range);
+
+  // Unknown engine name itself.
+  SessionOptions bad3;
+  bad3.engine = "no-such-engine";
+  EXPECT_THROW(Session{bad3}, std::out_of_range);
+
+  // Bad budget spelling.
+  SessionOptions bad4;
+  bad4.budget = "greedy";
+  EXPECT_THROW(Session{bad4}, std::invalid_argument);
+}
+
+TEST(SessionApi, TuningReachesTheCodec) {
+  const data::Dims dims{48, 48};
+  const auto values = sample_field(dims);
+
+  // predictor: hybrid-regression flips the per-block sz stream header.
+  SessionOptions hybrid;
+  hybrid.tuning.set("sz-lorenzo", "predictor", "hybrid");
+  const auto h = Session(hybrid).compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{70.0}, Sink::memory());
+  const auto l = Session().compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{70.0}, Sink::memory());
+  EXPECT_NE(h.archive, l.archive);
+  // The facade bytes equal the legacy bytes built with the same knob.
+  core::CompressOptions lopts;
+  lopts.parallel.block_pipeline = true;
+  lopts.sz_predictor = sz::Predictor::HybridRegression;
+  const auto legacy = core::compress_blocked<float>(
+      std::span<const float>(values), dims,
+      core::ControlRequest::fixed_psnr(70.0), lopts);
+  EXPECT_EQ(h.archive, legacy.stream);
+
+  // quantization-bins reaches the block codec the same way.
+  SessionOptions bins;
+  bins.tuning.set("sz-lorenzo", "quantization-bins", 1024.0);
+  const auto b = Session(bins).compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{70.0}, Sink::memory());
+  core::CompressOptions bopts;
+  bopts.parallel.block_pipeline = true;
+  bopts.quantization_bins = 1024;
+  const auto blegacy = core::compress_blocked<float>(
+      std::span<const float>(values), dims,
+      core::ControlRequest::fixed_psnr(70.0), bopts);
+  EXPECT_EQ(b.archive, blegacy.stream);
+}
+
+TEST(SessionApi, EnginesComeFromTheLiveRegistry) {
+  const auto engines = Session::engines();
+  ASSERT_GE(engines.size(), 6u);
+  const auto names = core::CodecRegistry::instance().names();
+  ASSERT_EQ(engines.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(engines[i], std::string(names[i]));
+  // Aliases select the same codec as primary names.
+  SessionOptions alias;
+  alias.engine = "dct";
+  EXPECT_EQ(Session(alias).options().engine, "dct");
+  const data::Dims dims{24, 24};
+  const auto values = sample_field(dims);
+  const auto via_alias = Session(alias).compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{60.0}, Sink::memory());
+  SessionOptions primary;
+  primary.engine = "transform-dct";
+  const auto via_primary = Session(primary).compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{60.0}, Sink::memory());
+  EXPECT_EQ(via_alias.archive, via_primary.archive);
+}
+
+TEST(SessionApi, BatchMatchesSingleFieldBytes) {
+  // The batch workflow through the facade: per-field archives are the
+  // byte-exact single-field compress() outputs, in-memory and streamed.
+  const data::Dims big{64, 48};
+  const data::Dims small{30, 20};
+  const auto a = sample_field(big);
+  auto b = data::smoothed_noise(small, 77, 2, 2);
+  data::rescale(b, 100.0f, 180.0f);
+
+  SessionOptions sopts;
+  sopts.threads = 4;
+  const Session session(sopts);
+
+  BatchJob job;
+  job.target = fpsnr::FixedPsnr{72.0};
+  job.keep_archives = true;
+  job.fields.push_back({"a", Source::memory(std::span<const float>(a),
+                                            big.extents)});
+  job.fields.push_back({"b", Source::memory(std::span<const float>(b),
+                                            small.extents)});
+  const auto batch = session.compress_batch(job);
+  ASSERT_EQ(batch.fields.size(), 2u);
+
+  const auto single_a = session.compress(
+      Source::memory(std::span<const float>(a), big.extents),
+      fpsnr::FixedPsnr{72.0}, Sink::memory());
+  const auto single_b = session.compress(
+      Source::memory(std::span<const float>(b), small.extents),
+      fpsnr::FixedPsnr{72.0}, Sink::memory());
+  EXPECT_EQ(batch.fields[0].archive, single_a.archive);
+  EXPECT_EQ(batch.fields[1].archive, single_b.archive);
+  // The model's MSE prediction is an average-case equality, so measured
+  // PSNR may sit a fraction of a dB under the target; never more.
+  EXPECT_GT(batch.fields[0].actual_psnr_db, 71.5);
+  EXPECT_EQ(batch.fields[0].value_count, a.size());
+
+  // Streaming batch: same bytes on disk.
+  const auto dir = temp_file("batch-dir");
+  fs::create_directories(dir);
+  BatchJob stream_job = job;
+  stream_job.keep_archives = false;
+  stream_job.stream_dir = dir.string();
+  const auto streamed = session.compress_batch(stream_job);
+  EXPECT_EQ(slurp(streamed.fields[0].archive_path), single_a.archive);
+  EXPECT_EQ(slurp(streamed.fields[1].archive_path), single_b.archive);
+  fs::remove_all(dir);
+
+  // Hostile names and non-PSNR targets are rejected.
+  BatchJob hostile = job;
+  hostile.fields[0].name = "../evil";
+  EXPECT_THROW(session.compress_batch(hostile), std::invalid_argument);
+  BatchJob wrong_target = job;
+  wrong_target.target = fpsnr::FixedRate{8.0};
+  EXPECT_THROW(session.compress_batch(wrong_target), std::invalid_argument);
+}
+
+TEST(SessionApi, SourceAndSinkMisuseThrows) {
+  const data::Dims dims{16, 16};
+  const auto values = sample_field(dims);
+  const Session session;
+  const auto r = session.compress(
+      Source::memory(std::span<const float>(values), dims.extents),
+      fpsnr::FixedPsnr{60.0}, Sink::memory());
+  // An archive source is not a field source, and vice versa.
+  EXPECT_THROW(session.compress(
+                   Source::memory(std::span<const std::uint8_t>(r.archive)),
+                   fpsnr::FixedPsnr{60.0}, Sink::memory()),
+               std::invalid_argument);
+  EXPECT_THROW(session.decompress(Source::memory(
+                   std::span<const float>(values), dims.extents)),
+               std::invalid_argument);
+  // Unwritable sinks surface as runtime errors, not silent truncation.
+  EXPECT_THROW(session.compress(
+                   Source::memory(std::span<const float>(values), dims.extents),
+                   fpsnr::FixedPsnr{60.0},
+                   Sink::file("/no/such/dir/out.fpbk")),
+               std::runtime_error);
+}

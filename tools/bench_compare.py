@@ -20,7 +20,7 @@ scheduling win is physically possible.
 Usage:
   bench_compare.py --baseline bench/BENCH_baseline.json \
       --pr out1.json out2.json --out BENCH_pr.json \
-      [--tolerance 3.0] [--speedup-gate 1.3] [--min-cpus 4] \
+      [--tolerance 2.0] [--speedup-gate 1.3] [--min-cpus 4] \
       [--summary "$GITHUB_STEP_SUMMARY"]
 
 Exit codes: 0 pass, 1 regression / missing benchmark, 2 bad input.
@@ -75,7 +75,7 @@ def main():
                     help="benchmark JSON output file(s) from this run")
     ap.add_argument("--out", default="BENCH_pr.json",
                     help="merged PR benchmark JSON to write")
-    ap.add_argument("--tolerance", type=float, default=3.0,
+    ap.add_argument("--tolerance", type=float, default=2.0,
                     help="fail when pr_time > tolerance * baseline_time")
     ap.add_argument("--speedup-gate", type=float, default=1.3,
                     help="required sequential/queue speedup at 8 workers")
