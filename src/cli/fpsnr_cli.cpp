@@ -29,6 +29,7 @@
 #include "core/codec_registry.h"
 #include "data/dataset.h"
 #include "io/archive.h"
+#include "simd/dispatch.h"
 
 namespace {
 
@@ -52,6 +53,10 @@ using namespace fpsnr;
       "                  at the same global PSNR target)\n"
       "      --threads N     block-parallel compression on N workers\n"
       "                      (output bytes are identical for every N)\n"
+      "      --simd B        pin the vector backend: auto|scalar|avx2|neon\n"
+      "                      (default auto: FPSNR_SIMD env, then CPUID;\n"
+      "                      archives are byte-identical on every backend;\n"
+      "                      accepted by every subcommand)\n"
       "      --block-size R  axis-0 rows per block (default: auto)\n"
       "      --stream        spill blocks to -o as workers finish (peak\n"
       "                      memory stays O(in-flight blocks); the file is\n"
@@ -148,6 +153,7 @@ struct Args {
   bool mmap = false;    ///< decompress: map the archive instead of loading
   bool report_psnr = false;  ///< print the exact recorded PSNR
   bool no_verify = false;    ///< batch: trust the recorded SSE, skip decode
+  std::string simd;          ///< vector backend pin; empty = leave auto
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -175,9 +181,36 @@ Args parse_args(int argc, char** argv, int first) {
     else if (flag == "--mmap") a.mmap = true;
     else if (flag == "--report-psnr") a.report_psnr = true;
     else if (flag == "--no-verify") a.no_verify = true;
+    else if (flag == "--simd") a.simd = next();
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
+}
+
+/// Apply --simd before any work runs. "auto" (and no flag at all) keeps
+/// the env/CPUID selection; a concrete backend is pinned via
+/// force_backend. An unsupported backend is a hard usage error, not the
+/// dispatcher's loud-scalar fallback: the user asked for a specific ISA
+/// by name, so silently measuring scalar would be a lie.
+void apply_simd(const Args& a) {
+  if (a.simd.empty()) return;
+  std::optional<simd::Backend> backend;
+  if (!simd::parse_backend(a.simd, &backend))
+    usage(("unknown --simd backend '" + a.simd +
+           "' (want auto|scalar|avx2|neon)").c_str());
+  if (!backend) {
+    simd::reset_backend();
+    return;
+  }
+  if (!simd::force_backend(*backend)) {
+    std::string have;
+    for (const simd::Backend b : simd::supported_backends()) {
+      if (!have.empty()) have += '|';
+      have += simd::backend_name(b);
+    }
+    usage(("--simd " + a.simd + " is not supported on this host (have " +
+           have + ")").c_str());
+  }
 }
 
 /// Resolve --engine against the live codec registry (primary names and
@@ -253,7 +286,8 @@ int cmd_compress(const Args& a) {
     std::cout << "block pipeline: " << report.block_count << " block(s) x "
               << report.block_rows << " row(s), codec "
               << session.options().engine << ", " << session.threads()
-              << " thread(s)\n";
+              << " thread(s), simd "
+              << simd::backend_name(simd::active_backend()) << "\n";
   // Match on the parsed Target, not the raw -m string, so the long-form
   // spellings ("fixed-psnr", "fixed-rate") get the same summary lines.
   if (std::holds_alternative<FixedPsnr>(target))
@@ -594,6 +628,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args a = parse_args(argc, argv, 2);
+    apply_simd(a);
     if (cmd == "compress") return cmd_compress(a);
     if (cmd == "compress-batch") return cmd_compress_batch(a);
     if (cmd == "decompress") return cmd_decompress(a);

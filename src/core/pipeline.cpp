@@ -327,16 +327,32 @@ std::vector<std::uint8_t> rate_search_block(const BlockPlan& plan,
                                             BlockInfo* info) {
   const double n = static_cast<double>(slice.size());
   const double target_bytes = plan.target_bits_per_value * n / 8.0;
-  if (!(plan.vr > 0.0)) {
+  if (plan.vr == 0.0) {
     // Degenerate (constant) field: its rate sits at the entropy floor for
     // any bound, so searching could only trade exactness for nothing —
     // encode once with the same tiny budget the error-bounded modes use
-    // and keep the field exact.
+    // and keep the field exact. (A NaN range — NaN samples in a varying
+    // field — is NOT degenerate; it falls through to the search, which
+    // re-derives its scale from the finite samples below.)
     BlockParams bp = plan.bp;
     bp.eb_abs = std::numeric_limits<double>::min() * 1e6;
     return plan.codec->compress(slice, slab, bp, info);
   }
-  const double scale = plan.vr;
+  // A single NaN/Inf sample makes the plan's value range non-finite, which
+  // would poison every derived bound below (eb_min/eb_max = Inf, and the
+  // census seed would reject its own Inf error bound). The search only
+  // needs a magnitude scale, so fall back to the largest finite |value| in
+  // the block (or 1.0 when nothing is finite) — the codecs themselves
+  // store non-finite samples as exact outliers at any bound.
+  double scale = plan.vr;
+  if (!std::isfinite(scale)) {
+    double max_abs = 0.0;
+    for (const T v : slice) {
+      const double d = std::abs(static_cast<double>(v));
+      if (std::isfinite(d) && d > max_abs) max_abs = d;
+    }
+    scale = max_abs > 0.0 ? max_abs : 1.0;
+  }
   // Bounds outside this window are degenerate: below eb_min the quantizer
   // is at float-precision resolution; above eb_max the whole range fits in
   // one bin and the rate cannot drop further.
@@ -358,6 +374,10 @@ std::vector<std::uint8_t> rate_search_block(const BlockPlan& plan,
   double eb = std::clamp(
       census.eb_abs * std::exp2(est_bits - plan.target_bits_per_value),
       eb_min, eb_max);
+  // std::clamp passes NaN through (and a non-finite census on pathological
+  // data can produce one); restart the bisection from the window's
+  // geometric midpoint instead of feeding NaN to the codec.
+  if (!std::isfinite(eb)) eb = std::sqrt(eb_min * eb_max);
 
   BlockInfo best_info;
   std::vector<std::uint8_t> best_bytes = encode(eb, &best_info);
@@ -596,6 +616,14 @@ bool FieldCompressor<T>::run_block(std::size_t b) {
     bytes = CodecRegistry::instance().at(kCodecStore).compress(
         slice, slab, store_bp, &im.block_infos[b]);
   }
+  // Non-finite samples poison the block's SSE (NaN - NaN = NaN even when
+  // the sample was stored as an exact outlier), and the container's SSE
+  // column is finite by contract. Record 0 for such a block: pointwise
+  // codecs really did reproduce the poisoned samples exactly, and any
+  // aggregate distortion metric over a non-finite field is meaningless
+  // regardless of what we record.
+  if (!std::isfinite(im.block_infos[b].achieved_sse))
+    im.block_infos[b].achieved_sse = 0.0;
   // The writers reject duplicate indices, so a double-run can never reach
   // the counter and mis-report completion.
   if (im.mem)

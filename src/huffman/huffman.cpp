@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "simd/dispatch.h"
+
 namespace fpsnr::huffman {
 
 namespace {
@@ -141,6 +143,18 @@ std::vector<std::uint32_t> canonical_codes(std::span<const std::uint8_t> lengths
   return codes;
 }
 
+Encoder::Encoder(std::vector<std::uint8_t> lengths,
+                 std::vector<std::uint32_t> codes)
+    : lengths_(std::move(lengths)), codes_(std::move(codes)) {
+  entries_.resize(lengths_.size(), 0);
+  for (std::size_t s = 0; s < lengths_.size(); ++s) {
+    const unsigned len = lengths_[s];
+    if (len == 0) continue;
+    entries_[s] = static_cast<std::uint64_t>(reverse_bits(codes_[s], len)) |
+                  (static_cast<std::uint64_t>(len) << 32);
+  }
+}
+
 Encoder Encoder::from_frequencies(std::span<const std::uint64_t> freq,
                                   unsigned max_length) {
   auto lengths = build_code_lengths(freq, max_length);
@@ -167,7 +181,30 @@ void Encoder::encode_symbol(std::uint32_t symbol, io::BitWriter& out) const {
 }
 
 void Encoder::encode(std::span<const std::uint32_t> symbols, io::BitWriter& out) const {
-  for (std::uint32_t s : symbols) encode_symbol(s, out);
+  // Bulk path: pack whole 64-bit words from the precomputed (reversed
+  // code | length) table and hand them to the BitWriter wholesale. The
+  // emitted bit sequence is identical to per-symbol encode_symbol calls at
+  // any starting bit offset; only the call overhead changes.
+  const simd::KernelTable& kt = simd::kernels();
+  constexpr std::size_t kChunk = 4096;
+  std::vector<std::uint64_t> words(
+      (kChunk * kMaxCodeLength + 63) / 64 + 1);
+  std::uint64_t carry = 0;
+  unsigned carry_bits = 0;
+  std::size_t i = 0;
+  while (i < symbols.size()) {
+    const std::size_t n = std::min(kChunk, symbols.size() - i);
+    std::size_t bad = simd::kNoBadSymbol;
+    const std::size_t nw =
+        kt.huffman_pack(symbols.data() + i, n, entries_.data(),
+                        entries_.size(), words.data(), &carry, &carry_bits,
+                        &bad);
+    for (std::size_t w = 0; w < nw; ++w) out.write_bits(words[w], 64);
+    if (bad != simd::kNoBadSymbol)
+      throw std::invalid_argument("Encoder: symbol has no code");
+    i += n;
+  }
+  if (carry_bits > 0) out.write_bits(carry, carry_bits);
 }
 
 std::uint64_t Encoder::encoded_bits(std::span<const std::uint32_t> symbols) const {

@@ -70,9 +70,11 @@ class Encoder {
  private:
   std::vector<std::uint8_t> lengths_;
   std::vector<std::uint32_t> codes_;  // canonical, MSB-first
+  // Packed encode table for the bulk path: bit-reversed (LSB-first) code in
+  // the low word, code length in the high word; 0 for symbols with no code.
+  std::vector<std::uint64_t> entries_;
 
-  Encoder(std::vector<std::uint8_t> lengths, std::vector<std::uint32_t> codes)
-      : lengths_(std::move(lengths)), codes_(std::move(codes)) {}
+  Encoder(std::vector<std::uint8_t> lengths, std::vector<std::uint32_t> codes);
 };
 
 /// Huffman decoder built from serialized or in-memory code lengths.

@@ -1,0 +1,52 @@
+// 64-byte-aligned allocation for hot-kernel scratch buffers.
+//
+// The vector kernels (src/simd/kernels.h) operate on whole cache lines;
+// allocating per-block scratch/recon buffers at 64-byte alignment keeps
+// full blocks out of the unaligned tail path and off split cache lines.
+// std::vector with this allocator stays a drop-in std::vector everywhere a
+// std::span is accepted, so only the owning declarations change.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace fpsnr::simd {
+
+/// Cache-line / AVX-512-friendly alignment for kernel buffers.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Minimal C++17 aligned allocator (operator new with align_val_t, so it
+/// composes with ASan/TSan and needs no platform-specific aligned_alloc).
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept { return true; }
+};
+
+}  // namespace fpsnr::simd
+
+// aligned_vector lives outside the class so it can be forward-used with the
+// usual vector spelling at call sites.
+#include <vector>
+
+namespace fpsnr::simd {
+
+/// std::vector whose storage is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace fpsnr::simd

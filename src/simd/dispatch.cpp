@@ -1,0 +1,127 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fpsnr::simd {
+
+// Backend tables. The scalar table is always linked; the ISA tables come
+// from their own translation units (compiled with the matching target
+// flags) and report themselves as null when the build cannot produce them,
+// so dispatch never hands out a table the binary cannot execute.
+const KernelTable& scalar_kernel_table();
+const KernelTable* avx2_kernel_table();  // null unless built for x86-64+AVX2
+const KernelTable* neon_kernel_table();  // null unless built for aarch64
+
+namespace {
+
+/// -1 = no pin; otherwise the forced Backend value.
+std::atomic<int> g_forced{-1};
+
+bool host_supports_avx2() {
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Backend detect() {
+  if (avx2_kernel_table() != nullptr && host_supports_avx2())
+    return Backend::Avx2;
+  if (neon_kernel_table() != nullptr) return Backend::Neon;  // aarch64 baseline
+  return Backend::Scalar;
+}
+
+Backend env_or_detect() {
+  const char* env = std::getenv("FPSNR_SIMD");
+  if (env != nullptr && *env != '\0') {
+    std::optional<Backend> parsed;
+    if (!parse_backend(env, &parsed)) {
+      std::fprintf(stderr,
+                   "fpsnr: unrecognized FPSNR_SIMD=%s (want "
+                   "auto|scalar|avx2|neon); using auto detection\n",
+                   env);
+    } else if (parsed.has_value()) {
+      if (backend_supported(*parsed)) return *parsed;
+      std::fprintf(stderr,
+                   "fpsnr: FPSNR_SIMD=%s is not supported on this host; "
+                   "falling back to scalar kernels\n",
+                   env);
+      return Backend::Scalar;
+    }
+  }
+  return detect();
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::Scalar: return "scalar";
+    case Backend::Avx2: return "avx2";
+    case Backend::Neon: return "neon";
+  }
+  return "unknown";
+}
+
+bool parse_backend(std::string_view name, std::optional<Backend>* out) {
+  if (name == "auto") { out->reset(); return true; }
+  if (name == "scalar") { *out = Backend::Scalar; return true; }
+  if (name == "avx2") { *out = Backend::Avx2; return true; }
+  if (name == "neon") { *out = Backend::Neon; return true; }
+  return false;
+}
+
+bool backend_supported(Backend b) {
+  switch (b) {
+    case Backend::Scalar: return true;
+    case Backend::Avx2:
+      return avx2_kernel_table() != nullptr && host_supports_avx2();
+    case Backend::Neon: return neon_kernel_table() != nullptr;
+  }
+  return false;
+}
+
+std::vector<Backend> supported_backends() {
+  std::vector<Backend> out{Backend::Scalar};
+  if (backend_supported(Backend::Avx2)) out.push_back(Backend::Avx2);
+  if (backend_supported(Backend::Neon)) out.push_back(Backend::Neon);
+  return out;
+}
+
+Backend active_backend() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  // The env/CPUID choice is immutable per process; a magic static keeps
+  // the first concurrent callers race-free.
+  static const Backend auto_backend = env_or_detect();
+  return auto_backend;
+}
+
+bool force_backend(Backend b) {
+  if (!backend_supported(b)) return false;
+  g_forced.store(static_cast<int>(b), std::memory_order_relaxed);
+  return true;
+}
+
+void reset_backend() { g_forced.store(-1, std::memory_order_relaxed); }
+
+const KernelTable& kernels() { return kernels_for(active_backend()); }
+
+const KernelTable& kernels_for(Backend b) {
+  switch (b) {
+    case Backend::Scalar: return scalar_kernel_table();
+    case Backend::Avx2:
+      if (const KernelTable* t = avx2_kernel_table()) return *t;
+      break;
+    case Backend::Neon:
+      if (const KernelTable* t = neon_kernel_table()) return *t;
+      break;
+  }
+  throw std::logic_error("simd: kernels_for on an unsupported backend");
+}
+
+}  // namespace fpsnr::simd

@@ -1,0 +1,53 @@
+// Runtime SIMD backend selection.
+//
+// Detection order: FPSNR_SIMD environment override (auto|scalar|avx2|neon),
+// then CPUID (AVX2 on x86-64 via __builtin_cpu_supports, NEON is baseline
+// on aarch64), else the scalar reference. Forcing an unsupported backend —
+// via the env var or force_backend() — falls back loudly to scalar instead
+// of executing illegal instructions; every backend produces bit-identical
+// archives, so a fallback is a performance note, never a correctness event.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "simd/kernels.h"
+
+namespace fpsnr::simd {
+
+enum class Backend : int { Scalar = 0, Avx2 = 1, Neon = 2 };
+
+/// Stable lowercase name ("scalar", "avx2", "neon").
+const char* backend_name(Backend b);
+
+/// Parse "auto"/"scalar"/"avx2"/"neon" (case-sensitive, matching the CLI
+/// and env-var contract). Returns false on an unrecognized name; "auto"
+/// succeeds with *out left empty.
+bool parse_backend(std::string_view name, std::optional<Backend>* out);
+
+/// True when this build AND this host can execute the backend's kernels.
+bool backend_supported(Backend b);
+
+/// All supported backends, scalar first (test suites iterate this).
+std::vector<Backend> supported_backends();
+
+/// The backend kernels() currently dispatches to.
+Backend active_backend();
+
+/// Pin the dispatched backend (tests / CLI --simd). Returns false and
+/// leaves the state unchanged if the backend is unsupported here. Not
+/// intended to race with in-flight compression.
+bool force_backend(Backend b);
+
+/// Drop any force_backend pin and return to env/CPUID selection.
+void reset_backend();
+
+/// Kernel table of the active backend.
+const KernelTable& kernels();
+
+/// Kernel table of a specific backend (must be supported; the scalar
+/// table is always available and is the bit-exactness reference).
+const KernelTable& kernels_for(Backend b);
+
+}  // namespace fpsnr::simd

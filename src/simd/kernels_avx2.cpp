@@ -1,0 +1,489 @@
+// AVX2 backend. Compiled with -mavx2 -mno-fma (see CMakeLists.txt): FMA
+// contraction would change results, and every kernel here must be
+// bit-identical to the scalar reference in kernels_ref.h.
+//
+// Vectorization strategy per kernel:
+//  * haar:    4 butterflies per iteration, in-register de/interleave.
+//  * dct:     4 outputs per iteration; each lane's accumulation stays in
+//             the reference's sequential index order.
+//  * zfpr:    4 coefficients per iteration with an exact llround emulation;
+//             magnitudes >= 2^50 replay the whole group through the
+//             reference (the magic-number trick is only proven below that).
+//  * lorenzo: 4 rows in a skewed anti-diagonal pipeline; each point's
+//             serial arithmetic is reproduced exactly, lanes only ever span
+//             points whose dependencies were produced in earlier steps.
+//  * sse:     one vector accumulator IS the defined virtual-4-lane order.
+//  * huffman: shared scalar pack (the bit-offset merge is inherently
+//             serial); kept in the table for uniform dispatch.
+#include "simd/kernels.h"
+#include "simd/kernels_ref.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace fpsnr::simd {
+namespace {
+
+// 2^52 + 2^51: adding then subtracting forces round-to-nearest-even at
+// integer granularity for |t| < 2^51 (the 2^51 offset keeps negatives in
+// the same binade, making the integer readable from the low mantissa bits).
+constexpr double kRoundMagic = 6755399441055744.0;
+// Kernel-local domain guard: the emulation (and its tie fix-up) is used
+// only for |t| < 2^50; larger magnitudes take the scalar reference.
+constexpr double kRoundDomain = 1125899906842624.0;
+
+inline __m256d abs_pd(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+struct Rounded4 {
+  __m256i k;  // llround-equivalent integer per lane
+  __m256d r;  // double(k)
+};
+
+/// Round half away from zero, exactly matching std::round / std::llround
+/// for |t| < 2^50. Computes round-to-nearest-even via the magic-number
+/// trick, then fixes the two tie cases: frac == t - rne(t) is exact
+/// (Sterbenz), frac == +0.5 means RNE rounded down (fix up iff t > 0),
+/// frac == -0.5 means RNE rounded up (fix down iff t < 0).
+inline Rounded4 round_half_away(__m256d t) {
+  const __m256d magic = _mm256_set1_pd(kRoundMagic);
+  const __m256i magic_bits = _mm256_castpd_si256(magic);
+  const __m256d big = _mm256_add_pd(t, magic);
+  __m256i k = _mm256_sub_epi64(_mm256_castpd_si256(big), magic_bits);
+  const __m256d re = _mm256_sub_pd(big, magic);
+  const __m256d frac = _mm256_sub_pd(t, re);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256i up = _mm256_castpd_si256(
+      _mm256_and_pd(_mm256_cmp_pd(frac, _mm256_set1_pd(0.5), _CMP_EQ_OQ),
+                    _mm256_cmp_pd(t, zero, _CMP_GT_OQ)));
+  const __m256i dn = _mm256_castpd_si256(
+      _mm256_and_pd(_mm256_cmp_pd(frac, _mm256_set1_pd(-0.5), _CMP_EQ_OQ),
+                    _mm256_cmp_pd(t, zero, _CMP_LT_OQ)));
+  // Masks are 0 or -1 per lane: subtracting -1 increments, adding -1
+  // decrements.
+  k = _mm256_sub_epi64(k, up);
+  k = _mm256_add_epi64(k, dn);
+  const __m256d r = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_add_epi64(k, magic_bits)), magic);
+  return {k, r};
+}
+
+// --- Haar ------------------------------------------------------------------
+
+void haar_fwd_pairs_avx2(const double* line, double* approx, double* detail,
+                         std::size_t pairs, double c) {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t k = 0;
+  for (; k + 4 <= pairs; k += 4) {
+    const __m256d v0 = _mm256_loadu_pd(line + 2 * k);      // e0 o0 e1 o1
+    const __m256d v1 = _mm256_loadu_pd(line + 2 * k + 4);  // e2 o2 e3 o3
+    const __m256d p0 = _mm256_permute2f128_pd(v0, v1, 0x20);  // e0 o0 e2 o2
+    const __m256d p1 = _mm256_permute2f128_pd(v0, v1, 0x31);  // e1 o1 e3 o3
+    const __m256d even = _mm256_unpacklo_pd(p0, p1);
+    const __m256d odd = _mm256_unpackhi_pd(p0, p1);
+    _mm256_storeu_pd(approx + k,
+                     _mm256_mul_pd(_mm256_add_pd(even, odd), vc));
+    _mm256_storeu_pd(detail + k,
+                     _mm256_mul_pd(_mm256_sub_pd(even, odd), vc));
+  }
+  if (k < pairs)
+    haar_fwd_pairs_ref(line + 2 * k, approx + k, detail + k, pairs - k, c);
+}
+
+void haar_inv_pairs_avx2(const double* approx, const double* detail,
+                         double* line, std::size_t pairs, double c) {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t k = 0;
+  for (; k + 4 <= pairs; k += 4) {
+    const __m256d a = _mm256_loadu_pd(approx + k);
+    const __m256d d = _mm256_loadu_pd(detail + k);
+    const __m256d even = _mm256_mul_pd(_mm256_add_pd(a, d), vc);
+    const __m256d odd = _mm256_mul_pd(_mm256_sub_pd(a, d), vc);
+    const __m256d lo = _mm256_unpacklo_pd(even, odd);  // e0 o0 e2 o2
+    const __m256d hi = _mm256_unpackhi_pd(even, odd);  // e1 o1 e3 o3
+    _mm256_storeu_pd(line + 2 * k, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(line + 2 * k + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+  if (k < pairs)
+    haar_inv_pairs_ref(approx + k, detail + k, line + 2 * k, pairs - k, c);
+}
+
+// --- DCT -------------------------------------------------------------------
+
+void dct2_line_avx2(const double* x, double* y, std::size_t m,
+                    const double* tab_jk, const double* tab_kj, double s0,
+                    double sk) {
+  std::size_t k = 0;
+  for (; k + 4 <= m; k += 4) {
+    // Lane l accumulates output k+l over ascending j — the exact scalar
+    // order per output; tab_jk streams the four k entries contiguously.
+    const double* t = tab_jk + k;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t j = 0; j < m; ++j)
+      acc = _mm256_add_pd(
+          acc, _mm256_mul_pd(_mm256_set1_pd(x[j]), _mm256_loadu_pd(t + j * m)));
+    __m256d scale = _mm256_set1_pd(sk);
+    if (k == 0) scale = _mm256_set_pd(sk, sk, sk, s0);
+    _mm256_storeu_pd(y + k, _mm256_mul_pd(scale, acc));
+  }
+  for (; k < m; ++k) {
+    const double* col = tab_kj + k * m;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m; ++j) acc += x[j] * col[j];
+    y[k] = (k == 0 ? s0 : sk) * acc;
+  }
+}
+
+void dct3_line_avx2(const double* y, double* x, std::size_t m,
+                    const double* tab_jk, const double* tab_kj, double s0,
+                    double sk) {
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const double* t = tab_kj + j;
+    __m256d acc = _mm256_mul_pd(_mm256_set1_pd(s0), _mm256_set1_pd(y[0]));
+    for (std::size_t k = 1; k < m; ++k)
+      acc = _mm256_add_pd(
+          acc, _mm256_mul_pd(_mm256_set1_pd(sk * y[k]),
+                             _mm256_loadu_pd(t + k * m)));
+    _mm256_storeu_pd(x + j, acc);
+  }
+  for (; j < m; ++j) {
+    const double* row = tab_jk + j * m;
+    double acc = s0 * y[0];
+    for (std::size_t k = 1; k < m; ++k) acc += (sk * y[k]) * row[k];
+    x[j] = acc;
+  }
+}
+
+// --- zfpr group quantization ----------------------------------------------
+
+void zigzag_store4(__m256i k, std::uint64_t* zz, __m256i* or_zz) {
+  // (k << 1) ^ (k >> 63); AVX2 has no 64-bit arithmetic shift, but the
+  // sign-fill word is exactly cmpgt(0, k).
+  const __m256i sgn = _mm256_cmpgt_epi64(_mm256_setzero_si256(), k);
+  const __m256i z = _mm256_xor_si256(_mm256_slli_epi64(k, 1), sgn);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(zz), z);
+  *or_zz = _mm256_or_si256(*or_zz, z);
+}
+
+unsigned zfpr_quant_group_avx2(const double* c, std::size_t n, double bin,
+                               std::uint64_t* zz, double* recon) {
+  const __m256d vbin = _mm256_set1_pd(bin);
+  const __m256d vlim = _mm256_set1_pd(kZfprMaxIndexMagnitude);
+  const __m256d vdom = _mm256_set1_pd(kRoundDomain);
+  __m256i or_zz = _mm256_setzero_si256();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d t = _mm256_div_pd(_mm256_loadu_pd(c + j), vbin);
+    const __m256d at = abs_pd(t);
+    // |c|/bin == |c/bin| (bin > 0), and NaN fails the ordered compare just
+    // like the scalar !(x < lim) test.
+    if (_mm256_movemask_pd(_mm256_cmp_pd(at, vlim, _CMP_LT_OQ)) != 0xF)
+      return kZfprEscape;
+    if (_mm256_movemask_pd(_mm256_cmp_pd(at, vdom, _CMP_LT_OQ)) != 0xF)
+      return zfpr_quant_group_ref(c, n, bin, zz, recon);
+    const Rounded4 rv = round_half_away(t);
+    _mm256_storeu_pd(recon + j, _mm256_mul_pd(rv.r, vbin));
+    zigzag_store4(rv.k, zz + j, &or_zz);
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), or_zz);
+  std::uint64_t all = (lanes[0] | lanes[1]) | (lanes[2] | lanes[3]);
+  for (; j < n; ++j) {
+    const double v = c[j];
+    if (!(std::abs(v) / bin < kZfprMaxIndexMagnitude)) return kZfprEscape;
+    const std::int64_t k = std::llround(v / bin);
+    recon[j] = static_cast<double>(k) * bin;
+    zz[j] = zigzag_encode_ref(k);
+    all |= zz[j];
+  }
+  return all == 0 ? 0u : static_cast<unsigned>(std::bit_width(all));
+}
+
+unsigned zfpr_census_group_avx2(const double* c, std::size_t n, double bin) {
+  const __m256d vbin = _mm256_set1_pd(bin);
+  const __m256d vlim = _mm256_set1_pd(kZfprMaxIndexMagnitude);
+  const __m256d vdom = _mm256_set1_pd(kRoundDomain);
+  __m256i or_zz = _mm256_setzero_si256();
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d t = _mm256_div_pd(_mm256_loadu_pd(c + j), vbin);
+    const __m256d at = abs_pd(t);
+    if (_mm256_movemask_pd(_mm256_cmp_pd(at, vlim, _CMP_LT_OQ)) != 0xF)
+      return kZfprEscape;
+    if (_mm256_movemask_pd(_mm256_cmp_pd(at, vdom, _CMP_LT_OQ)) != 0xF)
+      return zfpr_census_group_ref(c, n, bin);
+    const Rounded4 rv = round_half_away(t);
+    const __m256i sgn = _mm256_cmpgt_epi64(_mm256_setzero_si256(), rv.k);
+    or_zz = _mm256_or_si256(
+        or_zz, _mm256_xor_si256(_mm256_slli_epi64(rv.k, 1), sgn));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), or_zz);
+  std::uint64_t all = (lanes[0] | lanes[1]) | (lanes[2] | lanes[3]);
+  for (; j < n; ++j) {
+    const double v = c[j];
+    if (!(std::abs(v) / bin < kZfprMaxIndexMagnitude)) return kZfprEscape;
+    all |= zigzag_encode_ref(std::llround(v / bin));
+  }
+  return all == 0 ? 0u : static_cast<unsigned>(std::bit_width(all));
+}
+
+// --- Lorenzo 2-D predict + quantize ---------------------------------------
+
+/// Lane l gets lane l-1's value; lane 0 gets s.
+inline __m256d shift_lanes_up(__m256d v, double s) {
+  const __m256d rot = _mm256_permute4x64_pd(v, _MM_SHUFFLE(2, 1, 0, 0));
+  return _mm256_blend_pd(rot, _mm256_set1_pd(s), 0x1);
+}
+
+/// Serial reference pass over a single row with i0 >= 1 (used for the
+/// n0 % 4 remainder rows; the caller sweeps code==0 points into the
+/// outlier list afterwards).
+template <typename T>
+void lorenzo2_row_serial(const T* values, std::size_t i0, std::size_t n1,
+                         double eb, std::uint32_t bins, std::uint32_t* codes,
+                         T* recon) {
+  const std::uint32_t radius = bins / 2;
+  const double lo = 1.0 - static_cast<double>(radius);
+  const double hi = static_cast<double>(bins - 1 - radius);
+  const double inv_bin = 2.0 * eb;
+  std::size_t idx = i0 * n1;
+  for (std::size_t i1 = 0; i1 < n1; ++i1, ++idx) {
+    const double west = i1 > 0 ? static_cast<double>(recon[idx - 1]) : 0.0;
+    const double north = static_cast<double>(recon[idx - n1]);
+    const double nw =
+        i1 > 0 ? static_cast<double>(recon[idx - n1 - 1]) : 0.0;
+    const double pred = west + north - nw;
+    const double orig = static_cast<double>(values[idx]);
+    const double scaled = (orig - pred) / inv_bin;
+    std::uint32_t code = 0;
+    if (std::isfinite(scaled)) {
+      const double rounded = std::round(scaled);
+      if (!(rounded < lo || rounded > hi))
+        code = static_cast<std::uint32_t>(static_cast<std::int64_t>(rounded) +
+                                          static_cast<std::int64_t>(radius));
+    }
+    if (code != 0) {
+      const double deq =
+          (static_cast<double>(code) - static_cast<double>(radius)) * 2.0 * eb;
+      const T rec = static_cast<T>(pred + deq);
+      if (std::abs(static_cast<double>(rec) - orig) <= eb) {
+        codes[idx] = code;
+        recon[idx] = rec;
+        continue;
+      }
+    }
+    codes[idx] = 0;
+    recon[idx] = values[idx];
+  }
+}
+
+/// One block of 4 consecutive rows (ib..ib+3) as a skewed anti-diagonal
+/// pipeline: at step t, lane l handles column t-l of row ib+l. west is the
+/// lane's own previous step, north/nw are lane shifts of the previous two
+/// steps (lane 0 reads the finished row ib-1 from memory), so every
+/// dependency is available the step it is needed and each point's
+/// arithmetic matches the serial reference bit for bit. Inactive fill and
+/// drain lanes compute garbage that provably never feeds an active lane.
+template <typename T>
+void lorenzo2_block4(const T* values, std::size_t ib, std::size_t n1,
+                     double eb, std::uint32_t bins, std::uint32_t* codes,
+                     T* recon) {
+  const std::uint32_t radius = bins / 2;
+  const __m256d v_lo = _mm256_set1_pd(1.0 - static_cast<double>(radius));
+  const __m256d v_hi = _mm256_set1_pd(static_cast<double>(bins - 1 - radius));
+  const __m256d v_inv_bin = _mm256_set1_pd(2.0 * eb);
+  const __m256d v_eb = _mm256_set1_pd(eb);
+  const __m256d v_two = _mm256_set1_pd(2.0);
+  const __m256d v_dom = _mm256_set1_pd(kRoundDomain);
+  const __m256i v_radius = _mm256_set1_epi64x(static_cast<long long>(radius));
+  // Masks that zero lane t (the lane whose column is 0 at step t).
+  alignas(32) static constexpr std::uint64_t kKill[4][4] = {
+      {0, ~0ull, ~0ull, ~0ull},
+      {~0ull, 0, ~0ull, ~0ull},
+      {~0ull, ~0ull, 0, ~0ull},
+      {~0ull, ~0ull, ~0ull, 0}};
+  const T* above = ib > 0 ? recon + (ib - 1) * n1 : nullptr;
+  __m256d rec_prev1 = _mm256_setzero_pd();
+  __m256d rec_prev2 = _mm256_setzero_pd();
+  for (std::size_t t = 0; t < n1 + 3; ++t) {
+    const std::size_t l_min = t >= n1 ? t - n1 + 1 : 0;
+    const std::size_t l_max = t < 3 ? t : 3;
+    alignas(32) double o[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t l = l_min; l <= l_max; ++l)
+      o[l] = static_cast<double>(values[(ib + l) * n1 + (t - l)]);
+    const __m256d orig = _mm256_load_pd(o);
+    const double north0 =
+        (above != nullptr && t < n1) ? static_cast<double>(above[t]) : 0.0;
+    const double nw0 = (above != nullptr && t >= 1 && t - 1 < n1)
+                           ? static_cast<double>(above[t - 1])
+                           : 0.0;
+    __m256d west = rec_prev1;
+    __m256d north = shift_lanes_up(rec_prev1, north0);
+    __m256d nw = shift_lanes_up(rec_prev2, nw0);
+    if (t < 4) {
+      // Column 0 lane: west and nw neighbours do not exist.
+      const __m256d kill = _mm256_castsi256_pd(_mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kKill[t])));
+      west = _mm256_and_pd(west, kill);
+      nw = _mm256_and_pd(nw, kill);
+    }
+    const __m256d pred = _mm256_sub_pd(_mm256_add_pd(west, north), nw);
+    const __m256d scaled =
+        _mm256_div_pd(_mm256_sub_pd(orig, pred), v_inv_bin);
+    // One mask covers NaN, Inf and the >= 2^50 rounding domain: all of
+    // them quantize to code 0 in the reference (anything that large is out
+    // of the radius range anyway).
+    const __m256d in_dom =
+        _mm256_cmp_pd(abs_pd(scaled), v_dom, _CMP_LT_OQ);
+    const Rounded4 rv = round_half_away(scaled);
+    const __m256d in_range =
+        _mm256_and_pd(_mm256_cmp_pd(rv.r, v_lo, _CMP_GE_OQ),
+                      _mm256_cmp_pd(rv.r, v_hi, _CMP_LE_OQ));
+    const __m256d code_ok = _mm256_and_pd(in_dom, in_range);
+    const __m256d deq = _mm256_mul_pd(_mm256_mul_pd(rv.r, v_two), v_eb);
+    __m256d rec_d = _mm256_add_pd(pred, deq);
+    if constexpr (sizeof(T) == 4)
+      rec_d = _mm256_cvtps_pd(_mm256_cvtpd_ps(rec_d));
+    const __m256d guard_ok = _mm256_cmp_pd(
+        abs_pd(_mm256_sub_pd(rec_d, orig)), v_eb, _CMP_LE_OQ);
+    const __m256d ok = _mm256_and_pd(code_ok, guard_ok);
+    const __m256d rec_next = _mm256_blendv_pd(orig, rec_d, ok);
+    const __m256i code_i = _mm256_add_epi64(rv.k, v_radius);
+    const int okm = _mm256_movemask_pd(ok);
+    alignas(32) double rec_out[4];
+    alignas(32) std::int64_t ki[4];
+    _mm256_store_pd(rec_out, rec_next);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ki), code_i);
+    for (std::size_t l = l_min; l <= l_max; ++l) {
+      const std::size_t idx = (ib + l) * n1 + (t - l);
+      if ((okm >> l) & 1) {
+        codes[idx] = static_cast<std::uint32_t>(ki[l]);
+        recon[idx] = static_cast<T>(rec_out[l]);
+      } else {
+        codes[idx] = 0;
+        recon[idx] = values[idx];
+      }
+    }
+    rec_prev2 = rec_prev1;
+    rec_prev1 = rec_next;
+  }
+}
+
+template <typename T>
+std::size_t lorenzo2_quant_avx2(const T* values, std::size_t n0,
+                                std::size_t n1, double eb, std::uint32_t bins,
+                                std::uint32_t* codes, T* recon, T* outliers) {
+  if (n0 < 5 || n1 < 8)
+    return lorenzo2_quant_ref(values, n0, n1, eb, bins, codes, recon,
+                              outliers);
+  const std::size_t blocks = n0 / 4;
+  for (std::size_t b = 0; b < blocks; ++b)
+    lorenzo2_block4(values, b * 4, n1, eb, bins, codes, recon);
+  for (std::size_t i0 = blocks * 4; i0 < n0; ++i0)
+    lorenzo2_row_serial(values, i0, n1, eb, bins, codes, recon);
+  // code 0 <=> outlier, so one sweep recovers the scan-order outlier list
+  // regardless of the order the wavefront visited points in.
+  std::size_t n_out = 0;
+  const std::size_t total = n0 * n1;
+  for (std::size_t idx = 0; idx < total; ++idx)
+    if (codes[idx] == 0) outliers[n_out++] = values[idx];
+  return n_out;
+}
+
+// --- SSE accumulators ------------------------------------------------------
+
+inline double fold_sse(__m256d vacc) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vacc);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double sse_f32_avx2(const float* a, const float* b, std::size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d e = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                    _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(e, e));
+  }
+  double total = fold_sse(vacc);
+  for (; i < n; ++i) {
+    const double e = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    total += e * e;
+  }
+  return total;
+}
+
+double sse_f64_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d e =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(e, e));
+  }
+  double total = fold_sse(vacc);
+  for (; i < n; ++i) {
+    const double e = a[i] - b[i];
+    total += e * e;
+  }
+  return total;
+}
+
+double sse_cast_f32_avx2(const float* values, const double* recon,
+                         std::size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d rec = _mm256_cvtps_pd(
+        _mm256_cvtpd_ps(_mm256_loadu_pd(recon + i)));
+    const __m256d e =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(values + i)), rec);
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(e, e));
+  }
+  double total = fold_sse(vacc);
+  for (; i < n; ++i) {
+    const double e = static_cast<double>(values[i]) -
+                     static_cast<double>(static_cast<float>(recon[i]));
+    total += e * e;
+  }
+  return total;
+}
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() {
+  static const KernelTable table{
+      "avx2",
+      &haar_fwd_pairs_avx2,
+      &haar_inv_pairs_avx2,
+      &dct2_line_avx2,
+      &dct3_line_avx2,
+      &zfpr_quant_group_avx2,
+      &zfpr_census_group_avx2,
+      &huffman_pack_ref,
+      &lorenzo2_quant_avx2<float>,
+      &lorenzo2_quant_avx2<double>,
+      &sse_f32_avx2,
+      &sse_f64_avx2,
+      &sse_cast_f32_avx2,
+  };
+  return &table;
+}
+
+}  // namespace fpsnr::simd
+
+#else  // !(x86-64 with AVX2 enabled for this TU)
+
+namespace fpsnr::simd {
+const KernelTable* avx2_kernel_table() { return nullptr; }
+}  // namespace fpsnr::simd
+
+#endif

@@ -10,6 +10,8 @@
 #include "io/bitstream.h"
 #include "lossless/backend.h"
 #include "metrics/metrics.h"
+#include "simd/aligned.h"
+#include "simd/dispatch.h"
 #include "sz/lorenzo.h"
 #include "sz/quantizer.h"
 #include "sz/regression.h"
@@ -42,11 +44,13 @@ LorenzoPredictor<T> make_predictor(const T* recon, const data::Dims& dims) {
                              rank > 2 ? dims[2] : 1, rank);
 }
 
+// Aligned storage: codes/recon are the hot per-field scratch the SIMD
+// kernels stream through.
 template <typename T>
 struct QuantizeOutput {
-  std::vector<std::uint32_t> codes;
-  std::vector<T> recon;
-  std::vector<T> outliers;
+  simd::aligned_vector<std::uint32_t> codes;
+  simd::aligned_vector<T> recon;
+  simd::aligned_vector<T> outliers;
 };
 
 // ---- HybridRegression predictor (SZ 2.x style) ----------------------------
@@ -279,6 +283,25 @@ QuantizeOutput<T> quantize_pass(std::span<const T> values, const data::Dims& dim
   QuantizeOutput<T> out;
   out.codes.resize(values.size());
   out.recon.resize(values.size());
+  if (trace == nullptr && dims.rank() == 2) {
+    // Rank-2 fast path: the fused Lorenzo predict+quantize kernel (vector
+    // backends pipeline a 4-row wavefront; every backend is bit-identical
+    // to the loop below). Tracing keeps the generic loop — it needs the
+    // per-point diff/deq stream.
+    const simd::KernelTable& kt = simd::kernels();
+    out.outliers.resize(values.size());
+    std::size_t n_out;
+    if constexpr (std::is_same_v<T, float>)
+      n_out = kt.lorenzo2_quant_f32(values.data(), dims[0], dims[1], eb_abs,
+                                    bins, out.codes.data(), out.recon.data(),
+                                    out.outliers.data());
+    else
+      n_out = kt.lorenzo2_quant_f64(values.data(), dims[0], dims[1], eb_abs,
+                                    bins, out.codes.data(), out.recon.data(),
+                                    out.outliers.data());
+    out.outliers.resize(n_out);
+    return out;
+  }
   if (trace) {
     trace->pe.reserve(values.size());
     trace->pe_recon.reserve(values.size());
@@ -536,12 +559,12 @@ std::vector<std::uint8_t> compress(std::span<const T> values, const data::Dims& 
   } else {
     const auto q = run_quantize(values);
     outlier_count = q.outliers.size();
-    achieved_sse = 0.0;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      const double err =
-          static_cast<double>(values[i]) - static_cast<double>(q.recon[i]);
-      achieved_sse += err * err;
-    }
+    if constexpr (std::is_same_v<T, float>)
+      achieved_sse =
+          simd::kernels().sse_f32(values.data(), q.recon.data(), values.size());
+    else
+      achieved_sse =
+          simd::kernels().sse_f64(values.data(), q.recon.data(), values.size());
     out.put_blob(encode_inner(q, params.quantization_bins, params));
   }
 

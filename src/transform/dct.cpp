@@ -1,8 +1,14 @@
 #include "transform/dct.h"
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <vector>
+
+#include "simd/aligned.h"
+#include "simd/dispatch.h"
 
 namespace fpsnr::transform {
 
@@ -10,6 +16,7 @@ namespace {
 
 /// Orthonormal DCT-II of x[0..m): y_k = s_k * sum_j x_j cos(pi (j+1/2) k / m),
 /// s_0 = sqrt(1/m), s_k = sqrt(2/m). Naive O(m^2); m <= block size.
+/// Legacy on-the-fly path, kept for block sizes above the table cache cap.
 void dct2(const double* x, double* y, std::size_t m) {
   const double s0 = std::sqrt(1.0 / static_cast<double>(m));
   const double sk = std::sqrt(2.0 / static_cast<double>(m));
@@ -37,6 +44,52 @@ void dct3(const double* y, double* x, std::size_t m) {
   }
 }
 
+/// Cosine tables are cached for m <= kMaxTableM (covers every practical
+/// block size; the container caps dct_block at 4096, and sizes above the
+/// cap take the legacy on-the-fly path). Both layouts hold the SAME
+/// doubles — tab_jk[j*m+k] == tab_kj[k*m+j] — computed with the exact
+/// expression the legacy loops use, so tabled and legacy results match
+/// bit for bit. jk streams contiguously for the lane-per-k dct2 kernel,
+/// kj for the lane-per-j dct3 kernel.
+constexpr std::size_t kMaxTableM = 256;
+
+struct DctTables {
+  simd::aligned_vector<double> jk, kj;
+};
+
+const DctTables* build_tables(std::size_t m) {
+  auto* t = new DctTables;
+  t->jk.resize(m * m);
+  t->kj.resize(m * m);
+  for (std::size_t j = 0; j < m; ++j)
+    for (std::size_t k = 0; k < m; ++k) {
+      const double c =
+          std::cos(std::numbers::pi * (static_cast<double>(j) + 0.5) *
+                   static_cast<double>(k) / static_cast<double>(m));
+      t->jk[j * m + k] = c;
+      t->kj[k * m + j] = c;
+    }
+  return t;
+}
+
+const DctTables& tables_for(std::size_t m) {
+  // Lock-free once-per-m cache: losers of the publish race delete their
+  // copy. Entries live for the process lifetime (the worker pool touches
+  // them until exit).
+  static std::array<std::atomic<const DctTables*>, kMaxTableM + 1> slots{};
+  std::atomic<const DctTables*>& slot = slots[m];
+  const DctTables* t = slot.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  const DctTables* fresh = build_tables(m);
+  const DctTables* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+    return *fresh;
+  delete fresh;
+  return *expected;
+}
+
 struct Strides {
   std::size_t s[3] = {1, 1, 1};
 };
@@ -47,16 +100,17 @@ Strides strides_of(const data::Dims& dims) {
   return st;
 }
 
-void transform_axis(std::vector<double>& v, const data::Dims& dims,
+void transform_axis(std::span<double> v, const data::Dims& dims,
                     std::size_t axis, std::size_t block, bool inverse) {
   const std::size_t n = dims[axis];
   const Strides st = strides_of(dims);
   const std::size_t rank = dims.rank();
+  const simd::KernelTable& kt = simd::kernels();
   std::size_t outer = 1;
   for (std::size_t d = 0; d < rank; ++d)
     if (d != axis) outer *= dims[d];
 
-  std::vector<double> in(block), out(block);
+  simd::aligned_vector<double> in(block), out(block);
   for (std::size_t li = 0; li < outer; ++li) {
     std::size_t rem = li;
     std::size_t base = 0;
@@ -69,10 +123,21 @@ void transform_axis(std::vector<double>& v, const data::Dims& dims,
       const std::size_t m = std::min(block, n - start);
       for (std::size_t k = 0; k < m; ++k)
         in[k] = v[base + (start + k) * st.s[axis]];
-      if (inverse)
+      if (m <= kMaxTableM) {
+        const DctTables& tabs = tables_for(m);
+        const double s0 = std::sqrt(1.0 / static_cast<double>(m));
+        const double sk = std::sqrt(2.0 / static_cast<double>(m));
+        if (inverse)
+          kt.dct3_line(in.data(), out.data(), m, tabs.jk.data(),
+                       tabs.kj.data(), s0, sk);
+        else
+          kt.dct2_line(in.data(), out.data(), m, tabs.jk.data(),
+                       tabs.kj.data(), s0, sk);
+      } else if (inverse) {
         dct3(in.data(), out.data(), m);
-      else
+      } else {
         dct2(in.data(), out.data(), m);
+      }
       for (std::size_t k = 0; k < m; ++k)
         v[base + (start + k) * st.s[axis]] = out[k];
     }
@@ -81,14 +146,14 @@ void transform_axis(std::vector<double>& v, const data::Dims& dims,
 
 }  // namespace
 
-void dct_forward(std::vector<double>& v, const data::Dims& dims, std::size_t block) {
+void dct_forward(std::span<double> v, const data::Dims& dims, std::size_t block) {
   if (v.size() != dims.count()) throw std::invalid_argument("dct_forward: size mismatch");
   if (block < 2) throw std::invalid_argument("dct_forward: block must be >= 2");
   for (std::size_t axis = 0; axis < dims.rank(); ++axis)
     transform_axis(v, dims, axis, block, /*inverse=*/false);
 }
 
-void dct_inverse(std::vector<double>& v, const data::Dims& dims, std::size_t block) {
+void dct_inverse(std::span<double> v, const data::Dims& dims, std::size_t block) {
   if (v.size() != dims.count()) throw std::invalid_argument("dct_inverse: size mismatch");
   if (block < 2) throw std::invalid_argument("dct_inverse: block must be >= 2");
   for (std::size_t axis = dims.rank(); axis-- > 0;)

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
+#include <span>
 
 #include "data/field.h"
 
@@ -17,12 +17,13 @@ namespace fpsnr::transform {
 
 inline constexpr std::size_t kDefaultDctBlock = 8;
 
-/// In-place forward orthonormal block DCT along every axis.
-void dct_forward(std::vector<double>& v, const data::Dims& dims,
+/// In-place forward orthonormal block DCT along every axis. Span-based so
+/// callers can keep coefficients in aligned storage without a copy.
+void dct_forward(std::span<double> v, const data::Dims& dims,
                  std::size_t block = kDefaultDctBlock);
 
 /// Exact inverse of dct_forward (up to FP rounding).
-void dct_inverse(std::vector<double>& v, const data::Dims& dims,
+void dct_inverse(std::span<double> v, const data::Dims& dims,
                  std::size_t block = kDefaultDctBlock);
 
 }  // namespace fpsnr::transform

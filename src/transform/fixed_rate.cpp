@@ -7,6 +7,8 @@
 
 #include "io/bitstream.h"
 #include "io/bytebuffer.h"
+#include "simd/aligned.h"
+#include "simd/dispatch.h"
 #include "transform/dct.h"
 
 namespace fpsnr::transform {
@@ -15,21 +17,16 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'F', 'P', 'Z', 'R'};
 constexpr std::uint8_t kVersion = 1;
-/// Group-width byte announcing a raw-double escape group.
-constexpr unsigned kEscapeWidth = 0xFF;
-/// Quantized indices beyond this cannot round-trip through int64; the
-/// whole group is escaped to exact doubles instead.
-constexpr double kMaxIndexMagnitude = 4.0e18;  // < 2^62
+/// Group-width byte announcing a raw-double escape group (the SIMD group
+/// kernels return the same sentinel). A group escapes when any quantized
+/// index magnitude reaches simd::kZfprMaxIndexMagnitude — beyond that it
+/// cannot round-trip through int64, so the raw doubles ship instead.
+constexpr unsigned kEscapeWidth = simd::kZfprEscape;
 /// Caps on the sizes a stream may declare: bound how far a crafted header
 /// can inflate decode allocations relative to the payload (the DCT kernel
 /// allocates per-axis scratch of dct_block doubles).
 constexpr std::size_t kMaxGroup = 4096;
 constexpr std::size_t kMaxDctBlock = 4096;
-
-std::uint64_t zigzag_encode(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
 
 std::int64_t zigzag_decode(std::uint64_t v) {
   return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
@@ -110,35 +107,26 @@ std::vector<std::uint8_t> fixed_rate_compress(std::span<const T> values,
   header.dct_block = params.dct_block;
   header.group = params.group;
 
-  std::vector<double> coeffs(values.begin(), values.end());
+  simd::aligned_vector<double> coeffs(values.begin(), values.end());
   dct_forward(coeffs, dims, params.dct_block);
 
   const double bin = 2.0 * params.eb_abs;
   const std::size_t n = coeffs.size();
-  std::vector<double> recon_coeffs(n);
+  simd::aligned_vector<double> recon_coeffs(n);
   std::size_t escaped = 0;
+  const simd::KernelTable& kt = simd::kernels();
 
   io::BitWriter bits;
-  std::vector<std::uint64_t> zz;
+  simd::aligned_vector<std::uint64_t> zz(params.group);
   for (std::size_t g0 = 0; g0 < n; g0 += params.group) {
     const std::size_t gn = std::min(params.group, n - g0);
     // A group is bit-packable only if every quantized index fits int64
-    // comfortably; otherwise ship the raw coefficients (exact, zero error).
-    bool escape = false;
-    zz.assign(gn, 0);
-    std::uint64_t max_zz = 0;
-    for (std::size_t j = 0; j < gn && !escape; ++j) {
-      const double c = coeffs[g0 + j];
-      if (!(std::abs(c) / bin < kMaxIndexMagnitude)) {
-        escape = true;
-        break;
-      }
-      const std::int64_t k = std::llround(c / bin);
-      recon_coeffs[g0 + j] = static_cast<double>(k) * bin;
-      zz[j] = zigzag_encode(k);
-      max_zz = std::max(max_zz, zz[j]);
-    }
-    if (escape) {
+    // comfortably (kEscapeWidth return); otherwise ship the raw
+    // coefficients (exact, zero error).
+    const unsigned width = kt.zfpr_quant_group(coeffs.data() + g0, gn, bin,
+                                               zz.data(),
+                                               recon_coeffs.data() + g0);
+    if (width == kEscapeWidth) {
       ++escaped;
       bits.write_bits(kEscapeWidth, 8);
       for (std::size_t j = 0; j < gn; ++j) {
@@ -147,8 +135,6 @@ std::vector<std::uint8_t> fixed_rate_compress(std::span<const T> values,
       }
       continue;
     }
-    const unsigned width =
-        max_zz == 0 ? 0u : static_cast<unsigned>(std::bit_width(max_zz));
     bits.write_bits(width, 8);
     for (std::size_t j = 0; j < gn; ++j) bits.write_bits(zz[j], width);
   }
@@ -168,15 +154,14 @@ std::vector<std::uint8_t> fixed_rate_compress(std::span<const T> values,
                                static_cast<double>(values.size());
     // Replay the decode side so the reported SSE matches the decompressed
     // values exactly, including the T cast after the inverse transform.
-    std::vector<double> recon = recon_coeffs;
+    simd::aligned_vector<double> recon = recon_coeffs;
     dct_inverse(recon, dims, params.dct_block);
-    double sse = 0.0;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      const double err = static_cast<double>(values[i]) -
-                         static_cast<double>(static_cast<T>(recon[i]));
-      sse += err * err;
-    }
-    info->achieved_sse = sse;
+    if constexpr (std::is_same_v<T, float>)
+      info->achieved_sse =
+          kt.sse_cast_f32(values.data(), recon.data(), values.size());
+    else
+      info->achieved_sse =
+          kt.sse_f64(values.data(), recon.data(), values.size());
   }
   return bytes;
 }
@@ -237,28 +222,17 @@ double fixed_rate_bits_estimate(std::span<const T> values,
     throw std::invalid_argument("fpzr: DCT block out of 2..4096");
   if (values.empty()) return 0.0;
 
-  std::vector<double> coeffs(values.begin(), values.end());
+  simd::aligned_vector<double> coeffs(values.begin(), values.end());
   dct_forward(coeffs, dims, params.dct_block);
 
   const double bin = 2.0 * params.eb_abs;
   const std::size_t n = coeffs.size();
+  const simd::KernelTable& kt = simd::kernels();
   double total_bits = 0.0;
   for (std::size_t g0 = 0; g0 < n; g0 += params.group) {
     const std::size_t gn = std::min(params.group, n - g0);
-    bool escape = false;
-    std::uint64_t max_zz = 0;
-    for (std::size_t j = 0; j < gn; ++j) {
-      const double c = coeffs[g0 + j];
-      if (!(std::abs(c) / bin < kMaxIndexMagnitude)) {
-        escape = true;
-        break;
-      }
-      max_zz = std::max(max_zz, zigzag_encode(std::llround(c / bin)));
-    }
-    const unsigned width =
-        escape ? 64u
-               : (max_zz == 0 ? 0u
-                              : static_cast<unsigned>(std::bit_width(max_zz)));
+    const unsigned census = kt.zfpr_census_group(coeffs.data() + g0, gn, bin);
+    const unsigned width = census == kEscapeWidth ? 64u : census;
     total_bits += 8.0 + static_cast<double>(width) * static_cast<double>(gn);
   }
   return total_bits / static_cast<double>(n);

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <vector>
+
+#include "simd/aligned.h"
+#include "simd/dispatch.h"
 
 namespace fpsnr::transform {
 
@@ -12,21 +16,21 @@ const double kInvSqrt2 = 1.0 / std::numbers::sqrt2;
 
 /// Forward step on a contiguous scratch line of length m:
 /// out = [a_0..a_{ceil(m/2)-1} | d_0..d_{floor(m/2)-1}].
-void haar_step_line(std::vector<double>& line, std::vector<double>& scratch,
-                    std::size_t m, bool inverse) {
+/// The butterflies go through the dispatched SIMD kernel; every backend is
+/// bit-identical to the scalar reference, so the transform output does not
+/// depend on the host ISA.
+void haar_step_line(simd::aligned_vector<double>& line,
+                    simd::aligned_vector<double>& scratch, std::size_t m,
+                    bool inverse, const simd::KernelTable& kt) {
   const std::size_t pairs = m / 2;
   const std::size_t approx = m - pairs;  // == ceil(m/2)
   if (!inverse) {
-    for (std::size_t k = 0; k < pairs; ++k) {
-      scratch[k] = (line[2 * k] + line[2 * k + 1]) * kInvSqrt2;
-      scratch[approx + k] = (line[2 * k] - line[2 * k + 1]) * kInvSqrt2;
-    }
+    kt.haar_fwd_pairs(line.data(), scratch.data(), scratch.data() + approx,
+                      pairs, kInvSqrt2);
     if (m % 2 != 0) scratch[approx - 1] = line[m - 1];
   } else {
-    for (std::size_t k = 0; k < pairs; ++k) {
-      scratch[2 * k] = (line[k] + line[approx + k]) * kInvSqrt2;
-      scratch[2 * k + 1] = (line[k] - line[approx + k]) * kInvSqrt2;
-    }
+    kt.haar_inv_pairs(line.data(), line.data() + approx, scratch.data(),
+                      pairs, kInvSqrt2);
     if (m % 2 != 0) scratch[m - 1] = line[approx - 1];
   }
   for (std::size_t k = 0; k < m; ++k) line[k] = scratch[k];
@@ -45,14 +49,15 @@ Strides strides_of(const data::Dims& dims) {
 
 /// Apply one Haar step along `axis`, restricted to the leading sub-box
 /// `sub` (the approximation region of the current level).
-void step_axis(std::vector<double>& v, const data::Dims& dims, std::size_t axis,
+void step_axis(std::span<double> v, const data::Dims& dims, std::size_t axis,
                const std::vector<std::size_t>& sub, bool inverse) {
   const std::size_t m = sub[axis];
   if (m < 2) return;
   const Strides st = strides_of(dims);
   const std::size_t rank = dims.rank();
+  const simd::KernelTable& kt = simd::kernels();
 
-  std::vector<double> line(m), scratch(m);
+  simd::aligned_vector<double> line(m), scratch(m);
   // Iterate over the other axes' coordinates within the sub-box.
   std::size_t outer = 1;
   for (std::size_t d = 0; d < rank; ++d)
@@ -66,7 +71,7 @@ void step_axis(std::vector<double>& v, const data::Dims& dims, std::size_t axis,
       rem /= sub[d];
     }
     for (std::size_t k = 0; k < m; ++k) line[k] = v[base + k * st.s[axis]];
-    haar_step_line(line, scratch, m, inverse);
+    haar_step_line(line, scratch, m, inverse, kt);
     for (std::size_t k = 0; k < m; ++k) v[base + k * st.s[axis]] = line[k];
   }
 }
@@ -96,7 +101,7 @@ unsigned max_haar_levels(const data::Dims& dims) {
   return levels;
 }
 
-void haar_forward(std::vector<double>& v, const data::Dims& dims, unsigned levels) {
+void haar_forward(std::span<double> v, const data::Dims& dims, unsigned levels) {
   if (v.size() != dims.count())
     throw std::invalid_argument("haar_forward: size mismatch");
   const unsigned max_levels = max_haar_levels(dims);
@@ -108,7 +113,7 @@ void haar_forward(std::vector<double>& v, const data::Dims& dims, unsigned level
   }
 }
 
-void haar_inverse(std::vector<double>& v, const data::Dims& dims, unsigned levels) {
+void haar_inverse(std::span<double> v, const data::Dims& dims, unsigned levels) {
   if (v.size() != dims.count())
     throw std::invalid_argument("haar_inverse: size mismatch");
   const unsigned max_levels = max_haar_levels(dims);

@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
+#include <span>
 
 #include "data/field.h"
 
@@ -20,9 +20,11 @@ unsigned max_haar_levels(const data::Dims& dims);
 
 /// In-place forward transform, `levels` levels (clamped to max_haar_levels).
 /// Layout per level and axis: [approx | detail] over the leading sub-box.
-void haar_forward(std::vector<double>& v, const data::Dims& dims, unsigned levels);
+/// Span-based so callers can keep their coefficients in 64-byte-aligned
+/// storage (simd::aligned_vector) without a copy.
+void haar_forward(std::span<double> v, const data::Dims& dims, unsigned levels);
 
 /// Exact inverse of haar_forward (up to FP rounding).
-void haar_inverse(std::vector<double>& v, const data::Dims& dims, unsigned levels);
+void haar_inverse(std::span<double> v, const data::Dims& dims, unsigned levels);
 
 }  // namespace fpsnr::transform

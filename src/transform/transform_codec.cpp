@@ -8,6 +8,8 @@
 #include "io/bitstream.h"
 #include "io/bytebuffer.h"
 #include "metrics/metrics.h"
+#include "simd/aligned.h"
+#include "simd/dispatch.h"
 #include "sz/quantizer.h"
 #include "transform/dct.h"
 #include "transform/haar.h"
@@ -80,7 +82,7 @@ Header read_tc_header(io::ByteReader& in) {
   return h;
 }
 
-void forward_of(std::vector<double>& coeffs, const data::Dims& dims,
+void forward_of(std::span<double> coeffs, const data::Dims& dims,
                 const Header& h) {
   if (h.kind == Kind::HaarMultiLevel)
     haar_forward(coeffs, dims, h.haar_levels);
@@ -88,7 +90,7 @@ void forward_of(std::vector<double>& coeffs, const data::Dims& dims,
     dct_forward(coeffs, dims, h.dct_block);
 }
 
-void inverse_of(std::vector<double>& coeffs, const data::Dims& dims,
+void inverse_of(std::span<double> coeffs, const data::Dims& dims,
                 const Header& h) {
   if (h.kind == Kind::HaarMultiLevel)
     haar_inverse(coeffs, dims, h.haar_levels);
@@ -102,7 +104,7 @@ struct QuantizedCoeffs {
   std::vector<double> quantized;  // reconstructed coefficient values
 };
 
-QuantizedCoeffs quantize_coeffs(const std::vector<double>& coeffs, double bin_width,
+QuantizedCoeffs quantize_coeffs(std::span<const double> coeffs, double bin_width,
                                 std::uint32_t bins) {
   const sz::LinearQuantizer quant(bin_width / 2.0, bins);
   QuantizedCoeffs out;
@@ -141,7 +143,7 @@ std::vector<std::uint8_t> compress(std::span<const T> values, const data::Dims& 
   header.haar_levels = params.haar_levels;
   header.dct_block = params.dct_block;
 
-  std::vector<double> coeffs(values.begin(), values.end());
+  simd::aligned_vector<double> coeffs(values.begin(), values.end());
   forward_of(coeffs, dims, header);
   const QuantizedCoeffs q = quantize_coeffs(coeffs, params.bin_width,
                                             params.quantization_bins);
@@ -175,13 +177,13 @@ std::vector<std::uint8_t> compress(std::span<const T> values, const data::Dims& 
     // SSE matches the decompressed values exactly, including the T cast.
     std::vector<double> recon = q.quantized;
     inverse_of(recon, dims, header);
-    double sse = 0.0;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      const double err = static_cast<double>(values[i]) -
-                         static_cast<double>(static_cast<T>(recon[i]));
-      sse += err * err;
-    }
-    info->achieved_sse = sse;
+    const simd::KernelTable& kt = simd::kernels();
+    if constexpr (std::is_same_v<T, float>)
+      info->achieved_sse =
+          kt.sse_cast_f32(values.data(), recon.data(), values.size());
+    else
+      info->achieved_sse =
+          kt.sse_f64(values.data(), recon.data(), values.size());
   }
   return bytes;
 }

@@ -33,11 +33,13 @@
 #include "data/synth.h"
 #include "io/streaming_archive.h"
 #include "metrics/metrics.h"
+#include "simd/dispatch.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
 namespace io = fpsnr::io;
 namespace metrics = fpsnr::metrics;
+namespace simd = fpsnr::simd;
 
 namespace {
 
@@ -195,6 +197,22 @@ TEST(FuzzRoundTrip, SeededSweepHoldsAllPipelineProperties) {
                                                   options_for(c, 8));
     ASSERT_EQ(r1.stream, r2.stream);
     ASSERT_EQ(r1.stream, r8.stream);
+
+    // P7: SIMD-backend byte-identity — the archive must not depend on
+    // which ISA encoded it. Rotate the forced backend across iterations so
+    // every codec/content/shape cell eventually runs on every backend this
+    // host supports (scalar-only hosts just re-prove determinism).
+    {
+      const auto backends = simd::supported_backends();
+      const simd::Backend forced = backends[it % backends.size()];
+      ASSERT_TRUE(simd::force_backend(forced));
+      const auto rb = core::compress_blocked<float>(span, c.dims, request,
+                                                    options_for(c, 2));
+      simd::reset_backend();
+      ASSERT_EQ(rb.stream, r1.stream)
+          << "backend " << simd::backend_name(forced)
+          << " produced different archive bytes";
+    }
 
     // P2: streaming writer emits the identical container.
     core::compress_to_file<float>(span, c.dims, request, options_for(c, 4),

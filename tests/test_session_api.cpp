@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -384,6 +385,49 @@ TEST(SessionApi, FixedRateHitsBudgetAcrossEngineMatrix) {
       EXPECT_EQ(info.target, "fixed-rate");
       EXPECT_DOUBLE_EQ(info.target_value, bits);
       EXPECT_EQ(info.eb_abs, 0.0);
+    }
+  }
+}
+
+TEST(SessionApi, FixedRateSurvivesNonFiniteSamples) {
+  // Regression: a single NaN/Inf sample used to make the fixed-rate search
+  // throw. value_range goes non-finite, so the search's bisection window
+  // (vr * 1e-12 .. vr * 4) and its census reference bound (vr * 1e-4) were
+  // all Inf — and fixed_rate_bits_estimate rejects a non-finite error
+  // bound with std::invalid_argument before a single block is coded. The
+  // search now re-derives its scale from the largest finite |value| in the
+  // block and the codecs store the poisoned samples as exact outliers.
+  const data::Dims dims{40, 32};
+  auto values = sample_field(dims);
+  values[7] = std::numeric_limits<float>::quiet_NaN();
+  values[513] = std::numeric_limits<float>::infinity();
+  values[1000] = -std::numeric_limits<float>::infinity();
+
+  for (const char* engine : {"sz-lorenzo", "zfpr"}) {
+    SCOPED_TRACE(engine);
+    SessionOptions sopts;
+    sopts.engine = engine;
+    const Session session(sopts);
+    CompressReport r;
+    ASSERT_NO_THROW(r = session.compress(
+                        Source::memory(std::span<const float>(values),
+                                       dims.extents),
+                        fpsnr::FixedRate{8.0}, Sink::memory()));
+    const auto out = session.decompress(
+        Source::memory(std::span<const std::uint8_t>(r.archive)));
+    ASSERT_EQ(out.f32.size(), values.size());
+    // The Lorenzo path quantizes pointwise, so the non-finite samples come
+    // back bit-exact from the outlier store. The transform paths legally
+    // smear non-finites across their block (Inf - Inf = NaN in the DCT),
+    // so for zfpr only non-finiteness at the poisoned sites is promised.
+    if (std::string(engine) == "sz-lorenzo") {
+      EXPECT_TRUE(std::isnan(out.f32[7]));
+      EXPECT_EQ(out.f32[513], std::numeric_limits<float>::infinity());
+      EXPECT_EQ(out.f32[1000], -std::numeric_limits<float>::infinity());
+    } else {
+      EXPECT_FALSE(std::isfinite(out.f32[7]));
+      EXPECT_FALSE(std::isfinite(out.f32[513]));
+      EXPECT_FALSE(std::isfinite(out.f32[1000]));
     }
   }
 }

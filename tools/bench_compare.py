@@ -17,10 +17,20 @@ debug code left in), not 10% noise. The speedup gate, by contrast, is an
 is skipped when the runner has fewer than ``--min-cpus`` cores, where no
 scheduling win is physically possible.
 
+A second intra-run gate covers the SIMD kernel layer: bench_simd_kernels
+runs every vectorized kernel as a scalar/dispatch arm pair and exports the
+dispatched backend through the ``fpsnr_simd_backend`` context key. When
+that key is present and not ``scalar``, at least ``--simd-min-kernels``
+kernels must show a scalar/dispatch speedup of ``--simd-gate`` or better
+(the huffman pack arm is serial by design and is reported but not expected
+to pass). With a scalar backend — FPSNR_SIMD=scalar legs, or hosts with no
+vector ISA — the pairs measure parity and the gate is skipped.
+
 Usage:
   bench_compare.py --baseline bench/BENCH_baseline.json \
       --pr out1.json out2.json --out BENCH_pr.json \
       [--tolerance 2.0] [--speedup-gate 1.3] [--min-cpus 4] \
+      [--simd-gate 1.5] [--simd-min-kernels 2] \
       [--summary "$GITHUB_STEP_SUMMARY"]
 
 Exit codes: 0 pass, 1 regression / missing benchmark, 2 bad input.
@@ -34,6 +44,16 @@ import sys
 
 SEQ8 = "BM_BatchSequentialPerField/8/real_time"
 QUEUE8 = "BM_BatchGlobalQueue/8/real_time"
+
+# scalar/dispatch arm pairs emitted by bench_simd_kernels.cpp.
+SIMD_KERNELS = [
+    ("haar", "BM_SimdHaarFwd/scalar", "BM_SimdHaarFwd/dispatch"),
+    ("dct", "BM_SimdDct2/scalar", "BM_SimdDct2/dispatch"),
+    ("zfpr", "BM_SimdZfprQuant/scalar", "BM_SimdZfprQuant/dispatch"),
+    ("lorenzo", "BM_SimdLorenzo2/scalar", "BM_SimdLorenzo2/dispatch"),
+    ("huffman", "BM_SimdHuffmanPack/scalar", "BM_SimdHuffmanPack/dispatch"),
+    ("sse", "BM_SimdSse/scalar", "BM_SimdSse/dispatch"),
+]
 
 
 def load(path):
@@ -81,6 +101,11 @@ def main():
                     help="required sequential/queue speedup at 8 workers")
     ap.add_argument("--min-cpus", type=int, default=4,
                     help="skip the speedup gate below this core count")
+    ap.add_argument("--simd-gate", type=float, default=1.5,
+                    help="required per-kernel scalar/dispatch speedup")
+    ap.add_argument("--simd-min-kernels", type=int, default=2,
+                    help="kernels that must meet --simd-gate when a vector "
+                         "backend is dispatched")
     ap.add_argument("--summary", default=None,
                     help="append a markdown report here (GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
@@ -140,6 +165,38 @@ def main():
         failures.append(
             f"speedup gate benchmarks missing (`{SEQ8}`, `{QUEUE8}`)")
 
+    # SIMD vectorization gate: intra-run scalar/dispatch arm ratios from
+    # bench_simd_kernels. Armed only when that bench ran AND it dispatched
+    # a vector backend; scalar runs report parity and skip the gate.
+    simd_notes = []
+    simd_backend = next((doc.get("context", {}).get("fpsnr_simd_backend")
+                         for doc in prs
+                         if doc.get("context", {}).get("fpsnr_simd_backend")),
+                        None)
+    simd_pairs = [(k, s, d) for k, s, d in SIMD_KERNELS
+                  if s in pr and d in pr]
+    if simd_pairs:
+        passing = 0
+        for kernel, s, d in simd_pairs:
+            speedup = pr[s] / pr[d] if pr[d] > 0 else float("inf")
+            gate_met = speedup >= args.simd_gate
+            passing += gate_met
+            simd_notes.append(f"- {kernel}: {speedup:.2f}x "
+                              f"({'ok' if gate_met else 'below gate'})")
+        if simd_backend and simd_backend != "scalar":
+            verdict = "ok" if passing >= args.simd_min_kernels else "FAILED"
+            header = (f"SIMD vectorization gate (backend `{simd_backend}`): "
+                      f"{passing}/{len(simd_pairs)} kernels at >= "
+                      f"{args.simd_gate}x, need {args.simd_min_kernels} — "
+                      f"{verdict}")
+            if verdict != "ok":
+                failures.append(header)
+        else:
+            header = (f"SIMD kernel arms (backend "
+                      f"`{simd_backend or 'unknown'}`): vectorization gate "
+                      f"skipped — scalar backend measures parity, not speedup")
+        simd_notes.insert(0, header)
+
     lines = ["| benchmark | baseline (ms) | this run (ms) | ratio | verdict |",
              "|---|---|---|---|---|"]
     for name, b, p, ratio, verdict in rows:
@@ -155,6 +212,8 @@ def main():
               *lines, ""]
     if speedup_note:
         report += [speedup_note, ""]
+    if simd_notes:
+        report += [*simd_notes, ""]
     if baseline_note:
         report += [baseline_note, ""]
     report += ["**" + (f"{len(failures)} failure(s)" if failures else "PASS") + "**"]
