@@ -12,6 +12,7 @@
 // src/ are internal and not installed.
 #pragma once
 
+#include "fpsnr/service.h"
 #include "fpsnr/session.h"
 #include "fpsnr/stream.h"
 #include "fpsnr/target.h"

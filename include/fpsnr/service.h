@@ -1,0 +1,197 @@
+// fpsnr public API — the fpsnrd compression service.
+//
+// fpsnrd is the library's long-lived, in-situ shape: simulations emit
+// snapshot streams continuously, so compression runs as a resident daemon
+// beside them instead of one-shot batch invocations. A Server wraps a
+// persistent fpsnr::Session pool behind a length-framed request/response
+// protocol on a unix-domain socket (loopback TCP optional), with admission
+// control, per-request priority + deadline scheduling, live metrics, and
+// graceful drain on shutdown. A Client is the matching blocking connection.
+//
+// Wire protocol (all integers little-endian):
+//
+//   frame  := magic:u32 ('FPSD') | type:u16 | flags:u16 (0) | length:u64
+//             | payload[length]
+//
+// Request payloads for Compress/Decompress/Inspect start with the
+// scheduling prefix `priority:u8 | deadline_ms:u32` (deadline 0 = none,
+// measured from server receipt). Strings are `len:u32 | bytes`. Every
+// request is answered by exactly one Reply or Error frame; an Error
+// payload is `code:u16 | message:string`. Archives returned by Compress
+// are byte-identical to in-process Session::compress output for the same
+// options.
+//
+// Self-contained: installed under <prefix>/include/fpsnr and includes only
+// the C++ standard library. The service is POSIX-only; on other platforms
+// the entry points throw.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fpsnr/session.h"
+
+namespace fpsnr::service {
+
+/// First four payload-frame bytes on the wire: "FPSD".
+inline constexpr std::uint32_t kFrameMagic = 0x44535046u;
+
+/// Frame header size in bytes (magic + type + flags + length).
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Frame types. Requests are client->server; Reply/Error are the two
+/// server->client answers (Reply's payload layout depends on the request
+/// it answers).
+enum class FrameType : std::uint16_t {
+  Ping = 1,        ///< liveness probe; empty payload both ways
+  Compress = 2,    ///< field in, archive + report out
+  Decompress = 3,  ///< archive in, field out
+  Inspect = 4,     ///< archive in, rendered metadata out
+  Stats = 5,       ///< metrics snapshot as `key: value` lines
+  Shutdown = 6,    ///< begin graceful drain; replies before draining
+  Reply = 0x80,
+  Error = 0x81,
+};
+
+/// Typed error codes carried by Error frames. Protocol-level codes
+/// (BadMagic/BadFrame/Oversized) also close the connection — the stream
+/// can no longer be trusted to be frame-aligned.
+enum class ErrorCode : std::uint16_t {
+  BadMagic = 1,         ///< frame did not start with kFrameMagic
+  BadFrame = 2,         ///< unknown type / malformed or truncated payload
+  Oversized = 3,        ///< frame length above the server's max_frame_bytes
+  BadRequest = 4,       ///< well-formed frame, invalid job (engine, dims, ...)
+  Overloaded = 5,       ///< admission control: in-flight byte cap reached
+  DeadlineExpired = 6,  ///< queued past its deadline; job never ran
+  ShuttingDown = 7,     ///< server is draining and takes no new work
+  Internal = 8,         ///< unexpected server-side failure
+};
+
+/// Stable name of an error code ("bad-magic", "overloaded", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// Thrown by Client when the server answers with an Error frame (code()
+/// is the typed cause) or the connection itself fails (code() ==
+/// ErrorCode::Internal).
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Where a server listens / a client connects. Exactly one of socket_path
+/// (unix-domain) or tcp_port (loopback 127.0.0.1) must be set.
+struct Endpoint {
+  std::string socket_path;
+  std::uint16_t tcp_port = 0;
+};
+
+struct ServerOptions {
+  Endpoint endpoint;
+  /// Worker cap for the compression queue (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Hard per-frame payload cap; longer frames are rejected with Oversized
+  /// and the connection is closed.
+  std::size_t max_frame_bytes = std::size_t{1} << 30;
+  /// Admission control: total request-payload bytes admitted (queued or
+  /// running) at once. A request that would exceed it is rejected with
+  /// Overloaded; smaller bursts simply queue.
+  std::size_t max_in_flight_bytes = std::size_t{256} << 20;
+};
+
+/// The daemon. The constructor binds and listens (throws on failure — a
+/// returned Server is ready to accept), run() serves until shutdown
+/// completes. request_shutdown()/request_stats_dump() are async-signal-safe
+/// (they write one byte to an internal pipe), so signal handlers may call
+/// them directly; on shutdown the server stops accepting, answers every
+/// admitted request, flushes, and run() returns 0.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until a shutdown request drains the server. Returns the process
+  /// exit code (0 = graceful).
+  int run();
+
+  void request_shutdown();
+  void request_stats_dump();  ///< render metrics to stderr (SIGUSR1 hook)
+
+  /// Rendered metrics snapshot (`key: value` lines, same as a Stats reply).
+  std::string stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Per-request scheduling attributes (the wire prefix of job requests).
+struct RequestOptions {
+  bool priority = false;      ///< jump the server's FIFO lane
+  std::uint32_t deadline_ms = 0;  ///< reject if not started in time; 0 = none
+};
+
+/// Compression job parameters, mirroring SessionOptions + Target by value
+/// (the server resolves them against its Session pool).
+struct CompressSpec {
+  std::string engine = "sz-lorenzo";
+  std::string budget = "uniform";
+  std::string mode = "fixed-psnr";  ///< target_name() spelling or CLI alias
+  double value = 80.0;
+  std::size_t block_rows = 0;
+  std::vector<std::size_t> dims;  ///< C order; must multiply to the count
+};
+
+struct CompressResult {
+  std::vector<std::uint8_t> archive;
+  std::uint64_t value_count = 0;
+  std::uint64_t compressed_bytes = 0;
+  double achieved_psnr_db = 0.0;
+  double bit_rate = 0.0;
+  std::uint64_t block_count = 0;
+  std::uint64_t block_rows = 0;
+};
+
+/// A blocking client connection. Not thread-safe — one in-flight request
+/// per Client; open one Client per concurrent stream.
+class Client {
+ public:
+  explicit Client(Endpoint endpoint);  ///< connects; throws on failure
+  ~Client();
+
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+
+  void ping();
+  CompressResult compress(std::span<const float> values,
+                          const CompressSpec& spec,
+                          const RequestOptions& options = {});
+  CompressResult compress(std::span<const double> values,
+                          const CompressSpec& spec,
+                          const RequestOptions& options = {});
+  Field decompress(std::span<const std::uint8_t> archive,
+                   const RequestOptions& options = {});
+  std::string inspect(std::span<const std::uint8_t> archive,
+                      const RequestOptions& options = {});
+  std::string stats();
+  void shutdown_server();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fpsnr::service

@@ -12,11 +12,13 @@
 // come from the live codec registry, so a newly registered codec is
 // immediately addressable here with no CLI change.
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "fpsnr/fpsnr.h"
+#include "fpsnr/service.h"
 
 #include "core/batch.h"
 #include "core/codec_registry.h"
@@ -83,8 +86,54 @@ using namespace fpsnr;
       "  fpsnr_cli pack       --dataset NAME --psnr DB -o OUT.fpar\n"
       "      compress every field of a synthetic dataset into one archive\n"
       "  fpsnr_cli list       -i IN.fpar\n"
-      "  fpsnr_cli unpack     -i IN.fpar --field NAME -o OUT.f32\n";
+      "  fpsnr_cli unpack     -i IN.fpar --field NAME -o OUT.f32\n"
+      "  fpsnr_cli serve      --socket PATH | --tcp PORT  [--threads N]\n"
+      "      run fpsnrd, the resident compression service: persistent\n"
+      "      Session pool, admission control, priority + deadline\n"
+      "      scheduling, live metrics (STATS request; SIGUSR1 dumps to\n"
+      "      stderr), graceful drain on SIGTERM/SIGINT (exit 0)\n"
+      "      --max-frame-mb M     per-request frame cap (default 1024)\n"
+      "      --max-inflight-mb M  admission budget (default 256)\n"
+      "  fpsnr_cli client OP  --socket PATH | --tcp PORT\n"
+      "      OP = ping | compress | decompress | inspect | stats | shutdown\n"
+      "      compress:   -i IN.f32 -d DIMS -m MODE -v VALUE -o OUT.fpbk\n"
+      "                  [--engine E] [--budget B] [--block-size R]\n"
+      "      decompress: -i IN.fpbk -o OUT.f32\n"
+      "      inspect:    -i IN.fpbk\n"
+      "      --priority high|normal   jump the server's FIFO lane\n"
+      "      --deadline-ms N          reject if not started in time\n"
+      "      archives are byte-identical to in-process compression\n";
   std::exit(2);
+}
+
+/// Checked integer-flag parser — the parse_dims guard generalized to every
+/// numeric flag: a malformed value ('8abc', '-1', '', out of range) is a
+/// usage error with exit 2, never a silent truncation, a 2^64 wraparound,
+/// or an uncaught std::stoull throw.
+std::size_t parse_count(const std::string& flag, const std::string& text) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+    usage((flag + " wants a non-negative integer, got '" + text + "'").c_str());
+  try {
+    return std::stoull(text);
+  } catch (const std::out_of_range&) {
+    usage((flag + " value '" + text + "' is out of range").c_str());
+  }
+}
+
+/// Checked floating-point flag parser: the whole token must parse and be
+/// finite ('80abc', '', 'nan' are usage errors with exit 2).
+double parse_number(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || !std::isfinite(value))
+      usage((flag + " wants a finite number, got '" + text + "'").c_str());
+    return value;
+  } catch (const std::invalid_argument&) {
+    usage((flag + " wants a finite number, got '" + text + "'").c_str());
+  } catch (const std::out_of_range&) {
+    usage((flag + " value '" + text + "' is out of range").c_str());
+  }
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -154,6 +203,12 @@ struct Args {
   bool report_psnr = false;  ///< print the exact recorded PSNR
   bool no_verify = false;    ///< batch: trust the recorded SSE, skip decode
   std::string simd;          ///< vector backend pin; empty = leave auto
+  std::string socket;        ///< serve/client: unix-domain socket path
+  std::size_t tcp_port = 0;  ///< serve/client: loopback TCP port
+  std::string priority = "normal";  ///< client: request priority lane
+  std::size_t deadline_ms = 0;      ///< client: per-request deadline
+  std::size_t max_frame_mb = 1024;     ///< serve: per-frame payload cap
+  std::size_t max_inflight_mb = 256;   ///< serve: admission byte budget
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -168,20 +223,36 @@ Args parse_args(int argc, char** argv, int first) {
     else if (flag == "-o" || flag == "--output") a.output = next();
     else if (flag == "-d" || flag == "--dims") a.dims = next();
     else if (flag == "-m" || flag == "--mode") a.mode = next();
-    else if (flag == "-v" || flag == "--value" || flag == "--psnr") a.value = std::stod(next());
+    else if (flag == "-v" || flag == "--value" || flag == "--psnr")
+      a.value = parse_number(flag, next());
     else if (flag == "--dataset") a.dataset = next();
     else if (flag == "--predictor") a.predictor = next();
     else if (flag == "--engine") a.engine = next();
     else if (flag == "--budget") a.budget = next();
     else if (flag == "--field") a.field = next();
-    else if (flag == "--threads") a.threads = std::stoull(next());
-    else if (flag == "--block-size") a.block_size = std::stoull(next());
-    else if (flag == "--block") a.block = std::stoull(next());
+    else if (flag == "--threads") a.threads = parse_count(flag, next());
+    else if (flag == "--block-size") a.block_size = parse_count(flag, next());
+    else if (flag == "--block") a.block = parse_count(flag, next());
     else if (flag == "--stream") a.stream = true;
     else if (flag == "--mmap") a.mmap = true;
     else if (flag == "--report-psnr") a.report_psnr = true;
     else if (flag == "--no-verify") a.no_verify = true;
     else if (flag == "--simd") a.simd = next();
+    else if (flag == "--socket") a.socket = next();
+    else if (flag == "--tcp") {
+      a.tcp_port = parse_count(flag, next());
+      if (a.tcp_port == 0 || a.tcp_port > 65535)
+        usage("--tcp wants a port in 1..65535");
+    }
+    else if (flag == "--priority") {
+      a.priority = next();
+      if (a.priority != "normal" && a.priority != "high")
+        usage("--priority wants normal|high");
+    }
+    else if (flag == "--deadline-ms") a.deadline_ms = parse_count(flag, next());
+    else if (flag == "--max-frame-mb") a.max_frame_mb = parse_count(flag, next());
+    else if (flag == "--max-inflight-mb")
+      a.max_inflight_mb = parse_count(flag, next());
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -621,12 +692,139 @@ int cmd_demo(const Args& a) {
   return 0;
 }
 
+service::Endpoint endpoint_from(const Args& a, const char* who) {
+  if (a.socket.empty() == (a.tcp_port == 0))
+    usage((std::string(who) +
+           " needs exactly one of --socket PATH or --tcp PORT").c_str());
+  service::Endpoint ep;
+  ep.socket_path = a.socket;
+  ep.tcp_port = static_cast<std::uint16_t>(a.tcp_port);
+  return ep;
+}
+
+#if !defined(_WIN32)
+
+/// The running daemon, for the signal handlers: request_shutdown and
+/// request_stats_dump are async-signal-safe (one pipe write each).
+service::Server* g_server = nullptr;
+
+extern "C" void fpsnrd_on_terminate(int) {
+  if (g_server) g_server->request_shutdown();
+}
+extern "C" void fpsnrd_on_usr1(int) {
+  if (g_server) g_server->request_stats_dump();
+}
+
+int cmd_serve(const Args& a) {
+  service::ServerOptions opts;
+  opts.endpoint = endpoint_from(a, "serve");
+  opts.threads = a.threads;
+  opts.max_frame_bytes = a.max_frame_mb << 20;
+  opts.max_in_flight_bytes = a.max_inflight_mb << 20;
+  service::Server server(std::move(opts));
+  g_server = &server;
+  // SIGTERM/SIGINT begin the graceful drain (stop accepting, answer every
+  // admitted request, exit 0); SIGUSR1 dumps live metrics to stderr. A
+  // vanished client must be an EPIPE error on its own connection, never a
+  // process-wide SIGPIPE.
+  std::signal(SIGTERM, fpsnrd_on_terminate);
+  std::signal(SIGINT, fpsnrd_on_terminate);
+  std::signal(SIGUSR1, fpsnrd_on_usr1);
+  std::signal(SIGPIPE, SIG_IGN);
+  if (!a.socket.empty())
+    std::cerr << "fpsnrd: listening on " << a.socket << "\n";
+  else
+    std::cerr << "fpsnrd: listening on 127.0.0.1:" << a.tcp_port << "\n";
+  const int rc = server.run();
+  g_server = nullptr;
+  return rc;
+}
+
+#else
+
+int cmd_serve(const Args&) { usage("serve is not supported on this platform"); }
+
+#endif  // !defined(_WIN32)
+
+int cmd_client(const std::string& op, const Args& a) {
+  if (a.deadline_ms > std::numeric_limits<std::uint32_t>::max())
+    usage("--deadline-ms value is out of range");
+  service::Client client(endpoint_from(a, "client"));
+  service::RequestOptions ropts;
+  ropts.priority = a.priority == "high";
+  ropts.deadline_ms = static_cast<std::uint32_t>(a.deadline_ms);
+
+  if (op == "ping") {
+    client.ping();
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (op == "stats") {
+    std::cout << client.stats();
+    return 0;
+  }
+  if (op == "shutdown") {
+    client.shutdown_server();
+    std::cout << "server draining\n";
+    return 0;
+  }
+  if (op == "compress") {
+    if (a.input.empty() || a.output.empty() || a.dims.empty())
+      usage("client compress needs -i, -o, -d");
+    const data::Dims dims = parse_dims(a.dims);
+    const data::Field field = load_field("input", a.input, dims);
+    service::CompressSpec spec;
+    spec.engine = resolve_engine(a.engine);
+    spec.budget = a.budget;
+    spec.mode = a.mode;
+    spec.value = a.value;
+    spec.block_rows = a.block_size;
+    spec.dims = dims.extents;
+    const service::CompressResult r = client.compress(field.span(), spec, ropts);
+    write_file(a.output, r.archive.data(), r.archive.size());
+    std::cout << "compressed " << r.value_count << " values -> "
+              << r.compressed_bytes << " bytes over the socket ("
+              << std::fixed << std::setprecision(3) << r.bit_rate
+              << " bits/value)\n";
+    if (a.report_psnr && !std::isnan(r.achieved_psnr_db))
+      std::cout << "achieved PSNR " << std::fixed << std::setprecision(6)
+                << r.achieved_psnr_db << " dB (exact, server-measured)\n";
+    return 0;
+  }
+  if (op == "decompress") {
+    if (a.input.empty() || a.output.empty())
+      usage("client decompress needs -i, -o");
+    const auto archive = read_file(a.input);
+    const Field d = client.decompress(
+        std::span<const std::uint8_t>(archive), ropts);
+    write_field(a.output, d);
+    std::cout << "decompressed " << d.size() << " values (rank "
+              << d.dims.size() << ", remote)\n";
+    return 0;
+  }
+  if (op == "inspect") {
+    if (a.input.empty()) usage("client inspect needs -i");
+    const auto archive = read_file(a.input);
+    std::cout << client.inspect(std::span<const std::uint8_t>(archive), ropts);
+    return 0;
+  }
+  usage(("unknown client op '" + op +
+         "' (want ping|compress|decompress|inspect|stats|shutdown)").c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "client") {
+      if (argc < 3) usage("client needs an operation");
+      const std::string op = argv[2];
+      const Args a = parse_args(argc, argv, 3);
+      apply_simd(a);
+      return cmd_client(op, a);
+    }
     const Args a = parse_args(argc, argv, 2);
     apply_simd(a);
     if (cmd == "compress") return cmd_compress(a);
@@ -637,7 +835,12 @@ int main(int argc, char** argv) {
     if (cmd == "pack") return cmd_pack(a);
     if (cmd == "list") return cmd_list(a);
     if (cmd == "unpack") return cmd_unpack(a);
+    if (cmd == "serve") return cmd_serve(a);
     usage(("unknown command " + cmd).c_str());
+  } catch (const service::ServiceError& e) {
+    std::cerr << "service error (" << service::error_code_name(e.code())
+              << "): " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

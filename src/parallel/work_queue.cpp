@@ -5,6 +5,7 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
 #include "parallel/shared_pool.h"
@@ -12,11 +13,27 @@
 namespace fpsnr::parallel {
 
 struct WorkQueue::State {
+  /// One queued unit of work: the task plus its scheduling attributes.
+  /// Plain push() leaves the defaults (no deadline), so the FIFO lane's
+  /// byte-deterministic pop order is exactly the pre-options behaviour.
+  struct Entry {
+    Task task;
+    Task on_expired;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+  };
+
   std::mutex mutex;
   std::condition_variable idle;  ///< queue empty + nothing running, or new work
-  std::deque<Task> tasks;
+  std::deque<Entry> priority_tasks;  ///< drained before the FIFO lane
+  std::deque<Entry> tasks;
   std::size_t running = 0;
   std::exception_ptr first_error;
+  /// Guards the one-drain-at-a-time contract: set for the duration of a
+  /// drain(), so an overlapping drain (another thread, or a task of the
+  /// running drain draining its own queue) fails loudly instead of the two
+  /// drains stealing each other's error slot and helper offers.
+  std::atomic<bool> draining{false};
   /// Set for the duration of a multi-worker drain: push() invokes it
   /// (outside the lock) to offer the pool ONE more best-effort helper for
   /// a task pushed mid-drain. Retired helpers never rejoin on their own,
@@ -37,14 +54,22 @@ struct WorkQueue::State {
   /// repopulates the queue.
   void run_tasks(const std::atomic<bool>* active) {
     std::unique_lock lock(mutex);
-    while (!tasks.empty() &&
+    while ((!priority_tasks.empty() || !tasks.empty()) &&
            (active == nullptr || active->load(std::memory_order_acquire))) {
-      Task task = std::move(tasks.front());
-      tasks.pop_front();
+      auto& lane = priority_tasks.empty() ? tasks : priority_tasks;
+      Entry entry = std::move(lane.front());
+      lane.pop_front();
       ++running;
       lock.unlock();
+      // Expiry is decided once, at pop time: a task that begins before its
+      // deadline runs to completion, an expired one is replaced by its
+      // on_expired hook (which reports the rejection to whoever waits on
+      // the task's result). Both sides share the drain's exception policy.
+      Task& chosen =
+          entry.deadline < std::chrono::steady_clock::now() ? entry.on_expired
+                                                            : entry.task;
       try {
-        task();
+        if (chosen) chosen();
       } catch (...) {
         lock.lock();
         if (!first_error) first_error = std::current_exception();
@@ -61,11 +86,15 @@ WorkQueue::WorkQueue() : state_(std::make_shared<State>()) {}
 
 WorkQueue::~WorkQueue() = default;
 
-void WorkQueue::push(Task task) {
+void WorkQueue::push(Task task) { push(std::move(task), TaskOptions{}); }
+
+void WorkQueue::push(Task task, TaskOptions options) {
   std::function<void()> offer;
   {
     std::lock_guard lock(state_->mutex);
-    state_->tasks.push_back(std::move(task));
+    auto& lane = options.priority ? state_->priority_tasks : state_->tasks;
+    lane.push_back({std::move(task), std::move(options.on_expired),
+                    options.deadline});
     offer = state_->offer_helper;  // copy: cleared asynchronously by drain
   }
   // Wake the drain() caller if it is parked: an in-flight task may have
@@ -76,11 +105,20 @@ void WorkQueue::push(Task task) {
 
 std::size_t WorkQueue::pending() const {
   std::lock_guard lock(state_->mutex);
-  return state_->tasks.size();
+  return state_->tasks.size() + state_->priority_tasks.size();
 }
 
 void WorkQueue::drain(std::size_t max_workers) {
   const std::shared_ptr<State> state = state_;
+  if (state->draining.exchange(true, std::memory_order_acq_rel))
+    throw std::logic_error(
+        "WorkQueue::drain: a drain is already running on this queue "
+        "(one drain at a time — overlapping drains would steal each "
+        "other's tasks, exceptions, and helper offers)");
+  struct DrainGuard {
+    std::atomic<bool>& flag;
+    ~DrainGuard() { flag.store(false, std::memory_order_release); }
+  } drain_guard{state->draining};
   // Shared with this drain's helpers (which may outlive both the drain
   // and the WorkQueue); cleared on every exit path so stale helpers can
   // never execute tasks pushed after this drain returned.
@@ -108,7 +146,7 @@ void WorkQueue::drain(std::size_t max_workers) {
   state->run_tasks(nullptr);
   std::unique_lock lock(state->mutex);
   for (;;) {
-    if (!state->tasks.empty()) {
+    if (!state->tasks.empty() || !state->priority_tasks.empty()) {
       // A task pushed follow-up work; its helper offer may lose the pool
       // lottery, so the caller picks the work up itself.
       lock.unlock();
@@ -118,7 +156,8 @@ void WorkQueue::drain(std::size_t max_workers) {
     }
     if (state->running == 0) break;
     state->idle.wait(lock, [&] {
-      return !state->tasks.empty() || state->running == 0;
+      return !state->tasks.empty() || !state->priority_tasks.empty() ||
+             state->running == 0;
     });
   }
   state->offer_helper = nullptr;

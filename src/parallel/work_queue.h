@@ -23,6 +23,7 @@
 // the queue is empty AND no task is still running.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -32,6 +33,23 @@ namespace fpsnr::parallel {
 class WorkQueue {
  public:
   using Task = std::function<void()>;
+
+  /// Scheduling attributes for push(task, options). The defaults are
+  /// exactly the plain push(task): FIFO lane, no deadline — the batch
+  /// engine's byte-deterministic drain order is untouched unless a caller
+  /// explicitly asks for the priority lane.
+  struct TaskOptions {
+    /// Priority-lane tasks run before every FIFO task still queued; within
+    /// the lane they stay FIFO among themselves.
+    bool priority = false;
+    /// A task whose deadline has passed when an executor pops it is NOT
+    /// run; on_expired runs in its place (same exception policy). max() =
+    /// no deadline. Expiry is checked at pop time only — a task that
+    /// started before its deadline always runs to completion.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    Task on_expired;
+  };
 
   WorkQueue();
   ~WorkQueue();
@@ -43,7 +61,13 @@ class WorkQueue {
   /// task that is currently draining.
   void push(Task task);
 
-  /// Tasks enqueued but not yet started (snapshot; racy by nature).
+  /// Enqueue with explicit scheduling attributes (lane + deadline). The
+  /// service front end uses this for per-request priority and
+  /// deadline-expiry rejection; push(task) is the two-lane degenerate case.
+  void push(Task task, TaskOptions options);
+
+  /// Tasks enqueued but not yet started, across both lanes (snapshot; racy
+  /// by nature).
   std::size_t pending() const;
 
   /// Run tasks until the queue is empty and every started task has
@@ -58,8 +82,11 @@ class WorkQueue {
   /// running drain, but overlapping drain() calls on the same queue are
   /// not supported (the error slot and helper re-offer hook are
   /// per-queue, so two concurrent drains would steal each other's
-  /// exceptions and helper offers). Drain sequentially, or use one queue
-  /// per drain site.
+  /// exceptions and helper offers). This is ENFORCED: an overlapping
+  /// drain — from another thread, or from inside a task of the running
+  /// drain — throws std::logic_error immediately instead of silently
+  /// corrupting task ownership. Drain sequentially, or use one queue per
+  /// drain site.
   void drain(std::size_t max_workers);
 
  private:

@@ -1,0 +1,250 @@
+// fpsnr::service::Client — the blocking side of the fpsnrd protocol.
+// One request in flight per connection: build a payload, send a frame,
+// read exactly one Reply or Error frame back. Error frames surface as
+// ServiceError with the server's typed code; transport failures surface
+// as ServiceError{Internal}.
+#include "fpsnr/service.h"
+
+#if !defined(_WIN32)
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/wire.h"
+
+namespace fpsnr::service {
+
+struct Client::Impl {
+  int fd = -1;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void connect(const Endpoint& endpoint) {
+    const bool unix_socket = !endpoint.socket_path.empty();
+    if (unix_socket == (endpoint.tcp_port != 0))
+      throw std::invalid_argument(
+          "fpsnr client: set exactly one of socket_path or tcp_port");
+    if (unix_socket) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (endpoint.socket_path.size() >= sizeof(addr.sun_path))
+        throw std::invalid_argument("fpsnr client: socket path too long: " +
+                                    endpoint.socket_path);
+      std::strncpy(addr.sun_path, endpoint.socket_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr)) < 0)
+        throw ServiceError(ErrorCode::Internal,
+                           "cannot connect to " + endpoint.socket_path + ": " +
+                               std::strerror(errno));
+    } else {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(endpoint.tcp_port);
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr)) < 0)
+        throw ServiceError(ErrorCode::Internal,
+                           "cannot connect to 127.0.0.1:" +
+                               std::to_string(endpoint.tcp_port) + ": " +
+                               std::strerror(errno));
+    }
+    // No receive timeout on the client: a large compress job legitimately
+    // takes as long as it takes; the server bounds ITS reads instead.
+    wire::set_socket_options(fd, /*recv_timeout_ms=*/0);
+  }
+
+  /// Send one request and read its one answer; Error frames throw.
+  std::vector<std::uint8_t> round_trip(FrameType type,
+                                       const std::vector<std::uint8_t>& payload) {
+    try {
+      wire::send_frame(fd, type, payload);
+      wire::FrameHeader header;
+      if (!wire::read_frame_header(fd, &header))
+        throw ServiceError(ErrorCode::Internal,
+                           "server closed the connection without a response");
+      if (header.magic != kFrameMagic)
+        throw ServiceError(ErrorCode::BadMagic, "response frame is not FPSD");
+      std::vector<std::uint8_t> body(static_cast<std::size_t>(header.length));
+      if (header.length > 0 &&
+          !wire::read_exact(fd, body.data(), body.size()))
+        throw ServiceError(ErrorCode::Internal, "truncated response frame");
+      if (header.type == FrameType::Error) {
+        wire::Reader r(body);
+        const auto code = static_cast<ErrorCode>(r.u16());
+        throw ServiceError(code, r.str());
+      }
+      if (header.type != FrameType::Reply)
+        throw ServiceError(ErrorCode::BadFrame,
+                           "unexpected response frame type");
+      return body;
+    } catch (const wire::WireError& e) {
+      throw ServiceError(ErrorCode::Internal, e.what());
+    }
+  }
+
+  static void scheduling_prefix(wire::Writer& w, const RequestOptions& options) {
+    w.u8(options.priority ? 1 : 0);
+    w.u32(options.deadline_ms);
+  }
+
+  template <typename T>
+  CompressResult compress(std::span<const T> values, const CompressSpec& spec,
+                          const RequestOptions& options) {
+    wire::Writer w;
+    scheduling_prefix(w, options);
+    w.str(spec.engine);
+    w.str(spec.budget);
+    w.str(spec.mode);
+    w.f64(spec.value);
+    w.u64(spec.block_rows);
+    w.u8(std::is_same_v<T, double> ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(spec.dims.size()));
+    for (const std::size_t d : spec.dims) w.u64(d);
+    w.blob(values.data(), values.size_bytes());
+
+    const auto body = round_trip(FrameType::Compress, w.bytes());
+    wire::Reader r(body);
+    CompressResult result;
+    result.value_count = r.u64();
+    result.compressed_bytes = r.u64();
+    result.achieved_psnr_db = r.f64();
+    result.bit_rate = r.f64();
+    result.block_count = r.u64();
+    result.block_rows = r.u64();
+    const auto [archive, archive_bytes] = r.blob();
+    r.expect_end();
+    result.archive.assign(archive, archive + archive_bytes);
+    return result;
+  }
+};
+
+Client::Client(Endpoint endpoint) : impl_(std::make_unique<Impl>()) {
+  impl_->connect(endpoint);
+}
+
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+void Client::ping() { impl_->round_trip(FrameType::Ping, {}); }
+
+CompressResult Client::compress(std::span<const float> values,
+                                const CompressSpec& spec,
+                                const RequestOptions& options) {
+  return impl_->compress(values, spec, options);
+}
+
+CompressResult Client::compress(std::span<const double> values,
+                                const CompressSpec& spec,
+                                const RequestOptions& options) {
+  return impl_->compress(values, spec, options);
+}
+
+Field Client::decompress(std::span<const std::uint8_t> archive,
+                         const RequestOptions& options) {
+  wire::Writer w;
+  Impl::scheduling_prefix(w, options);
+  w.blob(archive.data(), archive.size());
+  const auto body = impl_->round_trip(FrameType::Decompress, w.bytes());
+  try {
+    wire::Reader r(body);
+    Field field;
+    const bool is_double = r.u8() == 1;
+    const std::uint8_t rank = r.u8();
+    field.dims.resize(rank);
+    for (std::uint8_t d = 0; d < rank; ++d)
+      field.dims[d] = static_cast<std::size_t>(r.u64());
+    const auto [values, value_bytes] = r.blob();
+    r.expect_end();
+    if (is_double) {
+      field.f64.resize(value_bytes / sizeof(double));
+      if (value_bytes) std::memcpy(field.f64.data(), values, value_bytes);
+    } else {
+      field.f32.resize(value_bytes / sizeof(float));
+      if (value_bytes) std::memcpy(field.f32.data(), values, value_bytes);
+    }
+    return field;
+  } catch (const wire::WireError& e) {
+    throw ServiceError(ErrorCode::Internal, e.what());
+  }
+}
+
+std::string Client::inspect(std::span<const std::uint8_t> archive,
+                            const RequestOptions& options) {
+  wire::Writer w;
+  Impl::scheduling_prefix(w, options);
+  w.blob(archive.data(), archive.size());
+  const auto body = impl_->round_trip(FrameType::Inspect, w.bytes());
+  try {
+    wire::Reader r(body);
+    std::string text = r.str();
+    r.expect_end();
+    return text;
+  } catch (const wire::WireError& e) {
+    throw ServiceError(ErrorCode::Internal, e.what());
+  }
+}
+
+std::string Client::stats() {
+  const auto body = impl_->round_trip(FrameType::Stats, {});
+  try {
+    wire::Reader r(body);
+    std::string text = r.str();
+    r.expect_end();
+    return text;
+  } catch (const wire::WireError& e) {
+    throw ServiceError(ErrorCode::Internal, e.what());
+  }
+}
+
+void Client::shutdown_server() { impl_->round_trip(FrameType::Shutdown, {}); }
+
+}  // namespace fpsnr::service
+
+#else  // _WIN32
+
+namespace fpsnr::service {
+
+struct Client::Impl {};
+
+Client::Client(Endpoint) {
+  throw std::runtime_error("fpsnr client requires POSIX sockets");
+}
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+void Client::ping() {}
+CompressResult Client::compress(std::span<const float>, const CompressSpec&,
+                                const RequestOptions&) {
+  return {};
+}
+CompressResult Client::compress(std::span<const double>, const CompressSpec&,
+                                const RequestOptions&) {
+  return {};
+}
+Field Client::decompress(std::span<const std::uint8_t>,
+                         const RequestOptions&) {
+  return {};
+}
+std::string Client::inspect(std::span<const std::uint8_t>,
+                            const RequestOptions&) {
+  return {};
+}
+std::string Client::stats() { return {}; }
+void Client::shutdown_server() {}
+
+}  // namespace fpsnr::service
+
+#endif

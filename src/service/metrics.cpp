@@ -1,0 +1,75 @@
+#include "service/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace fpsnr::service {
+
+void Metrics::record_latency(const std::string& engine, double micros) {
+  std::lock_guard lock(mutex_);
+  Latency& l = latency_by_engine_[engine];
+  ++l.count;
+  l.total_us += micros;
+  if (micros > l.max_us) l.max_us = micros;
+}
+
+void Metrics::record_psnr(double psnr_db) {
+  if (std::isnan(psnr_db)) {
+    psnr_untracked_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (psnr_db < 0.0) {
+    psnr_below_zero_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  int bucket = static_cast<int>(psnr_db / 20.0);  // +inf -> top bucket
+  if (bucket >= kPsnrBuckets || std::isinf(psnr_db)) bucket = kPsnrBuckets - 1;
+  psnr_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Metrics::render(std::size_t queue_depth) const {
+  std::ostringstream out;
+  const auto line = [&](const char* key, std::uint64_t value) {
+    out << key << ": " << value << "\n";
+  };
+  line("requests_total", requests_total.load());
+  line("requests_compress", requests_compress.load());
+  line("requests_decompress", requests_decompress.load());
+  line("requests_inspect", requests_inspect.load());
+  line("requests_ping", requests_ping.load());
+  line("requests_stats", requests_stats.load());
+  line("bytes_in", bytes_in.load());
+  line("bytes_out", bytes_out.load());
+  line("queue_depth", queue_depth);
+  line("in_flight_bytes", in_flight_bytes.load());
+  line("connections_open", connections_open.load());
+  line("connections_total", connections_total.load());
+  line("rejected_overloaded", rejected_overloaded.load());
+  line("rejected_deadline", rejected_deadline.load());
+  line("rejected_shutdown", rejected_shutdown.load());
+  line("protocol_errors", protocol_errors.load());
+  line("request_errors", request_errors.load());
+  line("disconnects_mid_request", disconnects_mid_request.load());
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [engine, l] : latency_by_engine_) {
+      out << "latency_us{engine=" << engine << "}: count=" << l.count
+          << " mean=" << (l.count ? l.total_us / static_cast<double>(l.count)
+                                  : 0.0)
+          << " max=" << l.max_us << "\n";
+    }
+  }
+  for (int b = 0; b < kPsnrBuckets; ++b) {
+    out << "psnr_db_bucket{";
+    if (b == kPsnrBuckets - 1)
+      out << "ge=" << 20 * b;
+    else
+      out << "range=" << 20 * b << "-" << 20 * (b + 1);
+    out << "}: " << psnr_buckets_[b].load() << "\n";
+  }
+  out << "psnr_db_below_zero: " << psnr_below_zero_.load() << "\n";
+  out << "psnr_db_untracked: " << psnr_untracked_.load() << "\n";
+  return out.str();
+}
+
+}  // namespace fpsnr::service

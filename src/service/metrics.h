@@ -1,0 +1,67 @@
+// Live fpsnrd metrics: lock-free counters for the hot request path, a
+// mutex-protected per-engine latency table (touched once per job, far from
+// contention), and a fixed-bucket achieved-PSNR histogram. A snapshot is
+// rendered as stable `key: value` lines — the payload of a Stats reply and
+// the SIGUSR1 stderr dump.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fpsnr::service {
+
+class Metrics {
+ public:
+  // -- request-path counters (one increment each, relaxed order) ----------
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> requests_compress{0};
+  std::atomic<std::uint64_t> requests_decompress{0};
+  std::atomic<std::uint64_t> requests_inspect{0};
+  std::atomic<std::uint64_t> requests_ping{0};
+  std::atomic<std::uint64_t> requests_stats{0};
+  std::atomic<std::uint64_t> bytes_in{0};   ///< request payload bytes read
+  std::atomic<std::uint64_t> bytes_out{0};  ///< response payload bytes sent
+  std::atomic<std::uint64_t> rejected_overloaded{0};
+  std::atomic<std::uint64_t> rejected_deadline{0};
+  std::atomic<std::uint64_t> rejected_shutdown{0};
+  std::atomic<std::uint64_t> protocol_errors{0};  ///< bad magic/frame/size
+  std::atomic<std::uint64_t> request_errors{0};   ///< BadRequest/Internal
+  std::atomic<std::uint64_t> disconnects_mid_request{0};
+  std::atomic<std::uint64_t> connections_total{0};
+
+  // -- gauges sampled at render time --------------------------------------
+  std::atomic<std::uint64_t> in_flight_bytes{0};
+  std::atomic<std::uint64_t> connections_open{0};
+
+  /// Record one completed job's wall time against its engine.
+  void record_latency(const std::string& engine, double micros);
+
+  /// Bucket one archive's achieved PSNR (dB). NaN is counted separately
+  /// (modes that do not track it); +inf lands in the top bucket.
+  void record_psnr(double psnr_db);
+
+  /// Render every field as `key: value` lines. `queue_depth` is sampled by
+  /// the caller (the server owns the queue).
+  std::string render(std::size_t queue_depth) const;
+
+ private:
+  mutable std::mutex mutex_;  ///< latency table only
+  struct Latency {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Latency> latency_by_engine_;
+
+  /// 20 dB buckets: [0,20), [20,40), ... [120,+inf); below-zero and NaN
+  /// tracked separately.
+  static constexpr int kPsnrBuckets = 7;
+  std::atomic<std::uint64_t> psnr_buckets_[kPsnrBuckets] = {};
+  std::atomic<std::uint64_t> psnr_below_zero_{0};
+  std::atomic<std::uint64_t> psnr_untracked_{0};
+};
+
+}  // namespace fpsnr::service

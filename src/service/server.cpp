@@ -1,0 +1,711 @@
+// fpsnrd — the long-lived compression service (fpsnr::service::Server).
+//
+// Shape of the daemon:
+//
+//   accept loop (run() caller) ── poll(listen fd, control pipe)
+//     ├─ per-connection handler threads: read framed requests, admit them
+//     │  (bounded in-flight bytes), enqueue jobs with priority + deadline,
+//     │  wait for the result, write the response
+//     ├─ one scheduler thread: drains the WorkQueue whenever jobs are
+//     │  pending (the ONLY drain site — WorkQueue enforces one drain at a
+//     │  time, and the service honours it by construction)
+//     └─ control pipe: request_shutdown()/request_stats_dump() write one
+//        byte from signal context; the accept loop acts on it
+//
+// Graceful drain: on shutdown the listen socket closes (no new
+// connections), handlers are woken through a broadcast pipe and serve only
+// the requests already readable on their sockets before closing, every
+// admitted job still runs to completion and is answered, and run()
+// returns 0. A client therefore sees exactly one of: a complete response,
+// or a clean close with no response — never a partial frame.
+#include "fpsnr/service.h"
+
+#if !defined(_WIN32)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <iomanip>
+#include <list>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "parallel/work_queue.h"
+#include "service/metrics.h"
+#include "service/wire.h"
+
+namespace fpsnr::service {
+
+namespace {
+
+/// a*b without silent wrap (dims products come off the wire untrusted).
+bool checked_mul(std::uint64_t a, std::uint64_t b, std::uint64_t* out) {
+  if (a != 0 && b > UINT64_MAX / a) return false;
+  *out = a * b;
+  return true;
+}
+
+/// Outcome of one queued job, handed back to the waiting handler.
+struct JobResult {
+  bool ok = false;
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+  std::vector<std::uint8_t> payload;  ///< Reply payload when ok
+};
+
+int close_quietly(int fd) { return fd >= 0 ? ::close(fd) : 0; }
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+  std::size_t threads = 0;  ///< resolved worker cap
+
+  int listen_fd = -1;
+  int control_rd = -1, control_wr = -1;  ///< signal-safe command bytes
+  int stop_rd = -1, stop_wr = -1;  ///< write end closed = drain broadcast
+
+  Metrics metrics;
+  parallel::WorkQueue queue;
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> served{0};
+
+  // Scheduler: drains `queue` whenever handlers have enqueued work.
+  std::mutex scheduler_mutex;
+  std::condition_variable scheduler_cv;
+  bool scheduler_stop = false;
+  std::thread scheduler;
+
+  // Persistent Session pool, keyed by the option triple a request can vary.
+  std::mutex sessions_mutex;
+  std::map<std::string, Session> sessions;
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex connections_mutex;
+  std::list<Connection> connections;
+
+  ~Impl() {
+    close_quietly(listen_fd);
+    close_quietly(control_rd);
+    close_quietly(control_wr);
+    close_quietly(stop_rd);
+    close_quietly(stop_wr);
+    if (!options.endpoint.socket_path.empty())
+      ::unlink(options.endpoint.socket_path.c_str());
+  }
+
+  // -- setup ---------------------------------------------------------------
+
+  void bind_and_listen() {
+    const Endpoint& ep = options.endpoint;
+    const bool unix_socket = !ep.socket_path.empty();
+    if (unix_socket == (ep.tcp_port != 0))
+      throw std::invalid_argument(
+          "fpsnrd: set exactly one of socket_path or tcp_port");
+    if (unix_socket) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (ep.socket_path.size() >= sizeof(addr.sun_path))
+        throw std::invalid_argument("fpsnrd: socket path too long: " +
+                                    ep.socket_path);
+      std::strncpy(addr.sun_path, ep.socket_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (listen_fd < 0)
+        throw std::runtime_error(std::string("fpsnrd: socket: ") +
+                                 std::strerror(errno));
+      if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        // A stale socket file from a crashed server binds EADDRINUSE even
+        // though nothing listens; reclaim it only when a connect probe
+        // confirms no live server answers.
+        if (errno == EADDRINUSE && !path_is_live(addr)) {
+          ::unlink(ep.socket_path.c_str());
+          if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0)
+            goto bound;
+        }
+        const int err = errno;
+        throw std::runtime_error("fpsnrd: bind " + ep.socket_path + ": " +
+                                 std::strerror(err));
+      }
+    } else {
+      listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (listen_fd < 0)
+        throw std::runtime_error(std::string("fpsnrd: socket: ") +
+                                 std::strerror(errno));
+      const int one = 1;
+      ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+      addr.sin_port = htons(ep.tcp_port);
+      if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        const int err = errno;
+        throw std::runtime_error("fpsnrd: bind 127.0.0.1:" +
+                                 std::to_string(ep.tcp_port) + ": " +
+                                 std::strerror(err));
+      }
+    }
+  bound:
+    if (::listen(listen_fd, 64) < 0)
+      throw std::runtime_error(std::string("fpsnrd: listen: ") +
+                               std::strerror(errno));
+  }
+
+  static bool path_is_live(const sockaddr_un& addr) {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) return true;  // cannot prove it is stale — keep it
+    const bool live =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0;
+    close_quietly(probe);
+    return live;
+  }
+
+  void make_pipes() {
+    int ctl[2], stp[2];
+    if (::pipe(ctl) < 0 || ::pipe(stp) < 0)
+      throw std::runtime_error(std::string("fpsnrd: pipe: ") +
+                               std::strerror(errno));
+    control_rd = ctl[0];
+    control_wr = ctl[1];
+    stop_rd = stp[0];
+    stop_wr = stp[1];
+  }
+
+  // -- session pool --------------------------------------------------------
+
+  const Session& session_for(const std::string& engine,
+                             const std::string& budget,
+                             std::size_t block_rows) {
+    const std::string key =
+        engine + '|' + budget + '|' + std::to_string(block_rows);
+    std::lock_guard lock(sessions_mutex);
+    if (const auto it = sessions.find(key); it != sessions.end())
+      return it->second;
+    SessionOptions so;
+    so.threads = threads;
+    so.engine = engine;
+    so.budget = budget;
+    so.block_rows = block_rows;
+    return sessions.emplace(key, Session(std::move(so))).first->second;
+  }
+
+  // -- scheduler -----------------------------------------------------------
+
+  void scheduler_loop() {
+    for (;;) {
+      {
+        std::unique_lock lock(scheduler_mutex);
+        scheduler_cv.wait(
+            lock, [&] { return scheduler_stop || queue.pending() > 0; });
+        if (scheduler_stop && queue.pending() == 0) return;
+      }
+      try {
+        queue.drain(threads);
+      } catch (const std::exception& e) {
+        // Jobs report their own failures through promises; anything that
+        // escapes the drain is a service bug worth a trace, not a crash.
+        std::fprintf(stderr, "fpsnrd: drain error: %s\n", e.what());
+      }
+    }
+  }
+
+  void enqueue(parallel::WorkQueue::Task task,
+               parallel::WorkQueue::TaskOptions task_options) {
+    queue.push(std::move(task), std::move(task_options));
+    {
+      std::lock_guard lock(scheduler_mutex);
+    }
+    scheduler_cv.notify_one();
+  }
+
+  // -- request handling ----------------------------------------------------
+
+  /// Read the scheduling prefix shared by all job requests.
+  static parallel::WorkQueue::TaskOptions read_scheduling(
+      wire::Reader& r, std::shared_ptr<std::promise<JobResult>> promise,
+      Metrics& metrics) {
+    parallel::WorkQueue::TaskOptions opts;
+    opts.priority = r.u8() != 0;
+    const std::uint32_t deadline_ms = r.u32();
+    if (deadline_ms > 0) {
+      opts.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(deadline_ms);
+      opts.on_expired = [promise = std::move(promise), &metrics] {
+        metrics.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+        promise->set_value({false, ErrorCode::DeadlineExpired,
+                            "deadline expired before the job started", {}});
+      };
+    }
+    return opts;
+  }
+
+  JobResult run_compress(const std::vector<std::uint8_t>& payload) {
+    try {
+      wire::Reader r(payload);
+      r.u8();   // priority: consumed by the handler
+      r.u32();  // deadline_ms
+      CompressSpec spec;
+      spec.engine = r.str();
+      spec.budget = r.str();
+      spec.mode = r.str();
+      spec.value = r.f64();
+      spec.block_rows = static_cast<std::size_t>(r.u64());
+      const std::uint8_t scalar = r.u8();
+      const std::uint8_t rank = r.u8();
+      std::uint64_t count = 1;
+      std::vector<std::size_t> dims(rank);
+      for (std::uint8_t d = 0; d < rank; ++d) {
+        const std::uint64_t extent = r.u64();
+        dims[d] = static_cast<std::size_t>(extent);
+        if (!checked_mul(count, extent, &count))
+          return {false, ErrorCode::BadRequest, "dims product overflows", {}};
+      }
+      const auto [values, value_bytes] = r.blob();
+      r.expect_end();
+      const std::size_t elem = scalar == 1 ? sizeof(double) : sizeof(float);
+      if (scalar > 1)
+        return {false, ErrorCode::BadRequest, "unknown scalar type", {}};
+      if (value_bytes % elem != 0 || value_bytes / elem != count)
+        return {false, ErrorCode::BadRequest,
+                "dims do not match the value payload size", {}};
+
+      const Target target = make_target(spec.mode, spec.value);
+      const Session& session =
+          session_for(spec.engine, spec.budget, spec.block_rows);
+      const auto start = std::chrono::steady_clock::now();
+      // The payload buffer is only byte-aligned; Source::memory borrows a
+      // typed span, so realign the values into a typed vector first.
+      CompressReport report;
+      if (scalar == 1) {
+        std::vector<double> typed(count);
+        if (count) std::memcpy(typed.data(), values, value_bytes);
+        report = session.compress(Source::memory(std::span<const double>(typed),
+                                                 dims),
+                                  target, Sink::memory());
+      } else {
+        std::vector<float> typed(count);
+        if (count) std::memcpy(typed.data(), values, value_bytes);
+        report = session.compress(Source::memory(std::span<const float>(typed),
+                                                 dims),
+                                  target, Sink::memory());
+      }
+      const double micros =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      metrics.record_latency(spec.engine, micros);
+      metrics.record_psnr(report.achieved_psnr_db);
+
+      wire::Writer w;
+      w.u64(report.value_count);
+      w.u64(report.compressed_bytes);
+      w.f64(report.achieved_psnr_db);
+      w.f64(report.bit_rate);
+      w.u64(report.block_count);
+      w.u64(report.block_rows);
+      w.blob(report.archive.data(), report.archive.size());
+      return {true, ErrorCode::Internal, "", w.take()};
+    } catch (const wire::WireError& e) {
+      return {false, ErrorCode::BadFrame, e.what(), {}};
+    } catch (const std::invalid_argument& e) {
+      return {false, ErrorCode::BadRequest, e.what(), {}};
+    } catch (const std::exception& e) {
+      return {false, ErrorCode::Internal, e.what(), {}};
+    }
+  }
+
+  JobResult run_decompress(const std::vector<std::uint8_t>& payload) {
+    try {
+      wire::Reader r(payload);
+      r.u8();
+      r.u32();
+      const auto [archive, archive_bytes] = r.blob();
+      r.expect_end();
+      const Session& session = session_for("sz-lorenzo", "uniform", 0);
+      const Field field = session.decompress(
+          Source::memory(std::span<const std::uint8_t>(archive, archive_bytes)));
+      wire::Writer w;
+      w.u8(field.is_double() ? 1 : 0);
+      w.u8(static_cast<std::uint8_t>(field.dims.size()));
+      for (const std::size_t d : field.dims) w.u64(d);
+      if (field.is_double())
+        w.blob(field.f64.data(), field.f64.size() * sizeof(double));
+      else
+        w.blob(field.f32.data(), field.f32.size() * sizeof(float));
+      return {true, ErrorCode::Internal, "", w.take()};
+    } catch (const wire::WireError& e) {
+      return {false, ErrorCode::BadFrame, e.what(), {}};
+    } catch (const std::invalid_argument& e) {
+      return {false, ErrorCode::BadRequest, e.what(), {}};
+    } catch (const std::exception& e) {
+      return {false, ErrorCode::BadRequest, e.what(), {}};
+    }
+  }
+
+  JobResult run_inspect(const std::vector<std::uint8_t>& payload) {
+    try {
+      wire::Reader r(payload);
+      r.u8();
+      r.u32();
+      const auto [archive, archive_bytes] = r.blob();
+      r.expect_end();
+      const Session& session = session_for("sz-lorenzo", "uniform", 0);
+      const Inspection info = session.inspect(
+          Source::memory(std::span<const std::uint8_t>(archive, archive_bytes)));
+      std::ostringstream out;
+      out << "container: "
+          << (info.block_container
+                  ? "block-parallel (FPBK v" + std::to_string(info.version) + ")"
+                  : "flat stream")
+          << "\n"
+          << "codec: " << info.codec << "\n"
+          << "control: " << info.target << " = " << info.target_value << "\n"
+          << "rank: " << info.dims.size() << "\n";
+      out << "extents:";
+      for (const std::size_t d : info.dims) out << " " << d;
+      out << "\n"
+          << "blocks: " << info.block_count << " x " << info.block_rows
+          << " row(s)\n"
+          << "value_range: " << info.value_range << "\n";
+      if (!std::isnan(info.achieved_psnr_db))
+        out << "achieved_psnr_db: " << std::fixed << std::setprecision(6)
+            << info.achieved_psnr_db << "\n";
+      out << "archive_bytes: " << info.archive_bytes << "\n";
+      wire::Writer w;
+      w.str(out.str());
+      return {true, ErrorCode::Internal, "", w.take()};
+    } catch (const wire::WireError& e) {
+      return {false, ErrorCode::BadFrame, e.what(), {}};
+    } catch (const std::exception& e) {
+      return {false, ErrorCode::BadRequest, e.what(), {}};
+    }
+  }
+
+  /// Serve one connection until EOF, a protocol error, or drain.
+  void handle_connection(int fd) {
+    metrics.connections_total.fetch_add(1, std::memory_order_relaxed);
+    metrics.connections_open.fetch_add(1, std::memory_order_relaxed);
+    try {
+      serve_requests(fd);
+    } catch (...) {
+      // Peer vanished or the stream broke mid-response; nothing to answer.
+    }
+    close_quietly(fd);
+    metrics.connections_open.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void serve_requests(int fd) {
+    for (;;) {
+      // Wait for either a request or the drain broadcast. Once draining,
+      // serve only requests that are ALREADY readable — everything the
+      // client managed to send before the drain — then close.
+      pollfd fds[2] = {{fd, POLLIN, 0}, {stop_rd, POLLIN, 0}};
+      if (::poll(fds, 2, -1) < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      const bool readable = (fds[0].revents & (POLLIN | POLLHUP)) != 0;
+      if (!readable && stopping.load(std::memory_order_acquire)) return;
+      if (!readable) continue;
+
+      wire::FrameHeader header;
+      try {
+        if (!wire::read_frame_header(fd, &header)) return;  // clean EOF
+      } catch (const wire::WireError&) {
+        metrics.disconnects_mid_request.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (header.magic != kFrameMagic) {
+        metrics.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        wire::send_error(fd, ErrorCode::BadMagic,
+                         "frame does not start with FPSD");
+        return;  // stream alignment is lost — close
+      }
+      if (header.length > options.max_frame_bytes) {
+        metrics.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        wire::send_error(fd, ErrorCode::Oversized,
+                         "frame length " + std::to_string(header.length) +
+                             " exceeds max_frame_bytes " +
+                             std::to_string(options.max_frame_bytes));
+        return;  // the declared payload will never be read — close
+      }
+      const bool job = header.type == FrameType::Compress ||
+                       header.type == FrameType::Decompress ||
+                       header.type == FrameType::Inspect;
+      if (!job && header.type != FrameType::Ping &&
+          header.type != FrameType::Stats &&
+          header.type != FrameType::Shutdown) {
+        metrics.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        wire::send_error(fd, ErrorCode::BadFrame,
+                         "unknown request type " +
+                             std::to_string(static_cast<int>(header.type)));
+        return;
+      }
+
+      // Admission control BEFORE buffering the payload: a rejected request
+      // is skipped in bounded chunks so the connection stays frame-aligned
+      // and usable.
+      if (job) {
+        const std::uint64_t in_flight =
+            metrics.in_flight_bytes.load(std::memory_order_relaxed);
+        if (in_flight + header.length > options.max_in_flight_bytes) {
+          metrics.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+          try {
+            wire::discard_exact(fd, header.length);
+          } catch (const wire::WireError&) {
+            metrics.disconnects_mid_request.fetch_add(
+                1, std::memory_order_relaxed);
+            return;
+          }
+          wire::send_error(fd, ErrorCode::Overloaded,
+                           "in-flight byte budget exhausted (" +
+                               std::to_string(in_flight) + " of " +
+                               std::to_string(options.max_in_flight_bytes) +
+                               " in use)");
+          continue;
+        }
+      }
+
+      std::vector<std::uint8_t> payload(
+          static_cast<std::size_t>(header.length));
+      try {
+        if (header.length > 0 &&
+            !wire::read_exact(fd, payload.data(), payload.size()))
+          throw wire::WireError("eof");
+      } catch (const wire::WireError&) {
+        metrics.disconnects_mid_request.fetch_add(1, std::memory_order_relaxed);
+        return;  // peer died mid-request: nothing to answer
+      }
+      metrics.bytes_in.fetch_add(header.length, std::memory_order_relaxed);
+      metrics.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+      std::vector<std::uint8_t> reply;
+      bool close_after = false;
+      switch (header.type) {
+        case FrameType::Ping:
+          metrics.requests_ping.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FrameType::Stats: {
+          metrics.requests_stats.fetch_add(1, std::memory_order_relaxed);
+          wire::Writer w;
+          w.str(metrics.render(queue.pending()));
+          reply = w.take();
+          break;
+        }
+        case FrameType::Shutdown:
+          request_shutdown_impl();
+          close_after = true;
+          break;
+        default: {  // Compress / Decompress / Inspect
+          if (header.type == FrameType::Compress)
+            metrics.requests_compress.fetch_add(1, std::memory_order_relaxed);
+          else if (header.type == FrameType::Decompress)
+            metrics.requests_decompress.fetch_add(1, std::memory_order_relaxed);
+          else
+            metrics.requests_inspect.fetch_add(1, std::memory_order_relaxed);
+
+          const JobResult result = dispatch_job(header.type, std::move(payload));
+          if (!result.ok) {
+            metrics.request_errors.fetch_add(
+                result.code == ErrorCode::DeadlineExpired ? 0 : 1,
+                std::memory_order_relaxed);
+            wire::send_error(fd, result.code, result.message);
+            continue;
+          }
+          reply = std::move(result.payload);
+          break;
+        }
+      }
+      metrics.bytes_out.fetch_add(reply.size(), std::memory_order_relaxed);
+      wire::send_frame(fd, FrameType::Reply, reply);
+      served.fetch_add(1, std::memory_order_relaxed);
+      if (close_after) return;
+    }
+  }
+
+  /// Parse the scheduling prefix, admit the payload bytes, queue the job,
+  /// and wait for its result.
+  JobResult dispatch_job(FrameType type, std::vector<std::uint8_t> payload) {
+    const auto promise = std::make_shared<std::promise<JobResult>>();
+    auto future = promise->get_future();
+
+    parallel::WorkQueue::TaskOptions task_options;
+    try {
+      wire::Reader r(payload);
+      task_options = read_scheduling(r, promise, metrics);
+    } catch (const wire::WireError& e) {
+      return {false, ErrorCode::BadFrame, e.what(), {}};
+    }
+
+    const std::uint64_t admitted = payload.size();
+    metrics.in_flight_bytes.fetch_add(admitted, std::memory_order_relaxed);
+    const auto shared_payload =
+        std::make_shared<std::vector<std::uint8_t>>(std::move(payload));
+    enqueue(
+        [this, type, shared_payload, promise] {
+          JobResult result;
+          switch (type) {
+            case FrameType::Compress:
+              result = run_compress(*shared_payload);
+              break;
+            case FrameType::Decompress:
+              result = run_decompress(*shared_payload);
+              break;
+            default:
+              result = run_inspect(*shared_payload);
+              break;
+          }
+          promise->set_value(std::move(result));
+        },
+        std::move(task_options));
+    JobResult result = future.get();
+    metrics.in_flight_bytes.fetch_sub(admitted, std::memory_order_relaxed);
+    return result;
+  }
+
+  // -- accept loop / lifecycle ---------------------------------------------
+
+  void request_shutdown_impl() {
+    const char byte = 'q';
+    // Async-signal-safe: a single write syscall, no locks, no allocation.
+    (void)!::write(control_wr, &byte, 1);
+  }
+
+  void reap_connections(bool join_all) {
+    std::lock_guard lock(connections_mutex);
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (join_all || it->done.load(std::memory_order_acquire)) {
+        if (it->thread.joinable()) it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  int run() {
+    scheduler = std::thread([this] { scheduler_loop(); });
+    for (;;) {
+      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {control_rd, POLLIN, 0}};
+      if (::poll(fds, 2, -1) < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (fds[1].revents & POLLIN) {
+        char byte = 0;
+        if (::read(control_rd, &byte, 1) == 1 && byte == 'u') {
+          const std::string text = metrics.render(queue.pending());
+          std::fprintf(stderr, "fpsnrd: stats\n%s", text.c_str());
+        } else {
+          break;  // 'q' (or control pipe failure): begin graceful drain
+        }
+      }
+      if (fds[0].revents & POLLIN) {
+        const int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0) continue;
+        // Bound mid-frame reads so one stalled peer cannot wedge the drain;
+        // between frames the handler blocks in poll(), not read().
+        wire::set_socket_options(conn);
+        reap_connections(/*join_all=*/false);
+        std::lock_guard lock(connections_mutex);
+        Connection& c = connections.emplace_back();
+        c.fd = conn;
+        c.thread = std::thread([this, conn, &c] {
+          handle_connection(conn);
+          c.done.store(true, std::memory_order_release);
+        });
+      }
+    }
+
+    // Graceful drain: stop accepting, broadcast the stop pipe (handlers
+    // wake, serve what is already readable, close), answer everything
+    // admitted, then retire the scheduler.
+    stopping.store(true, std::memory_order_release);
+    close_quietly(std::exchange(listen_fd, -1));
+    close_quietly(std::exchange(stop_wr, -1));  // POLLHUP wakes every handler
+    reap_connections(/*join_all=*/true);
+    {
+      std::lock_guard lock(scheduler_mutex);
+      scheduler_stop = true;
+    }
+    scheduler_cv.notify_one();
+    scheduler.join();
+    if (!options.endpoint.socket_path.empty())
+      ::unlink(options.endpoint.socket_path.c_str());
+    std::fprintf(stderr, "fpsnrd: drained, %llu request(s) served, exit 0\n",
+                 static_cast<unsigned long long>(
+                     served.load(std::memory_order_relaxed)));
+    return 0;
+  }
+};
+
+Server::Server(ServerOptions options) : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+  impl_->threads = impl_->options.threads
+                       ? impl_->options.threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  impl_->make_pipes();
+  impl_->bind_and_listen();
+}
+
+Server::~Server() = default;
+
+int Server::run() { return impl_->run(); }
+
+void Server::request_shutdown() { impl_->request_shutdown_impl(); }
+
+void Server::request_stats_dump() {
+  const char byte = 'u';
+  (void)!::write(impl_->control_wr, &byte, 1);
+}
+
+std::string Server::stats() const {
+  return impl_->metrics.render(impl_->queue.pending());
+}
+
+}  // namespace fpsnr::service
+
+#else  // _WIN32
+
+namespace fpsnr::service {
+
+struct Server::Impl {};
+
+Server::Server(ServerOptions) {
+  throw std::runtime_error("fpsnrd requires POSIX sockets");
+}
+Server::~Server() = default;
+int Server::run() { return 1; }
+void Server::request_shutdown() {}
+void Server::request_stats_dump() {}
+std::string Server::stats() const { return {}; }
+
+}  // namespace fpsnr::service
+
+#endif

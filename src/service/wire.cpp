@@ -1,0 +1,208 @@
+#include "service/wire.h"
+
+#if !defined(_WIN32)
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#endif
+
+namespace fpsnr::service::wire {
+
+void Writer::uint(std::uint64_t v, int width) {
+  for (int i = 0; i < width; ++i)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  uint(bits, 8);
+}
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void Writer::blob(const void* data, std::size_t size) {
+  u64(size);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+const std::uint8_t* Reader::need(std::size_t n) {
+  if (n > size_ - pos_)
+    throw WireError("truncated payload: wanted " + std::to_string(n) +
+                    " byte(s), have " + std::to_string(size_ - pos_));
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint64_t Reader::uint(int width) {
+  const std::uint8_t* p = need(static_cast<std::size_t>(width));
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint8_t Reader::u8() { return static_cast<std::uint8_t>(uint(1)); }
+std::uint16_t Reader::u16() { return static_cast<std::uint16_t>(uint(2)); }
+std::uint32_t Reader::u32() { return static_cast<std::uint32_t>(uint(4)); }
+std::uint64_t Reader::u64() { return uint(8); }
+
+double Reader::f64() {
+  const std::uint64_t bits = uint(8);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  const std::uint8_t* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::pair<const std::uint8_t*, std::size_t> Reader::blob() {
+  const std::uint64_t n = u64();
+  if (n > size_ - pos_)
+    throw WireError("truncated payload: blob claims " + std::to_string(n) +
+                    " byte(s), have " + std::to_string(size_ - pos_));
+  const std::uint8_t* p = need(static_cast<std::size_t>(n));
+  return {p, static_cast<std::size_t>(n)};
+}
+
+void Reader::expect_end() const {
+  if (pos_ != size_)
+    throw WireError("trailing payload bytes: " + std::to_string(size_ - pos_) +
+                    " after the last field");
+}
+
+std::string_view error_code_name_impl(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadMagic: return "bad-magic";
+    case ErrorCode::BadFrame: return "bad-frame";
+    case ErrorCode::Oversized: return "oversized";
+    case ErrorCode::BadRequest: return "bad-request";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::DeadlineExpired: return "deadline-expired";
+    case ErrorCode::ShuttingDown: return "shutting-down";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+#if !defined(_WIN32)
+
+bool read_exact(int fd, void* buffer, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buffer);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw WireError("connection closed mid-frame (" + std::to_string(got) +
+                      "/" + std::to_string(n) + " byte(s))");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw WireError("read timed out mid-frame");
+      throw WireError(std::string("read failed: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buffer, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buffer);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE (a WireError the
+    // handler catches), never as a process-killing SIGPIPE. Platforms
+    // without it (macOS) rely on SO_NOSIGPIPE from set_socket_options.
+#if defined(MSG_NOSIGNAL)
+    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t r = ::write(fd, p + sent, n - sent);
+#endif
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("write failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+void set_socket_options(int fd, int recv_timeout_ms) {
+#if defined(SO_NOSIGPIPE)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+}
+
+bool read_frame_header(int fd, FrameHeader* header) {
+  std::uint8_t raw[kFrameHeaderBytes];
+  if (!read_exact(fd, raw, sizeof(raw))) return false;
+  Reader r(raw, sizeof(raw));
+  header->magic = r.u32();
+  header->type = static_cast<FrameType>(r.u16());
+  header->flags = r.u16();
+  header->length = r.u64();
+  return true;
+}
+
+void send_frame(int fd, FrameType type,
+                const std::vector<std::uint8_t>& payload) {
+  Writer head;
+  head.u32(kFrameMagic);
+  head.u16(static_cast<std::uint16_t>(type));
+  head.u16(0);
+  head.u64(payload.size());
+  write_all(fd, head.bytes().data(), head.bytes().size());
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+void send_error(int fd, ErrorCode code, const std::string& message) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(code));
+  w.str(message);
+  send_frame(fd, FrameType::Error, w.bytes());
+}
+
+void discard_exact(int fd, std::uint64_t n) {
+  std::uint8_t sink[4096];
+  while (n > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(n < sizeof(sink) ? n : sizeof(sink));
+    if (!read_exact(fd, sink, chunk))
+      throw WireError("connection closed while skipping a rejected payload");
+    n -= chunk;
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace fpsnr::service::wire
+
+namespace fpsnr::service {
+
+std::string_view error_code_name(ErrorCode code) {
+  return wire::error_code_name_impl(code);
+}
+
+}  // namespace fpsnr::service

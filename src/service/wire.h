@@ -1,0 +1,107 @@
+// Wire-level plumbing shared by the fpsnrd server and client: bounded
+// binary serialization (little-endian, length-prefixed strings) and framed
+// socket I/O. Every read is bounds-checked — a truncated or lying payload
+// surfaces as a WireError for the caller to map to a typed protocol error,
+// never as an out-of-bounds access.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpsnr/service.h"
+
+namespace fpsnr::service::wire {
+
+/// Malformed payload (truncated field, oversized string, trailing junk).
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only little-endian serializer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { uint(v, 2); }
+  void u32(std::uint32_t v) { uint(v, 4); }
+  void u64(std::uint64_t v) { uint(v, 8); }
+  void f64(double v);
+  void str(const std::string& s);
+  /// Raw bytes with a u64 length prefix.
+  void blob(const void* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  void uint(std::uint64_t v, int width);
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian deserializer over a borrowed buffer.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  /// A u64-length-prefixed byte run; returns a borrowed view.
+  std::pair<const std::uint8_t*, std::size_t> blob();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Throws unless the whole payload was consumed — trailing junk means
+  /// the two ends disagree about the layout.
+  void expect_end() const;
+
+ private:
+  std::uint64_t uint(int width);
+  const std::uint8_t* need(std::size_t n);
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Parsed frame header.
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  FrameType type = FrameType::Ping;
+  std::uint16_t flags = 0;
+  std::uint64_t length = 0;
+};
+
+/// Read exactly n bytes. Returns false on clean EOF at offset 0; throws
+/// WireError on mid-buffer EOF or I/O error.
+bool read_exact(int fd, void* buffer, std::size_t n);
+
+/// Write all bytes or throw WireError (EPIPE included).
+void write_all(int fd, const void* buffer, std::size_t n);
+
+/// Read one frame header. Returns false on clean EOF before any byte.
+/// Validates nothing beyond byte count — callers check magic/type/length.
+bool read_frame_header(int fd, FrameHeader* header);
+
+/// Send one complete frame (header + payload).
+void send_frame(int fd, FrameType type, const std::vector<std::uint8_t>& payload);
+
+/// Send an Error frame.
+void send_error(int fd, ErrorCode code, const std::string& message);
+
+/// Read and discard n payload bytes in bounded chunks (used to keep a
+/// connection frame-aligned after rejecting a request without buffering
+/// its payload). Throws WireError on EOF/error.
+void discard_exact(int fd, std::uint64_t n);
+
+/// Per-socket hardening applied by both ends: suppress SIGPIPE where
+/// MSG_NOSIGNAL is unavailable (SO_NOSIGPIPE), and bound mid-frame reads
+/// with a receive timeout so one stalled peer cannot wedge a drain.
+void set_socket_options(int fd, int recv_timeout_ms = 30000);
+
+}  // namespace fpsnr::service::wire

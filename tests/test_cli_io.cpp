@@ -27,6 +27,18 @@ int run(const std::string& command) {
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
+/// Like run(), but also captures combined stdout+stderr into *output.
+int run_capture(const std::string& command, std::string* output) {
+  const std::string path =
+      (fs::temp_directory_path() / "fpsnr_cli_io_capture.txt").string();
+  const int status =
+      std::system((command + " >" + path + " 2>&1").c_str());
+  std::ifstream in(path);
+  output->assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
 std::string cli() { return std::string(FPSNR_CLI_BIN); }
 
 class CliIoTest : public ::testing::Test {
@@ -140,6 +152,62 @@ TEST_F(CliIoTest, CompressBatchRejectsHostileManifestNames) {
   EXPECT_EQ(run(cli() + " compress-batch -i " + cased + " -o " + outdir +
                 " --psnr 70 --stream"),
             2);
+}
+
+TEST_F(CliIoTest, MalformedIntegerFlagsExitTwoWithUsage) {
+  // Every integer flag routes through one strict checked parser: trailing
+  // junk, sign characters, empty values, and out-of-range magnitudes are
+  // all usage errors with exit 2 and the usage text — never a silent
+  // std::stoull truncation ('8abc' -> 8), a 2^64 wraparound ('-1'), or an
+  // uncaught out_of_range that would abort with a core dump.
+  const std::vector<std::string> bad = {
+      "'8abc'", "'-1'", "''", "'99999999999999999999999'", "'abc'", "'+4'"};
+  const std::vector<std::string> flags = {"--threads", "--block-size",
+                                          "--block"};
+  for (const auto& flag : flags) {
+    for (const auto& value : bad) {
+      std::string output;
+      EXPECT_EQ(run_capture(compress_cmd() + " -o " +
+                                (dir_ / "junk.fpbk").string() + " " + flag +
+                                " " + value,
+                            &output),
+                2)
+          << flag << " " << value;
+      EXPECT_NE(output.find("fpsnr_cli"), std::string::npos)
+          << "no usage text for " << flag << " " << value;
+    }
+  }
+}
+
+TEST_F(CliIoTest, MalformedValueFlagExitsTwoWithUsage) {
+  // -v/--value/--psnr parse as a checked double: the whole token must
+  // parse and be finite. '80abc' (stod stops at the junk), '', 'nan',
+  // 'inf', and overflowing exponents are usage errors with exit 2.
+  const std::vector<std::string> bad = {"'80abc'", "''", "'nan'", "'inf'",
+                                        "'1e999999'", "'abc'"};
+  for (const auto& flag : {"-v", "--value", "--psnr"}) {
+    for (const auto& value : bad) {
+      std::string output;
+      EXPECT_EQ(run_capture(cli() + " compress -i " + input_ +
+                                " -d 32x32 -m psnr -o " +
+                                (dir_ / "junk.fpbk").string() + " " +
+                                std::string(flag) + " " + value,
+                            &output),
+                2)
+          << flag << " " << value;
+      EXPECT_NE(output.find("fpsnr_cli"), std::string::npos)
+          << "no usage text for " << flag << " " << value;
+    }
+  }
+}
+
+TEST_F(CliIoTest, WellFormedNumericFlagsStillWork) {
+  // The strict parsers must not reject anything the loose ones accepted.
+  const std::string out = (dir_ / "strict-ok.fpbk").string();
+  EXPECT_EQ(run(compress_cmd() + " --threads 2 --block-size 16 -o " + out), 0);
+  EXPECT_TRUE(fs::exists(out));
+  const std::string dec = (dir_ / "strict-ok.f32").string();
+  EXPECT_EQ(run(cli() + " decompress -i " + out + " --block 0 -o " + dec), 0);
 }
 
 TEST_F(CliIoTest, CompressBatchRejectsNonPsnrModes) {

@@ -148,3 +148,86 @@ TEST(WorkQueue, EmptyDrainReturnsImmediately) {
   queue.drain(0);
   EXPECT_EQ(queue.pending(), 0u);
 }
+
+TEST(WorkQueue, OverlappingDrainFromInsideATaskThrows) {
+  // drain() documents "one drain at a time" — and now enforces it in every
+  // build. Re-draining the SAME queue from inside one of its own running
+  // tasks must be a loud std::logic_error, not a deadlock or a silent
+  // double-execution. (Draining a DIFFERENT queue from inside a task stays
+  // legal — NestedDrainInsidePoolWorkerDoesNotDeadlock above covers it.)
+  parallel::WorkQueue queue;
+  std::atomic<bool> threw{false};
+  queue.push([&] {
+    try {
+      queue.drain(1);
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  queue.drain(1);
+  EXPECT_TRUE(threw.load());
+  // The queue stays usable after the rejected re-entry.
+  std::atomic<int> ran{0};
+  queue.push([&] { ran.fetch_add(1); });
+  queue.drain(1);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkQueue, OverlappingDrainFromAnotherThreadThrows) {
+  parallel::WorkQueue queue;
+  std::atomic<bool> in_task{false}, release{false};
+  queue.push([&] {
+    in_task.store(true);
+    while (!release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  std::thread drainer([&] { queue.drain(1); });
+  while (!in_task.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_THROW(queue.drain(1), std::logic_error);
+  release.store(true);
+  drainer.join();
+  // The guard resets once the first drain finishes.
+  queue.push([] {});
+  queue.drain(1);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(WorkQueue, PriorityLaneRunsBeforeQueuedFifoTasks) {
+  parallel::WorkQueue queue;
+  std::vector<int> order;  // drain(1) is strictly inline: no races
+  parallel::WorkQueue::TaskOptions high;
+  high.priority = true;
+  queue.push([&] { order.push_back(1); });
+  queue.push([&] { order.push_back(2); });
+  queue.push([&] { order.push_back(-1); }, high);
+  queue.push([&] { order.push_back(-2); }, high);
+  EXPECT_EQ(queue.pending(), 4u);  // pending() spans both lanes
+  queue.drain(1);
+  EXPECT_EQ(order, (std::vector<int>{-1, -2, 1, 2}));
+}
+
+TEST(WorkQueue, ExpiredDeadlineRunsOnExpiredInsteadOfTask) {
+  parallel::WorkQueue queue;
+  std::atomic<bool> task_ran{false}, expired_ran{false};
+  parallel::WorkQueue::TaskOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);  // already past at pop
+  expired.on_expired = [&] { expired_ran.store(true); };
+  queue.push([&] { task_ran.store(true); }, expired);
+  queue.drain(1);
+  EXPECT_FALSE(task_ran.load());
+  EXPECT_TRUE(expired_ran.load());
+}
+
+TEST(WorkQueue, FutureDeadlineRunsTheTaskNormally) {
+  parallel::WorkQueue queue;
+  std::atomic<bool> task_ran{false}, expired_ran{false};
+  parallel::WorkQueue::TaskOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  opts.on_expired = [&] { expired_ran.store(true); };
+  queue.push([&] { task_ran.store(true); }, opts);
+  queue.drain(1);
+  EXPECT_TRUE(task_ran.load());
+  EXPECT_FALSE(expired_ran.load());
+}
