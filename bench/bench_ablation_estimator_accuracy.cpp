@@ -13,11 +13,26 @@
 #include "core/batch.h"
 #include "core/compressor.h"
 #include "data/dataset.h"
+#include "metrics/metrics.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
 
 namespace {
+
+core::CompressResult compress_fixed_psnr(std::span<const float> values,
+                                         const fpsnr::data::Dims& dims,
+                                         double target,
+                                         const core::CompressOptions& opts = {}) {
+  return core::compress<float>(values, dims,
+                               core::ControlRequest::fixed_psnr(target), opts);
+}
+
+fpsnr::metrics::ErrorReport verify_stream(std::span<const float> values,
+                                          std::span<const std::uint8_t> stream) {
+  const auto decoded = core::decompress<float>(stream);
+  return fpsnr::metrics::compare<float>(values, decoded.values);
+}
 
 void print_sweep() {
   const auto datasets = data::make_all_datasets({});
@@ -31,8 +46,8 @@ void print_sweep() {
     std::printf("%8.0f", target);
     for (const auto& ds : datasets) {
       const auto& f = ds.fields.front();
-      const auto r = core::compress_fixed_psnr<float>(f.span(), f.dims, target);
-      const auto rep = core::verify<float>(f.span(), r.stream);
+      const auto r = compress_fixed_psnr(f.span(), f.dims, target);
+      const auto rep = verify_stream(f.span(), r.stream);
       std::printf(" %+14.2f", rep.psnr_db - target);
     }
     std::printf("\n");
@@ -51,8 +66,8 @@ void print_sweep() {
   for (std::uint32_t bins : {16u, 256u, 4096u, 65536u}) {
     core::CompressOptions opts;
     opts.quantization_bins = bins;
-    const auto r = core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0, opts);
-    const auto rep = core::verify<float>(f.span(), r.stream);
+    const auto r = compress_fixed_psnr(f.span(), f.dims, 80.0, opts);
+    const auto rep = verify_stream(f.span(), r.stream);
     std::printf("%10u %12.2f %12zu %12.2f\n", bins, rep.psnr_db,
                 r.info.outlier_count, r.info.bit_rate);
   }
@@ -66,7 +81,7 @@ void BM_FixedPsnrLowTarget(benchmark::State& state) {
   const auto& f = hur.field("U");
   const auto target = static_cast<double>(state.range(0));
   for (auto _ : state) {
-    auto r = core::compress_fixed_psnr<float>(f.span(), f.dims, target);
+    auto r = compress_fixed_psnr(f.span(), f.dims, target);
     benchmark::DoNotOptimize(r.stream.data());
   }
 }

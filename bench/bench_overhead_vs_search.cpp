@@ -14,11 +14,26 @@
 #include "core/distortion_model.h"
 #include "core/search_baseline.h"
 #include "data/dataset.h"
+#include "metrics/metrics.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
 
 namespace {
+
+core::CompressResult compress_fixed_psnr(std::span<const float> values,
+                                         const fpsnr::data::Dims& dims,
+                                         double target,
+                                         const core::CompressOptions& opts = {}) {
+  return core::compress<float>(values, dims,
+                               core::ControlRequest::fixed_psnr(target), opts);
+}
+
+fpsnr::metrics::ErrorReport verify_stream(std::span<const float> values,
+                                          std::span<const std::uint8_t> stream) {
+  const auto decoded = core::decompress<float>(stream);
+  return fpsnr::metrics::compare<float>(values, decoded.values);
+}
 
 const data::Dataset& hurricane() {
   static const data::Dataset ds = data::make_hurricane({});
@@ -31,8 +46,8 @@ void print_pass_counts() {
               "Hurricane/U, target 80 dB) ===\n");
   std::printf("%-28s %14s %16s\n", "method", "codec passes", "achieved dB");
 
-  const auto fixed = core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0);
-  const auto fixed_rep = core::verify<float>(f.span(), fixed.stream);
+  const auto fixed = compress_fixed_psnr(f.span(), f.dims, 80.0);
+  const auto fixed_rep = verify_stream(f.span(), fixed.stream);
   std::printf("%-28s %14d %16.2f\n", "fixed-PSNR (Eq. 8)", 1, fixed_rep.psnr_db);
 
   for (double start : {1e-2, 1e-5, 1e-8}) {
@@ -52,7 +67,7 @@ void print_pass_counts() {
 void BM_FixedPsnrSinglePass(benchmark::State& state) {
   const auto& f = hurricane().field("U");
   for (auto _ : state) {
-    auto r = core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0);
+    auto r = compress_fixed_psnr(f.span(), f.dims, 80.0);
     benchmark::DoNotOptimize(r.stream.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *

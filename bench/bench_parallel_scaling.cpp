@@ -24,6 +24,15 @@ namespace sz = fpsnr::sz;
 
 namespace {
 
+core::CompressResult compress_fixed_psnr(std::span<const float> values,
+                                         const fpsnr::data::Dims& dims,
+                                         double target,
+                                         const core::CompressOptions& opts = {}) {
+  return core::compress<float>(values, dims,
+                               core::ControlRequest::fixed_psnr(target), opts);
+}
+
+
 void print_ratio_cost() {
   const auto ds = data::make_hurricane({});
   const auto& f = ds.field("U");
@@ -80,7 +89,7 @@ void BM_PipelineCompress(benchmark::State& state) {
   opts.parallel.block_pipeline = true;
   opts.parallel.threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    auto result = core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0, opts);
+    auto result = compress_fixed_psnr(f.span(), f.dims, 80.0, opts);
     benchmark::DoNotOptimize(result.stream.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -95,7 +104,7 @@ void BM_PipelineDecompress(benchmark::State& state) {
   core::CompressOptions opts;
   opts.parallel.block_pipeline = true;
   const auto stream =
-      core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0, opts).stream;
+      compress_fixed_psnr(f.span(), f.dims, 80.0, opts).stream;
   const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     auto out = core::decompress_blocked<float>(stream, threads);
@@ -113,7 +122,7 @@ void BM_PipelineRandomAccessBlock(benchmark::State& state) {
   core::CompressOptions opts;
   opts.parallel.block_pipeline = true;
   const auto stream =
-      core::compress_fixed_psnr<float>(f.span(), f.dims, 80.0, opts).stream;
+      compress_fixed_psnr(f.span(), f.dims, 80.0, opts).stream;
   const auto info = core::inspect_block_stream(stream);
   std::size_t b = 0;
   for (auto _ : state) {

@@ -18,6 +18,15 @@ namespace data = fpsnr::data;
 
 namespace {
 
+core::CompressResult compress_fixed_psnr(std::span<const float> values,
+                                         const fpsnr::data::Dims& dims,
+                                         double target,
+                                         const core::CompressOptions& opts = {}) {
+  return core::compress<float>(values, dims,
+                               core::ControlRequest::fixed_psnr(target), opts);
+}
+
+
 void print_tables() {
   const auto datasets = data::make_all_datasets({});
   std::printf("\n=== Rate-distortion: mean bits/value (compression ratio) "
@@ -52,7 +61,7 @@ void print_tables() {
     for (int e = 0; e < 3; ++e) {
       core::CompressOptions opts;
       opts.engine = engines[e];
-      const auto r = core::compress_fixed_psnr<float>(f.span(), f.dims, 70.0, opts);
+      const auto r = compress_fixed_psnr(f.span(), f.dims, 70.0, opts);
       rates[e] = r.info.bit_rate;
     }
     std::printf("%-10s %14.2f %14.2f %14.2f\n", f.name.c_str(), rates[0],

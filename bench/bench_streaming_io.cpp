@@ -36,7 +36,7 @@ core::CompressOptions options(std::size_t threads) {
   core::CompressOptions opts;
   opts.parallel.block_pipeline = true;
   opts.parallel.threads = threads;
-  opts.parallel.block_rows = kBlockRows;
+  opts.parallel.tile = {kBlockRows};
   return opts;
 }
 

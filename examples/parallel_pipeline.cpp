@@ -2,7 +2,7 @@
 // compression fanned out over a thread pool, with byte-deterministic
 // output and random-access decode.
 //
-// The block layout depends only on the dims and the requested block size,
+// The block layout depends only on the dims and the requested tile shape,
 // never on the thread count — so the archive you write on a 96-core
 // ingest node is bit-for-bit the archive a laptop writes, and any single
 // block can be decoded later without touching the rest of the stream.
@@ -39,10 +39,9 @@ int main() {
   const fpsnr::Session session;
   const auto info = session.inspect(
       fpsnr::Source::memory(std::span<const std::uint8_t>(reference)));
-  std::printf("\ncontainer: %llu block(s) x %llu row(s), codec %s\n",
+  std::printf("\ncontainer: %llu block(s), tile %zu x %zu, codec %s\n",
               static_cast<unsigned long long>(info.block_count),
-              static_cast<unsigned long long>(info.block_rows),
-              info.codec.c_str());
+              info.tile[0], info.tile[1], info.codec.c_str());
 
   // Random access: pull one block out of the middle without a full decode.
   const std::size_t pick = info.block_count / 2;

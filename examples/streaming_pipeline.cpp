@@ -30,7 +30,10 @@ int main(int argc, char** argv) {
   const auto path =
       (std::filesystem::temp_directory_path() / "streaming_demo.fpbk").string();
 
-  const fpsnr::Session session({.threads = 8, .block_rows = 32});  // 16 blocks
+  // A 32-row slab tile -> 16 blocks (TileShape::slab keeps the legacy
+  // axis-0 geometry; the default would pick a near-cubic tile instead).
+  const fpsnr::Session session(
+      {.threads = 8, .tile = fpsnr::TileShape::slab(32)});
 
   // Write side: blocks spill to disk the moment their worker finishes.
   const auto report = session.compress(
@@ -48,9 +51,9 @@ int main(int argc, char** argv) {
   // Read side: inspect + random access off the file; only the header, two
   // index entries, and the picked block's extent are ever read.
   const auto info = session.inspect(fpsnr::Source::file(path));
-  std::printf("archive: %llu block(s) x %llu row(s), eb_abs %.3e\n",
+  std::printf("archive: %llu block(s), tile %zu x %zu, eb_abs %.3e\n",
               static_cast<unsigned long long>(info.block_count),
-              static_cast<unsigned long long>(info.block_rows), info.eb_abs);
+              info.tile[0], info.tile[1], info.eb_abs);
 
   const std::size_t mid = info.block_count / 2;
   const auto block = session.decompress_block(fpsnr::Source::file(path), mid);

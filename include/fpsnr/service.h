@@ -151,7 +151,10 @@ struct CompressSpec {
   std::string budget = "uniform";
   std::string mode = "fixed-psnr";  ///< target_name() spelling or CLI alias
   double value = 80.0;
-  std::size_t block_rows = 0;
+  /// Pipeline tile geometry (TileShape::extents semantics: empty = auto
+  /// near-cubic, {r} = legacy axis-0 slab). On the wire: rank:u8 followed
+  /// by that many u64 extents.
+  std::vector<std::size_t> tile;
   std::vector<std::size_t> dims;  ///< C order; must multiply to the count
 };
 
@@ -162,7 +165,9 @@ struct CompressResult {
   double achieved_psnr_db = 0.0;
   double bit_rate = 0.0;
   std::uint64_t block_count = 0;
-  std::uint64_t block_rows = 0;
+  /// Per-axis tile extents of the emitted container (rank:u8 + u64 each on
+  /// the wire).
+  std::vector<std::size_t> tile;
 };
 
 /// A blocking client connection. Not thread-safe — one in-flight request

@@ -16,10 +16,10 @@
 // streaming spill, memory-mapped decode — through one signature, and the
 // Target sum type covers every control mode including fixed-rate.
 //
-// Archives produced through the facade are byte-identical to the legacy
-// core:: entry points for the same options (the facade routes through the
-// same block-parallel engine), at any thread count. The legacy free
-// functions are deprecated shims slated for removal.
+// The Session facade is the ONLY public entry point — the legacy core::
+// free-function shims have been removed. Archive bytes depend only on the
+// data, the target, and the session's engine/budget/tile options, never on
+// the thread count.
 //
 // Self-contained: installed under <prefix>/include/fpsnr and includes only
 // the C++ standard library and sibling fpsnr/ headers.
@@ -27,8 +27,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fpsnr/stream.h"
@@ -36,6 +38,31 @@
 #include "fpsnr/tuning.h"
 
 namespace fpsnr {
+
+/// Per-axis tile extents (C order) of the pipeline's block grid — the
+/// geometry every field is sharded into before its tiles run the
+/// quantize -> Huffman -> lossless pipeline independently.
+///
+///   {}           auto: a deterministic compact near-cubic tile clamped to
+///                the field's dims (the default, best for 2-D/3-D fields);
+///   {64, 64}     64x64 tiles (trailing tiles on an axis may be short);
+///   {r}          an axis-0 slab of r rows spanning the other axes — the
+///                only geometry the pre-v3 container had;
+///   a 0 entry — or a missing trailing axis — spans the field on that axis.
+///
+/// Entries beyond the field's rank are rejected at compress time.
+struct TileShape {
+  std::vector<std::size_t> extents;
+
+  TileShape() = default;
+  TileShape(std::initializer_list<std::size_t> e) : extents(e) {}
+  explicit TileShape(std::vector<std::size_t> e) : extents(std::move(e)) {}
+
+  /// The legacy axis-0 slab geometry: `rows` rows per block (0 = auto).
+  static TileShape slab(std::size_t rows) { return TileShape{rows}; }
+
+  bool is_auto() const { return extents.empty(); }
+};
 
 /// Session-wide configuration, fixed at construction.
 struct SessionOptions {
@@ -51,9 +78,9 @@ struct SessionOptions {
   /// Per-block error-budget split: "uniform" (the paper's Eq. 6/7 setting)
   /// or "adaptive" (donor/receiver reallocation at the same global PSNR).
   std::string budget = "uniform";
-  /// Axis-0 rows per pipeline block; 0 picks a deterministic size from the
-  /// field's dims.
-  std::size_t block_rows = 0;
+  /// Tile geometry of the pipeline's block grid; default = auto near-cubic
+  /// tiles. TileShape::slab(r) reproduces the legacy block_rows = r plan.
+  TileShape tile;
   /// Engine-specific knob overrides (see fpsnr/tuning.h).
   CodecTuning tuning;
 };
@@ -81,10 +108,10 @@ struct CompressReport {
   double rel_bound_used = 0.0;
   std::size_t outlier_count = 0;
 
-  /// Block layout of the emitted FPBK container (0 for the pointwise-rel
-  /// flat stream).
+  /// Block layout of the emitted FPBK container (0 / empty for the
+  /// pointwise-rel flat stream).
   std::uint64_t block_count = 0;
-  std::uint64_t block_rows = 0;
+  std::vector<std::size_t> tile;  ///< per-axis tile extents, C order
   /// Streaming-sink reorder-buffer high-water marks (0 otherwise).
   std::size_t peak_buffered_bytes = 0;
   std::size_t peak_buffered_blocks = 0;
@@ -111,7 +138,9 @@ struct Inspection {
   std::string budget;            ///< "uniform" | "adaptive"
   std::vector<std::size_t> dims;
   std::uint64_t block_count = 0;
-  std::uint64_t block_rows = 0;
+  /// Per-axis tile extents (pre-v3 archives surface their slab geometry as
+  /// {block_rows, dims[1], ...}); empty for flat streams.
+  std::vector<std::size_t> tile;
   double eb_abs = 0.0;           ///< base absolute bound (0 in rate mode)
   double value_range = 0.0;
   /// Measured PSNR from the v2 per-block SSE column; NaN when the archive

@@ -60,7 +60,11 @@ using namespace fpsnr;
       "                      (default auto: FPSNR_SIMD env, then CPUID;\n"
       "                      archives are byte-identical on every backend;\n"
       "                      accepted by every subcommand)\n"
-      "      --block-size R  axis-0 rows per block (default: auto)\n"
+      "      --tile NxMxK    per-axis tile extents of the block grid\n"
+      "                      (default: auto near-cubic; a 0 extent — or a\n"
+      "                      missing trailing axis — spans the field, so\n"
+      "                      --tile R is an axis-0 slab of R rows)\n"
+      "      --block-size R  DEPRECATED alias for --tile R\n"
       "      --stream        spill blocks to -o as workers finish (peak\n"
       "                      memory stays O(in-flight blocks); the file is\n"
       "                      byte-identical to the in-memory path)\n"
@@ -78,7 +82,7 @@ using namespace fpsnr;
       "      MANIFEST is a text file, one field per line:\n"
       "          <name> <raw-f32-file> <dims>     # '#' starts a comment\n"
       "      (paths are relative to the manifest's directory)\n"
-      "      --threads/--engine/--budget/--block-size/--predictor pass\n"
+      "      --threads/--engine/--budget/--tile/--predictor pass\n"
       "      through to every field; --stream spills each archive to disk as its blocks\n"
       "      finish; --no-verify skips the decode check and reports the\n"
       "      exact compress-time PSNR from the FPBK v2 SSE index instead\n"
@@ -97,7 +101,7 @@ using namespace fpsnr;
       "  fpsnr_cli client OP  --socket PATH | --tcp PORT\n"
       "      OP = ping | compress | decompress | inspect | stats | shutdown\n"
       "      compress:   -i IN.f32 -d DIMS -m MODE -v VALUE -o OUT.fpbk\n"
-      "                  [--engine E] [--budget B] [--block-size R]\n"
+      "                  [--engine E] [--budget B] [--tile NxMxK]\n"
       "      decompress: -i IN.fpbk -o OUT.f32\n"
       "      inspect:    -i IN.fpbk\n"
       "      --priority high|normal   jump the server's FIFO lane\n"
@@ -183,6 +187,40 @@ data::Dims parse_dims(const std::string& s) {
   return data::Dims(std::move(extents));
 }
 
+/// Parse --tile NxMxK. Same digit discipline as parse_dims, but 0 extents
+/// are allowed (0 = span the field on that axis) and the shape is a
+/// request, not a geometry — rank-vs-field validation happens at compress
+/// time where the field's dims are known.
+std::vector<std::size_t> parse_tile(const std::string& s) {
+  std::vector<std::size_t> extents;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, 'x')) {
+    if (part.empty() || part.find_first_not_of("0123456789") != std::string::npos)
+      usage(("bad --tile '" + s + "': '" + part +
+             "' is not a number (want e.g. 64, 64x64, 32x32x32)").c_str());
+    try {
+      extents.push_back(std::stoull(part));
+    } catch (const std::out_of_range&) {
+      usage(("bad --tile '" + s + "': '" + part + "' is out of range").c_str());
+    }
+  }
+  if (extents.empty() || extents.size() > 3)
+    usage(("bad --tile '" + s + "': want 1..3 'x'-separated extents").c_str());
+  return extents;
+}
+
+/// Render a tile shape as "RxCxS" (or "auto" when empty).
+std::string tile_text(const std::vector<std::size_t>& tile) {
+  if (tile.empty()) return "auto";
+  std::string out;
+  for (std::size_t i = 0; i < tile.size(); ++i) {
+    if (i) out += 'x';
+    out += std::to_string(tile[i]);
+  }
+  return out;
+}
+
 Target parse_target(const std::string& mode, double value) {
   try {
     return make_target(mode, value);
@@ -196,7 +234,8 @@ struct Args {
   std::string predictor = "lorenzo", engine = "sz", budget = "uniform", field;
   double value = 80.0;
   std::size_t threads = 0;
-  std::size_t block_size = 0;
+  std::string tile;            ///< --tile NxMxK; empty = auto
+  std::size_t block_size = 0;  ///< deprecated --block-size alias (slab)
   std::optional<std::size_t> block;  ///< random-access block index
   bool stream = false;  ///< compress: spill blocks to disk as they finish
   bool mmap = false;    ///< decompress: map the archive instead of loading
@@ -231,7 +270,18 @@ Args parse_args(int argc, char** argv, int first) {
     else if (flag == "--budget") a.budget = next();
     else if (flag == "--field") a.field = next();
     else if (flag == "--threads") a.threads = parse_count(flag, next());
-    else if (flag == "--block-size") a.block_size = parse_count(flag, next());
+    else if (flag == "--tile") a.tile = next();
+    else if (flag == "--block-size") {
+      a.block_size = parse_count(flag, next());
+      // Deprecated alias for the axis-0 slab geometry; warn once, keep the
+      // exit-code behaviour (including the parse errors above) unchanged.
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::cerr << "warning: --block-size is deprecated; use --tile R "
+                     "(an axis-0 slab of R rows)\n";
+      }
+    }
     else if (flag == "--block") a.block = parse_count(flag, next());
     else if (flag == "--stream") a.stream = true;
     else if (flag == "--mmap") a.mmap = true;
@@ -308,7 +358,12 @@ Session make_session(const Args& a) {
     usage("unknown budget mode (want uniform|adaptive)");
   opts.budget = a.budget;
   opts.threads = a.threads;
-  opts.block_rows = a.block_size;
+  if (!a.tile.empty() && a.block_size)
+    usage("--tile and --block-size are mutually exclusive");
+  if (!a.tile.empty())
+    opts.tile = TileShape(parse_tile(a.tile));
+  else if (a.block_size)
+    opts.tile = TileShape::slab(a.block_size);
   if (a.predictor != "lorenzo" && a.predictor != "hybrid")
     usage("unknown predictor (want lorenzo|hybrid)");
   // The predictor knob belongs to the sz engine; other engines have no
@@ -354,8 +409,8 @@ int cmd_compress(const Args& a) {
             << std::fixed << std::setprecision(2) << report.compression_ratio
             << ", " << report.bit_rate << " bits/value)\n";
   if (report.block_count > 0)
-    std::cout << "block pipeline: " << report.block_count << " block(s) x "
-              << report.block_rows << " row(s), codec "
+    std::cout << "block pipeline: " << report.block_count << " block(s), tile "
+              << tile_text(report.tile) << ", codec "
               << session.options().engine << ", " << session.threads()
               << " thread(s), simd "
               << simd::backend_name(simd::active_backend()) << "\n";
@@ -411,7 +466,7 @@ int cmd_decompress(const Args& a) {
       if (probe.gcount() != 4 ||
           !io::is_block_container(std::span<const std::uint8_t>(magic, 4)))
         usage("--mmap requires a block-pipeline (FPBK) archive "
-              "(compress with --threads/--block-size/--stream)");
+              "(compress with --threads/--tile/--stream)");
     }
     const Source source = Source::file(a.input);
     const Field d = a.block ? session.decompress_block(source, *a.block)
@@ -469,8 +524,8 @@ int cmd_inspect(const Args& a) {
     for (std::size_t i = 0; i < info.dims.size(); ++i)
       std::cout << (i ? " x " : "") << info.dims[i];
     std::cout << "\n"
-              << "blocks      : " << info.block_count << " x "
-              << info.block_rows << " row(s)\n"
+              << "blocks      : " << info.block_count << ", tile "
+              << tile_text(info.tile) << "\n"
               << "eb_abs      : " << std::scientific << info.eb_abs << "\n"
               << "value range : " << info.value_range << "\n";
     if (std::isnan(info.achieved_psnr_db))
@@ -778,7 +833,12 @@ int cmd_client(const std::string& op, const Args& a) {
     spec.budget = a.budget;
     spec.mode = a.mode;
     spec.value = a.value;
-    spec.block_rows = a.block_size;
+    if (!a.tile.empty() && a.block_size)
+      usage("--tile and --block-size are mutually exclusive");
+    if (!a.tile.empty())
+      spec.tile = parse_tile(a.tile);
+    else if (a.block_size)
+      spec.tile = {a.block_size};
     spec.dims = dims.extents;
     const service::CompressResult r = client.compress(field.span(), spec, ropts);
     write_file(a.output, r.archive.data(), r.archive.size());

@@ -222,6 +222,15 @@ BatchResult run_fixed_psnr_batch(std::span<const data::FieldView> fields,
       for (std::size_t w = 0; w < jobs.size(); ++w) {
         if (r >= jobs[w]->block_count()) continue;
         const std::size_t i = wave_begin + w;
+        // Tag each block with its field + coarse tile neighborhood so the
+        // queue's locality pass keeps adjacent tiles — which share cache
+        // lines along their faces — on the worker that last touched them.
+        // The field index is folded in high bits so neighborhoods of
+        // different fields never share a key. Advisory only: plans and
+        // bytes are fixed by Phase 1 regardless of placement.
+        parallel::WorkQueue::TaskOptions topts;
+        topts.locality = (static_cast<std::uint64_t>(w) + 1) << 40 ^
+                         jobs[w]->locality_key(r);
         queue.push([&queue, &result, &fields, &jobs, &paths, &options,
                     target_psnr_db, i, w, r] {
           // Phase 3 — the worker that completes a field's last block
@@ -245,7 +254,7 @@ BatchResult run_fixed_psnr_batch(std::span<const data::FieldView> fields,
               fill_outcome(result.fields[i], fields[i],
                            target_psnr_db, std::move(*cr), options, paths[i]);
           }
-        });
+        }, topts);
       }
     }
     queue.drain(options.threads);

@@ -67,7 +67,7 @@ struct BatchResult {
 
 struct BatchOptions {
   /// Per-field codec options. The batch engine always routes through the
-  /// block pipeline (parallel.block_pipeline is forced on); block_rows /
+  /// block pipeline (parallel.block_pipeline is forced on); tile /
   /// engine / budget pass through to every field's plan.
   CompressOptions compress = {};
   /// Concurrent executors draining the global queue (the calling thread

@@ -134,13 +134,6 @@ CompressResult compress(std::span<const T> values, const data::Dims& dims,
 }
 
 template <typename T>
-CompressResult compress_fixed_psnr(std::span<const T> values, const data::Dims& dims,
-                                   double target_psnr_db,
-                                   const CompressOptions& options) {
-  return compress(values, dims, ControlRequest::fixed_psnr(target_psnr_db), options);
-}
-
-template <typename T>
 sz::Decompressed<T> decompress(std::span<const std::uint8_t> stream) {
   if (is_block_stream(stream)) return decompress_blocked<T>(stream);
   if (stream.size() >= 4 && stream[0] == 'F' && stream[1] == 'P' &&
@@ -151,28 +144,11 @@ sz::Decompressed<T> decompress(std::span<const std::uint8_t> stream) {
   return sz::decompress<T>(stream);
 }
 
-template <typename T>
-metrics::ErrorReport verify(std::span<const T> original,
-                            std::span<const std::uint8_t> stream) {
-  const auto d = decompress<T>(stream);
-  return metrics::compare<T>(original, d.values);
-}
-
 template CompressResult compress<float>(std::span<const float>, const data::Dims&,
                                         const ControlRequest&, const CompressOptions&);
 template CompressResult compress<double>(std::span<const double>, const data::Dims&,
                                          const ControlRequest&, const CompressOptions&);
-template CompressResult compress_fixed_psnr<float>(std::span<const float>,
-                                                   const data::Dims&, double,
-                                                   const CompressOptions&);
-template CompressResult compress_fixed_psnr<double>(std::span<const double>,
-                                                    const data::Dims&, double,
-                                                    const CompressOptions&);
 template sz::Decompressed<float> decompress<float>(std::span<const std::uint8_t>);
 template sz::Decompressed<double> decompress<double>(std::span<const std::uint8_t>);
-template metrics::ErrorReport verify<float>(std::span<const float>,
-                                            std::span<const std::uint8_t>);
-template metrics::ErrorReport verify<double>(std::span<const double>,
-                                             std::span<const std::uint8_t>);
 
 }  // namespace fpsnr::core

@@ -1,9 +1,10 @@
-// High-level compression facade: the public entry point most users want.
+// Engine-level compression entry points (internal).
 //
 // Wraps the SZ-style codec (and optionally the orthogonal-transform codec)
 // behind the unified ControlRequest interface, with fixed-PSNR as the
-// headline mode. One call compresses; an optional verify step decompresses
-// and measures the achieved PSNR.
+// headline mode. The public surface is fpsnr::Session
+// (include/fpsnr/session.h); these internals are what the facade, the
+// batch engine, and the pipeline compose.
 #pragma once
 
 #include <cstdint>
@@ -49,20 +50,22 @@ enum class BudgetMode : std::uint8_t {
 
 /// Block-parallel execution knobs (the pipeline engine, core/pipeline.h).
 ///
-/// The stream layout depends only on `block_rows` — never on `threads` —
-/// so the same request produces byte-identical output at any thread count.
+/// The stream layout depends only on `tile` — never on `threads` — so the
+/// same request produces byte-identical output at any thread count.
 struct ParallelOptions {
   /// Route through the block-parallel engine even when threads <= 1
   /// (emits the FPBK block-indexed container instead of a flat stream).
   bool block_pipeline = false;
   /// Worker threads for block execution; 0 or 1 runs the blocks serially.
   std::size_t threads = 0;
-  /// Axis-0 rows per block; 0 picks a deterministic size from the dims
-  /// (see core::auto_block_rows).
-  std::size_t block_rows = 0;
+  /// Per-axis tile extents of the pipeline's block grid, C order. Empty
+  /// picks a deterministic compact near-cubic tile from the dims (see
+  /// core::auto_tile). A 0 entry — or a missing trailing axis — spans the
+  /// field on that axis, so {r} is the legacy axis-0 slab of r rows.
+  std::vector<std::size_t> tile;
 
   /// The engine is engaged when any knob is set.
-  bool enabled() const { return block_pipeline || threads > 1 || block_rows > 0; }
+  bool enabled() const { return block_pipeline || threads > 1 || !tile.empty(); }
 };
 
 struct CompressOptions {
@@ -97,10 +100,10 @@ struct CompressResult {
   /// Value-range relative bound actually used (fixed-PSNR / relative modes).
   double rel_bound_used = 0.0;
   /// Block layout of the emitted FPBK container, straight from the plan
-  /// (0 on the serial flat-stream paths) — callers never need to re-parse
-  /// the archive just to describe it.
+  /// (0 / empty on the serial flat-stream paths) — callers never need to
+  /// re-parse the archive just to describe it.
   std::uint64_t block_count = 0;
-  std::uint64_t block_rows = 0;
+  std::vector<std::size_t> tile;  ///< per-axis tile extents, C order
   sz::CompressionInfo info;
 };
 
@@ -108,29 +111,20 @@ struct CompressResult {
 /// block pipeline's per-block rate bisection (core/pipeline.h); the other
 /// modes resolve analytically.
 ///
-/// DEPRECATED: new code should use the fpsnr::Session facade
-/// (include/fpsnr/session.h) — these free functions remain as thin shims
-/// for one more release and will then be removed from the public surface.
+/// INTERNAL engine entry point: the public surface is the fpsnr::Session
+/// facade (include/fpsnr/session.h), which routes through this function for
+/// the one mode without a block container (serial pointwise-relative) and
+/// emits byte-identical archives for equivalent options. The former
+/// convenience shims (compress_fixed_psnr / verify) have been removed.
 template <typename T>
 CompressResult compress(std::span<const T> values, const data::Dims& dims,
                         const ControlRequest& request,
                         const CompressOptions& options = {});
 
-/// Convenience wrapper: the paper's fixed-PSNR mode.
-template <typename T>
-CompressResult compress_fixed_psnr(std::span<const T> values, const data::Dims& dims,
-                                   double target_psnr_db,
-                                   const CompressOptions& options = {});
-
 /// Decompress a stream produced by compress() with any engine (the stream
-/// is self-describing via its magic bytes).
+/// is self-describing via its magic bytes). Internal, like compress().
 template <typename T>
 sz::Decompressed<T> decompress(std::span<const std::uint8_t> stream);
-
-/// Decompress and compare against the original.
-template <typename T>
-metrics::ErrorReport verify(std::span<const T> original,
-                            std::span<const std::uint8_t> stream);
 
 extern template CompressResult compress<float>(std::span<const float>,
                                                const data::Dims&,
@@ -140,19 +134,9 @@ extern template CompressResult compress<double>(std::span<const double>,
                                                 const data::Dims&,
                                                 const ControlRequest&,
                                                 const CompressOptions&);
-extern template CompressResult compress_fixed_psnr<float>(std::span<const float>,
-                                                          const data::Dims&, double,
-                                                          const CompressOptions&);
-extern template CompressResult compress_fixed_psnr<double>(std::span<const double>,
-                                                           const data::Dims&, double,
-                                                           const CompressOptions&);
 extern template sz::Decompressed<float> decompress<float>(
     std::span<const std::uint8_t>);
 extern template sz::Decompressed<double> decompress<double>(
     std::span<const std::uint8_t>);
-extern template metrics::ErrorReport verify<float>(std::span<const float>,
-                                                   std::span<const std::uint8_t>);
-extern template metrics::ErrorReport verify<double>(std::span<const double>,
-                                                    std::span<const std::uint8_t>);
 
 }  // namespace fpsnr::core

@@ -20,10 +20,133 @@ namespace fpsnr::core {
 
 namespace {
 
-data::Dims slab_dims(const data::Dims& dims, std::size_t rows) {
-  std::vector<std::size_t> e(dims.extents);
-  e[0] = rows;
-  return data::Dims(std::move(e));
+/// The full-rank tile grid a field is sharded into. Blocks are the tiles in
+/// C order over `grid` (last axis fastest); the trailing tile on each axis
+/// may be short. Depends only on dims and the requested tile shape — never
+/// on thread count — so the archive layout is schedule-independent.
+struct TileLayout {
+  std::vector<std::size_t> tile;  ///< per-axis tile extents (clamped to dims)
+  std::vector<std::size_t> grid;  ///< per-axis tile counts
+  std::size_t block_count = 0;
+  /// True when every axis but 0 has a single tile: each block is then a
+  /// contiguous axis-0 slab of the field buffer (the v1/v2 geometry) and
+  /// codecs borrow it as a subspan instead of gathering a copy.
+  bool slabbed = true;
+  std::size_t row_stride = 1;  ///< values per axis-0 row
+};
+
+TileLayout make_layout(const data::Dims& dims,
+                       std::span<const std::size_t> requested) {
+  const std::size_t rank = dims.rank();
+  if (requested.size() > rank)
+    throw std::invalid_argument(
+        "block pipeline: tile rank exceeds the field rank");
+  TileLayout l;
+  if (requested.empty()) {
+    l.tile = auto_tile(dims);
+  } else {
+    l.tile.resize(rank);
+    for (std::size_t a = 0; a < rank; ++a) {
+      // A 0 entry (or a missing trailing axis) spans the field on that
+      // axis, so {r} is exactly the legacy axis-0 slab of r rows.
+      const std::size_t want = a < requested.size() ? requested[a] : 0;
+      l.tile[a] = want == 0 ? dims[a]
+                            : std::clamp<std::size_t>(want, 1, dims[a]);
+    }
+  }
+  l.grid.resize(rank);
+  l.block_count = 1;
+  for (std::size_t a = 0; a < rank; ++a) {
+    l.grid[a] = (dims[a] + l.tile[a] - 1) / l.tile[a];
+    l.block_count *= l.grid[a];
+    if (a > 0 && l.grid[a] != 1) l.slabbed = false;
+  }
+  l.row_stride = dims.count() / dims[0];
+  return l;
+}
+
+/// One tile's position in the field: per-axis start and extents.
+struct TileRegion {
+  std::size_t start[3] = {0, 0, 0};
+  std::size_t ext[3] = {1, 1, 1};
+  std::size_t count = 1;  ///< product of ext over the field's rank
+};
+
+TileRegion tile_region(const TileLayout& l, const data::Dims& dims,
+                       std::size_t b) {
+  const std::size_t rank = dims.rank();
+  TileRegion r;
+  r.count = 1;
+  for (std::size_t a = rank; a-- > 0;) {
+    const std::size_t c = b % l.grid[a];
+    b /= l.grid[a];
+    r.start[a] = c * l.tile[a];
+    r.ext[a] = std::min(l.tile[a], dims[a] - r.start[a]);
+    r.count *= r.ext[a];
+  }
+  return r;
+}
+
+data::Dims region_dims(const TileRegion& r, std::size_t rank) {
+  return data::Dims(
+      std::vector<std::size_t>(r.ext, r.ext + rank));
+}
+
+/// C-order strides of the field (stride[rank-1] == 1).
+void field_strides(const data::Dims& dims, std::size_t* stride) {
+  const std::size_t rank = dims.rank();
+  stride[rank - 1] = 1;
+  for (std::size_t a = rank - 1; a-- > 0;) stride[a] = stride[a + 1] * dims[a + 1];
+}
+
+/// True when the tile occupies a contiguous run of the field buffer: every
+/// axis but 0 spans the whole field.
+bool region_contiguous(const TileRegion& r, const data::Dims& dims) {
+  for (std::size_t a = 1; a < dims.rank(); ++a)
+    if (r.ext[a] != dims[a]) return false;
+  return true;
+}
+
+/// Copy a tile out of the field into a contiguous C-order buffer (gather)
+/// or back (scatter). The innermost axis is contiguous in both layouts, so
+/// the copy runs one row at a time.
+template <typename T, bool kGather>
+void copy_tile(std::span<const T> field_in, std::span<T> field_out,
+               const data::Dims& dims, const TileRegion& r,
+               std::span<const T> tile_in, std::span<T> tile_out) {
+  const std::size_t rank = dims.rank();
+  std::size_t stride[3];
+  field_strides(dims, stride);
+  const std::size_t run = r.ext[rank - 1];
+  const std::size_t rows = r.count / run;
+  std::size_t c[3] = {0, 0, 0};  // odometer over the tile's outer axes
+  for (std::size_t row = 0; row < rows; ++row) {
+    std::size_t offset = r.start[rank - 1];
+    for (std::size_t a = 0; a + 1 < rank; ++a)
+      offset += (r.start[a] + c[a]) * stride[a];
+    if constexpr (kGather)
+      std::copy_n(field_in.data() + offset, run,
+                  tile_out.data() + row * run);
+    else
+      std::copy_n(tile_in.data() + row * run, run,
+                  field_out.data() + offset);
+    for (std::size_t a = rank - 1; a-- > 0;) {
+      if (++c[a] < r.ext[a]) break;
+      c[a] = 0;
+    }
+  }
+}
+
+template <typename T>
+void gather_tile(std::span<const T> field, const data::Dims& dims,
+                 const TileRegion& r, std::span<T> tile) {
+  copy_tile<T, true>(field, {}, dims, r, {}, tile);
+}
+
+template <typename T>
+void scatter_tile(std::span<const T> tile, const data::Dims& dims,
+                  const TileRegion& r, std::span<T> field) {
+  copy_tile<T, false>({}, field, dims, r, tile, {});
 }
 
 /// Resolve any uniform-budget control request to the absolute per-point
@@ -51,29 +174,6 @@ double resolve_budget(const ControlRequest& request, std::span<const T> values,
   return eb;
 }
 
-struct BlockLayout {
-  std::size_t rows_per_block, block_count, row_stride;
-};
-
-BlockLayout make_layout(const data::Dims& dims, std::size_t block_rows) {
-  BlockLayout l;
-  l.row_stride = dims.count() / dims[0];
-  l.rows_per_block = block_rows == 0
-                         ? auto_block_rows(dims)
-                         : std::clamp<std::size_t>(block_rows, 1, dims[0]);
-  l.block_count = (dims[0] + l.rows_per_block - 1) / l.rows_per_block;
-  return l;
-}
-
-std::size_t block_first_row(const BlockLayout& l, std::size_t b) {
-  return b * l.rows_per_block;
-}
-
-std::size_t block_rows_of(const BlockLayout& l, const data::Dims& dims,
-                          std::size_t b) {
-  return std::min(l.rows_per_block, dims[0] - block_first_row(l, b));
-}
-
 /// Run fn(b) for every block, on the process-wide shared pool (the calling
 /// thread plus threads-1 shared workers) when threads > 1. No per-call
 /// pool spin-up: long-lived streaming jobs and many-small-field batches
@@ -96,10 +196,45 @@ void check_scalar(const io::BlockContainerHeader& h) {
 
 }  // namespace
 
-std::size_t auto_block_rows(const data::Dims& dims) {
-  const std::size_t row_stride = dims.count() / dims[0];
-  const std::size_t rows = (kAutoBlockValues + row_stride - 1) / row_stride;
-  return std::clamp<std::size_t>(rows, 1, dims[0]);
+std::vector<std::size_t> auto_tile(const data::Dims& dims) {
+  const std::size_t rank = dims.rank();
+  // Near-cubic tile with volume <= kAutoBlockValues. An axis shorter than
+  // the cube edge is clamped to its full extent and its unused volume is
+  // redistributed to the remaining axes, so a 4x512x512 pancake tiles as
+  // {4, 90, 90} (32400 values) rather than an undersized {4, 32, 32} cube
+  // whose per-block overhead would dominate. Pure integer search (no
+  // floating-point roots), so the default is bit-stable across platforms:
+  // unclamped ranks keep edges 32768 / 181 / 32 for ranks 1 / 2 / 3.
+  std::vector<std::size_t> tile(rank, 0);
+  std::size_t budget = kAutoBlockValues;
+  std::size_t open = rank;  // axes not yet clamped
+  for (;;) {
+    // Largest edge with edge^open <= budget.
+    auto fits = [&](std::size_t e) {
+      std::size_t v = 1;
+      for (std::size_t i = 0; i < open; ++i) {
+        if (v > budget / e) return false;
+        v *= e;
+      }
+      return v <= budget;
+    };
+    std::size_t edge = 1;
+    while (fits(edge + 1)) ++edge;
+    bool clamped = false;
+    for (std::size_t a = 0; a < rank; ++a) {
+      if (tile[a] == 0 && dims[a] < edge) {
+        tile[a] = dims[a];
+        budget /= dims[a];
+        --open;
+        clamped = true;
+      }
+    }
+    if (!clamped || open == 0) {
+      for (std::size_t a = 0; a < rank; ++a)
+        if (tile[a] == 0) tile[a] = edge;
+      return tile;
+    }
+  }
 }
 
 bool is_block_stream(std::span<const std::uint8_t> stream) {
@@ -114,7 +249,7 @@ BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream) {
   const BlockCodec* codec = CodecRegistry::instance().find(view.header.codec);
   info.codec_name = codec ? codec->name() : "unknown";
   info.dims = dims_from_header(view.header);
-  info.block_rows = view.header.block_rows;
+  info.tile.assign(view.header.tile.begin(), view.header.tile.end());
   info.block_count = view.header.block_count;
   info.eb_abs = view.header.eb_abs;
   info.value_range = view.header.value_range;
@@ -145,7 +280,7 @@ namespace {
 struct BlockPlan {
   double vr = 0.0;
   double eb_abs = 0.0;  ///< base (uniform-equivalent) bound; 0 in rate mode
-  BlockLayout layout;
+  TileLayout layout;
   CodecId codec_id = 0;
   const BlockCodec* codec = nullptr;
   BlockParams bp;
@@ -160,17 +295,23 @@ struct BlockPlan {
 };
 
 /// Adaptive per-block bounds (Eq. 3's general form, reverse-water-filling
-/// flavour). A cheap probe — the RMS first difference over the C-order
-/// scan — estimates each block's residual scale r_b. A block with
-/// r_b << eb never spends its allowance anyway: its residuals quantize to
-/// the zero bin at any nearby bound, its rate sits at the entropy floor,
-/// and its actual SSE is ~n*r^2, not n*eb^2/3. Such blocks donate ledger
-/// budget (they are re-encoded at a tightened bound of ~4*r_b, floored so
-/// no residual — not even an isolated spike — leaves the quantizable
-/// range, keeping their rate at the entropy floor), and blocks ON the
-/// rate curve (r_b >= eb/2) share the donations as one uniformly wider bin
-/// (the log-rate model's optimum is equal bounds across coded blocks), so
-/// their bits shrink log-linearly. Bounds stay within [eb/4, 4*eb] and the
+/// flavour). A cheap rank-aware probe — per-axis RMS first differences
+/// inside each tile — estimates each block's residual scale r_b as the
+/// MINIMUM across axes: the neighborhood predictors (Lorenzo,
+/// interpolation, transform groups) exploit the smoothest direction, so a
+/// tile that is flat along any axis codes at the entropy floor even when a
+/// 1-D C-order scan (which crosses row seams) would call it rough — this
+/// is exactly the donor class the old 1-D probe missed on 2-D/3-D fields.
+/// A block with r_b << eb never spends its allowance anyway: its residuals
+/// quantize to the zero bin at any nearby bound, its rate sits at the
+/// entropy floor, and its actual SSE is ~n*r^2, not n*eb^2/3. Such blocks
+/// donate ledger budget (they are re-encoded at a tightened bound of
+/// ~4*r_b, floored so no residual — not even an isolated spike on ANY axis
+/// (the peak is the max across axes) — leaves the quantizable range,
+/// keeping their rate at the entropy floor), and blocks ON the rate curve
+/// (r_b >= eb/2) share the donations as one uniformly wider bin (the
+/// log-rate model's optimum is equal bounds across coded blocks), so their
+/// bits shrink log-linearly. Bounds stay within [eb/4, 4*eb] and the
 /// aggregate worst-case SSE never exceeds the uniform plan's
 /// N * eb^2 / 3 — the fixed-PSNR guarantee is preserved verbatim. The
 /// probe depends only on the data and the layout, never the thread count.
@@ -180,28 +321,64 @@ struct BlockPlan {
 template <typename T>
 std::vector<double> adaptive_budgets(std::span<const T> values,
                                      const data::Dims& dims,
-                                     const BlockLayout& layout, double eb,
+                                     const TileLayout& layout, double eb,
                                      std::uint32_t quantization_bins) {
   const std::size_t count = layout.block_count;
   if (count < 2) return {};
+  const std::size_t rank = dims.rank();
+  std::size_t stride[3];
+  field_strides(dims, stride);
   std::vector<double> residual(count, 0.0);
   std::vector<double> peak(count, 0.0);
   std::vector<double> n_of(count, 0.0);
   for (std::size_t b = 0; b < count; ++b) {
-    const std::size_t first = block_first_row(layout, b);
-    const std::size_t rows = block_rows_of(layout, dims, b);
-    const std::size_t n = rows * layout.row_stride;
-    const auto slice = values.subspan(first * layout.row_stride, n);
-    double acc = 0.0, max_d = 0.0;
-    for (std::size_t i = 1; i < n; ++i) {
-      const double d = static_cast<double>(slice[i]) -
-                       static_cast<double>(slice[i - 1]);
-      acc += d * d;
-      max_d = std::max(max_d, std::abs(d));
+    const TileRegion r = tile_region(layout, dims, b);
+    double acc[3] = {0.0, 0.0, 0.0};
+    std::size_t pairs[3] = {0, 0, 0};
+    double max_d = 0.0;
+    // One C-order walk over the tile; every point diffs against its
+    // predecessor along each axis it has one (so each axis sees exactly
+    // (ext_a - 1) * count / ext_a pairs, all interior to the tile — no
+    // cross-row seams).
+    std::size_t c[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < r.count; ++i) {
+      std::size_t offset = 0;
+      for (std::size_t a = 0; a < rank; ++a)
+        offset += (r.start[a] + c[a]) * stride[a];
+      const double v = static_cast<double>(values[offset]);
+      for (std::size_t a = 0; a < rank; ++a) {
+        if (c[a] == 0) continue;
+        const double d =
+            v - static_cast<double>(values[offset - stride[a]]);
+        acc[a] += d * d;
+        ++pairs[a];
+        max_d = std::max(max_d, std::abs(d));
+      }
+      for (std::size_t a = rank; a-- > 0;) {
+        if (++c[a] < r.ext[a]) break;
+        c[a] = 0;
+      }
     }
-    residual[b] = n > 1 ? std::sqrt(acc / static_cast<double>(n - 1)) : 0.0;
+    double best = std::numeric_limits<double>::infinity();
+    bool measured = false, have_pairs = false;
+    for (std::size_t a = 0; a < rank; ++a) {
+      if (pairs[a] == 0) continue;
+      have_pairs = true;
+      const double rms = std::sqrt(acc[a] / static_cast<double>(pairs[a]));
+      if (std::isfinite(rms)) {
+        best = std::min(best, rms);
+        measured = true;
+      }
+    }
+    // No pairs at all (single-point tile): a definitive flat donor. Pairs
+    // that all went non-finite (NaN samples): keep NaN so the block stays
+    // neutral below — exactly the old probe's behaviour on poisoned data.
+    residual[b] = measured
+                      ? best
+                      : (have_pairs ? std::numeric_limits<double>::quiet_NaN()
+                                    : 0.0);
     peak[b] = max_d;
-    n_of[b] = static_cast<double>(n);
+    n_of[b] = static_cast<double>(r.count);
   }
 
   // Tightening a donor must never push one of its residuals outside the
@@ -260,7 +437,7 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   } else {
     plan.eb_abs = resolve_budget(request, values, &plan.vr);
   }
-  plan.layout = make_layout(dims, options.parallel.block_rows);
+  plan.layout = make_layout(dims, options.parallel.tile);
 
   plan.codec_id = static_cast<CodecId>(options.engine);
   plan.codec = &CodecRegistry::instance().at(plan.codec_id);
@@ -295,7 +472,7 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   plan.header.codec = plan.codec_id;
   plan.header.scalar = static_cast<std::uint8_t>(sz::scalar_type_of<T>());
   plan.header.extents.assign(dims.extents.begin(), dims.extents.end());
-  plan.header.block_rows = plan.layout.rows_per_block;
+  plan.header.tile.assign(plan.layout.tile.begin(), plan.layout.tile.end());
   plan.header.block_count = plan.layout.block_count;
   plan.header.eb_abs = plan.eb_abs;
   plan.header.value_range = plan.vr;
@@ -323,7 +500,7 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
 template <typename T>
 std::vector<std::uint8_t> rate_search_block(const BlockPlan& plan,
                                             std::span<const T> slice,
-                                            const data::Dims& slab,
+                                            const data::Dims& tile_dims,
                                             BlockInfo* info) {
   const double n = static_cast<double>(slice.size());
   const double target_bytes = plan.target_bits_per_value * n / 8.0;
@@ -336,7 +513,7 @@ std::vector<std::uint8_t> rate_search_block(const BlockPlan& plan,
     // re-derives its scale from the finite samples below.)
     BlockParams bp = plan.bp;
     bp.eb_abs = std::numeric_limits<double>::min() * 1e6;
-    return plan.codec->compress(slice, slab, bp, info);
+    return plan.codec->compress(slice, tile_dims, bp, info);
   }
   // A single NaN/Inf sample makes the plan's value range non-finite, which
   // would poison every derived bound below (eb_min/eb_max = Inf, and the
@@ -362,7 +539,7 @@ std::vector<std::uint8_t> rate_search_block(const BlockPlan& plan,
   auto encode = [&](double eb, BlockInfo* bi) {
     BlockParams bp = plan.bp;
     bp.eb_abs = eb;
-    return plan.codec->compress(slice, slab, bp, bi);
+    return plan.codec->compress(slice, tile_dims, bp, bi);
   };
 
   // Closed-form seed from the per-group width census.
@@ -370,7 +547,7 @@ std::vector<std::uint8_t> rate_search_block(const BlockPlan& plan,
   census.eb_abs = scale * 1e-4;
   census.dct_block = plan.bp.dct_block;
   const double est_bits =
-      transform::fixed_rate_bits_estimate(slice, slab, census);
+      transform::fixed_rate_bits_estimate(slice, tile_dims, census);
   double eb = std::clamp(
       census.eb_abs * std::exp2(est_bits - plan.target_bits_per_value),
       eb_min, eb_max);
@@ -454,7 +631,7 @@ CompressResult account_blocks(const BlockPlan& plan, std::span<const T> values,
   CompressResult out;
   out.request = request;
   out.block_count = plan.layout.block_count;
-  out.block_rows = plan.layout.rows_per_block;
+  out.tile = plan.layout.tile;
   std::size_t covered = 0;
   double sse_budget = 0.0;
   double achieved_sse = 0.0;
@@ -589,18 +766,28 @@ bool FieldCompressor<T>::run_block(std::size_t b) {
   const BlockPlan& plan = im.plan;
   if (b >= plan.layout.block_count)
     throw std::out_of_range("block pipeline: run_block index out of range");
-  const std::size_t first = block_first_row(plan.layout, b);
-  const std::size_t rows = block_rows_of(plan.layout, im.dims, b);
-  const auto slice = im.values.subspan(first * plan.layout.row_stride,
-                                       rows * plan.layout.row_stride);
-  const data::Dims slab = slab_dims(im.dims, rows);
+  const TileRegion region = tile_region(plan.layout, im.dims, b);
+  const data::Dims tile_dims = region_dims(region, im.dims.rank());
+  // Slab-shaped tiles (the only geometry v1/v2 had) are contiguous runs of
+  // the field buffer and are borrowed in place; true multi-axis tiles are
+  // gathered into a scratch copy the codec sees as a dense C-order field.
+  std::vector<T> gathered;
+  std::span<const T> slice;
+  if (region_contiguous(region, im.dims)) {
+    slice = im.values.subspan(region.start[0] * plan.layout.row_stride,
+                              region.count);
+  } else {
+    gathered.resize(region.count);
+    gather_tile(im.values, im.dims, region, std::span<T>(gathered));
+    slice = gathered;
+  }
   std::vector<std::uint8_t> bytes;
   if (plan.rate_mode) {
-    bytes = rate_search_block(plan, slice, slab, &im.block_infos[b]);
+    bytes = rate_search_block(plan, slice, tile_dims, &im.block_infos[b]);
   } else {
     BlockParams bp = plan.bp;
     bp.eb_abs = plan.block_eb[b];
-    bytes = plan.codec->compress(slice, slab, bp, &im.block_infos[b]);
+    bytes = plan.codec->compress(slice, tile_dims, bp, &im.block_infos[b]);
   }
   // A block whose primary encoding is no smaller than the raw passthrough
   // is demoted to the store codec — the decision depends only on the data,
@@ -614,7 +801,7 @@ bool FieldCompressor<T>::run_block(std::size_t b) {
     BlockParams store_bp = plan.bp;
     store_bp.eb_abs = plan.block_eb[b];
     bytes = CodecRegistry::instance().at(kCodecStore).compress(
-        slice, slab, store_bp, &im.block_infos[b]);
+        slice, tile_dims, store_bp, &im.block_infos[b]);
   }
   // Non-finite samples poison the block's SSE (NaN - NaN = NaN even when
   // the sample was stored as an exact outlier), and the container's SSE
@@ -631,6 +818,25 @@ bool FieldCompressor<T>::run_block(std::size_t b) {
   else
     im.file->add_block(b, std::move(bytes), im.block_infos[b].achieved_sse);
   return im.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+template <typename T>
+std::uint64_t FieldCompressor<T>::locality_key(std::size_t b) const {
+  // Coarsen the tile grid by 2 per axis: the 2^rank tiles of one coarse
+  // cell share faces (and the rows flanking them share cache lines), so a
+  // locality-aware queue keeps them on one worker. +1 keeps the key
+  // non-zero — 0 means "no affinity" to the scheduler.
+  const TileLayout& l = impl_->plan.layout;
+  const std::size_t rank = impl_->dims.rank();
+  std::uint64_t key = 0;
+  std::size_t rem = b;
+  for (std::size_t a = rank; a-- > 0;) {
+    const std::size_t c = rem % l.grid[a];
+    rem /= l.grid[a];
+    const std::uint64_t coarse_count = (l.grid[a] + 1) / 2;
+    key = key * coarse_count + (c / 2);
+  }
+  return key + 1;
 }
 
 template <typename T>
@@ -689,7 +895,9 @@ sz::Decompressed<T> decompress_blocked(std::span<const std::uint8_t> stream,
   const auto view = io::open_block_container(stream);
   check_scalar<T>(view.header);
   const data::Dims dims = dims_from_header(view.header);
-  const BlockLayout layout = make_layout(dims, view.header.block_rows);
+  const std::vector<std::size_t> tile(view.header.tile.begin(),
+                                      view.header.tile.end());
+  const TileLayout layout = make_layout(dims, tile);
   if (layout.block_count != view.blocks.size())
     throw io::StreamError("block pipeline: index/block-count mismatch");
   const BlockCodec& codec = CodecRegistry::instance().at(view.header.codec);
@@ -700,14 +908,20 @@ sz::Decompressed<T> decompress_blocked(std::span<const std::uint8_t> stream,
   out.values.resize(dims.count());
   std::span<T> all(out.values);
   for_each_block(layout.block_count, threads, [&](std::size_t b) {
-    const std::size_t first = block_first_row(layout, b);
-    const std::size_t rows = block_rows_of(layout, dims, b);
+    const TileRegion region = tile_region(layout, dims, b);
     // Incompressible blocks are store-demoted at compress time; each
     // block's own magic says which codec wrote it.
     const BlockCodec& c =
         is_store_block_stream(view.blocks[b]) ? store : codec;
-    c.decompress(view.blocks[b], all.subspan(first * layout.row_stride,
-                                             rows * layout.row_stride));
+    if (region_contiguous(region, dims)) {
+      c.decompress(view.blocks[b],
+                   all.subspan(region.start[0] * layout.row_stride,
+                               region.count));
+    } else {
+      std::vector<T> scratch(region.count);
+      c.decompress(view.blocks[b], std::span<T>(scratch));
+      scatter_tile(std::span<const T>(scratch), dims, region, all);
+    }
   });
   return out;
 }
@@ -719,13 +933,14 @@ sz::Decompressed<T> decompress_block(std::span<const std::uint8_t> stream,
   check_scalar<T>(header);
   const auto bytes = io::block_container_entry(stream, block_index);
   const data::Dims dims = dims_from_header(header);
-  const BlockLayout layout = make_layout(dims, header.block_rows);
-  const std::size_t rows = block_rows_of(layout, dims, block_index);
+  const std::vector<std::size_t> tile(header.tile.begin(), header.tile.end());
+  const TileLayout layout = make_layout(dims, tile);
+  const TileRegion region = tile_region(layout, dims, block_index);
   const BlockCodec& codec = CodecRegistry::instance().at(
       is_store_block_stream(bytes) ? kCodecStore : header.codec);
 
   sz::Decompressed<T> out;
-  out.dims = slab_dims(dims, rows);
+  out.dims = region_dims(region, dims.rank());
   out.values.resize(out.dims.count());
   codec.decompress(bytes, std::span<T>(out.values));
   return out;

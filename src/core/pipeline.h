@@ -1,11 +1,16 @@
 // Block-parallel fixed-PSNR pipeline engine.
 //
-// The field is sharded into axis-0 slabs ("blocks"); each block runs the
+// The field is sharded into full-rank tiles ("blocks"): a per-axis tile
+// shape — near-cubic by default, so neighborhood prediction stays compact
+// in every dimension — induces a C-order tile grid, and each tile runs the
 // full quantize -> Huffman -> lossless pipeline independently through a
-// BlockCodec (core/codec_registry.h) on a thread pool, and the results are
+// BlockCodec (core/codec_registry.h) on a thread pool. The results are
 // assembled into the FPBK block-indexed container (io/archive.h), which
 // tolerates out-of-order completion and supports random-access decode of
-// single blocks.
+// single blocks. Tiles that span the field on every axis but the first
+// (axis-0 slabs — the v1/v2 geometry) are borrowed straight from the field
+// buffer; true multi-axis tiles are gathered into a contiguous scratch
+// buffer for the codec and scattered back on decode.
 //
 // Error-budget accounting: the user's control request is resolved ONCE
 // against the global value range to an absolute per-point budget eb_abs
@@ -32,20 +37,19 @@
 // passthrough codec (self-describing per-block magic).
 //
 // Determinism: the block layout, budget split, and store fallback depend
-// only on the data, dims, and block_rows — never on the thread count — so
+// only on the data, dims, and tile shape — never on the thread count — so
 // compress() output is byte-identical for any `threads` value.
 //
-// DEPRECATED as public surface: external callers should use the
-// fpsnr::Session facade (include/fpsnr/session.h), which emits
-// byte-identical archives through these same internals. The free
-// functions below remain as shims for in-tree callers for one more
-// release and will then become internal-only.
+// INTERNAL engine surface: external callers use the fpsnr::Session facade
+// (include/fpsnr/session.h), which emits byte-identical archives through
+// these same internals.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/codec_registry.h"
 #include "core/compressor.h"
@@ -56,19 +60,21 @@ struct StreamingStats;  // io/streaming_archive.h
 
 namespace fpsnr::core {
 
-/// Deterministic default block size: enough axis-0 rows that a block holds
-/// roughly kAutoBlockValues values (clamped to [1, dims[0]]). Independent
-/// of thread count by design.
+/// Deterministic default tile volume: the auto tile is the near-cubic shape
+/// whose edge is the largest e with e^rank <= kAutoBlockValues; axes shorter
+/// than the edge clamp to their extent and donate their volume to the other
+/// axes. Independent of thread count by design.
 inline constexpr std::size_t kAutoBlockValues = std::size_t{1} << 15;
-std::size_t auto_block_rows(const data::Dims& dims);
+std::vector<std::size_t> auto_tile(const data::Dims& dims);
 
 /// Parsed summary of an FPBK stream (inspect support).
 struct BlockStreamInfo {
-  std::uint8_t version = 0;  ///< container version (1 or 2)
+  std::uint8_t version = 0;  ///< container version (1..3)
   CodecId codec = 0;
   std::string_view codec_name;
   data::Dims dims;
-  std::size_t block_rows = 0;
+  /// Per-axis tile extents (v1/v2 slabs surface as {block_rows, dims...}).
+  std::vector<std::size_t> tile;
   std::size_t block_count = 0;
   double eb_abs = 0.0;
   double value_range = 0.0;
@@ -135,6 +141,13 @@ class FieldCompressor {
   /// block — so the completing worker knows to finalize.
   bool run_block(std::size_t b);
 
+  /// Scheduling hint for block `b`: a non-zero key shared by the tiles of
+  /// one coarse grid neighborhood (2 tiles per axis), so a locality-aware
+  /// queue (parallel::WorkQueue) can keep adjacent tiles — which share
+  /// cache lines along their faces — on the worker that last touched the
+  /// neighborhood. Purely advisory: archive bytes never depend on it.
+  std::uint64_t locality_key(std::size_t b) const;
+
   /// True once every block has run.
   bool complete() const;
 
@@ -192,7 +205,8 @@ sz::Decompressed<T> decompress_blocked(std::span<const std::uint8_t> stream,
                                        std::size_t threads = 0);
 
 /// Random-access decode of one block: only that block's payload is parsed.
-/// The result's dims are the slab's (axis-0 extent = its row count).
+/// The result's dims are the tile's per-axis extents (trailing tiles on an
+/// axis may be short).
 template <typename T>
 sz::Decompressed<T> decompress_block(std::span<const std::uint8_t> stream,
                                      std::size_t block_index);

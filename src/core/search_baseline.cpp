@@ -13,7 +13,10 @@ double probe_psnr(std::span<const T> values, const data::Dims& dims,
                   CompressResult* out) {
   CompressResult r =
       compress(values, dims, ControlRequest::relative(rel_bound), options);
-  const metrics::ErrorReport rep = verify(values, std::span<const std::uint8_t>(r.stream));
+  const auto decoded =
+      decompress<T>(std::span<const std::uint8_t>(r.stream));
+  const metrics::ErrorReport rep =
+      metrics::compare<T>(values, decoded.values);
   if (out) *out = std::move(r);
   return rep.psnr_db;
 }

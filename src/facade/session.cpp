@@ -314,7 +314,7 @@ struct Session::Impl {
     }
 
     base.parallel.block_pipeline = true;
-    base.parallel.block_rows = opts.block_rows;
+    base.parallel.tile = opts.tile.extents;
     threads = opts.threads ? opts.threads
                            : std::max<std::size_t>(
                                  1, std::thread::hardware_concurrency());
@@ -388,13 +388,13 @@ CompressReport run_compress(const core::CompressOptions& base,
                                        Access::path(sink), &stats);
     report.archive_path = Access::path(sink);
     report.block_count = stats.block_count;
-    report.block_rows = stats.block_rows;
+    report.tile.assign(stats.tile.begin(), stats.tile.end());
     report.peak_buffered_bytes = stats.peak_buffered_bytes;
     report.peak_buffered_blocks = stats.peak_buffered_blocks;
   } else {
     result = core::compress_blocked<T>(values, dims, request, opts);
     report.block_count = result.block_count;
-    report.block_rows = result.block_rows;
+    report.tile = result.tile;
     if (Access::kind(sink) == SinkKind::File) {
       write_whole_file(Access::path(sink), result.stream.data(),
                        result.stream.size());
@@ -587,7 +587,7 @@ Inspection Session::inspect(const Source& archive) const {
                                                                 : "uniform";
     out.dims = from_dims(info.dims);
     out.block_count = info.block_count;
-    out.block_rows = info.block_rows;
+    out.tile = info.tile;
     out.eb_abs = info.eb_abs;
     out.value_range = info.value_range;
     out.achieved_psnr_db = info.achieved_psnr_db;

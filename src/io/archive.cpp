@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fpsnr::io {
@@ -114,7 +115,9 @@ void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
   out.put<std::uint8_t>(h.scalar);
   out.put<std::uint8_t>(static_cast<std::uint8_t>(h.extents.size()));
   for (std::uint64_t e : h.extents) out.put_varint(e);
-  out.put_varint(h.block_rows);
+  if (h.tile.size() != h.extents.size())
+    throw std::invalid_argument("block container: tile rank != extents rank");
+  for (std::uint64_t t : h.tile) out.put_varint(t);
   out.put_varint(h.block_count);
   out.put<double>(h.eb_abs);
   out.put<double>(h.value_range);
@@ -145,17 +148,43 @@ BlockContainerHeader read_block_header(ByteReader& reader) {
     e = reader.get_varint();
     if (e == 0) throw StreamError("block container: zero extent");
   }
-  h.block_rows = reader.get_varint();
+  if (version >= 3) {
+    // Full-rank tile geometry: one extent per axis.
+    h.tile.resize(rank);
+    for (std::size_t a = 0; a < rank; ++a) {
+      h.tile[a] = reader.get_varint();
+      if (h.tile[a] == 0)
+        throw StreamError("block container: zero tile extent");
+      if (h.tile[a] > h.extents[a])
+        throw StreamError("block container: tile exceeds field extent");
+    }
+  } else {
+    // v1/v2: a single axis-0 slab height; the other axes span the field.
+    const std::uint64_t block_rows = reader.get_varint();
+    if (block_rows == 0)
+      throw StreamError("block container: zero tile extent");
+    h.tile.assign(h.extents.begin(), h.extents.end());
+    h.tile[0] = std::min(block_rows, h.extents[0]);
+  }
   h.block_count = reader.get_varint();
-  if (h.block_rows == 0 || h.block_count == 0)
+  if (h.block_count == 0)
     throw StreamError("block container: empty block layout");
-  if (h.block_count > h.extents[0])
-    throw StreamError("block container: more blocks than rows");
-  // The layout must tile axis 0 exactly: ceil(rows / block_rows) blocks.
-  const std::uint64_t expect =
-      (h.extents[0] + h.block_rows - 1) / h.block_rows;
+  // The tile grid must cover the field exactly: block_count is the product
+  // of the per-axis tile counts ceil(extent / tile). The product is guarded
+  // against wrap so a crafted header cannot alias a huge grid onto a small
+  // block_count.
+  std::uint64_t expect = 1;
+  for (std::size_t a = 0; a < rank; ++a) {
+    // Divide-then-round so extents near UINT64_MAX cannot wrap the sum.
+    const std::uint64_t g =
+        h.extents[a] / h.tile[a] + (h.extents[a] % h.tile[a] != 0 ? 1 : 0);
+    if (g != 0 &&
+        expect > std::numeric_limits<std::uint64_t>::max() / g)
+      throw StreamError("block container: tile grid overflows");
+    expect *= g;
+  }
   if (h.block_count != expect)
-    throw StreamError("block container: block layout does not tile the field");
+    throw StreamError("block container: tile layout does not tile the field");
   h.eb_abs = reader.get<double>();
   h.value_range = reader.get<double>();
   h.control_mode = reader.get<std::uint8_t>();

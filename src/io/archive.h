@@ -39,43 +39,53 @@ std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
 // ---------------------------------------------------------------------------
 // Block-indexed container — the on-wire format of the block-parallel
 // pipeline engine (core/pipeline.h). One field is stored as `block_count`
-// independently compressed axis-0 slabs plus a fixed-width offset/size
+// independently compressed full-rank tiles plus a fixed-width offset/size
 // index, so workers can emit blocks out of order at compress time and
 // readers can decode any single block without touching the rest.
 //
 // Layout (little-endian):
-//   magic "FPBK", version u8 (1 or 2),
+//   magic "FPBK", version u8 (1..3),
 //   codec u8, scalar u8, rank u8, extents varint x rank,
-//   block_rows varint, block_count varint,
+//   tile varint x rank                 (v3; v1/v2 store block_rows varint),
+//   block_count varint,
 //   eb_abs f64, value_range f64, control_mode u8, control_value f64,
-//   budget_mode u8                     (v2 only),
+//   budget_mode u8                     (v2+ only),
 //   offset u64 x block_count (relative to payload start),
 //   size   u64 x block_count,
-//   sse    f64 x block_count           (v2 only; achieved per-block SSE),
+//   sse    f64 x block_count           (v2+ only; achieved per-block SSE),
 //   payload bytes (blocks concatenated in index order).
 //
-// v2 extends v1 with non-uniform budget metadata: a budget-mode byte in the
+// v2 extended v1 with non-uniform budget metadata: a budget-mode byte in the
 // header and a third fixed-width index column recording each block's exact
 // achieved sum of squared errors, so a reader can report the *measured*
-// global PSNR without touching the payload. Writers always emit v2; the
-// reader accepts both versions (v1 archives simply report no SSE column).
+// global PSNR without touching the payload.
+//
+// v3 replaces the axis-0 slab geometry (a single block_rows varint) with a
+// full-rank tile shape: one varint per axis giving the tile's extent along
+// that axis. Blocks are the tiles of the C-order tile grid (last axis
+// fastest); the trailing tile on each axis may be short. Writers always
+// emit v3; readers accept all three versions — a v1/v2 block_rows header
+// is an axis-0 slab, i.e. the synthesized tile {block_rows, dims[1], ...}.
 // ---------------------------------------------------------------------------
 
 /// Current version written by both container writers.
-inline constexpr std::uint8_t kBlockContainerVersion = 2;
+inline constexpr std::uint8_t kBlockContainerVersion = 3;
 
 struct BlockContainerHeader {
   std::uint8_t version = kBlockContainerVersion;  ///< set by the readers
   std::uint8_t codec = 0;   ///< core::CodecId of the per-block codec
   std::uint8_t scalar = 0;  ///< sz::ScalarType of the original data
   std::vector<std::uint64_t> extents;  ///< full-field dims, C order
-  std::uint64_t block_rows = 0;   ///< axis-0 rows per block (last may be short)
+  /// Per-axis tile extents, same rank/order as `extents`; the trailing tile
+  /// on each axis may be short. Readers of v1/v2 streams synthesize
+  /// {block_rows, extents[1], ...} so every decode path sees one geometry.
+  std::vector<std::uint64_t> tile;
   std::uint64_t block_count = 0;
   double eb_abs = 0.0;        ///< base per-block error budget
   double value_range = 0.0;   ///< global range the budget was derived from
   std::uint8_t control_mode = 0;  ///< core::ControlMode of the user request
   double control_value = 0.0;     ///< the request's value (PSNR dB, bound, ...)
-  std::uint8_t budget_mode = 0;   ///< core::BudgetMode (v2; 0 = uniform)
+  std::uint8_t budget_mode = 0;   ///< core::BudgetMode (v2+; 0 = uniform)
 
   /// True when the stream carries the per-block achieved-SSE index column.
   bool has_block_sse() const { return version >= 2; }

@@ -30,7 +30,7 @@ StreamingArchiveWriter::StreamingArchiveWriter(std::string path,
   sizes_.assign(header_.block_count, 0);
   sse_.assign(header_.block_count, 0.0);
   present_.assign(header_.block_count, 0);
-  stats_.block_rows = header_.block_rows;
+  stats_.tile = header_.tile;
   stats_.block_count = header_.block_count;
 
   out_.open(partial_path_, std::ios::binary | std::ios::trunc);

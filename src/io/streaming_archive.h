@@ -38,7 +38,7 @@ namespace fpsnr::io {
 /// streaming stayed O(blocks) without re-reading the file.
 struct StreamingStats {
   std::uint64_t total_bytes = 0;          ///< final archive size on disk
-  std::uint64_t block_rows = 0;           ///< axis-0 rows per block
+  std::vector<std::uint64_t> tile;        ///< per-axis tile extents
   std::uint64_t block_count = 0;
   std::size_t peak_buffered_bytes = 0;    ///< reorder-buffer high-water mark
   std::size_t peak_buffered_blocks = 0;   ///< ... in blocks

@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "parallel/shared_pool.h"
@@ -21,7 +22,14 @@ struct WorkQueue::State {
     Task on_expired;
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
+    std::uint64_t locality = 0;  ///< 0 = no placement preference
   };
+
+  /// How far into the FIFO lane an executor looks for a task whose
+  /// locality key it owns. Small and fixed: the scan is O(window) under
+  /// the queue lock, and a task can be bypassed at most by tagged tasks
+  /// inside this window — never starved behind an unbounded stream.
+  static constexpr std::size_t kLocalityWindow = 16;
 
   std::mutex mutex;
   std::condition_variable idle;  ///< queue empty + nothing running, or new work
@@ -34,6 +42,13 @@ struct WorkQueue::State {
   /// running drain draining its own queue) fails loudly instead of the two
   /// drains stealing each other's error slot and helper offers.
   std::atomic<bool> draining{false};
+  /// Locality placement state, all under `mutex`. Enabled only for the
+  /// duration of a multi-worker drain (a single executor has nothing to
+  /// place); the affinity map is cleared when the drain ends, so keys
+  /// never alias across drains or leak memory between batches.
+  bool locality_enabled = false;
+  std::size_t executor_serial = 0;  ///< hands each run_tasks pass an id
+  std::unordered_map<std::uint64_t, std::size_t> last_executor;
   /// Set for the duration of a multi-worker drain: push() invokes it
   /// (outside the lock) to offer the pool ONE more best-effort helper for
   /// a task pushed mid-drain. Retired helpers never rejoin on their own,
@@ -54,11 +69,31 @@ struct WorkQueue::State {
   /// repopulates the queue.
   void run_tasks(const std::atomic<bool>* active) {
     std::unique_lock lock(mutex);
+    const std::size_t me = ++executor_serial;
     while ((!priority_tasks.empty() || !tasks.empty()) &&
            (active == nullptr || active->load(std::memory_order_acquire))) {
       auto& lane = priority_tasks.empty() ? tasks : priority_tasks;
-      Entry entry = std::move(lane.front());
-      lane.pop_front();
+      // Locality pass (FIFO lane only; the priority lane stays strict):
+      // prefer a tagged task near the front whose neighborhood this
+      // executor touched last. Untagged tasks are never reordered
+      // relative to each other — only tagged tasks may jump the line.
+      std::size_t pick = 0;
+      if (locality_enabled && priority_tasks.empty()) {
+        const std::size_t window = std::min(lane.size(), kLocalityWindow);
+        for (std::size_t i = 0; i < window; ++i) {
+          const std::uint64_t key = lane[i].locality;
+          if (key == 0) continue;
+          const auto it = last_executor.find(key);
+          if (it != last_executor.end() && it->second == me) {
+            pick = i;
+            break;
+          }
+        }
+      }
+      Entry entry = std::move(lane[pick]);
+      lane.erase(lane.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (locality_enabled && entry.locality != 0)
+        last_executor[entry.locality] = me;
       ++running;
       lock.unlock();
       // Expiry is decided once, at pop time: a task that begins before its
@@ -94,7 +129,7 @@ void WorkQueue::push(Task task, TaskOptions options) {
     std::lock_guard lock(state_->mutex);
     auto& lane = options.priority ? state_->priority_tasks : state_->tasks;
     lane.push_back({std::move(task), std::move(options.on_expired),
-                    options.deadline});
+                    options.deadline, options.locality});
     offer = state_->offer_helper;  // copy: cleared asynchronously by drain
   }
   // Wake the drain() caller if it is parked: an in-flight task may have
@@ -141,6 +176,9 @@ void WorkQueue::drain(std::size_t max_workers) {
     // rejoin by themselves.
     std::lock_guard lock(state->mutex);
     state->offer_helper = spawn_helper;
+    // With more than one executor, honor locality tags; a drain(1) pops
+    // pure FIFO so replays match the queue order exactly.
+    state->locality_enabled = true;
   }
 
   state->run_tasks(nullptr);
@@ -161,6 +199,8 @@ void WorkQueue::drain(std::size_t max_workers) {
     });
   }
   state->offer_helper = nullptr;
+  state->locality_enabled = false;
+  state->last_executor.clear();
   // Retire this drain's helpers BEFORE dropping the mutex: they re-check
   // `active` under the same lock, so no helper can pop a task pushed
   // after this drain's completion was decided.

@@ -21,10 +21,24 @@
 // drain issued from inside a pool worker can never deadlock. Tasks may push
 // further tasks (e.g. a field's finalize step) — drain() only returns when
 // the queue is empty AND no task is still running.
+//
+// Locality-aware placement: producers may tag tasks with a locality key
+// (TaskOptions::locality) naming the data neighborhood the task touches —
+// e.g. adjacent pipeline tiles of one field, which share cache lines along
+// their faces. During a multi-worker drain, an executor popping from the
+// FIFO lane first scans a short window at the front for a tagged task
+// whose key it was the last to run, and takes that one instead of the
+// front — warm-cache work stays on the worker that warmed it. Strictly
+// best-effort and bounded: untagged tasks keep exact FIFO order among
+// themselves, the priority lane and deadline semantics are untouched, and
+// single-worker drains pop pure FIFO (so a drain(1) replay is exactly the
+// queue order). Placement only moves WHERE a task runs, never what it
+// computes — archives stay byte-identical regardless.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -49,6 +63,10 @@ class WorkQueue {
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
     Task on_expired;
+    /// Optional data-neighborhood key (0 = none). Tasks sharing a key
+    /// prefer the executor that last ran one of them (see the header
+    /// comment); purely a placement hint with no effect on results.
+    std::uint64_t locality = 0;
   };
 
   WorkQueue();

@@ -108,7 +108,8 @@ struct Client::Impl {
     w.str(spec.budget);
     w.str(spec.mode);
     w.f64(spec.value);
-    w.u64(spec.block_rows);
+    w.u8(static_cast<std::uint8_t>(spec.tile.size()));
+    for (const std::size_t t : spec.tile) w.u64(t);
     w.u8(std::is_same_v<T, double> ? 1 : 0);
     w.u8(static_cast<std::uint8_t>(spec.dims.size()));
     for (const std::size_t d : spec.dims) w.u64(d);
@@ -122,7 +123,10 @@ struct Client::Impl {
     result.achieved_psnr_db = r.f64();
     result.bit_rate = r.f64();
     result.block_count = r.u64();
-    result.block_rows = r.u64();
+    const std::uint8_t tile_rank = r.u8();
+    result.tile.resize(tile_rank);
+    for (std::uint8_t t = 0; t < tile_rank; ++t)
+      result.tile[t] = static_cast<std::size_t>(r.u64());
     const auto [archive, archive_bytes] = r.blob();
     r.expect_end();
     result.archive.assign(archive, archive + archive_bytes);

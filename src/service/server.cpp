@@ -201,9 +201,9 @@ struct Server::Impl {
 
   const Session& session_for(const std::string& engine,
                              const std::string& budget,
-                             std::size_t block_rows) {
-    const std::string key =
-        engine + '|' + budget + '|' + std::to_string(block_rows);
+                             const std::vector<std::size_t>& tile) {
+    std::string key = engine + '|' + budget + '|';
+    for (const std::size_t t : tile) key += std::to_string(t) + 'x';
     std::lock_guard lock(sessions_mutex);
     if (const auto it = sessions.find(key); it != sessions.end())
       return it->second;
@@ -211,7 +211,7 @@ struct Server::Impl {
     so.threads = threads;
     so.engine = engine;
     so.budget = budget;
-    so.block_rows = block_rows;
+    so.tile = TileShape(tile);
     return sessions.emplace(key, Session(std::move(so))).first->second;
   }
 
@@ -275,7 +275,10 @@ struct Server::Impl {
       spec.budget = r.str();
       spec.mode = r.str();
       spec.value = r.f64();
-      spec.block_rows = static_cast<std::size_t>(r.u64());
+      const std::uint8_t tile_rank = r.u8();
+      spec.tile.resize(tile_rank);
+      for (std::uint8_t t = 0; t < tile_rank; ++t)
+        spec.tile[t] = static_cast<std::size_t>(r.u64());
       const std::uint8_t scalar = r.u8();
       const std::uint8_t rank = r.u8();
       std::uint64_t count = 1;
@@ -297,7 +300,7 @@ struct Server::Impl {
 
       const Target target = make_target(spec.mode, spec.value);
       const Session& session =
-          session_for(spec.engine, spec.budget, spec.block_rows);
+          session_for(spec.engine, spec.budget, spec.tile);
       const auto start = std::chrono::steady_clock::now();
       // The payload buffer is only byte-aligned; Source::memory borrows a
       // typed span, so realign the values into a typed vector first.
@@ -328,7 +331,8 @@ struct Server::Impl {
       w.f64(report.achieved_psnr_db);
       w.f64(report.bit_rate);
       w.u64(report.block_count);
-      w.u64(report.block_rows);
+      w.u8(static_cast<std::uint8_t>(report.tile.size()));
+      for (const std::size_t t : report.tile) w.u64(t);
       w.blob(report.archive.data(), report.archive.size());
       return {true, ErrorCode::Internal, "", w.take()};
     } catch (const wire::WireError& e) {
@@ -347,7 +351,7 @@ struct Server::Impl {
       r.u32();
       const auto [archive, archive_bytes] = r.blob();
       r.expect_end();
-      const Session& session = session_for("sz-lorenzo", "uniform", 0);
+      const Session& session = session_for("sz-lorenzo", "uniform", {});
       const Field field = session.decompress(
           Source::memory(std::span<const std::uint8_t>(archive, archive_bytes)));
       wire::Writer w;
@@ -375,7 +379,7 @@ struct Server::Impl {
       r.u32();
       const auto [archive, archive_bytes] = r.blob();
       r.expect_end();
-      const Session& session = session_for("sz-lorenzo", "uniform", 0);
+      const Session& session = session_for("sz-lorenzo", "uniform", {});
       const Inspection info = session.inspect(
           Source::memory(std::span<const std::uint8_t>(archive, archive_bytes)));
       std::ostringstream out;
@@ -390,8 +394,10 @@ struct Server::Impl {
       out << "extents:";
       for (const std::size_t d : info.dims) out << " " << d;
       out << "\n"
-          << "blocks: " << info.block_count << " x " << info.block_rows
-          << " row(s)\n"
+          << "blocks: " << info.block_count << " x tile";
+      for (std::size_t t = 0; t < info.tile.size(); ++t)
+        out << (t ? "x" : " ") << info.tile[t];
+      out << "\n"
           << "value_range: " << info.value_range << "\n";
       if (!std::isnan(info.achieved_psnr_db))
         out << "achieved_psnr_db: " << std::fixed << std::setprecision(6)

@@ -17,12 +17,12 @@ namespace metrics = fpsnr::metrics;
 namespace {
 
 core::CompressOptions opts_with(core::Engine engine, core::BudgetMode budget,
-                                std::size_t block_rows) {
+                                std::size_t slab_rows) {
   core::CompressOptions opts;
   opts.engine = engine;
   opts.budget = budget;
   opts.parallel.block_pipeline = true;
-  opts.parallel.block_rows = block_rows;
+  opts.parallel.tile = {slab_rows};
   return opts;
 }
 
@@ -250,7 +250,7 @@ TEST(AdaptiveBudget, RandomAccessDecodesAdaptiveBlocks) {
     const auto block = core::decompress_block<float>(ada.stream, b);
     for (std::size_t i = 0; i < block.values.size(); ++i)
       ASSERT_EQ(block.values[i],
-                full.values[b * info.block_rows * row + i])
+                full.values[b * info.tile[0] * row + i])
           << "block " << b << " value " << i;
   }
 }

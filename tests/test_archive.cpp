@@ -73,7 +73,9 @@ TEST(Archive, WholeDatasetRoundTrip) {
   for (const auto& f : ds.fields) {
     io::ArchiveEntry e;
     e.name = f.name;
-    e.bytes = core::compress_fixed_psnr<float>(f.span(), f.dims, 70.0).stream;
+    e.bytes = core::compress<float>(f.span(), f.dims,
+                                    core::ControlRequest::fixed_psnr(70.0))
+                  .stream;
     entries.push_back(std::move(e));
   }
   const auto archive = io::write_archive(entries);
@@ -96,7 +98,7 @@ TEST(BlockContainer, HeaderRoundTrip) {
   h.codec = 2;
   h.scalar = 1;
   h.extents = {10, 20, 30};
-  h.block_rows = 4;
+  h.tile = {4, 20, 30};
   h.block_count = 3;  // ceil(10/4)
   h.eb_abs = 1.5e-3;
   h.value_range = 42.0;
@@ -114,7 +116,7 @@ TEST(BlockContainer, HeaderRoundTrip) {
   EXPECT_EQ(header.codec, 2);
   EXPECT_EQ(header.scalar, 1);
   EXPECT_EQ(header.extents, (std::vector<std::uint64_t>{10, 20, 30}));
-  EXPECT_EQ(header.block_rows, 4u);
+  EXPECT_EQ(header.tile, (std::vector<std::uint64_t>{4, 20, 30}));
   EXPECT_EQ(header.block_count, 3u);
   EXPECT_DOUBLE_EQ(header.eb_abs, 1.5e-3);
   EXPECT_DOUBLE_EQ(header.value_range, 42.0);
@@ -134,7 +136,7 @@ TEST(BlockContainer, HeaderRoundTrip) {
 TEST(BlockContainer, MalformedStreamsRejected) {
   io::BlockContainerHeader h;
   h.extents = {8};
-  h.block_rows = 4;
+  h.tile = {4};
   h.block_count = 2;
   io::BlockContainerWriter writer(h);
   writer.add_block(0, {1, 2, 3}, 0.0);
@@ -153,12 +155,12 @@ TEST(BlockContainer, MalformedStreamsRejected) {
 }
 
 TEST(BlockContainer, LayoutMustTileTheField) {
-  // block_count inconsistent with extents[0]/block_rows must be rejected at
+  // block_count inconsistent with the tile grid must be rejected at
   // construction time (the writer validates through the same header path as
   // the reader on finish()).
   io::BlockContainerHeader h;
   h.extents = {8};
-  h.block_rows = 4;
+  h.tile = {4};
   h.block_count = 3;  // should be 2
   io::BlockContainerWriter writer(h);
   writer.add_block(0, {1}, 0.0);

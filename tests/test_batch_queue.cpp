@@ -212,12 +212,12 @@ TEST(BatchQueue, VerifyOffReportsTheExactRecordedPsnr) {
   }
 }
 
-TEST(BatchQueue, ExplicitBlockRowsAndEnginePassThrough) {
+TEST(BatchQueue, ExplicitTileAndEnginePassThrough) {
   const auto ds = mixed_dataset();
   const double target = 64.0;
   core::CompressOptions base;
   base.engine = core::Engine::Interp;
-  base.parallel.block_rows = 7;  // deliberately awkward block size
+  base.parallel.tile = {7};  // deliberately awkward slab tile
 
   core::BatchOptions opts;
   opts.compress = base;
@@ -227,7 +227,7 @@ TEST(BatchQueue, ExplicitBlockRowsAndEnginePassThrough) {
   for (std::size_t i = 0; i < ds.fields.size(); ++i)
     EXPECT_EQ(batch.fields[i].stream,
               single_field_bytes(ds.fields[i], target, base))
-        << ds.fields[i].name << " (interp, block_rows 7)";
+        << ds.fields[i].name << " (interp, tile {7})";
 }
 
 TEST(BatchQueue, CollidingStreamPathsAreRejected) {

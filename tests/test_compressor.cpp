@@ -7,9 +7,11 @@
 
 #include "core/pipeline.h"
 #include "data/synth.h"
+#include "metrics/metrics.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
+namespace metrics = fpsnr::metrics;
 
 namespace {
 
@@ -19,14 +21,27 @@ std::vector<float> sample_field(const data::Dims& dims, std::uint64_t seed) {
   return v;
 }
 
+core::CompressResult compress_fixed_psnr(std::span<const float> values,
+                                         const data::Dims& dims, double target,
+                                         const core::CompressOptions& opts = {}) {
+  return core::compress<float>(values, dims,
+                               core::ControlRequest::fixed_psnr(target), opts);
+}
+
+metrics::ErrorReport verify_stream(std::span<const float> values,
+                                   std::span<const std::uint8_t> stream) {
+  const auto decoded = core::decompress<float>(stream);
+  return metrics::compare<float>(values, decoded.values);
+}
+
 }  // namespace
 
 TEST(Compressor, FixedPsnrMeetsTargetWithinTolerance) {
   const data::Dims dims{64, 96};
   const auto values = sample_field(dims, 1);
   for (double target : {40.0, 60.0, 80.0, 100.0}) {
-    const auto r = core::compress_fixed_psnr<float>(values, dims, target);
-    const auto rep = core::verify<float>(values, r.stream);
+    const auto r = compress_fixed_psnr(values, dims, target);
+    const auto rep = verify_stream(values, r.stream);
     // Accuracy claim of the paper: deviation within a few dB, tight at
     // moderate/high targets.
     EXPECT_NEAR(rep.psnr_db, target, 3.0) << "target " << target;
@@ -39,7 +54,7 @@ TEST(Compressor, HigherTargetCostsMoreBits) {
   const auto values = sample_field(dims, 2);
   double prev_rate = 0.0;
   for (double target : {30.0, 60.0, 90.0, 120.0}) {
-    const auto r = core::compress_fixed_psnr<float>(values, dims, target);
+    const auto r = compress_fixed_psnr(values, dims, target);
     EXPECT_GT(r.info.bit_rate, prev_rate) << "target " << target;
     prev_rate = r.info.bit_rate;
   }
@@ -51,7 +66,7 @@ TEST(Compressor, AbsoluteModePredictionCompletedFromData) {
   const auto r =
       core::compress<float>(values, dims, core::ControlRequest::absolute(0.01));
   EXPECT_FALSE(std::isnan(r.predicted_psnr_db));
-  const auto rep = core::verify<float>(values, r.stream);
+  const auto rep = verify_stream(values, r.stream);
   EXPECT_LE(rep.max_abs_error, 0.01 * (1.0 + 1e-9));
   // Eq. (7) prediction should be within a couple of dB of reality here.
   EXPECT_NEAR(rep.psnr_db, r.predicted_psnr_db, 2.5);
@@ -74,8 +89,8 @@ TEST(Compressor, TransformEnginesHitPsnrTargets) {
   for (auto engine : {core::Engine::TransformHaar, core::Engine::TransformDct}) {
     core::CompressOptions opts;
     opts.engine = engine;
-    const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
-    const auto rep = core::verify<float>(values, r.stream);
+    const auto r = compress_fixed_psnr(values, dims, 70.0, opts);
+    const auto rep = verify_stream(values, r.stream);
     // Theorem 2: aggregate distortion control holds; actual may exceed target.
     EXPECT_GT(rep.psnr_db, 69.0);
   }
@@ -87,8 +102,8 @@ TEST(Compressor, SelfDescribingDecompressDispatch) {
   core::CompressOptions sz_opts;  // default engine
   core::CompressOptions tc_opts;
   tc_opts.engine = core::Engine::TransformHaar;
-  const auto a = core::compress_fixed_psnr<float>(values, dims, 60.0, sz_opts);
-  const auto b = core::compress_fixed_psnr<float>(values, dims, 60.0, tc_opts);
+  const auto a = compress_fixed_psnr(values, dims, 60.0, sz_opts);
+  const auto b = compress_fixed_psnr(values, dims, 60.0, tc_opts);
   // Same entry point decompresses both container formats.
   EXPECT_EQ(core::decompress<float>(a.stream).values.size(), values.size());
   EXPECT_EQ(core::decompress<float>(b.stream).values.size(), values.size());
@@ -128,7 +143,7 @@ TEST(Compressor, FixedRateRoutesThroughBlockPipeline) {
 TEST(Compressor, ReportedInfoConsistent) {
   const data::Dims dims{64, 64};
   const auto values = sample_field(dims, 9);
-  const auto r = core::compress_fixed_psnr<float>(values, dims, 80.0);
+  const auto r = compress_fixed_psnr(values, dims, 80.0);
   EXPECT_EQ(r.info.value_count, values.size());
   EXPECT_EQ(r.info.compressed_bytes, r.stream.size());
   EXPECT_NEAR(r.info.compression_ratio,

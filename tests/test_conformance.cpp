@@ -1,13 +1,16 @@
 // Cross-codec conformance suite, driven through the public fpsnr::Session
 // facade: one parameterized fixture sweeping every block codec
 // {SZ-Lorenzo, Haar, DCT, Interp, ZfpRate, Store} × PSNR target {40, 60,
-// 80 dB} × field shape {1-D, 2-D, 3-D} × content {smooth random,
-// constant}, plus an adaptive-budget sweep. Every combination must (a)
+// 80 dB} × field shape {1-D, 2-D, 3-D} × tile geometry {axis-0 slab,
+// full-rank non-slab} × content {smooth random, constant}, plus an
+// adaptive-budget sweep over a non-slab tile. Every combination must (a)
 // meet its fixed-PSNR target, (b) round-trip through the facade, and (c)
 // produce a byte-identical archive through the streaming sink AND the
 // legacy core::compress_blocked entry point — the format contract the
 // paper's fixed-PSNR claim rests on, enforced codec-by-codec. Engine names
-// come from the live codec registry, never a local table.
+// come from the live codec registry, never a local table. Slab cases are
+// additionally re-serialized in the v1 and v2 container layouts to pin the
+// backward-decode guarantee.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -18,10 +21,13 @@
 
 #include "core/pipeline.h"
 #include "data/synth.h"
+#include "io/archive.h"
+#include "io/bitstream.h"
 #include "metrics/metrics.h"
 
 namespace core = fpsnr::core;
 namespace data = fpsnr::data;
+namespace io = fpsnr::io;
 namespace metrics = fpsnr::metrics;
 
 namespace {
@@ -32,7 +38,7 @@ struct Case {
   core::Engine engine;
   double target_db;
   data::Dims dims;
-  std::size_t block_rows;
+  std::vector<std::size_t> tile;
   bool constant;
   core::BudgetMode budget = core::BudgetMode::Uniform;
 };
@@ -49,7 +55,9 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
   const Case& c = info.param;
   std::string name = engine_name(c.engine) + "_" +
                      std::to_string(static_cast<int>(c.target_db)) + "db_" +
-                     std::to_string(c.dims.rank()) + "d";
+                     std::to_string(c.dims.rank()) + "d_tile";
+  for (std::size_t i = 0; i < c.tile.size(); ++i)
+    name += (i ? "x" : "") + std::to_string(c.tile[i]);
   if (c.constant) name += "_const";
   if (c.budget == core::BudgetMode::Adaptive) name += "_adaptive";
   // Gtest parameter names must be alphanumeric/underscore only.
@@ -66,23 +74,27 @@ std::vector<Case> all_cases() {
                                   core::Engine::ZfpRate,
                                   core::Engine::Store};
   const double targets[] = {40.0, 60.0, 80.0};
-  // One shape per rank, none divisible by its block_rows, so the short
-  // final slab is exercised everywhere.
-  const std::pair<data::Dims, std::size_t> shapes[] = {
-      {data::Dims{1000}, 300},
-      {data::Dims{52, 36}, 15},
-      {data::Dims{14, 20, 18}, 5},
+  // One slab and (for rank >= 2) one full-rank tile per rank; no extent
+  // divides its field, so the short trailing tile is exercised on every
+  // axis, interior and boundary.
+  const std::pair<data::Dims, std::vector<std::size_t>> shapes[] = {
+      {data::Dims{1000}, {300}},
+      {data::Dims{52, 36}, {15}},          // axis-0 slab
+      {data::Dims{52, 36}, {15, 10}},      // full-rank non-slab tile
+      {data::Dims{14, 20, 18}, {5}},       // axis-0 slab
+      {data::Dims{14, 20, 18}, {5, 7, 6}}, // full-rank non-slab tile
   };
   std::vector<Case> cases;
   for (core::Engine e : engines)
     for (double t : targets)
-      for (const auto& [dims, rows] : shapes)
+      for (const auto& [dims, tile] : shapes)
         for (bool constant : {false, true})
-          cases.push_back({e, t, dims, rows, constant});
+          cases.push_back({e, t, dims, tile, constant});
   // Adaptive budgets must honour the same contract; sweep every codec over
-  // the 2-D shape at the middle target.
+  // the 2-D shape at the middle target, on the non-slab tile so the
+  // rank-aware residual probe sees gathered tile interiors.
   for (core::Engine e : engines)
-    cases.push_back({e, 60.0, data::Dims{52, 36}, 15, false,
+    cases.push_back({e, 60.0, data::Dims{52, 36}, {15, 10}, false,
                      core::BudgetMode::Adaptive});
   return cases;
 }
@@ -106,10 +118,44 @@ class Conformance : public ::testing::TestWithParam<Case> {
     opts.budget =
         c.budget == core::BudgetMode::Adaptive ? "adaptive" : "uniform";
     opts.threads = threads;
-    opts.block_rows = c.block_rows;
+    opts.tile = fpsnr::TileShape(c.tile);
     return fpsnr::Session(std::move(opts));
   }
 };
+
+/// Re-serialize a v3 slab archive in the v1 or v2 byte layout, index and
+/// payload preserved. This is exactly the byte stream an older build wrote
+/// for the same blocks, so decoding it pins the backward-decode contract.
+std::vector<std::uint8_t> downgrade(std::span<const std::uint8_t> v3,
+                                    std::uint8_t version) {
+  const auto view = io::open_block_container(v3);
+  const auto& h = view.header;
+  io::ByteWriter w;
+  const std::uint8_t magic[4] = {'F', 'P', 'B', 'K'};
+  w.put_bytes(std::span<const std::uint8_t>(magic, 4));
+  w.put<std::uint8_t>(version);
+  w.put<std::uint8_t>(h.codec);
+  w.put<std::uint8_t>(h.scalar);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(h.extents.size()));
+  for (std::uint64_t e : h.extents) w.put_varint(e);
+  w.put_varint(h.tile[0]);  // v1/v2 carry only the slab height
+  w.put_varint(h.block_count);
+  w.put<double>(h.eb_abs);
+  w.put<double>(h.value_range);
+  w.put<std::uint8_t>(h.control_mode);
+  w.put<double>(h.control_value);
+  if (version >= 2) w.put<std::uint8_t>(h.budget_mode);
+  std::uint64_t offset = 0;
+  for (const auto& b : view.blocks) {
+    w.put<std::uint64_t>(offset);
+    offset += b.size();
+  }
+  for (const auto& b : view.blocks) w.put<std::uint64_t>(b.size());
+  if (version >= 2)
+    for (double sse : view.block_sse) w.put<double>(sse);
+  for (const auto& b : view.blocks) w.put_bytes(b);
+  return w.take();
+}
 
 }  // namespace
 
@@ -141,11 +187,11 @@ TEST_P(Conformance, MeetsPsnrTargetAndStreamsByteIdentically) {
         << engine_name(c.engine) << " missed " << c.target_db << " dB";
   }
 
-  // The v2 container must report the measured PSNR exactly (the per-block
+  // The v3 container must report the measured PSNR exactly (the per-block
   // SSE column), matching an independent recomputation from the raw data.
   const auto info = make_session(1).inspect(
       fpsnr::Source::memory(std::span<const std::uint8_t>(mem.archive)));
-  ASSERT_EQ(info.version, 2);
+  ASSERT_EQ(info.version, 3);
   if (std::isinf(report.psnr_db))
     EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
   else
@@ -172,12 +218,42 @@ TEST_P(Conformance, MeetsPsnrTargetAndStreamsByteIdentically) {
   lopts.budget = c.budget;
   lopts.parallel.block_pipeline = true;
   lopts.parallel.threads = 2;
-  lopts.parallel.block_rows = c.block_rows;
+  lopts.parallel.tile = c.tile;
   const auto legacy = core::compress_blocked<float>(
       std::span<const float>(values), c.dims,
       core::ControlRequest::fixed_psnr(c.target_db), lopts);
   EXPECT_EQ(legacy.stream, mem.archive)
       << "facade and legacy entry points must emit identical archives";
+}
+
+TEST_P(Conformance, V1AndV2SlabArchivesDecodeBitExactly) {
+  // Backward compatibility: pre-v3 containers (axis-0 slabs, scalar
+  // block_rows on the wire) must decode to the exact bytes the equivalent
+  // v3 archive decodes to, through every codec. Full-rank tiles cannot be
+  // expressed pre-v3, so only slab cases apply.
+  const Case& c = GetParam();
+  if (c.tile.size() > 1) GTEST_SKIP() << "full-rank tile is v3-only";
+
+  const auto values = make_field();
+  const auto mem = make_session(1).compress(
+      fpsnr::Source::memory(std::span<const float>(values), c.dims.extents),
+      fpsnr::FixedPsnr{c.target_db}, fpsnr::Sink::memory());
+  const auto v3 = core::decompress_blocked<float>(mem.archive);
+
+  for (const std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    SCOPED_TRACE("container v" + std::to_string(version));
+    const auto old = downgrade(mem.archive, version);
+    const auto info = core::inspect_block_stream(old);
+    EXPECT_EQ(info.version, version);
+    ASSERT_EQ(info.tile.size(), c.dims.rank());
+    EXPECT_EQ(info.tile[0], std::min<std::size_t>(c.tile[0], c.dims[0]));
+
+    const auto out = core::decompress_blocked<float>(old, 2);
+    EXPECT_EQ(out.values, v3.values) << "pre-v3 decode diverged";
+    // Random access through the synthesized slab geometry too.
+    const auto block = core::decompress_block<float>(old, info.block_count - 1);
+    EXPECT_FALSE(block.values.empty());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, Conformance,

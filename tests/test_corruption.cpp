@@ -34,7 +34,7 @@ std::vector<std::uint8_t> valid_container() {
   data::rescale(values, -1.0f, 5.0f);
   core::CompressOptions opts;
   opts.parallel.block_pipeline = true;
-  opts.parallel.block_rows = 8;
+  opts.parallel.tile = {8};
   return core::compress_blocked<float>(std::span<const float>(values), dims,
                                        core::ControlRequest::fixed_psnr(60.0),
                                        opts)
@@ -42,20 +42,20 @@ std::vector<std::uint8_t> valid_container() {
 }
 
 io::BlockContainerHeader tiny_header(std::uint64_t rows,
-                                     std::uint64_t block_rows) {
+                                     std::uint64_t slab_rows) {
   io::BlockContainerHeader h;
   h.codec = 0;
   h.scalar = 0;
   h.extents = {rows};
-  h.block_rows = block_rows;
-  h.block_count = (rows + block_rows - 1) / block_rows;
+  h.tile = {slab_rows};
+  h.block_count = (rows + slab_rows - 1) / slab_rows;
   h.eb_abs = 1e-3;
   h.value_range = 1.0;
   return h;
 }
 
 /// Header + hand-written index + payload, for crafting inconsistent files.
-/// write_block_header emits the current (v2) version, so the index carries
+/// write_block_header emits the current (v3) version, so the index carries
 /// the per-block SSE column after the size column.
 std::vector<std::uint8_t> craft(const io::BlockContainerHeader& h,
                                 std::span<const std::uint64_t> offsets,
@@ -148,6 +148,59 @@ TEST(Corruption, CraftedHeaderFieldsRejected) {
     io::write_block_header(h, w);
     const auto s = w.take();
     EXPECT_THROW(io::block_container_header(s), io::StreamError);
+  }
+}
+
+TEST(Corruption, MalformedTileGeometryRejected) {
+  {  // zero tile extent (v3 carries per-axis tile extents)
+    auto h = tiny_header(4, 2);
+    h.tile = {0};
+    io::ByteWriter w;
+    io::write_block_header(h, w);
+    const auto s = w.take();
+    EXPECT_THROW(io::block_container_header(s), io::StreamError);
+  }
+  {  // tile larger than the field on its axis
+    auto h = tiny_header(4, 2);
+    h.tile = {16};
+    io::ByteWriter w;
+    io::write_block_header(h, w);
+    const auto s = w.take();
+    EXPECT_THROW(io::block_container_header(s), io::StreamError);
+  }
+  {  // tile grid whose block product would overflow u64
+    io::BlockContainerHeader h;
+    h.codec = 0;
+    h.scalar = 0;
+    h.extents = {std::uint64_t{1} << 40, std::uint64_t{1} << 40, 2};
+    h.tile = {1, 1, 2};
+    h.block_count = 1;  // irrelevant: the grid product wraps first
+    h.eb_abs = 1e-3;
+    h.value_range = 1.0;
+    io::ByteWriter w;
+    io::write_block_header(h, w);
+    const auto s = w.take();
+    EXPECT_THROW(io::block_container_header(s), io::StreamError);
+  }
+  {  // full-rank geometry disagreeing with the dims
+    io::BlockContainerHeader h;
+    h.codec = 0;
+    h.scalar = 0;
+    h.extents = {8, 6};
+    h.tile = {4, 3};    // grid 2x2 = 4 blocks
+    h.block_count = 6;  // claims 6
+    h.eb_abs = 1e-3;
+    h.value_range = 1.0;
+    io::ByteWriter w;
+    io::write_block_header(h, w);
+    const auto s = w.take();
+    EXPECT_THROW(io::block_container_header(s), io::StreamError);
+  }
+  {  // tile rank disagreeing with the field rank is a writer-side error
+    auto h = tiny_header(4, 2);
+    h.tile = {2, 2};
+    io::ByteWriter w;
+    EXPECT_THROW(io::write_block_header(h, w), std::invalid_argument);
   }
 }
 

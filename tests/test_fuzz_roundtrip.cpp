@@ -108,7 +108,7 @@ struct FuzzCase {
   core::Engine engine = core::Engine::SzLorenzo;
   core::BudgetMode budget = core::BudgetMode::Uniform;
   double target_db = 60.0;
-  std::size_t block_rows = 0;
+  std::vector<std::size_t> tile;  ///< empty = auto near-cubic tile
   std::uint64_t content_seed = 0;
 
   std::string describe() const {
@@ -120,8 +120,11 @@ struct FuzzCase {
        << " engine=" << static_cast<int>(engine)
        << " budget=" << (budget == core::BudgetMode::Adaptive ? "adaptive"
                                                               : "uniform")
-       << " target=" << target_db << " block_rows=" << block_rows
-       << " seed=" << content_seed;
+       << " target=" << target_db << " tile=";
+    if (tile.empty()) os << "auto";
+    for (std::size_t d = 0; d < tile.size(); ++d)
+      os << (d ? "x" : "") << tile[d];
+    os << " seed=" << content_seed;
     return os.str();
   }
 };
@@ -142,7 +145,11 @@ FuzzCase draw_case(std::mt19937_64& rng, int iteration) {
   c.budget = rng() % 2 ? core::BudgetMode::Adaptive : core::BudgetMode::Uniform;
   const double targets[] = {40.0, 60.0, 80.0};
   c.target_db = targets[rng() % 3];
-  c.block_rows = rng() % 2 ? 0 : 1 + rng() % c.dims[0];
+  // Half the cases use the auto tile; the rest draw a random full-rank
+  // tile (slabs fall out whenever the trailing extents hit the dims).
+  if (rng() % 2)
+    for (std::size_t d = 0; d < c.dims.rank(); ++d)
+      c.tile.push_back(1 + rng() % c.dims[d]);
   c.content_seed = rng();
   return c;
 }
@@ -153,7 +160,7 @@ core::CompressOptions options_for(const FuzzCase& c, std::size_t threads) {
   opts.budget = c.budget;
   opts.parallel.block_pipeline = true;
   opts.parallel.threads = threads;
-  opts.parallel.block_rows = c.block_rows;
+  opts.parallel.tile = c.tile;
   return opts;
 }
 
@@ -171,7 +178,7 @@ fpsnr::Session session_for(const FuzzCase& c, std::size_t threads) {
   opts.budget =
       c.budget == core::BudgetMode::Adaptive ? "adaptive" : "uniform";
   opts.threads = threads;
-  opts.block_rows = c.block_rows;
+  opts.tile = fpsnr::TileShape(c.tile);
   return fpsnr::Session(std::move(opts));
 }
 
@@ -256,21 +263,46 @@ TEST(FuzzRoundTrip, SeededSweepHoldsAllPipelineProperties) {
     }
 
     // P4: container-recorded PSNR is exact.
-    ASSERT_EQ(info.version, 2);
+    ASSERT_EQ(info.version, 3);
     if (std::isinf(report.psnr_db))
       EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
     else
       EXPECT_NEAR(info.achieved_psnr_db, report.psnr_db, 1e-6);
 
-    // P5: random access agrees with the full decode.
+    // P5: random access agrees with the full decode — for ANY tile shape.
+    // Recompute block b's region from the header geometry (C-order grid,
+    // last axis fastest) and walk it with an odometer.
     const std::size_t b = rng() % info.block_count;
     const auto block = core::decompress_block<float>(r1.stream, b);
-    const std::size_t row_stride = c.dims.count() / c.dims[0];
-    const std::size_t first = b * info.block_rows * row_stride;
-    ASSERT_LE(first + block.values.size(), out.values.size());
-    for (std::size_t i = 0; i < block.values.size(); ++i)
-      ASSERT_EQ(block.values[i], out.values[first + i]) << "block " << b
-                                                        << " value " << i;
+    const std::size_t rank = c.dims.rank();
+    ASSERT_EQ(info.tile.size(), rank);
+    std::vector<std::size_t> grid(rank), start(rank), ext(rank),
+        stride(rank, 1);
+    for (std::size_t a = 0; a < rank; ++a)
+      grid[a] = (c.dims[a] + info.tile[a] - 1) / info.tile[a];
+    for (std::size_t a = rank - 1; a-- > 0;)
+      stride[a] = stride[a + 1] * c.dims[a + 1];
+    std::size_t rem = b;
+    for (std::size_t a = rank; a-- > 0;) {
+      start[a] = (rem % grid[a]) * info.tile[a];
+      rem /= grid[a];
+      ext[a] = std::min(info.tile[a], c.dims[a] - start[a]);
+    }
+    std::size_t count = 1;
+    for (std::size_t a = 0; a < rank; ++a) count *= ext[a];
+    ASSERT_EQ(block.values.size(), count);
+    std::vector<std::size_t> idx(rank, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t off = 0;
+      for (std::size_t a = 0; a < rank; ++a)
+        off += (start[a] + idx[a]) * stride[a];
+      ASSERT_EQ(block.values[i], out.values[off])
+          << "block " << b << " value " << i;
+      for (std::size_t a = rank; a-- > 0;) {
+        if (++idx[a] < ext[a]) break;
+        idx[a] = 0;
+      }
+    }
   }
 }
 

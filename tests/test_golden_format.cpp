@@ -19,6 +19,7 @@
 #include "core/compressor.h"
 #include "core/pipeline.h"
 #include "io/streaming_archive.h"
+#include "metrics/metrics.h"
 
 namespace core = fpsnr::core;
 namespace io = fpsnr::io;
@@ -33,6 +34,12 @@ std::vector<std::uint8_t> read_bytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.good()) << "missing fixture " << path;
   return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+fpsnr::metrics::ErrorReport verify_stream(std::span<const float> values,
+                                          std::span<const std::uint8_t> stream) {
+  const auto decoded = core::decompress<float>(stream);
+  return fpsnr::metrics::compare<float>(values, decoded.values);
 }
 
 std::vector<float> read_f32(const std::string& path) {
@@ -52,7 +59,7 @@ TEST(GoldenFormat, HeaderFieldsAreStable) {
   EXPECT_EQ(info.codec, core::kCodecSzLorenzo);
   EXPECT_EQ(info.codec_name, "sz-lorenzo");
   EXPECT_EQ(info.dims, (fpsnr::data::Dims{16, 8}));
-  EXPECT_EQ(info.block_rows, 4u);
+  EXPECT_EQ(info.tile, (std::vector<std::size_t>{4, 8}));
   EXPECT_EQ(info.block_count, 4u);
   EXPECT_EQ(info.control_mode, core::ControlMode::FixedPsnr);
   EXPECT_DOUBLE_EQ(info.control_value, 60.0);
@@ -82,7 +89,7 @@ TEST(GoldenFormat, DecodeStaysWithinQualityContract) {
   // checked-in input lets us re-verify the contract, not just the bytes.
   const auto archive = read_bytes(data_path("golden_v1.fpbk"));
   const auto original = read_f32(data_path("golden_v1_input.f32"));
-  const auto report = core::verify<float>(original, archive);
+  const auto report = verify_stream(original, archive);
   EXPECT_GE(report.psnr_db, 59.5);
 }
 
@@ -132,7 +139,7 @@ TEST_P(GoldenV2, HeaderCodecByteAndBudgetModeAreStable) {
   EXPECT_EQ(info.codec_name, c.codec_name);
   EXPECT_EQ(info.budget_mode, c.budget);
   EXPECT_EQ(info.dims, (fpsnr::data::Dims{24, 8}));
-  EXPECT_EQ(info.block_rows, 6u);
+  EXPECT_EQ(info.tile, (std::vector<std::size_t>{6, 8}));
   EXPECT_EQ(info.block_count, 4u);
   EXPECT_EQ(info.control_mode, core::ControlMode::FixedPsnr);
   EXPECT_DOUBLE_EQ(info.control_value, 60.0);
@@ -167,7 +174,7 @@ TEST_P(GoldenV2, RecordedSseColumnMatchesDecodeExactly) {
   const auto original = read_f32(data_path("golden_v2_input.f32"));
   const auto info = core::inspect_block_stream(archive);
   ASSERT_GE(info.achieved_sse, 0.0);
-  const auto report = core::verify<float>(original, archive);
+  const auto report = verify_stream(original, archive);
   if (std::isinf(report.psnr_db))
     EXPECT_TRUE(std::isinf(info.achieved_psnr_db));
   else
@@ -186,3 +193,57 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<GoldenV2Case>& info) {
       return std::string(info.param.codec_name);
     });
+
+// --- v3 fixture: full-rank tile geometry in the header --------------------
+//
+// Produced by (see tests/data/README.md):
+//   fpsnr_cli compress -i golden_v3_input.f32 -d 40x16 -m psnr -v 60
+//             --budget adaptive --tile 10x8 -o golden_v3.fpbk
+
+TEST(GoldenFormat, V3HeaderCarriesTileGeometry) {
+  const auto archive = read_bytes(data_path("golden_v3.fpbk"));
+  ASSERT_TRUE(core::is_block_stream(archive));
+  const auto info = core::inspect_block_stream(archive);
+  EXPECT_EQ(info.version, 3);
+  EXPECT_EQ(info.codec, core::kCodecSzLorenzo);
+  EXPECT_EQ(info.dims, (fpsnr::data::Dims{40, 16}));
+  EXPECT_EQ(info.tile, (std::vector<std::size_t>{10, 8}));  // grid 4x2
+  EXPECT_EQ(info.block_count, 8u);
+  EXPECT_EQ(info.control_mode, core::ControlMode::FixedPsnr);
+  EXPECT_DOUBLE_EQ(info.control_value, 60.0);
+  EXPECT_EQ(info.budget_mode, core::BudgetMode::Adaptive);
+  ASSERT_GE(info.achieved_sse, 0.0);
+}
+
+TEST(GoldenFormat, V3DecodesBitExactly) {
+  const auto archive = read_bytes(data_path("golden_v3.fpbk"));
+  const auto expected = read_f32(data_path("golden_v3_decoded.f32"));
+  ASSERT_EQ(expected.size(), 640u);
+
+  const auto full = core::decompress_blocked<float>(archive);
+  ASSERT_EQ(full.values.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(full.values[i], expected[i]) << "value " << i;
+
+  // Random access must agree with the full decode through the tile
+  // scatter path (tiles are 10x8 over a 16-wide field: never row-contiguous).
+  for (std::size_t b = 0; b < 8; ++b) {
+    const auto block = core::decompress_block<float>(archive, b);
+    ASSERT_EQ(block.dims, (fpsnr::data::Dims{10, 8})) << "block " << b;
+    const std::size_t r0 = (b / 2) * 10, c0 = (b % 2) * 8;
+    for (std::size_t i = 0; i < block.values.size(); ++i) {
+      const std::size_t r = r0 + i / 8, c = c0 + i % 8;
+      ASSERT_EQ(block.values[i], expected[r * 16 + c])
+          << "block " << b << " value " << i;
+    }
+  }
+}
+
+TEST(GoldenFormat, V3QualityContractAndRecordedPsnr) {
+  const auto archive = read_bytes(data_path("golden_v3.fpbk"));
+  const auto original = read_f32(data_path("golden_v3_input.f32"));
+  const auto report = verify_stream(original, archive);
+  EXPECT_GE(report.psnr_db, 60.0);  // fixed-PSNR target of the fixture
+  const auto info = core::inspect_block_stream(archive);
+  EXPECT_NEAR(info.achieved_psnr_db, report.psnr_db, 1e-6);
+}

@@ -20,6 +20,18 @@ namespace {
 
 const data::DatasetConfig kSmall{0.4, 2026};
 
+core::CompressResult compress_fixed_psnr(std::span<const float> values,
+                                         const data::Dims& dims, double target) {
+  return core::compress<float>(values, dims,
+                               core::ControlRequest::fixed_psnr(target));
+}
+
+metrics::ErrorReport verify_stream(std::span<const float> values,
+                                   std::span<const std::uint8_t> stream) {
+  const auto decoded = core::decompress<float>(stream);
+  return metrics::compare<float>(values, decoded.values);
+}
+
 }  // namespace
 
 TEST(Integration, AllDatasetsAllModesRoundTrip) {
@@ -39,7 +51,7 @@ TEST(Integration, AllDatasetsAllModesRoundTrip) {
     };
     for (const auto& c : cases) {
       const auto r = core::compress<float>(f.span(), f.dims, c.request);
-      const auto rep = core::verify<float>(f.span(), r.stream);
+      const auto rep = verify_stream(f.span(), r.stream);
       EXPECT_LE(rep.max_abs_error, vr * 1e-3 * (1 + 1e-9))
           << ds.name << "/" << f.name << " mode " << c.name
           << " (all three cases bound by ~1e-3 vr)";
@@ -66,8 +78,8 @@ TEST(Integration, FixedPsnrSinglePassVsSearchManyPasses) {
   const auto ds = data::make_hurricane(kSmall);
   const auto& f = ds.field("U");
   // Fixed-PSNR: exactly one compression pass by construction.
-  const auto fixed = core::compress_fixed_psnr<float>(f.span(), f.dims, 75.0);
-  const auto fixed_rep = core::verify<float>(f.span(), fixed.stream);
+  const auto fixed = compress_fixed_psnr(f.span(), f.dims, 75.0);
+  const auto fixed_rep = verify_stream(f.span(), fixed.stream);
   // Search baseline from a bad starting point.
   core::SearchOptions opts;
   opts.tolerance_db = 0.5;
@@ -121,7 +133,7 @@ TEST(Integration, StreamsAreSelfContained) {
   std::vector<std::vector<std::uint8_t>> streams;
   for (const auto& f : ds.fields)
     streams.push_back(
-        core::compress_fixed_psnr<float>(f.span(), f.dims, 65.0).stream);
+        compress_fixed_psnr(f.span(), f.dims, 65.0).stream);
   for (std::size_t i = 0; i < streams.size(); ++i) {
     const auto out = core::decompress<float>(streams[i]);
     EXPECT_EQ(out.dims, ds.fields[i].dims);

@@ -27,12 +27,21 @@ std::vector<float> sample_field(const data::Dims& dims, std::uint64_t seed) {
 }
 
 core::CompressOptions pipeline_options(std::size_t threads,
-                                       std::size_t block_rows = 0) {
+                                       std::size_t slab_rows = 0) {
   core::CompressOptions opts;
   opts.parallel.block_pipeline = true;
   opts.parallel.threads = threads;
-  opts.parallel.block_rows = block_rows;
+  if (slab_rows) opts.parallel.tile = {slab_rows};
   return opts;
+}
+
+/// Decode `stream` and report the error metrics against `values` (the old
+/// core::verify shim, inlined now that Session is the public entry point).
+template <typename T>
+metrics::ErrorReport verify_stream(std::span<const T> values,
+                                   std::span<const std::uint8_t> stream) {
+  const auto decoded = core::decompress<T>(stream);
+  return metrics::compare<T>(values, decoded.values);
 }
 
 }  // namespace
@@ -80,9 +89,11 @@ TEST(ParallelPipeline, PsnrTargetMetForEveryThreadCount) {
   // IDENTICAL across thread counts (the streams are byte-equal).
   double first_psnr = 0.0;
   for (std::size_t threads : {1u, 2u, 4u}) {
-    const auto result = core::compress_fixed_psnr<float>(
-        values, dims, target_db, pipeline_options(threads, 10));
-    const auto report = core::verify<float>(values, result.stream);
+    const auto result =
+        core::compress<float>(values, dims,
+                              core::ControlRequest::fixed_psnr(target_db),
+                              pipeline_options(threads, 10));
+    const auto report = verify_stream<float>(values, result.stream);
     EXPECT_NEAR(report.psnr_db, target_db, 3.0)
         << "threads=" << threads << " strayed from the PSNR target";
     EXPECT_NEAR(result.predicted_psnr_db, target_db, 1e-9);
@@ -113,8 +124,9 @@ TEST(ParallelPipeline, TransformEngineMeetsPsnrThroughPipeline) {
   const auto values = sample_field(dims, 11);
   core::CompressOptions opts = pipeline_options(2, 16);
   opts.engine = core::Engine::TransformHaar;
-  const auto result = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
-  const auto report = core::verify<float>(values, result.stream);
+  const auto result = core::compress<float>(
+      values, dims, core::ControlRequest::fixed_psnr(60.0), opts);
+  const auto report = verify_stream<float>(values, result.stream);
   EXPECT_GE(report.psnr_db, 60.0);
 }
 
@@ -130,12 +142,12 @@ TEST(ParallelPipeline, RandomAccessBlockMatchesFullDecode) {
   const auto full = core::decompress<float>(result.stream);
   const auto info = core::inspect_block_stream(result.stream);
   ASSERT_EQ(info.block_count, (50 + 7) / 8u);
-  ASSERT_EQ(info.block_rows, 8u);
+  ASSERT_EQ(info.tile, (std::vector<std::size_t>{8, 30}));
 
   const std::size_t row_stride = dims.count() / dims[0];
   for (std::size_t b = 0; b < info.block_count; ++b) {
     const auto block = core::decompress_block<float>(result.stream, b);
-    const std::size_t first = b * info.block_rows;
+    const std::size_t first = b * info.tile[0];
     ASSERT_EQ(block.dims[0], std::min<std::size_t>(8, dims[0] - first));
     for (std::size_t i = 0; i < block.values.size(); ++i)
       ASSERT_EQ(block.values[i], full.values[first * row_stride + i])
@@ -168,7 +180,7 @@ TEST(ParallelPipeline, WriterAcceptsOutOfOrderCompletion) {
   h.codec = 0;
   h.scalar = 0;
   h.extents = {9};
-  h.block_rows = 3;
+  h.tile = {3};
   h.block_count = 3;
   io::BlockContainerWriter writer(h);
   writer.add_block(2, {7, 8, 9}, 0.0);
@@ -196,7 +208,7 @@ TEST(ParallelPipeline, WriterAcceptsOutOfOrderCompletion) {
 TEST(ParallelPipeline, WriterRejectsMissingAndDuplicateBlocks) {
   io::BlockContainerHeader h;
   h.extents = {4};
-  h.block_rows = 2;
+  h.tile = {2};
   h.block_count = 2;
   io::BlockContainerWriter writer(h);
   writer.add_block(0, {1}, 0.0);
@@ -241,7 +253,7 @@ TEST(ParallelPipeline, FixedRateSearchesPerBlockAndStaysDeterministic) {
   const auto values = sample_field(dims, 21);
   const double bits = 7.0;
   auto opts = pipeline_options(1);
-  opts.parallel.block_rows = 16;
+  opts.parallel.tile = {16};
   const auto one = core::compress<float>(
       values, dims, core::ControlRequest::fixed_rate(bits), opts);
   opts.parallel.threads = 4;
@@ -286,8 +298,9 @@ TEST(ParallelPipeline, ConstantFieldCompressesExactly) {
   // fallback budget keeps every point exact.
   const data::Dims dims{12, 12};
   const std::vector<float> values(dims.count(), 4.25f);
-  const auto result = core::compress_fixed_psnr<float>(values, dims, 80.0,
-                                                       pipeline_options(2, 4));
+  const auto result =
+      core::compress<float>(values, dims, core::ControlRequest::fixed_psnr(80.0),
+                            pipeline_options(2, 4));
   const auto out = core::decompress<float>(result.stream);
   EXPECT_EQ(out.values, values);
 }
@@ -316,14 +329,29 @@ TEST(ParallelPipeline, HugeBlockCountHeaderRejectedNotCrash) {
   EXPECT_THROW(core::decompress_block<float>(stream, 0), io::StreamError);
 }
 
-TEST(ParallelPipeline, AutoBlockRowsIsDeterministic) {
-  // Default blocking must not depend on thread count, or streams would
+TEST(ParallelPipeline, AutoTileIsDeterministic) {
+  // Default tiling must not depend on thread count, or streams would
   // differ between --threads 1 and --threads 8.
   const data::Dims dims{4096, 64};
-  const std::size_t rows = core::auto_block_rows(dims);
-  EXPECT_GE(rows, 1u);
-  EXPECT_LE(rows, dims[0]);
-  EXPECT_EQ(rows * (dims.count() / dims[0]), core::kAutoBlockValues);
+  const auto tile = core::auto_tile(dims);
+  ASSERT_EQ(tile.size(), dims.rank());
+  std::size_t volume = 1;
+  for (std::size_t a = 0; a < tile.size(); ++a) {
+    EXPECT_GE(tile[a], 1u);
+    EXPECT_LE(tile[a], dims[a]);
+    volume *= tile[a];
+  }
+  EXPECT_LE(volume, core::kAutoBlockValues);
+  // Short axes clamp to their extent and donate volume to the rest: the
+  // 64-wide axis caps below the rank-2 edge (181), so axis 0 absorbs the
+  // full remaining budget (32768 / 64 = 512) instead of staying at 181.
+  EXPECT_EQ(tile[0], 512u);
+  EXPECT_EQ(tile[1], 64u);  // clamped to the field extent
+  // Unclamped fields keep the plain near-cubic edge.
+  EXPECT_EQ(core::auto_tile(data::Dims{500, 500}),
+            (std::vector<std::size_t>{181, 181}));
+  EXPECT_EQ(core::auto_tile(data::Dims{4, 512, 512}),
+            (std::vector<std::size_t>{4, 90, 90}));  // pancake redistribution
 
   const auto values = sample_field({97, 33}, 21);
   const auto a = core::compress<float>(values, data::Dims{97, 33},
@@ -355,6 +383,6 @@ TEST(ParallelPipeline, DoubleScalarRoundTrip) {
   const auto result = core::compress<double>(
       values, dims, core::ControlRequest::fixed_psnr(90.0),
       pipeline_options(2, 7));
-  const auto report = core::verify<double>(values, result.stream);
+  const auto report = verify_stream<double>(values, result.stream);
   EXPECT_NEAR(report.psnr_db, 90.0, 3.0);
 }

@@ -208,6 +208,40 @@ TEST(Service, ArchivesAreByteIdenticalToInProcessForEveryEngineAndMode) {
   }
 }
 
+TEST(Service, ExplicitTileShapeCrossesTheWire) {
+  // A non-slab full-rank tile requested by the client must drive the
+  // server's plan (byte-identity with an in-process Session using the
+  // same TileShape) and echo back in the result's tile geometry.
+  TestServer ts;
+  ts.start("tile");
+  service::Client client({ts.path});
+
+  const std::vector<std::size_t> dims = {48, 32};
+  const std::vector<float> values = make_values(48 * 32);
+  const std::vector<std::size_t> tile = {10, 12};
+
+  SessionOptions so;
+  so.threads = 2;
+  so.tile = TileShape(tile);
+  const Session session{std::move(so)};
+  const auto expected =
+      session
+          .compress(Source::memory(std::span<const float>(values), dims),
+                    FixedPsnr{70.0}, Sink::memory())
+          .archive;
+
+  service::CompressSpec spec;
+  spec.mode = "psnr";
+  spec.value = 70.0;
+  spec.dims = dims;
+  spec.tile = tile;
+  const service::CompressResult r =
+      client.compress(std::span<const float>(values), spec);
+  EXPECT_EQ(r.archive, expected);
+  EXPECT_EQ(r.tile, tile);
+  EXPECT_EQ(r.block_count, 5u * 3u);  // ceil(48/10) x ceil(32/12)
+}
+
 TEST(Service, RemoteDecompressMatchesInProcess) {
   TestServer ts;
   ts.start("roundtrip");

@@ -28,6 +28,7 @@
 #include "core/pipeline.h"
 #include "data/synth.h"
 #include "io/archive.h"
+#include "metrics/metrics.h"
 #include "sz/stream_format.h"
 
 namespace core = fpsnr::core;
@@ -55,6 +56,19 @@ fs::path temp_file(const std::string& stem) {
   return fs::temp_directory_path() / ("fpsnr-session-" + stem);
 }
 
+core::CompressResult compress_fixed_psnr(std::span<const float> values,
+                                         const data::Dims& dims, double target,
+                                         const core::CompressOptions& opts = {}) {
+  return core::compress<float>(values, dims,
+                               core::ControlRequest::fixed_psnr(target), opts);
+}
+
+fpsnr::metrics::ErrorReport verify_stream(std::span<const float> values,
+                                          std::span<const std::uint8_t> stream) {
+  const auto decoded = core::decompress<float>(stream);
+  return fpsnr::metrics::compare<float>(values, decoded.values);
+}
+
 }  // namespace
 
 TEST(FacadeOptions, PredictorReachesStreamHeader) {
@@ -62,9 +76,9 @@ TEST(FacadeOptions, PredictorReachesStreamHeader) {
   const auto values = sample_field(dims);
   core::CompressOptions opts;
   opts.sz_predictor = sz::Predictor::HybridRegression;
-  const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
+  const auto r = compress_fixed_psnr(values, dims, 70.0, opts);
   EXPECT_EQ(sz::inspect(r.stream).predictor, sz::Predictor::HybridRegression);
-  const auto rep = core::verify<float>(values, r.stream);
+  const auto rep = verify_stream(values, r.stream);
   EXPECT_NEAR(rep.psnr_db, 70.0, 2.0);
 }
 
@@ -73,7 +87,7 @@ TEST(FacadeOptions, QuantizationBinsReachStream) {
   const auto values = sample_field(dims);
   core::CompressOptions opts;
   opts.quantization_bins = 1024;
-  const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+  const auto r = compress_fixed_psnr(values, dims, 60.0, opts);
   EXPECT_EQ(sz::inspect(r.stream).quant_bins, 1024u);
 }
 
@@ -86,7 +100,7 @@ TEST(FacadeOptions, BackendChoicesAllDecodeIdentically) {
         fpsnr::lossless::Method::Auto}) {
     core::CompressOptions opts;
     opts.backend = backend;
-    const auto r = core::compress_fixed_psnr<float>(values, dims, 75.0, opts);
+    const auto r = compress_fixed_psnr(values, dims, 75.0, opts);
     const auto out = core::decompress<float>(r.stream);
     if (reference.empty())
       reference = out.values;
@@ -104,8 +118,8 @@ TEST_P(FacadeMatrix, EveryEngineHitsEveryTarget) {
   const auto values = sample_field(dims);
   core::CompressOptions opts;
   opts.engine = engine;
-  const auto r = core::compress_fixed_psnr<float>(values, dims, target, opts);
-  const auto rep = core::verify<float>(values, r.stream);
+  const auto r = compress_fixed_psnr(values, dims, target, opts);
+  const auto rep = verify_stream(values, r.stream);
   // Fixed-PSNR contract: never undershoot by more than ~1 dB.
   EXPECT_GT(rep.psnr_db, target - 1.0);
 }
@@ -127,10 +141,10 @@ TEST(FacadeOptions, RegistryOnlyEnginesRouteThroughBlockPipeline) {
        {core::Engine::Interp, core::Engine::ZfpRate, core::Engine::Store}) {
     core::CompressOptions opts;
     opts.engine = e;
-    const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+    const auto r = compress_fixed_psnr(values, dims, 60.0, opts);
     EXPECT_TRUE(core::is_block_stream(r.stream))
         << "engine " << static_cast<int>(e);
-    const auto rep = core::verify<float>(values, r.stream);
+    const auto rep = verify_stream(values, r.stream);
     EXPECT_GT(rep.psnr_db, 59.0) << "engine " << static_cast<int>(e);
   }
 }
@@ -166,9 +180,9 @@ TEST(FacadeOptions, AdaptiveBudgetRoutesThroughBlockPipeline) {
   const auto values = sample_field(dims);
   core::CompressOptions opts;
   opts.budget = core::BudgetMode::Adaptive;
-  const auto r = core::compress_fixed_psnr<float>(values, dims, 60.0, opts);
+  const auto r = compress_fixed_psnr(values, dims, 60.0, opts);
   EXPECT_TRUE(core::is_block_stream(r.stream));
-  EXPECT_GT(core::verify<float>(values, r.stream).psnr_db, 59.0);
+  EXPECT_GT(verify_stream(values, r.stream).psnr_db, 59.0);
 }
 
 TEST(FacadeOptions, HybridPredictorIgnoredByTransformEngines) {
@@ -180,7 +194,7 @@ TEST(FacadeOptions, HybridPredictorIgnoredByTransformEngines) {
   opts.engine = core::Engine::TransformHaar;
   opts.sz_predictor = sz::Predictor::HybridRegression;
   EXPECT_NO_THROW({
-    const auto r = core::compress_fixed_psnr<float>(values, dims, 70.0, opts);
+    const auto r = compress_fixed_psnr(values, dims, 70.0, opts);
     (void)core::decompress<float>(r.stream);
   });
 }
@@ -234,13 +248,13 @@ TEST(SessionApi, EveryTargetAndEverySinkMatchesLegacyBytes) {
 
   SessionOptions sopts;
   sopts.threads = 2;
-  sopts.block_rows = 16;
+  sopts.tile = fpsnr::TileShape::slab(16);
   const Session session(sopts);
 
   core::CompressOptions lopts;
   lopts.parallel.block_pipeline = true;
   lopts.parallel.threads = 2;
-  lopts.parallel.block_rows = 16;
+  lopts.parallel.tile = {16};
 
   for (const TargetCase& tc : block_pipeline_targets()) {
     SCOPED_TRACE(tc.name);
@@ -361,7 +375,7 @@ TEST(SessionApi, FixedRateHitsBudgetAcrossEngineMatrix) {
       SCOPED_TRACE(std::string(engine) + " @ " + std::to_string(bits));
       SessionOptions sopts;
       sopts.engine = engine;
-      sopts.block_rows = 20;
+      sopts.tile = fpsnr::TileShape::slab(20);
       const Session session(sopts);
       const auto r = session.compress(
           Source::memory(std::span<const float>(values), dims.extents),
@@ -442,7 +456,7 @@ TEST(SessionApi, InspectReportsFacadeNames) {
   const auto info = session.inspect(
       Source::memory(std::span<const std::uint8_t>(r.archive)));
   EXPECT_TRUE(info.block_container);
-  EXPECT_EQ(info.version, 2);
+  EXPECT_EQ(info.version, 3);
   EXPECT_EQ(info.codec, "sz-lorenzo");
   EXPECT_EQ(info.target, "fixed-psnr");
   EXPECT_DOUBLE_EQ(info.target_value, 75.0);

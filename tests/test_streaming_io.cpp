@@ -29,11 +29,11 @@ std::vector<float> sample_field(const data::Dims& dims, std::uint64_t seed) {
 }
 
 core::CompressOptions pipeline_options(std::size_t threads,
-                                       std::size_t block_rows = 0) {
+                                       std::size_t slab_rows = 0) {
   core::CompressOptions opts;
   opts.parallel.block_pipeline = true;
   opts.parallel.threads = threads;
-  opts.parallel.block_rows = block_rows;
+  if (slab_rows) opts.parallel.tile = {slab_rows};
   return opts;
 }
 
@@ -107,7 +107,7 @@ TEST(StreamingIo, WriterSpillsOutOfOrderBlocksInIndexOrder) {
   h.codec = 0;
   h.scalar = 0;
   h.extents = {9};
-  h.block_rows = 3;
+  h.tile = {3};
   h.block_count = 3;
 
   // Reference bytes from the in-memory writer.
@@ -134,7 +134,7 @@ TEST(StreamingIo, WriterSpillsOutOfOrderBlocksInIndexOrder) {
 TEST(StreamingIo, WriterRejectsMisuse) {
   io::BlockContainerHeader h;
   h.extents = {4};
-  h.block_rows = 2;
+  h.tile = {2};
   h.block_count = 2;
 
   TempFile tmp("stream-misuse");
@@ -155,7 +155,7 @@ TEST(StreamingIo, AbortedWriteLeavesPreExistingArchiveUntouched) {
   // nor leaves a truncated container behind.
   io::BlockContainerHeader h;
   h.extents = {4};
-  h.block_rows = 2;
+  h.tile = {2};
   h.block_count = 2;
 
   TempFile tmp("stream-abort");
@@ -185,7 +185,7 @@ TEST(StreamingIo, AbortedWriteLeavesPreExistingArchiveUntouched) {
 TEST(StreamingIo, WriterRejectsUnwritablePath) {
   io::BlockContainerHeader h;
   h.extents = {2};
-  h.block_rows = 2;
+  h.tile = {2};
   h.block_count = 1;
   EXPECT_THROW(
       io::StreamingArchiveWriter("/nonexistent-dir/no/such/file.fpbk", h),
@@ -204,7 +204,7 @@ TEST(StreamingIo, MmapReaderDecodesFullArchiveAndSingleBlocks) {
                                 tmp.str());
 
   io::MmapArchiveReader reader(tmp.str());
-  EXPECT_EQ(reader.header().block_rows, 8u);
+  ASSERT_EQ(reader.header().tile, (std::vector<std::uint64_t>{8, 30}));
   EXPECT_EQ(reader.block_count(), (50 + 7) / 8u);
 
   const auto full = core::decompress_file<float>(tmp.str(), 2);
@@ -217,7 +217,7 @@ TEST(StreamingIo, MmapReaderDecodesFullArchiveAndSingleBlocks) {
   const std::size_t row_stride = dims.count() / dims[0];
   for (std::size_t b = 0; b < reader.block_count(); ++b) {
     const auto block = core::decompress_file_block<float>(tmp.str(), b);
-    const std::size_t first = b * reader.header().block_rows;
+    const std::size_t first = b * reader.header().tile[0];
     ASSERT_EQ(block.dims[0], std::min<std::size_t>(8, dims[0] - first));
     for (std::size_t i = 0; i < block.values.size(); ++i)
       ASSERT_EQ(block.values[i], ref.values[first * row_stride + i])

@@ -99,7 +99,8 @@ TEST(FixedNrmse, EndToEnd) {
   const auto& f = series[0];
   const auto r = core::compress<float>(f.span(), f.dims,
                                        core::ControlRequest::fixed_nrmse(1e-3));
-  const auto rep = core::verify<float>(f.span(), r.stream);
+  const auto decoded = core::decompress<float>(r.stream);
+  const auto rep = metrics::compare<float>(f.span(), decoded.values);
   EXPECT_NEAR(rep.nrmse, 1e-3, 3e-4);
 }
 

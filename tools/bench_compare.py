@@ -8,6 +8,11 @@ enforces the global-work-queue speedup claim:
 
     time(BM_BatchSequentialPerField/8) / time(BM_BatchGlobalQueue/8) >= 1.3
 
+and the full-rank tiling claim from bench_tiling (pancake-shaped field,
+where axis-0 slabs cap the block count at the short leading extent):
+
+    time(BM_TilingSlabCompress/8) / time(BM_TilingFullRankCompress/8) >= 1.3
+
 The absolute comparison is deliberately loose (default: fail only when a
 benchmark runs ``--tolerance`` times slower than the baseline): the
 baseline and the CI runner are different machines, so the gate exists to
@@ -44,6 +49,8 @@ import sys
 
 SEQ8 = "BM_BatchSequentialPerField/8/real_time"
 QUEUE8 = "BM_BatchGlobalQueue/8/real_time"
+SLAB8 = "BM_TilingSlabCompress/8/real_time"
+FULLRANK8 = "BM_TilingFullRankCompress/8/real_time"
 
 # scalar/dispatch arm pairs emitted by bench_simd_kernels.cpp.
 SIMD_KERNELS = [
@@ -99,6 +106,8 @@ def main():
                     help="fail when pr_time > tolerance * baseline_time")
     ap.add_argument("--speedup-gate", type=float, default=1.3,
                     help="required sequential/queue speedup at 8 workers")
+    ap.add_argument("--tiling-gate", type=float, default=1.3,
+                    help="required slab/full-rank tiling speedup at 8 workers")
     ap.add_argument("--min-cpus", type=int, default=4,
                     help="skip the speedup gate below this core count")
     ap.add_argument("--simd-gate", type=float, default=1.5,
@@ -165,6 +174,28 @@ def main():
         failures.append(
             f"speedup gate benchmarks missing (`{SEQ8}`, `{QUEUE8}`)")
 
+    # Full-rank tiling gate: on a pancake field the slab decomposition can
+    # never keep 8 workers busy (block count == leading extent), so the
+    # full-rank arm must win by the gate factor. Intra-run ratio, same
+    # machine-independence argument as the queue gate.
+    tiling_note = ""
+    if SLAB8 in pr and FULLRANK8 in pr:
+        speedup = pr[SLAB8] / pr[FULLRANK8]
+        if cpus >= args.min_cpus:
+            gate = "ok" if speedup >= args.tiling_gate else "FAILED"
+            tiling_note = (f"full-rank tiling speedup at 8 workers: "
+                           f"{speedup:.2f}x (gate >= {args.tiling_gate}x, "
+                           f"{cpus} cpus) — {gate}")
+            if gate != "ok":
+                failures.append(tiling_note)
+        else:
+            tiling_note = (f"full-rank tiling speedup at 8 workers: "
+                           f"{speedup:.2f}x (gate skipped: only {cpus} cpus, "
+                           f"need >= {args.min_cpus})")
+    else:
+        failures.append(
+            f"tiling gate benchmarks missing (`{SLAB8}`, `{FULLRANK8}`)")
+
     # SIMD vectorization gate: intra-run scalar/dispatch arm ratios from
     # bench_simd_kernels. Armed only when that bench ran AND it dispatched
     # a vector backend; scalar runs report parity and skip the gate.
@@ -212,6 +243,8 @@ def main():
               *lines, ""]
     if speedup_note:
         report += [speedup_note, ""]
+    if tiling_note:
+        report += [tiling_note, ""]
     if simd_notes:
         report += [*simd_notes, ""]
     if baseline_note:
