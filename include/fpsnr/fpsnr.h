@@ -16,5 +16,6 @@
 #include "fpsnr/session.h"
 #include "fpsnr/stream.h"
 #include "fpsnr/target.h"
+#include "fpsnr/timeseries.h"
 #include "fpsnr/tuning.h"
 #include "fpsnr/version.h"

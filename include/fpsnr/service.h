@@ -13,8 +13,8 @@
 //   frame  := magic:u32 ('FPSD') | type:u16 | flags:u16 (0) | length:u64
 //             | payload[length]
 //
-// Request payloads for Compress/Decompress/Inspect start with the
-// scheduling prefix `priority:u8 | deadline_ms:u32` (deadline 0 = none,
+// Request payloads for Compress/CompressSeries/Decompress/Inspect start
+// with the scheduling prefix `priority:u8 | deadline_ms:u32` (deadline 0 = none,
 // measured from server receipt). Strings are `len:u32 | bytes`. Every
 // request is answered by exactly one Reply or Error frame; an Error
 // payload is `code:u16 | message:string`. Archives returned by Compress
@@ -55,6 +55,7 @@ enum class FrameType : std::uint16_t {
   Inspect = 4,     ///< archive in, rendered metadata out
   Stats = 5,       ///< metrics snapshot as `key: value` lines
   Shutdown = 6,    ///< begin graceful drain; replies before draining
+  CompressSeries = 7,  ///< next snapshot of a named series in, v4 frame out
   Reply = 0x80,
   Error = 0x81,
 };
@@ -170,6 +171,41 @@ struct CompressResult {
   std::vector<std::size_t> tile;
 };
 
+/// Temporal-compression job parameters. The server keeps one persistent
+/// TimeSeriesSession (see fpsnr/timeseries.h) per series name; every
+/// CompressSeries request appends the next snapshot to that chain, and the
+/// non-name parameters must match the request that opened the series
+/// exactly (a mismatch is BadRequest — silently re-tiling mid-chain would
+/// desynchronize every downstream decoder). Requests for ONE series are
+/// serialized server-side; distinct series compress concurrently.
+struct SeriesSpec {
+  std::string series = "series";
+  /// Spatial keyframe cadence (TimeSeriesOptions::keyframe_interval).
+  std::uint32_t keyframe_interval = 8;
+  std::string engine = "sz-lorenzo";
+  std::string budget = "uniform";
+  std::string mode = "fixed-psnr";  ///< target_name() spelling or CLI alias
+  double value = 80.0;
+  std::vector<std::size_t> tile;  ///< TileShape::extents semantics
+  std::vector<std::size_t> dims;  ///< C order; fixed for the whole series
+};
+
+/// One frame's outcome: the CompressResult fields plus the frame's chain
+/// position. `archive` is the FPBK v4 frame — decode chains of them with a
+/// TimeSeriesDecoder.
+struct SeriesResult {
+  std::vector<std::uint8_t> archive;
+  std::uint64_t value_count = 0;
+  std::uint64_t compressed_bytes = 0;
+  double achieved_psnr_db = 0.0;  ///< measured against the ORIGINAL snapshot
+  double bit_rate = 0.0;
+  std::uint64_t block_count = 0;
+  std::vector<std::size_t> tile;
+  std::uint64_t timestep = 0;
+  bool keyframe = false;
+  std::uint64_t temporal_blocks = 0;  ///< blocks that chose delta mode
+};
+
 /// A blocking client connection. Not thread-safe — one in-flight request
 /// per Client; open one Client per concurrent stream.
 class Client {
@@ -187,6 +223,16 @@ class Client {
   CompressResult compress(std::span<const double> values,
                           const CompressSpec& spec,
                           const RequestOptions& options = {});
+  /// Push the next snapshot of spec.series; the server's persistent
+  /// per-series session codes it against the previous frame's
+  /// reconstruction. Frames come back in push order — feed them to a
+  /// TimeSeriesDecoder as a chain.
+  SeriesResult compress_series(std::span<const float> values,
+                               const SeriesSpec& spec,
+                               const RequestOptions& options = {});
+  SeriesResult compress_series(std::span<const double> values,
+                               const SeriesSpec& spec,
+                               const RequestOptions& options = {});
   Field decompress(std::span<const std::uint8_t> archive,
                    const RequestOptions& options = {});
   std::string inspect(std::span<const std::uint8_t> archive,

@@ -147,6 +147,14 @@ struct Inspection {
   /// does not record it (v1 containers, flat streams).
   double achieved_psnr_db = 0.0;
   std::size_t archive_bytes = 0;
+  /// v4 temporal-chain metadata (see fpsnr/timeseries.h); all zero / false
+  /// for plain spatial archives (v1..v3) and flat streams.
+  bool temporal = false;  ///< archive is a time-series frame (FPBK v4)
+  bool delta = false;     ///< frame codes deltas against its predecessor
+  std::uint64_t series_id = 0;   ///< FNV-1a of the series name
+  std::uint64_t timestep = 0;    ///< 0-based position in the series
+  std::uint64_t ref_hash = 0;    ///< identity of the required reference
+  std::size_t temporal_blocks = 0;  ///< blocks coded in temporal-delta mode
 };
 
 /// One field of a batch job: a name (the archive's file stem in streaming

@@ -1,0 +1,136 @@
+// fpsnr public API — temporal compression of snapshot time series.
+//
+// Simulation outputs are sequences of slowly evolving snapshots; coding
+// each one from scratch ignores that. A TimeSeriesSession owns the
+// previous timestep's *reconstruction* — the decoder-visible state, so the
+// encoder and every decoder stay bit-synchronized — and compresses each
+// pushed snapshot as a per-tile choice between the temporal delta against
+// that reference and plain spatial coding (motion or turbulence can make
+// the delta worse; the planner probes both and records a 1-bit mode per
+// block). The composite runs through the same engine stack as Session
+// compress, so the requested pointwise/PSNR target holds for every
+// snapshot measured against the ORIGINAL data, not the residual.
+//
+//   fpsnr::TimeSeriesSession series(fpsnr::FixedPsnr{70.0},
+//                                   {.series = "vx", .keyframe_interval = 8});
+//   for (const auto& snap : snapshots) {
+//     auto rec = series.push(snap);             // rec.report.archive = FPBK v4
+//   }
+//   auto fields = series.decode_range(3, 7);    // snapshots 3..6
+//
+// Frames are FPBK v4 containers carrying a chain header (series id,
+// timestep, reference hash): a delta frame refuses to decode against the
+// wrong reference, out of order, or from a foreign series — feed them in
+// order to a TimeSeriesDecoder, starting at any keyframe. Periodic
+// keyframes (`keyframe_interval`) bound the decode-chain length for random
+// access; they are NOT needed to bound error drift — every frame's error
+// budget is anchored to its own original, so errors never accumulate
+// across timesteps. Plain spatial archives (v1–v3) are unaffected.
+//
+// Self-contained: installed under <prefix>/include/fpsnr and includes only
+// the C++ standard library and sibling fpsnr/ headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fpsnr/session.h"
+#include "fpsnr/target.h"
+
+namespace fpsnr {
+
+struct TimeSeriesOptions {
+  /// Engine/budget/tile/threads/tuning for every frame, exactly as a
+  /// Session would resolve them.
+  SessionOptions session;
+  /// Series name; its FNV-1a hash is the chain identity stamped into every
+  /// frame's v4 header.
+  std::string series = "series";
+  /// A spatial keyframe every N snapshots (t = 0, N, 2N, ...). 0 = only
+  /// the first snapshot is a keyframe. 1 = every snapshot (temporal
+  /// prediction effectively off).
+  std::size_t keyframe_interval = 8;
+  /// Keep every frame's archive inside the session so archive(t) and
+  /// decode_range() work. Disable for long-running in-situ use where the
+  /// caller ships each frame elsewhere (the daemon's session pool does).
+  bool keep_archives = true;
+};
+
+/// Outcome of one push().
+struct SnapshotRecord {
+  std::size_t timestep = 0;
+  bool keyframe = false;
+  /// Blocks that chose temporal-delta mode (0 for keyframes).
+  std::size_t temporal_blocks = 0;
+  std::size_t block_count = 0;
+  /// The usual per-job report; `archive` holds the FPBK v4 frame. PSNR
+  /// figures are measured against the original snapshot.
+  CompressReport report;
+};
+
+/// Stateful encoder for one snapshot series. Movable, not copyable; not
+/// thread-safe (frames are inherently ordered — guard externally to share).
+class TimeSeriesSession {
+ public:
+  explicit TimeSeriesSession(Target target, TimeSeriesOptions options = {});
+  ~TimeSeriesSession();
+
+  TimeSeriesSession(TimeSeriesSession&&) noexcept;
+  TimeSeriesSession& operator=(TimeSeriesSession&&) noexcept;
+
+  const TimeSeriesOptions& options() const;
+
+  /// Compress the next snapshot (timestep = number of prior pushes).
+  /// Exactly one of f32/f64 must be filled; dims and scalar type must match
+  /// the first pushed snapshot, else std::invalid_argument.
+  SnapshotRecord push(const Field& snapshot);
+
+  /// Snapshots pushed so far.
+  std::size_t snapshots() const;
+
+  /// Archive bytes of frame `t` (requires keep_archives; throws
+  /// std::logic_error otherwise, std::out_of_range on a bad index).
+  const std::vector<std::uint8_t>& archive(std::size_t t) const;
+
+  /// Decode snapshots [t0, t1) — half-open, so decode_range(0, snapshots())
+  /// is the whole series. Internally replays the chain from the nearest
+  /// keyframe at or before t0. Requires keep_archives.
+  std::vector<Field> decode_range(std::size_t t0, std::size_t t1) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Stateful decoder for a frame chain: feed archives in series order,
+/// starting at any keyframe. Every chain violation — first frame not a
+/// keyframe, foreign series id, a timestep gap, or a delta frame whose
+/// reference hash does not match the reconstruction this decoder holds —
+/// throws a std::runtime_error subclass and leaves the decoder state
+/// unchanged, so a corrupted or misordered frame can never silently decode
+/// against the wrong reference.
+class TimeSeriesDecoder {
+ public:
+  /// `threads` caps the per-frame block decode (0 = hardware concurrency).
+  explicit TimeSeriesDecoder(std::size_t threads = 0);
+  ~TimeSeriesDecoder();
+
+  TimeSeriesDecoder(TimeSeriesDecoder&&) noexcept;
+  TimeSeriesDecoder& operator=(TimeSeriesDecoder&&) noexcept;
+
+  /// Decode the next frame of the chain and return its reconstruction.
+  Field feed(std::span<const std::uint8_t> archive);
+
+  /// Frames successfully decoded so far.
+  std::size_t frames() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fpsnr

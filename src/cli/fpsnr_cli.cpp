@@ -86,6 +86,21 @@ using namespace fpsnr;
       "      through to every field; --stream spills each archive to disk as its blocks\n"
       "      finish; --no-verify skips the decode check and reports the\n"
       "      exact compress-time PSNR from the FPBK v2 SSE index instead\n"
+      "  fpsnr_cli compress-series -i MANIFEST -d DIMS -o OUTDIR [-m MODE -v V]\n"
+      "      temporal compression of an ordered snapshot series: each frame\n"
+      "      is coded per-tile as a delta against the previous frame's\n"
+      "      reconstruction (FPBK v4 chain) or spatially, whichever is\n"
+      "      smaller; the -m/-v target holds for every frame against its\n"
+      "      ORIGINAL data. MANIFEST is a text file, one raw-f32 snapshot\n"
+      "      file per line in time order ('#' comments; paths relative to\n"
+      "      the manifest); all snapshots share DIMS.\n"
+      "      --series NAME          chain identity stamped into every frame\n"
+      "                             (default: the manifest's file stem)\n"
+      "      --keyframe-interval N  spatial keyframe every N frames\n"
+      "                             (default 8; 0 = first frame only,\n"
+      "                             1 = every frame)\n"
+      "      frames land as OUTDIR/<series>_<t>.fpbk; 'inspect' shows each\n"
+      "      frame's chain position\n"
       "  fpsnr_cli demo       [--dataset nyx|atm|hurricane] [--psnr DB]\n"
       "  fpsnr_cli pack       --dataset NAME --psnr DB -o OUT.fpar\n"
       "      compress every field of a synthetic dataset into one archive\n"
@@ -248,6 +263,8 @@ struct Args {
   std::size_t deadline_ms = 0;      ///< client: per-request deadline
   std::size_t max_frame_mb = 1024;     ///< serve: per-frame payload cap
   std::size_t max_inflight_mb = 256;   ///< serve: admission byte budget
+  std::string series;  ///< compress-series: chain name (default: manifest stem)
+  std::size_t keyframe_interval = 8;  ///< compress-series: keyframe cadence
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -300,6 +317,9 @@ Args parse_args(int argc, char** argv, int first) {
         usage("--priority wants normal|high");
     }
     else if (flag == "--deadline-ms") a.deadline_ms = parse_count(flag, next());
+    else if (flag == "--series") a.series = next();
+    else if (flag == "--keyframe-interval")
+      a.keyframe_interval = parse_count(flag, next());
     else if (flag == "--max-frame-mb") a.max_frame_mb = parse_count(flag, next());
     else if (flag == "--max-inflight-mb")
       a.max_inflight_mb = parse_count(flag, next());
@@ -528,6 +548,17 @@ int cmd_inspect(const Args& a) {
               << tile_text(info.tile) << "\n"
               << "eb_abs      : " << std::scientific << info.eb_abs << "\n"
               << "value range : " << info.value_range << "\n";
+    if (info.temporal) {
+      std::cout << "chain       : series 0x" << std::hex << info.series_id
+                << std::dec << ", timestep " << info.timestep << " ("
+                << (info.delta ? "delta frame" : "keyframe") << ")\n";
+      if (info.delta)
+        std::cout << "reference   : 0x" << std::hex << info.ref_hash
+                  << std::dec << " (reconstruction hash of timestep "
+                  << (info.timestep - 1) << ")\n";
+      std::cout << "temporal    : " << info.temporal_blocks << " of "
+                << info.block_count << " block(s) delta-coded\n";
+    }
     if (std::isnan(info.achieved_psnr_db))
       std::cout << "exact PSNR  : n/a (v1 archive)\n";
     else
@@ -666,6 +697,119 @@ int cmd_compress_batch(const Args& a) {
             << " worker(s) over " << batch.fields.size()
             << " field(s); per-field archives are byte-identical at any "
                "thread count\n";
+  return 0;
+}
+
+/// Parse a series manifest: one raw-f32 snapshot file per line, in time
+/// order. '#' comments and blank lines are ignored; relative paths resolve
+/// against the manifest's own directory, like the batch manifest.
+std::vector<std::string> read_series_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open " + path).c_str());
+  const auto base = std::filesystem::path(path).parent_path();
+  std::vector<std::string> files;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream fields(line);
+    std::string file;
+    if (!(fields >> file)) continue;  // blank / comment-only line
+    if (std::string extra; fields >> extra)
+      usage(("series manifest line " + std::to_string(lineno) +
+             ": unexpected trailing token '" + extra +
+             "' (want one raw-f32 file per line)").c_str());
+    std::filesystem::path p(file);
+    if (p.is_relative()) p = base / p;
+    files.push_back(p.string());
+  }
+  if (files.empty()) usage("series manifest lists no snapshots");
+  return files;
+}
+
+int cmd_compress_series(const Args& a) {
+  if (a.input.empty() || a.output.empty() || a.dims.empty())
+    usage("compress-series needs -i MANIFEST, -o OUTDIR, -d DIMS");
+  const data::Dims dims = parse_dims(a.dims);
+  const std::vector<std::string> files = read_series_manifest(a.input);
+
+  TimeSeriesOptions topts;
+  // Frame options resolve exactly as make_session resolves them for a
+  // Session, so a series frame and a spatial archive of the same snapshot
+  // use the same engine stack.
+  topts.session.engine = resolve_engine(a.engine);
+  if (a.budget != "uniform" && a.budget != "adaptive")
+    usage("unknown budget mode (want uniform|adaptive)");
+  topts.session.budget = a.budget;
+  topts.session.threads = a.threads;
+  if (!a.tile.empty() && a.block_size)
+    usage("--tile and --block-size are mutually exclusive");
+  if (!a.tile.empty())
+    topts.session.tile = TileShape(parse_tile(a.tile));
+  else if (a.block_size)
+    topts.session.tile = TileShape::slab(a.block_size);
+  if (a.predictor != "lorenzo" && a.predictor != "hybrid")
+    usage("unknown predictor (want lorenzo|hybrid)");
+  if (topts.session.engine == "sz-lorenzo")
+    topts.session.tuning.set("sz-lorenzo", "predictor", a.predictor);
+  topts.series = a.series.empty()
+                     ? std::filesystem::path(a.input).stem().string()
+                     : a.series;
+  // The series name becomes OUTDIR/<series>_<t>.fpbk — same escape hatch
+  // the batch manifest closes for field names.
+  if (topts.series.find_first_of("/\\:") != std::string::npos)
+    usage("--series name must not contain path separators or ':'");
+  topts.keyframe_interval = a.keyframe_interval;
+  // Frames are written to disk as they are produced; holding the whole
+  // series in memory too would double the footprint for nothing.
+  topts.keep_archives = false;
+
+  const Target target = parse_target(a.mode, a.value);
+  TimeSeriesSession series(target, std::move(topts));
+  std::filesystem::create_directories(a.output);
+
+  std::size_t raw_total = 0, compressed_total = 0;
+  std::cout << std::left << std::setw(6) << "t" << std::setw(10) << "kind"
+            << std::right << std::setw(12) << "bytes" << std::setw(9)
+            << "ratio" << std::setw(16) << "delta blocks\n";
+  for (std::size_t t = 0; t < files.size(); ++t) {
+    const data::Field snap =
+        load_field("t" + std::to_string(t), files[t], dims);
+    Field frame;
+    frame.dims = dims.extents;
+    frame.f32 = snap.values;
+    const SnapshotRecord rec = series.push(frame);
+
+    const auto path = (std::filesystem::path(a.output) /
+                       (series.options().series + "_" + std::to_string(t) +
+                        ".fpbk")).string();
+    write_file(path, rec.report.archive.data(), rec.report.archive.size());
+    raw_total += rec.report.value_count * sizeof(float);
+    compressed_total += rec.report.compressed_bytes;
+    std::cout << std::left << std::setw(6) << t << std::setw(10)
+              << (rec.keyframe ? "keyframe" : "delta") << std::right
+              << std::setw(12) << rec.report.compressed_bytes << std::setw(9)
+              << std::fixed << std::setprecision(2)
+              << rec.report.compression_ratio << std::setw(8)
+              << rec.temporal_blocks << "/" << rec.block_count << "\n";
+  }
+
+  std::cout << "\n" << files.size() << " frame(s) -> " << a.output << ": "
+            << raw_total << " raw -> " << compressed_total
+            << " compressed bytes (series ratio " << std::fixed
+            << std::setprecision(2)
+            << (compressed_total ? static_cast<double>(raw_total) /
+                                       static_cast<double>(compressed_total)
+                                 : 0.0)
+            << ")\n"
+            << "chain: series '" << series.options().series
+            << "', keyframe every "
+            << (a.keyframe_interval
+                    ? std::to_string(a.keyframe_interval) + " frame(s)"
+                    : std::string("first frame only"))
+            << "; decode in order with a TimeSeriesDecoder\n";
   return 0;
 }
 
@@ -889,6 +1033,7 @@ int main(int argc, char** argv) {
     apply_simd(a);
     if (cmd == "compress") return cmd_compress(a);
     if (cmd == "compress-batch") return cmd_compress_batch(a);
+    if (cmd == "compress-series") return cmd_compress_series(a);
     if (cmd == "decompress") return cmd_decompress(a);
     if (cmd == "inspect") return cmd_inspect(a);
     if (cmd == "demo") return cmd_demo(a);

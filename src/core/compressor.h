@@ -68,6 +68,24 @@ struct ParallelOptions {
   bool enabled() const { return block_pipeline || threads > 1 || !tile.empty(); }
 };
 
+/// Chain metadata the temporal subsystem (src/temporal/) threads through
+/// the block pipeline into the FPBK v4 header. When `enabled`, the values
+/// being compressed are a composite field (per tile: either the raw
+/// snapshot or its delta against the previous reconstruction) and the
+/// emitted container is stamped v4 with this chain identity plus the
+/// per-block mode bitmap, so a decoder can rebuild — and refuse the wrong
+/// reference for — each frame. Plain spatial compressions leave it
+/// disabled and keep emitting v3 byte-for-byte.
+struct TemporalLink {
+  bool enabled = false;
+  bool delta = false;        ///< false for keyframes (bitmap must be zero)
+  std::uint64_t series_id = 0;
+  std::uint64_t timestep = 0;
+  std::uint64_t ref_hash = 0;  ///< FNV-1a of the reference recon; 0 iff !delta
+  /// ceil(block_count/8) bytes; bit b set = block b is a temporal delta.
+  std::vector<std::uint8_t> block_modes;
+};
+
 struct CompressOptions {
   Engine engine = Engine::SzLorenzo;
   /// Prediction scheme for the SzLorenzo engine (Lorenzo = the paper's
@@ -83,6 +101,16 @@ struct CompressOptions {
   /// The registry-only engines (Interp / ZfpRate / Store) always route
   /// through the block pipeline regardless of these knobs.
   ParallelOptions parallel;
+  /// When set, range-derived control modes (fixed-PSNR / rel / nrmse)
+  /// resolve their absolute budget — and the header's recorded
+  /// value_range — from THIS range instead of the range of the values
+  /// being compressed. The temporal layer compresses a composite
+  /// delta/raw field whose error contract is stated against the ORIGINAL
+  /// snapshot; overriding with the original's range keeps the fixed-PSNR
+  /// guarantee and the achieved-PSNR ledger anchored to it.
+  std::optional<double> value_range_override;
+  /// FPBK v4 chain metadata (temporal subsystem only).
+  TemporalLink temporal;
 };
 
 struct CompressResult {

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/distortion_model.h"
+#include "core/tile_layout.h"
 #include "io/archive.h"
 #include "io/streaming_archive.h"
 #include "metrics/metrics.h"
@@ -20,135 +21,6 @@ namespace fpsnr::core {
 
 namespace {
 
-/// The full-rank tile grid a field is sharded into. Blocks are the tiles in
-/// C order over `grid` (last axis fastest); the trailing tile on each axis
-/// may be short. Depends only on dims and the requested tile shape — never
-/// on thread count — so the archive layout is schedule-independent.
-struct TileLayout {
-  std::vector<std::size_t> tile;  ///< per-axis tile extents (clamped to dims)
-  std::vector<std::size_t> grid;  ///< per-axis tile counts
-  std::size_t block_count = 0;
-  /// True when every axis but 0 has a single tile: each block is then a
-  /// contiguous axis-0 slab of the field buffer (the v1/v2 geometry) and
-  /// codecs borrow it as a subspan instead of gathering a copy.
-  bool slabbed = true;
-  std::size_t row_stride = 1;  ///< values per axis-0 row
-};
-
-TileLayout make_layout(const data::Dims& dims,
-                       std::span<const std::size_t> requested) {
-  const std::size_t rank = dims.rank();
-  if (requested.size() > rank)
-    throw std::invalid_argument(
-        "block pipeline: tile rank exceeds the field rank");
-  TileLayout l;
-  if (requested.empty()) {
-    l.tile = auto_tile(dims);
-  } else {
-    l.tile.resize(rank);
-    for (std::size_t a = 0; a < rank; ++a) {
-      // A 0 entry (or a missing trailing axis) spans the field on that
-      // axis, so {r} is exactly the legacy axis-0 slab of r rows.
-      const std::size_t want = a < requested.size() ? requested[a] : 0;
-      l.tile[a] = want == 0 ? dims[a]
-                            : std::clamp<std::size_t>(want, 1, dims[a]);
-    }
-  }
-  l.grid.resize(rank);
-  l.block_count = 1;
-  for (std::size_t a = 0; a < rank; ++a) {
-    l.grid[a] = (dims[a] + l.tile[a] - 1) / l.tile[a];
-    l.block_count *= l.grid[a];
-    if (a > 0 && l.grid[a] != 1) l.slabbed = false;
-  }
-  l.row_stride = dims.count() / dims[0];
-  return l;
-}
-
-/// One tile's position in the field: per-axis start and extents.
-struct TileRegion {
-  std::size_t start[3] = {0, 0, 0};
-  std::size_t ext[3] = {1, 1, 1};
-  std::size_t count = 1;  ///< product of ext over the field's rank
-};
-
-TileRegion tile_region(const TileLayout& l, const data::Dims& dims,
-                       std::size_t b) {
-  const std::size_t rank = dims.rank();
-  TileRegion r;
-  r.count = 1;
-  for (std::size_t a = rank; a-- > 0;) {
-    const std::size_t c = b % l.grid[a];
-    b /= l.grid[a];
-    r.start[a] = c * l.tile[a];
-    r.ext[a] = std::min(l.tile[a], dims[a] - r.start[a]);
-    r.count *= r.ext[a];
-  }
-  return r;
-}
-
-data::Dims region_dims(const TileRegion& r, std::size_t rank) {
-  return data::Dims(
-      std::vector<std::size_t>(r.ext, r.ext + rank));
-}
-
-/// C-order strides of the field (stride[rank-1] == 1).
-void field_strides(const data::Dims& dims, std::size_t* stride) {
-  const std::size_t rank = dims.rank();
-  stride[rank - 1] = 1;
-  for (std::size_t a = rank - 1; a-- > 0;) stride[a] = stride[a + 1] * dims[a + 1];
-}
-
-/// True when the tile occupies a contiguous run of the field buffer: every
-/// axis but 0 spans the whole field.
-bool region_contiguous(const TileRegion& r, const data::Dims& dims) {
-  for (std::size_t a = 1; a < dims.rank(); ++a)
-    if (r.ext[a] != dims[a]) return false;
-  return true;
-}
-
-/// Copy a tile out of the field into a contiguous C-order buffer (gather)
-/// or back (scatter). The innermost axis is contiguous in both layouts, so
-/// the copy runs one row at a time.
-template <typename T, bool kGather>
-void copy_tile(std::span<const T> field_in, std::span<T> field_out,
-               const data::Dims& dims, const TileRegion& r,
-               std::span<const T> tile_in, std::span<T> tile_out) {
-  const std::size_t rank = dims.rank();
-  std::size_t stride[3];
-  field_strides(dims, stride);
-  const std::size_t run = r.ext[rank - 1];
-  const std::size_t rows = r.count / run;
-  std::size_t c[3] = {0, 0, 0};  // odometer over the tile's outer axes
-  for (std::size_t row = 0; row < rows; ++row) {
-    std::size_t offset = r.start[rank - 1];
-    for (std::size_t a = 0; a + 1 < rank; ++a)
-      offset += (r.start[a] + c[a]) * stride[a];
-    if constexpr (kGather)
-      std::copy_n(field_in.data() + offset, run,
-                  tile_out.data() + row * run);
-    else
-      std::copy_n(tile_in.data() + row * run, run,
-                  field_out.data() + offset);
-    for (std::size_t a = rank - 1; a-- > 0;) {
-      if (++c[a] < r.ext[a]) break;
-      c[a] = 0;
-    }
-  }
-}
-
-template <typename T>
-void gather_tile(std::span<const T> field, const data::Dims& dims,
-                 const TileRegion& r, std::span<T> tile) {
-  copy_tile<T, true>(field, {}, dims, r, {}, tile);
-}
-
-template <typename T>
-void scatter_tile(std::span<const T> tile, const data::Dims& dims,
-                  const TileRegion& r, std::span<T> field) {
-  copy_tile<T, false>({}, field, dims, r, tile, {});
-}
-
 /// Resolve any uniform-budget control request to the absolute per-point
 /// budget every block shares. Throws for modes without one. Validation is
 /// delegated to resolve_control so bad requests (non-positive bounds,
@@ -157,8 +29,12 @@ void scatter_tile(std::span<const T> tile, const data::Dims& dims,
 /// the per-block rate search first.)
 template <typename T>
 double resolve_budget(const ControlRequest& request, std::span<const T> values,
+                      std::optional<double> vr_override,
                       double* value_range_out) {
-  const double vr = metrics::value_range(values);
+  // The temporal layer compresses a delta/raw composite whose error
+  // contract is against the ORIGINAL snapshot; it overrides the range so
+  // the budget (and the recorded header range) stay anchored to it.
+  const double vr = vr_override ? *vr_override : metrics::value_range(values);
   if (value_range_out) *value_range_out = vr;
   const ResolvedControl rc = resolve_control(request);
   if (rc.sz_mode == sz::ErrorBoundMode::PointwiseRelative)
@@ -196,47 +72,6 @@ void check_scalar(const io::BlockContainerHeader& h) {
 
 }  // namespace
 
-std::vector<std::size_t> auto_tile(const data::Dims& dims) {
-  const std::size_t rank = dims.rank();
-  // Near-cubic tile with volume <= kAutoBlockValues. An axis shorter than
-  // the cube edge is clamped to its full extent and its unused volume is
-  // redistributed to the remaining axes, so a 4x512x512 pancake tiles as
-  // {4, 90, 90} (32400 values) rather than an undersized {4, 32, 32} cube
-  // whose per-block overhead would dominate. Pure integer search (no
-  // floating-point roots), so the default is bit-stable across platforms:
-  // unclamped ranks keep edges 32768 / 181 / 32 for ranks 1 / 2 / 3.
-  std::vector<std::size_t> tile(rank, 0);
-  std::size_t budget = kAutoBlockValues;
-  std::size_t open = rank;  // axes not yet clamped
-  for (;;) {
-    // Largest edge with edge^open <= budget.
-    auto fits = [&](std::size_t e) {
-      std::size_t v = 1;
-      for (std::size_t i = 0; i < open; ++i) {
-        if (v > budget / e) return false;
-        v *= e;
-      }
-      return v <= budget;
-    };
-    std::size_t edge = 1;
-    while (fits(edge + 1)) ++edge;
-    bool clamped = false;
-    for (std::size_t a = 0; a < rank; ++a) {
-      if (tile[a] == 0 && dims[a] < edge) {
-        tile[a] = dims[a];
-        budget /= dims[a];
-        --open;
-        clamped = true;
-      }
-    }
-    if (!clamped || open == 0) {
-      for (std::size_t a = 0; a < rank; ++a)
-        if (tile[a] == 0) tile[a] = edge;
-      return tile;
-    }
-  }
-}
-
 bool is_block_stream(std::span<const std::uint8_t> stream) {
   return io::is_block_container(stream);
 }
@@ -256,6 +91,15 @@ BlockStreamInfo inspect_block_stream(std::span<const std::uint8_t> stream) {
   info.control_mode = static_cast<ControlMode>(view.header.control_mode);
   info.control_value = view.header.control_value;
   info.budget_mode = static_cast<BudgetMode>(view.header.budget_mode);
+  if (view.header.has_temporal_chain()) {
+    info.temporal = true;
+    info.delta = view.header.is_delta_frame();
+    info.series_id = view.header.series_id;
+    info.timestep = view.header.timestep;
+    info.ref_hash = view.header.ref_hash;
+    for (std::size_t b = 0; b < view.header.block_count; ++b)
+      if (view.header.block_is_temporal(b)) ++info.temporal_blocks;
+  }
   if (view.header.has_block_sse()) {
     double total = 0.0;
     for (double s : view.block_sse) total += s;
@@ -431,11 +275,14 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
       throw std::invalid_argument(
           "block pipeline: fixed-rate target must be positive and finite "
           "bits per value");
-    plan.vr = metrics::value_range(values);
+    plan.vr = options.value_range_override
+                  ? *options.value_range_override
+                  : metrics::value_range(values);
     plan.rate_mode = true;
     plan.target_bits_per_value = request.value;
   } else {
-    plan.eb_abs = resolve_budget(request, values, &plan.vr);
+    plan.eb_abs = resolve_budget(request, values, options.value_range_override,
+                                 &plan.vr);
   }
   plan.layout = make_layout(dims, options.parallel.tile);
 
@@ -479,6 +326,25 @@ BlockPlan plan_blocks(std::span<const T> values, const data::Dims& dims,
   plan.header.control_mode = static_cast<std::uint8_t>(request.mode);
   plan.header.control_value = request.value;
   plan.header.budget_mode = static_cast<std::uint8_t>(budget);
+  if (options.temporal.enabled) {
+    // Series frame: stamp the container v4 and carry the chain identity.
+    // The bitmap must match THIS plan's block layout — the temporal layer
+    // computes it from the same make_layout, but a caller handing in a
+    // stale bitmap would silently mislabel blocks, so size-check it here.
+    const TemporalLink& link = options.temporal;
+    if (link.block_modes.size() != (plan.layout.block_count + 7) / 8)
+      throw std::invalid_argument(
+          "block pipeline: temporal mode bitmap does not match the block "
+          "layout");
+    plan.header.version = io::kBlockContainerVersionTemporal;
+    plan.header.temporal_flags =
+        static_cast<std::uint8_t>(io::kTemporalFlagSeries |
+                                  (link.delta ? io::kTemporalFlagDelta : 0));
+    plan.header.series_id = link.series_id;
+    plan.header.timestep = link.timestep;
+    plan.header.ref_hash = link.ref_hash;
+    plan.header.block_modes = link.block_modes;
+  }
   return plan;
 }
 

@@ -53,6 +53,7 @@
 
 #include "core/codec_registry.h"
 #include "core/compressor.h"
+#include "core/tile_layout.h"
 
 namespace fpsnr::io {
 struct StreamingStats;  // io/streaming_archive.h
@@ -60,16 +61,9 @@ struct StreamingStats;  // io/streaming_archive.h
 
 namespace fpsnr::core {
 
-/// Deterministic default tile volume: the auto tile is the near-cubic shape
-/// whose edge is the largest e with e^rank <= kAutoBlockValues; axes shorter
-/// than the edge clamp to their extent and donate their volume to the other
-/// axes. Independent of thread count by design.
-inline constexpr std::size_t kAutoBlockValues = std::size_t{1} << 15;
-std::vector<std::size_t> auto_tile(const data::Dims& dims);
-
 /// Parsed summary of an FPBK stream (inspect support).
 struct BlockStreamInfo {
-  std::uint8_t version = 0;  ///< container version (1..3)
+  std::uint8_t version = 0;  ///< container version (1..4)
   CodecId codec = 0;
   std::string_view codec_name;
   data::Dims dims;
@@ -87,6 +81,13 @@ struct BlockStreamInfo {
   /// Measured global PSNR implied by achieved_sse (+inf for lossless);
   /// NaN for v1 streams.
   double achieved_psnr_db = 0.0;
+  /// v4 temporal-chain metadata (all zero / false for v1..v3 streams).
+  bool temporal = false;  ///< stream is a series member (v4)
+  bool delta = false;     ///< frame codes deltas against a reference
+  std::uint64_t series_id = 0;
+  std::uint64_t timestep = 0;
+  std::uint64_t ref_hash = 0;  ///< FNV-1a of the reference reconstruction
+  std::size_t temporal_blocks = 0;  ///< blocks coded in temporal-delta mode
 };
 
 /// True if `stream` is a block-pipeline (FPBK) container.

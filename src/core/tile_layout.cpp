@@ -1,0 +1,93 @@
+#include "core/tile_layout.h"
+
+#include <stdexcept>
+
+namespace fpsnr::core {
+
+std::vector<std::size_t> auto_tile(const data::Dims& dims) {
+  const std::size_t rank = dims.rank();
+  // Near-cubic tile with volume <= kAutoBlockValues. An axis shorter than
+  // the cube edge is clamped to its full extent and its unused volume is
+  // redistributed to the remaining axes, so a 4x512x512 pancake tiles as
+  // {4, 90, 90} (32400 values) rather than an undersized {4, 32, 32} cube
+  // whose per-block overhead would dominate. Pure integer search (no
+  // floating-point roots), so the default is bit-stable across platforms:
+  // unclamped ranks keep edges 32768 / 181 / 32 for ranks 1 / 2 / 3.
+  std::vector<std::size_t> tile(rank, 0);
+  std::size_t budget = kAutoBlockValues;
+  std::size_t open = rank;  // axes not yet clamped
+  for (;;) {
+    // Largest edge with edge^open <= budget.
+    auto fits = [&](std::size_t e) {
+      std::size_t v = 1;
+      for (std::size_t i = 0; i < open; ++i) {
+        if (v > budget / e) return false;
+        v *= e;
+      }
+      return v <= budget;
+    };
+    std::size_t edge = 1;
+    while (fits(edge + 1)) ++edge;
+    bool clamped = false;
+    for (std::size_t a = 0; a < rank; ++a) {
+      if (tile[a] == 0 && dims[a] < edge) {
+        tile[a] = dims[a];
+        budget /= dims[a];
+        --open;
+        clamped = true;
+      }
+    }
+    if (!clamped || open == 0) {
+      for (std::size_t a = 0; a < rank; ++a)
+        if (tile[a] == 0) tile[a] = edge;
+      return tile;
+    }
+  }
+}
+
+TileLayout make_layout(const data::Dims& dims,
+                       std::span<const std::size_t> requested) {
+  const std::size_t rank = dims.rank();
+  if (requested.size() > rank)
+    throw std::invalid_argument(
+        "block pipeline: tile rank exceeds the field rank");
+  TileLayout l;
+  if (requested.empty()) {
+    l.tile = auto_tile(dims);
+  } else {
+    l.tile.resize(rank);
+    for (std::size_t a = 0; a < rank; ++a) {
+      // A 0 entry (or a missing trailing axis) spans the field on that
+      // axis, so {r} is exactly the legacy axis-0 slab of r rows.
+      const std::size_t want = a < requested.size() ? requested[a] : 0;
+      l.tile[a] = want == 0 ? dims[a]
+                            : std::clamp<std::size_t>(want, 1, dims[a]);
+    }
+  }
+  l.grid.resize(rank);
+  l.block_count = 1;
+  for (std::size_t a = 0; a < rank; ++a) {
+    l.grid[a] = (dims[a] + l.tile[a] - 1) / l.tile[a];
+    l.block_count *= l.grid[a];
+    if (a > 0 && l.grid[a] != 1) l.slabbed = false;
+  }
+  l.row_stride = dims.count() / dims[0];
+  return l;
+}
+
+TileRegion tile_region(const TileLayout& l, const data::Dims& dims,
+                       std::size_t b) {
+  const std::size_t rank = dims.rank();
+  TileRegion r;
+  r.count = 1;
+  for (std::size_t a = rank; a-- > 0;) {
+    const std::size_t c = b % l.grid[a];
+    b /= l.grid[a];
+    r.start[a] = c * l.tile[a];
+    r.ext[a] = std::min(l.tile[a], dims[a] - r.start[a]);
+    r.count *= r.ext[a];
+  }
+  return r;
+}
+
+}  // namespace fpsnr::core

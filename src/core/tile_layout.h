@@ -1,0 +1,119 @@
+// Shared full-rank tile geometry of the block pipeline.
+//
+// The pipeline (core/pipeline.cpp), the block decoders, and the temporal
+// delta layer (src/temporal/) must all agree — bit for bit — on how a
+// field is sharded into tiles: the temporal planner probes per-tile
+// residuals and records a per-block mode bit, so its grid has to be the
+// very grid the container was written with. Everything here depends only
+// on the dims and the requested tile shape, never on the thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/field.h"
+
+namespace fpsnr::core {
+
+/// Deterministic default tile volume: the auto tile is the near-cubic shape
+/// whose edge is the largest e with e^rank <= kAutoBlockValues; axes shorter
+/// than the edge clamp to their extent and donate their volume to the other
+/// axes. Independent of thread count by design.
+inline constexpr std::size_t kAutoBlockValues = std::size_t{1} << 15;
+std::vector<std::size_t> auto_tile(const data::Dims& dims);
+
+/// The full-rank tile grid a field is sharded into. Blocks are the tiles in
+/// C order over `grid` (last axis fastest); the trailing tile on each axis
+/// may be short. Depends only on dims and the requested tile shape — never
+/// on thread count — so the archive layout is schedule-independent.
+struct TileLayout {
+  std::vector<std::size_t> tile;  ///< per-axis tile extents (clamped to dims)
+  std::vector<std::size_t> grid;  ///< per-axis tile counts
+  std::size_t block_count = 0;
+  /// True when every axis but 0 has a single tile: each block is then a
+  /// contiguous axis-0 slab of the field buffer (the v1/v2 geometry) and
+  /// codecs borrow it as a subspan instead of gathering a copy.
+  bool slabbed = true;
+  std::size_t row_stride = 1;  ///< values per axis-0 row
+};
+
+/// Resolve the requested tile shape (empty = auto; a 0 entry or missing
+/// trailing axis spans the field on that axis) into the concrete grid.
+TileLayout make_layout(const data::Dims& dims,
+                       std::span<const std::size_t> requested);
+
+/// One tile's position in the field: per-axis start and extents.
+struct TileRegion {
+  std::size_t start[3] = {0, 0, 0};
+  std::size_t ext[3] = {1, 1, 1};
+  std::size_t count = 1;  ///< product of ext over the field's rank
+};
+
+TileRegion tile_region(const TileLayout& l, const data::Dims& dims,
+                       std::size_t b);
+
+inline data::Dims region_dims(const TileRegion& r, std::size_t rank) {
+  return data::Dims(std::vector<std::size_t>(r.ext, r.ext + rank));
+}
+
+/// C-order strides of the field (stride[rank-1] == 1).
+inline void field_strides(const data::Dims& dims, std::size_t* stride) {
+  const std::size_t rank = dims.rank();
+  stride[rank - 1] = 1;
+  for (std::size_t a = rank - 1; a-- > 0;)
+    stride[a] = stride[a + 1] * dims[a + 1];
+}
+
+/// True when the tile occupies a contiguous run of the field buffer: every
+/// axis but 0 spans the whole field.
+inline bool region_contiguous(const TileRegion& r, const data::Dims& dims) {
+  for (std::size_t a = 1; a < dims.rank(); ++a)
+    if (r.ext[a] != dims[a]) return false;
+  return true;
+}
+
+/// Copy a tile out of the field into a contiguous C-order buffer (gather)
+/// or back (scatter). The innermost axis is contiguous in both layouts, so
+/// the copy runs one row at a time.
+template <typename T, bool kGather>
+void copy_tile(std::span<const T> field_in, std::span<T> field_out,
+               const data::Dims& dims, const TileRegion& r,
+               std::span<const T> tile_in, std::span<T> tile_out) {
+  const std::size_t rank = dims.rank();
+  std::size_t stride[3];
+  field_strides(dims, stride);
+  const std::size_t run = r.ext[rank - 1];
+  const std::size_t rows = r.count / run;
+  std::size_t c[3] = {0, 0, 0};  // odometer over the tile's outer axes
+  for (std::size_t row = 0; row < rows; ++row) {
+    std::size_t offset = r.start[rank - 1];
+    for (std::size_t a = 0; a + 1 < rank; ++a)
+      offset += (r.start[a] + c[a]) * stride[a];
+    if constexpr (kGather)
+      std::copy_n(field_in.data() + offset, run,
+                  tile_out.data() + row * run);
+    else
+      std::copy_n(tile_in.data() + row * run, run,
+                  field_out.data() + offset);
+    for (std::size_t a = rank - 1; a-- > 0;) {
+      if (++c[a] < r.ext[a]) break;
+      c[a] = 0;
+    }
+  }
+}
+
+template <typename T>
+void gather_tile(std::span<const T> field, const data::Dims& dims,
+                 const TileRegion& r, std::span<T> tile) {
+  copy_tile<T, true>(field, {}, dims, r, {}, tile);
+}
+
+template <typename T>
+void scatter_tile(std::span<const T> tile, const data::Dims& dims,
+                  const TileRegion& r, std::span<T> field) {
+  copy_tile<T, false>({}, field, dims, r, tile, {});
+}
+
+}  // namespace fpsnr::core

@@ -70,4 +70,26 @@ struct Field {
   std::span<float> span() { return values; }
 };
 
+/// One named double-precision field (HACC-style dumps; the engine's f64
+/// paths and the temporal subsystem consume these directly).
+struct FieldF64 {
+  std::string name;
+  Dims dims;
+  std::vector<double> values;
+
+  FieldF64() = default;
+  FieldF64(std::string n, Dims d)
+      : name(std::move(n)), dims(std::move(d)), values(dims.count(), 0.0) {}
+  FieldF64(std::string n, Dims d, std::vector<double> v)
+      : name(std::move(n)), dims(std::move(d)), values(std::move(v)) {
+    if (values.size() != dims.count())
+      throw std::invalid_argument("FieldF64: value count does not match dims");
+  }
+
+  std::size_t size() const { return values.size(); }
+  std::size_t bytes() const { return values.size() * sizeof(double); }
+  std::span<const double> span() const { return values; }
+  std::span<double> span() { return values; }
+};
+
 }  // namespace fpsnr::data

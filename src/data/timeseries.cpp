@@ -7,25 +7,25 @@
 
 namespace fpsnr::data {
 
-std::vector<Field> make_advected_series(const TimeSeriesConfig& config) {
-  if (config.snapshots == 0)
-    throw std::invalid_argument("make_advected_series: zero snapshots");
-  if (config.modes == 0)
-    throw std::invalid_argument("make_advected_series: zero modes");
-  const Dims& dims = config.dims;
-  const std::size_t rank = dims.rank();
+namespace {
 
+struct Mode {
+  double k[3] = {0, 0, 0};  // angular frequency per axis (cycles scaled)
+  double phi = 0.0;
+  double omega = 0.0;  // temporal angular frequency
+  double amp = 0.0;
+};
+
+/// One mode table per (seed, rank, modes) — the f32 and f64 generators
+/// share it, so the double series is the float series minus the rounding,
+/// never a different dataset.
+std::vector<Mode> make_modes(const TimeSeriesConfig& config,
+                             std::size_t rank) {
   std::mt19937_64 rng(config.seed);
   std::uniform_real_distribution<double> phase(0.0, 2.0 * std::numbers::pi);
   std::uniform_int_distribution<int> wavenum(1, 6);
   std::uniform_real_distribution<double> omega_jitter(0.5, 2.0);
 
-  struct Mode {
-    double k[3] = {0, 0, 0};  // angular frequency per axis (cycles scaled)
-    double phi = 0.0;
-    double omega = 0.0;  // temporal angular frequency
-    double amp = 0.0;
-  };
   std::vector<Mode> modes(config.modes);
   for (Mode& m : modes) {
     double k_total = 0.0;
@@ -39,11 +39,27 @@ std::vector<Field> make_advected_series(const TimeSeriesConfig& config) {
     m.omega = k_total * omega_jitter(rng);
     m.amp = 1.0 / (k_total * k_total);
   }
+  return modes;
+}
 
-  std::vector<Field> series;
+/// Evaluate the superposition over the grid for snapshot `t` into a buffer
+/// of FieldT::values' scalar type (float for Field, double for FieldF64).
+template <typename FieldT>
+std::vector<FieldT> make_series(const TimeSeriesConfig& config) {
+  if (config.snapshots == 0)
+    throw std::invalid_argument("make_advected_series: zero snapshots");
+  if (config.modes == 0)
+    throw std::invalid_argument("make_advected_series: zero modes");
+  const Dims& dims = config.dims;
+  const std::size_t rank = dims.rank();
+  using Scalar = typename decltype(FieldT::values)::value_type;
+
+  const std::vector<Mode> modes = make_modes(config, rank);
+
+  std::vector<FieldT> series;
   series.reserve(config.snapshots);
   for (std::size_t t = 0; t < config.snapshots; ++t) {
-    Field f("t" + std::to_string(t), dims);
+    FieldT f("t" + std::to_string(t), dims);
     const double time = config.dt * static_cast<double>(t);
     std::size_t idx = 0;
     auto eval = [&](double x0, double x1, double x2) {
@@ -51,7 +67,7 @@ std::vector<Field> make_advected_series(const TimeSeriesConfig& config) {
       for (const Mode& m : modes)
         acc += m.amp * std::cos(m.k[0] * x0 + m.k[1] * x1 + m.k[2] * x2 +
                                 m.omega * time + m.phi);
-      return static_cast<float>(acc);
+      return static_cast<Scalar>(acc);
     };
     if (rank == 1) {
       for (std::size_t i = 0; i < dims[0]; ++i)
@@ -74,10 +90,28 @@ std::vector<Field> make_advected_series(const TimeSeriesConfig& config) {
   return series;
 }
 
+}  // namespace
+
+std::vector<Field> make_advected_series(const TimeSeriesConfig& config) {
+  return make_series<Field>(config);
+}
+
+std::vector<FieldF64> make_advected_series_f64(const TimeSeriesConfig& config) {
+  return make_series<FieldF64>(config);
+}
+
 Field interpolate_snapshots(const Field& a, const Field& b, double alpha) {
   if (!(a.dims == b.dims))
-    throw std::invalid_argument("interpolate_snapshots: dims mismatch");
-  if (alpha < 0.0 || alpha > 1.0)
+    throw FieldShapeError("interpolate_snapshots: dims mismatch");
+  // A Field's public values vector can be resized out of sync with its
+  // dims; indexing by the other field's size would then read out of
+  // bounds. Reject the inconsistency instead.
+  if (a.values.size() != a.dims.count() || b.values.size() != b.dims.count())
+    throw FieldShapeError(
+        "interpolate_snapshots: values count does not match dims");
+  // Negated form so a NaN alpha (which every < / > comparison calls false)
+  // is rejected rather than silently poisoning the whole output.
+  if (!(alpha >= 0.0 && alpha <= 1.0))
     throw std::invalid_argument("interpolate_snapshots: alpha out of [0,1]");
   Field out("interp", a.dims);
   const auto w = static_cast<float>(alpha);

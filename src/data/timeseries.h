@@ -11,11 +11,19 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "data/field.h"
 
 namespace fpsnr::data {
+
+/// Two fields fed to one operation do not share a shape (mismatched dims,
+/// or a values vector resized out of sync with its dims). Derives from
+/// std::invalid_argument so existing catch sites keep working.
+struct FieldShapeError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 struct TimeSeriesConfig {
   Dims dims{64, 64};
@@ -28,12 +36,21 @@ struct TimeSeriesConfig {
 };
 
 /// Snapshot t is named "t<index>"; all snapshots share dims and value range
-/// near [-1, 1].
+/// near [-1, 1]. Supports any Dims rank (1/2/3) — a rank-3 config is the
+/// temporal benches' simulation stand-in.
 std::vector<Field> make_advected_series(const TimeSeriesConfig& config = {});
+
+/// The same series sampled in double precision: identical mode table (same
+/// seed -> same waves), so an f64 series is the f32 series without the
+/// float rounding — not a different dataset.
+std::vector<FieldF64> make_advected_series_f64(
+    const TimeSeriesConfig& config = {});
 
 /// Linear interpolation between two kept snapshots at fraction alpha in
 /// [0, 1] — the reconstruction a decimating workflow uses for dropped
-/// snapshots.
+/// snapshots. Throws FieldShapeError when a and b do not share dims or a
+/// values vector disagrees with its dims; std::invalid_argument when alpha
+/// is outside [0, 1] or NaN.
 Field interpolate_snapshots(const Field& a, const Field& b, double alpha);
 
 }  // namespace fpsnr::data

@@ -1,0 +1,31 @@
+// INTERNAL bridge between the public facade types and the core engine.
+//
+// session.cpp owns the canonical Target -> ControlRequest mapping and the
+// SessionOptions -> core::CompressOptions resolution (engine lookup, budget
+// parse, tuning validation, tile/threads). The temporal layer
+// (src/temporal/timeseries_session.cpp) drives the same engine with the
+// same semantics, so it reuses these instead of cloning the logic — one
+// resolver means a Session and a TimeSeriesSession given identical options
+// can never drift apart.
+#pragma once
+
+#include <cstddef>
+
+#include "core/compressor.h"
+#include "fpsnr/session.h"
+#include "fpsnr/target.h"
+
+namespace fpsnr::facade {
+
+/// Map a public Target onto the engine's control request.
+core::ControlRequest to_request(const Target& target);
+
+/// Resolve SessionOptions exactly as Session's constructor does: engine
+/// name -> codec id, budget string, tuning validation + application, block
+/// pipeline on, tile shape, and the thread count (hardware concurrency
+/// when opts.threads == 0, reported through *threads_out). Throws the same
+/// std::invalid_argument diagnostics as Session construction.
+core::CompressOptions resolve_session_options(const SessionOptions& opts,
+                                              std::size_t* threads_out);
+
+}  // namespace fpsnr::facade

@@ -23,6 +23,7 @@
 #include "core/batch.h"
 #include "core/compressor.h"
 #include "core/pipeline.h"
+#include "facade/facade_detail.h"
 #include "io/archive.h"
 #include "io/streaming_archive.h"
 #include "sz/stream_format.h"
@@ -168,7 +169,12 @@ bool key_known(std::string_view engine_name, core::CodecId id,
   return false;
 }
 
-// --- request / options resolution -------------------------------------------
+}  // namespace
+
+// --- request / options resolution (shared with src/temporal via
+// facade/facade_detail.h) ----------------------------------------------------
+
+namespace facade {
 
 core::ControlRequest to_request(const Target& target) {
   struct Mapper {
@@ -193,6 +199,47 @@ core::ControlRequest to_request(const Target& target) {
   };
   return std::visit(Mapper{}, target);
 }
+
+core::CompressOptions resolve_session_options(const SessionOptions& opts,
+                                              std::size_t* threads_out) {
+  core::CompressOptions base;
+  auto& registry = core::CodecRegistry::instance();
+  const core::CodecId engine_id = registry.id_of(opts.engine);  // may throw
+  base.engine = static_cast<core::Engine>(engine_id);
+
+  if (opts.budget == "uniform") base.budget = core::BudgetMode::Uniform;
+  else if (opts.budget == "adaptive")
+    base.budget = core::BudgetMode::Adaptive;
+  else
+    throw std::invalid_argument(
+        "Session: budget must be uniform|adaptive, got '" + opts.budget +
+        "'");
+
+  // Validate EVERY tuning entry up front (unknown engines or keys are
+  // session-construction errors, not job-time surprises); apply the
+  // selected engine's overrides onto the base options.
+  for (const auto& [engine_name, kv] : Access::values(opts.tuning)) {
+    const core::CodecId id = registry.id_of(engine_name);  // may throw
+    for (const auto& [key, value] : kv) {
+      if (!key_known(engine_name, id, key)) bad_tuning_key(engine_name, key);
+      if (id == engine_id) apply_tuning(engine_name, key, value, base);
+    }
+  }
+
+  base.parallel.block_pipeline = true;
+  base.parallel.tile = opts.tile.extents;
+  const std::size_t threads =
+      opts.threads ? opts.threads
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency());
+  base.parallel.threads = threads;
+  if (threads_out) *threads_out = threads;
+  return base;
+}
+
+}  // namespace facade
+
+namespace {
 
 /// Facade name of a recorded control mode — derived from target_name() so
 /// include/fpsnr/target.h stays the single string table.
@@ -291,34 +338,7 @@ struct Session::Impl {
   std::size_t threads = 1;
 
   explicit Impl(SessionOptions o) : opts(std::move(o)) {
-    auto& registry = core::CodecRegistry::instance();
-    const core::CodecId engine_id = registry.id_of(opts.engine);  // may throw
-    base.engine = static_cast<core::Engine>(engine_id);
-
-    if (opts.budget == "uniform") base.budget = core::BudgetMode::Uniform;
-    else if (opts.budget == "adaptive")
-      base.budget = core::BudgetMode::Adaptive;
-    else
-      throw std::invalid_argument("Session: budget must be uniform|adaptive, got '" +
-                                  opts.budget + "'");
-
-    // Validate EVERY tuning entry up front (unknown engines or keys are
-    // session-construction errors, not job-time surprises); apply the
-    // selected engine's overrides onto the base options.
-    for (const auto& [engine_name, kv] : Access::values(opts.tuning)) {
-      const core::CodecId id = registry.id_of(engine_name);  // may throw
-      for (const auto& [key, value] : kv) {
-        if (!key_known(engine_name, id, key)) bad_tuning_key(engine_name, key);
-        if (id == engine_id) apply_tuning(engine_name, key, value, base);
-      }
-    }
-
-    base.parallel.block_pipeline = true;
-    base.parallel.tile = opts.tile.extents;
-    threads = opts.threads ? opts.threads
-                           : std::max<std::size_t>(
-                                 1, std::thread::hardware_concurrency());
-    base.parallel.threads = threads;
+    base = facade::resolve_session_options(opts, &threads);
   }
 };
 
@@ -357,7 +377,7 @@ template <typename T>
 CompressReport run_compress(const core::CompressOptions& base,
                             std::span<const T> values, const data::Dims& dims,
                             const Target& target, const Sink& sink) {
-  const core::ControlRequest request = to_request(target);
+  const core::ControlRequest request = facade::to_request(target);
   core::CompressOptions opts = base;
 
   CompressReport report;
@@ -591,6 +611,12 @@ Inspection Session::inspect(const Source& archive) const {
     out.eb_abs = info.eb_abs;
     out.value_range = info.value_range;
     out.achieved_psnr_db = info.achieved_psnr_db;
+    out.temporal = info.temporal;
+    out.delta = info.delta;
+    out.series_id = info.series_id;
+    out.timestep = info.timestep;
+    out.ref_hash = info.ref_hash;
+    out.temporal_blocks = info.temporal_blocks;
     return out;
   }
   const auto h = sz::inspect(bytes);  // throws StreamError on foreign bytes

@@ -109,8 +109,11 @@ std::size_t block_index_entry_bytes(std::uint8_t version) {
 }
 
 void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
+  if (h.version < kBlockContainerVersion ||
+      h.version > kBlockContainerVersionMax)
+    throw std::invalid_argument("block container: unwritable version");
   out.put_bytes(std::span<const std::uint8_t>(kBlockMagic, 4));
-  out.put<std::uint8_t>(kBlockContainerVersion);
+  out.put<std::uint8_t>(h.version);
   out.put<std::uint8_t>(h.codec);
   out.put<std::uint8_t>(h.scalar);
   out.put<std::uint8_t>(static_cast<std::uint8_t>(h.extents.size()));
@@ -124,6 +127,31 @@ void write_block_header(const BlockContainerHeader& h, ByteWriter& out) {
   out.put<std::uint8_t>(h.control_mode);
   out.put<double>(h.control_value);
   out.put<std::uint8_t>(h.budget_mode);
+  if (h.version >= kBlockContainerVersionTemporal) {
+    // The chain header must be internally consistent before a byte hits the
+    // wire: a v4 frame is by definition a series member, a delta frame must
+    // name its reference, and a keyframe must claim neither a reference nor
+    // any temporal block.
+    if ((h.temporal_flags & ~(kTemporalFlagDelta | kTemporalFlagSeries)) != 0 ||
+        (h.temporal_flags & kTemporalFlagSeries) == 0)
+      throw std::invalid_argument("block container: bad temporal flags");
+    const bool delta = (h.temporal_flags & kTemporalFlagDelta) != 0;
+    if (delta != (h.ref_hash != 0))
+      throw std::invalid_argument(
+          "block container: delta flag inconsistent with reference hash");
+    if (h.block_modes.size() != (h.block_count + 7) / 8)
+      throw std::invalid_argument("block container: mode bitmap size");
+    bool any = false;
+    for (std::uint8_t byte : h.block_modes) any = any || byte != 0;
+    if (any && !delta)
+      throw std::invalid_argument(
+          "block container: temporal blocks in a keyframe");
+    out.put<std::uint8_t>(h.temporal_flags);
+    out.put<std::uint64_t>(h.series_id);
+    out.put<std::uint64_t>(h.timestep);
+    out.put<std::uint64_t>(h.ref_hash);
+    out.put_bytes(h.block_modes);
+  }
 }
 
 namespace {
@@ -134,7 +162,7 @@ BlockContainerHeader read_block_header(ByteReader& reader) {
   if (!std::equal(magic.begin(), magic.end(), kBlockMagic))
     throw StreamError("block container: bad magic");
   const std::uint8_t version = reader.get<std::uint8_t>();
-  if (version < 1 || version > kBlockContainerVersion)
+  if (version < 1 || version > kBlockContainerVersionMax)
     throw StreamError("block container: unsupported version");
   BlockContainerHeader h;
   h.version = version;
@@ -193,6 +221,39 @@ BlockContainerHeader read_block_header(ByteReader& reader) {
     h.budget_mode = reader.get<std::uint8_t>();
     if (h.budget_mode > 1)
       throw StreamError("block container: unknown budget mode");
+  }
+  if (version >= kBlockContainerVersionTemporal) {
+    // v4 chain header. Every consistency rule the writer enforces is
+    // re-checked here, so a tampered chain (flipped keyframe flag, zeroed
+    // reference hash, stray mode bits) dies as a clean StreamError instead
+    // of silently decoding against the wrong reference.
+    h.temporal_flags = reader.get<std::uint8_t>();
+    if ((h.temporal_flags & ~(kTemporalFlagDelta | kTemporalFlagSeries)) != 0)
+      throw StreamError("block container: unknown temporal flags");
+    if ((h.temporal_flags & kTemporalFlagSeries) == 0)
+      throw StreamError("block container: v4 frame without series flag");
+    h.series_id = reader.get<std::uint64_t>();
+    h.timestep = reader.get<std::uint64_t>();
+    h.ref_hash = reader.get<std::uint64_t>();
+    const bool delta = (h.temporal_flags & kTemporalFlagDelta) != 0;
+    if (delta && h.ref_hash == 0)
+      throw StreamError("block container: delta frame without reference hash");
+    if (!delta && h.ref_hash != 0)
+      throw StreamError("block container: keyframe carries a reference hash");
+    const std::size_t bitmap_bytes =
+        static_cast<std::size_t>((h.block_count + 7) / 8);
+    const auto bitmap = reader.get_bytes(bitmap_bytes);
+    h.block_modes.assign(bitmap.begin(), bitmap.end());
+    // Bits past block_count in the trailing byte are meaningless and must
+    // be zero; a keyframe must not mark any block temporal.
+    if (h.block_count % 8 != 0 && !h.block_modes.empty() &&
+        (h.block_modes.back() >> (h.block_count % 8)) != 0)
+      throw StreamError("block container: trailing mode bitmap bits set");
+    if (!delta) {
+      for (std::uint8_t byte : h.block_modes)
+        if (byte != 0)
+          throw StreamError("block container: temporal blocks in a keyframe");
+    }
   }
   return h;
 }

@@ -44,12 +44,15 @@ std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
 // readers can decode any single block without touching the rest.
 //
 // Layout (little-endian):
-//   magic "FPBK", version u8 (1..3),
+//   magic "FPBK", version u8 (1..4),
 //   codec u8, scalar u8, rank u8, extents varint x rank,
-//   tile varint x rank                 (v3; v1/v2 store block_rows varint),
+//   tile varint x rank                 (v3+; v1/v2 store block_rows varint),
 //   block_count varint,
 //   eb_abs f64, value_range f64, control_mode u8, control_value f64,
 //   budget_mode u8                     (v2+ only),
+//   temporal_flags u8                  (v4 only; bit0 delta, bit1 series),
+//   series_id u64, timestep u64, ref_hash u64          (v4 only),
+//   mode bitmap, ceil(block_count/8) bytes             (v4 only),
 //   offset u64 x block_count (relative to payload start),
 //   size   u64 x block_count,
 //   sse    f64 x block_count           (v2+ only; achieved per-block SSE),
@@ -63,13 +66,34 @@ std::vector<std::uint8_t> archive_entry(std::span<const std::uint8_t> archive,
 // v3 replaces the axis-0 slab geometry (a single block_rows varint) with a
 // full-rank tile shape: one varint per axis giving the tile's extent along
 // that axis. Blocks are the tiles of the C-order tile grid (last axis
-// fastest); the trailing tile on each axis may be short. Writers always
-// emit v3; readers accept all three versions — a v1/v2 block_rows header
+// fastest); the trailing tile on each axis may be short. Spatial writers
+// always emit v3; readers accept all versions — a v1/v2 block_rows header
 // is an axis-0 slab, i.e. the synthesized tile {block_rows, dims[1], ...}.
+//
+// v4 adds the temporal chain header for time-series frames (the temporal
+// subsystem, src/temporal/): a flags byte (bit0 = this frame codes deltas
+// against the previous reconstruction; bit1 = member of a series — ALWAYS
+// set in v4, other bits must be zero), the series id (FNV-1a of the series
+// name), the timestep index, the reference hash (FNV-1a over the raw value
+// bytes of the reference reconstruction; nonzero iff delta — it is what
+// lets a decoder refuse to apply a delta to the wrong reference), and a
+// per-block mode bitmap (bit b = block b codes the temporal delta; all-zero
+// and required to be so for keyframes). Only series frames are v4; plain
+// spatial archives keep emitting v3, so v1–v3 readers and fixtures are
+// byte-for-byte unaffected.
 // ---------------------------------------------------------------------------
 
-/// Current version written by both container writers.
+/// Version written for plain spatial archives (every non-series write).
 inline constexpr std::uint8_t kBlockContainerVersion = 3;
+/// Version written for temporal-series frames (v4 chain header present).
+inline constexpr std::uint8_t kBlockContainerVersionTemporal = 4;
+/// Highest version any reader accepts.
+inline constexpr std::uint8_t kBlockContainerVersionMax =
+    kBlockContainerVersionTemporal;
+
+/// v4 temporal_flags bits.
+inline constexpr std::uint8_t kTemporalFlagDelta = 0x01;
+inline constexpr std::uint8_t kTemporalFlagSeries = 0x02;
 
 struct BlockContainerHeader {
   std::uint8_t version = kBlockContainerVersion;  ///< set by the readers
@@ -87,14 +111,38 @@ struct BlockContainerHeader {
   double control_value = 0.0;     ///< the request's value (PSNR dB, bound, ...)
   std::uint8_t budget_mode = 0;   ///< core::BudgetMode (v2+; 0 = uniform)
 
+  // v4 temporal chain header (all zero for v1..v3).
+  std::uint8_t temporal_flags = 0;  ///< kTemporalFlagDelta | kTemporalFlagSeries
+  std::uint64_t series_id = 0;      ///< FNV-1a of the series name
+  std::uint64_t timestep = 0;       ///< 0-based position in the series
+  std::uint64_t ref_hash = 0;       ///< FNV-1a of the reference recon bytes
+  /// Per-block prediction mode, bit b of byte b/8 at position b%8: 1 means
+  /// block b stores the temporal delta, 0 means spatial-from-scratch.
+  /// ceil(block_count/8) bytes in a v4 stream; empty otherwise.
+  std::vector<std::uint8_t> block_modes;
+
   /// True when the stream carries the per-block achieved-SSE index column.
   bool has_block_sse() const { return version >= 2; }
+  /// True when the stream carries the v4 temporal chain header.
+  bool has_temporal_chain() const {
+    return version >= kBlockContainerVersionTemporal;
+  }
+  bool is_delta_frame() const {
+    return (temporal_flags & kTemporalFlagDelta) != 0;
+  }
+  /// True when block `b`'s payload is a temporal delta (v4 only).
+  bool block_is_temporal(std::size_t b) const {
+    return b / 8 < block_modes.size() &&
+           (block_modes[b / 8] >> (b % 8)) & 1;
+  }
 };
 
-/// Serialize `h` (magic byte through control_value) — the byte prefix of
-/// every FPBK container. Shared by the in-memory writer below and the
-/// streaming writer (io/streaming_archive.h) so the two paths stay
-/// byte-identical.
+/// Serialize `h` (magic byte through budget_mode, plus the v4 chain fields
+/// when h.version >= 4) — the byte prefix of every FPBK container. Shared
+/// by the in-memory writer below and the streaming writer
+/// (io/streaming_archive.h) so the two paths stay byte-identical. Writes
+/// h.version; throws std::invalid_argument on an unwritable version or an
+/// inconsistent v4 chain (bad flag bits, wrong bitmap size).
 void write_block_header(const BlockContainerHeader& h, ByteWriter& out);
 
 /// Width of one per-block index entry for the given container version

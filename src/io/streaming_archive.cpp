@@ -45,7 +45,7 @@ StreamingArchiveWriter::StreamingArchiveWriter(std::string path,
     // size is known.
     const std::size_t index_bytes =
         static_cast<std::size_t>(header_.block_count) *
-        block_index_entry_bytes(kBlockContainerVersion);
+        block_index_entry_bytes(header_.version);
     for (std::size_t i = 0; i < index_bytes; ++i) head.put<std::uint8_t>(0);
     payload_pos_ = head.size();
     write_or_throw(head.buffer().data(), head.buffer().size());

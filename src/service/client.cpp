@@ -132,6 +132,50 @@ struct Client::Impl {
     result.archive.assign(archive, archive + archive_bytes);
     return result;
   }
+
+  template <typename T>
+  SeriesResult compress_series(std::span<const T> values,
+                               const SeriesSpec& spec,
+                               const RequestOptions& options) {
+    wire::Writer w;
+    scheduling_prefix(w, options);
+    w.str(spec.series);
+    w.u32(spec.keyframe_interval);
+    w.str(spec.engine);
+    w.str(spec.budget);
+    w.str(spec.mode);
+    w.f64(spec.value);
+    w.u8(static_cast<std::uint8_t>(spec.tile.size()));
+    for (const std::size_t t : spec.tile) w.u64(t);
+    w.u8(std::is_same_v<T, double> ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(spec.dims.size()));
+    for (const std::size_t d : spec.dims) w.u64(d);
+    w.blob(values.data(), values.size_bytes());
+
+    const auto body = round_trip(FrameType::CompressSeries, w.bytes());
+    try {
+      wire::Reader r(body);
+      SeriesResult result;
+      result.value_count = r.u64();
+      result.compressed_bytes = r.u64();
+      result.achieved_psnr_db = r.f64();
+      result.bit_rate = r.f64();
+      result.block_count = r.u64();
+      const std::uint8_t tile_rank = r.u8();
+      result.tile.resize(tile_rank);
+      for (std::uint8_t t = 0; t < tile_rank; ++t)
+        result.tile[t] = static_cast<std::size_t>(r.u64());
+      const auto [archive, archive_bytes] = r.blob();
+      result.archive.assign(archive, archive + archive_bytes);
+      result.timestep = r.u64();
+      result.keyframe = r.u8() != 0;
+      result.temporal_blocks = r.u64();
+      r.expect_end();
+      return result;
+    } catch (const wire::WireError& e) {
+      throw ServiceError(ErrorCode::Internal, e.what());
+    }
+  }
 };
 
 Client::Client(Endpoint endpoint) : impl_(std::make_unique<Impl>()) {
@@ -154,6 +198,18 @@ CompressResult Client::compress(std::span<const double> values,
                                 const CompressSpec& spec,
                                 const RequestOptions& options) {
   return impl_->compress(values, spec, options);
+}
+
+SeriesResult Client::compress_series(std::span<const float> values,
+                                     const SeriesSpec& spec,
+                                     const RequestOptions& options) {
+  return impl_->compress_series(values, spec, options);
+}
+
+SeriesResult Client::compress_series(std::span<const double> values,
+                                     const SeriesSpec& spec,
+                                     const RequestOptions& options) {
+  return impl_->compress_series(values, spec, options);
 }
 
 Field Client::decompress(std::span<const std::uint8_t> archive,
@@ -236,6 +292,16 @@ CompressResult Client::compress(std::span<const float>, const CompressSpec&,
 }
 CompressResult Client::compress(std::span<const double>, const CompressSpec&,
                                 const RequestOptions&) {
+  return {};
+}
+SeriesResult Client::compress_series(std::span<const float>,
+                                     const SeriesSpec&,
+                                     const RequestOptions&) {
+  return {};
+}
+SeriesResult Client::compress_series(std::span<const double>,
+                                     const SeriesSpec&,
+                                     const RequestOptions&) {
   return {};
 }
 Field Client::decompress(std::span<const std::uint8_t>,

@@ -34,6 +34,7 @@ std::string Metrics::render(std::size_t queue_depth) const {
   };
   line("requests_total", requests_total.load());
   line("requests_compress", requests_compress.load());
+  line("requests_series", requests_series.load());
   line("requests_decompress", requests_decompress.load());
   line("requests_inspect", requests_inspect.load());
   line("requests_ping", requests_ping.load());

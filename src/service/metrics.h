@@ -18,6 +18,7 @@ class Metrics {
   // -- request-path counters (one increment each, relaxed order) ----------
   std::atomic<std::uint64_t> requests_total{0};
   std::atomic<std::uint64_t> requests_compress{0};
+  std::atomic<std::uint64_t> requests_series{0};  ///< CompressSeries frames
   std::atomic<std::uint64_t> requests_decompress{0};
   std::atomic<std::uint64_t> requests_inspect{0};
   std::atomic<std::uint64_t> requests_ping{0};

@@ -48,6 +48,7 @@
 #include <thread>
 #include <utility>
 
+#include "fpsnr/timeseries.h"
 #include "parallel/work_queue.h"
 #include "service/metrics.h"
 #include "service/wire.h"
@@ -97,6 +98,22 @@ struct Server::Impl {
   // Persistent Session pool, keyed by the option triple a request can vary.
   std::mutex sessions_mutex;
   std::map<std::string, Session> sessions;
+
+  // Persistent per-series temporal sessions (CompressSeries). Each entry
+  // owns the series' previous reconstruction; its mutex serializes pushes
+  // for that one series (frames are ordered) while distinct series still
+  // compress concurrently. Entries live until the server exits — the
+  // reconstruction IS the chain state and cannot be rebuilt server-side.
+  struct SeriesEntry {
+    std::string signature;  ///< the non-name spec fields, fixed for life
+    std::mutex mutex;
+    TimeSeriesSession session;
+    SeriesEntry(std::string sig, Target target, TimeSeriesOptions topts)
+        : signature(std::move(sig)),
+          session(std::move(target), std::move(topts)) {}
+  };
+  std::mutex series_mutex;
+  std::map<std::string, std::unique_ptr<SeriesEntry>> series_sessions;
 
   struct Connection {
     int fd = -1;
@@ -344,6 +361,135 @@ struct Server::Impl {
     }
   }
 
+  JobResult run_compress_series(const std::vector<std::uint8_t>& payload) {
+    try {
+      wire::Reader r(payload);
+      r.u8();   // priority: consumed by the handler
+      r.u32();  // deadline_ms
+      SeriesSpec spec;
+      spec.series = r.str();
+      spec.keyframe_interval = r.u32();
+      spec.engine = r.str();
+      spec.budget = r.str();
+      spec.mode = r.str();
+      spec.value = r.f64();
+      const std::uint8_t tile_rank = r.u8();
+      spec.tile.resize(tile_rank);
+      for (std::uint8_t t = 0; t < tile_rank; ++t)
+        spec.tile[t] = static_cast<std::size_t>(r.u64());
+      const std::uint8_t scalar = r.u8();
+      const std::uint8_t rank = r.u8();
+      std::uint64_t count = 1;
+      spec.dims.resize(rank);
+      for (std::uint8_t d = 0; d < rank; ++d) {
+        const std::uint64_t extent = r.u64();
+        spec.dims[d] = static_cast<std::size_t>(extent);
+        if (!checked_mul(count, extent, &count))
+          return {false, ErrorCode::BadRequest, "dims product overflows", {}};
+      }
+      const auto [values, value_bytes] = r.blob();
+      r.expect_end();
+      if (scalar > 1)
+        return {false, ErrorCode::BadRequest, "unknown scalar type", {}};
+      const std::size_t elem = scalar == 1 ? sizeof(double) : sizeof(float);
+      if (value_bytes % elem != 0 || value_bytes / elem != count)
+        return {false, ErrorCode::BadRequest,
+                "dims do not match the value payload size", {}};
+      if (spec.series.empty())
+        return {false, ErrorCode::BadRequest, "empty series name", {}};
+
+      // Everything but the snapshot values is fixed for a series' lifetime
+      // — a mid-chain re-tile or retarget would desynchronize every
+      // downstream decoder, so a mismatch is a request error, never a
+      // silent new session.
+      std::string signature = spec.engine + '|' + spec.budget + '|' +
+                              spec.mode + '|' + std::to_string(spec.value) +
+                              '|' + std::to_string(spec.keyframe_interval) +
+                              '|' + std::to_string(static_cast<int>(scalar)) +
+                              '|';
+      for (const std::size_t t : spec.tile)
+        signature += std::to_string(t) + 'x';
+      signature += '|';
+      for (const std::size_t d : spec.dims)
+        signature += std::to_string(d) + 'x';
+
+      SeriesEntry* entry = nullptr;
+      {
+        std::lock_guard lock(series_mutex);
+        if (const auto it = series_sessions.find(spec.series);
+            it != series_sessions.end()) {
+          entry = it->second.get();
+        } else {
+          TimeSeriesOptions topts;
+          topts.session.threads = threads;
+          topts.session.engine = spec.engine;
+          topts.session.budget = spec.budget;
+          topts.session.tile = TileShape(spec.tile);
+          topts.series = spec.series;
+          topts.keyframe_interval = spec.keyframe_interval;
+          // The client ships each frame; the daemon keeps only the
+          // reconstruction the chain needs.
+          topts.keep_archives = false;
+          entry =
+              series_sessions
+                  .emplace(spec.series,
+                           std::make_unique<SeriesEntry>(
+                               signature, make_target(spec.mode, spec.value),
+                               std::move(topts)))
+                  .first->second.get();
+        }
+      }
+      // Serialize pushes for this one series; entry pointers are stable
+      // (unique_ptr values, entries never erased).
+      std::lock_guard frame_lock(entry->mutex);
+      if (entry->signature != signature)
+        return {false, ErrorCode::BadRequest,
+                "series '" + spec.series +
+                    "' is open with different parameters (engine, budget, "
+                    "target, tile, keyframe interval, scalar, and dims are "
+                    "fixed for a series' lifetime)",
+                {}};
+
+      Field snapshot;
+      snapshot.dims = spec.dims;
+      if (scalar == 1) {
+        snapshot.f64.resize(count);
+        if (count) std::memcpy(snapshot.f64.data(), values, value_bytes);
+      } else {
+        snapshot.f32.resize(count);
+        if (count) std::memcpy(snapshot.f32.data(), values, value_bytes);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const SnapshotRecord rec = entry->session.push(snapshot);
+      const double micros =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      metrics.record_latency(spec.engine, micros);
+      metrics.record_psnr(rec.report.achieved_psnr_db);
+
+      wire::Writer w;
+      w.u64(rec.report.value_count);
+      w.u64(rec.report.compressed_bytes);
+      w.f64(rec.report.achieved_psnr_db);
+      w.f64(rec.report.bit_rate);
+      w.u64(rec.report.block_count);
+      w.u8(static_cast<std::uint8_t>(rec.report.tile.size()));
+      for (const std::size_t t : rec.report.tile) w.u64(t);
+      w.blob(rec.report.archive.data(), rec.report.archive.size());
+      w.u64(rec.timestep);
+      w.u8(rec.keyframe ? 1 : 0);
+      w.u64(rec.temporal_blocks);
+      return {true, ErrorCode::Internal, "", w.take()};
+    } catch (const wire::WireError& e) {
+      return {false, ErrorCode::BadFrame, e.what(), {}};
+    } catch (const std::invalid_argument& e) {
+      return {false, ErrorCode::BadRequest, e.what(), {}};
+    } catch (const std::exception& e) {
+      return {false, ErrorCode::Internal, e.what(), {}};
+    }
+  }
+
   JobResult run_decompress(const std::vector<std::uint8_t>& payload) {
     try {
       wire::Reader r(payload);
@@ -462,6 +608,7 @@ struct Server::Impl {
         return;  // the declared payload will never be read — close
       }
       const bool job = header.type == FrameType::Compress ||
+                       header.type == FrameType::CompressSeries ||
                        header.type == FrameType::Decompress ||
                        header.type == FrameType::Inspect;
       if (!job && header.type != FrameType::Ping &&
@@ -528,9 +675,11 @@ struct Server::Impl {
           request_shutdown_impl();
           close_after = true;
           break;
-        default: {  // Compress / Decompress / Inspect
+        default: {  // Compress / CompressSeries / Decompress / Inspect
           if (header.type == FrameType::Compress)
             metrics.requests_compress.fetch_add(1, std::memory_order_relaxed);
+          else if (header.type == FrameType::CompressSeries)
+            metrics.requests_series.fetch_add(1, std::memory_order_relaxed);
           else if (header.type == FrameType::Decompress)
             metrics.requests_decompress.fetch_add(1, std::memory_order_relaxed);
           else
@@ -579,6 +728,9 @@ struct Server::Impl {
           switch (type) {
             case FrameType::Compress:
               result = run_compress(*shared_payload);
+              break;
+            case FrameType::CompressSeries:
+              result = run_compress_series(*shared_payload);
               break;
             case FrameType::Decompress:
               result = run_decompress(*shared_payload);

@@ -12,6 +12,7 @@
 
 #include "core/pipeline.h"
 #include "data/synth.h"
+#include "fpsnr/timeseries.h"
 #include "io/archive.h"
 #include "io/bitstream.h"
 #include "io/bytebuffer.h"
@@ -334,5 +335,157 @@ TEST(Corruption, FlippedPayloadFailsCleanlyOrDecodes) {
     EXPECT_FALSE(out.values.empty());
   } catch (const io::StreamError&) {
   } catch (const std::out_of_range&) {
+  }
+}
+
+// --- v4 temporal chain header ------------------------------------------------
+
+namespace {
+
+/// A valid two-frame v4 chain (keyframe then one delta frame) to mutate.
+struct SeriesFrames {
+  std::vector<std::uint8_t> keyframe;
+  std::vector<std::uint8_t> delta;
+};
+
+SeriesFrames valid_series_frames() {
+  const data::Dims dims{32, 12};
+  auto t0 = data::smoothed_noise(dims, 29, 2, 2);
+  data::rescale(t0, -1.0f, 5.0f);
+  auto t1 = t0;
+  for (std::size_t i = 0; i < t1.size(); ++i)
+    t1[i] += 0.05f * static_cast<float>(i % 7);  // gentle evolution
+
+  fpsnr::TimeSeriesOptions topts;
+  topts.session.tile = fpsnr::TileShape{8};
+  topts.series = "corruption-suite";
+  topts.keyframe_interval = 0;  // only t=0 is a keyframe
+  fpsnr::TimeSeriesSession session(fpsnr::FixedPsnr{60.0}, std::move(topts));
+
+  fpsnr::Field snap;
+  snap.dims = {dims[0], dims[1]};
+  snap.f32 = t0;
+  session.push(snap);
+  snap.f32 = t1;
+  session.push(snap);
+
+  SeriesFrames frames;
+  frames.keyframe = session.archive(0);
+  frames.delta = session.archive(1);
+  return frames;
+}
+
+/// Byte offsets of the v4 chain-header fields inside a frame. Located by
+/// re-serializing the parsed header: write_block_header round-trips the
+/// exact byte layout, so the header length (and with it the fixed-width
+/// temporal tail) is recoverable without hardcoding varint widths.
+struct V4Offsets {
+  std::size_t flags, series_id, timestep, ref_hash, bitmap;
+};
+
+V4Offsets v4_offsets(std::span<const std::uint8_t> frame) {
+  const io::BlockContainerHeader h = io::block_container_header(frame);
+  EXPECT_TRUE(h.has_temporal_chain());
+  io::ByteWriter w;
+  io::write_block_header(h, w);
+  const std::size_t header_len = w.take().size();
+  V4Offsets o;
+  o.bitmap = header_len - h.block_modes.size();
+  o.ref_hash = o.bitmap - sizeof(std::uint64_t);
+  o.timestep = o.ref_hash - sizeof(std::uint64_t);
+  o.series_id = o.timestep - sizeof(std::uint64_t);
+  o.flags = o.series_id - 1;
+  return o;
+}
+
+}  // namespace
+
+TEST(Corruption, TemporalFlagTamperingRejectedByEveryReader) {
+  const auto frames = valid_series_frames();
+  const auto ko = v4_offsets(frames.keyframe);
+  const auto dofs = v4_offsets(frames.delta);
+
+  {  // stray bits beyond the two defined flags
+    auto t = frames.delta;
+    t[dofs.flags] |= 0x04;
+    expect_all_readers_reject(t);
+  }
+  {  // a v4 frame must always carry the series flag
+    auto t = frames.delta;
+    t[dofs.flags] = io::kTemporalFlagDelta;
+    expect_all_readers_reject(t);
+  }
+  {  // clearing the delta bit leaves a "keyframe" that still carries a
+     // reference hash — the inconsistency is caught at header parse
+    auto t = frames.delta;
+    t[dofs.flags] = io::kTemporalFlagSeries;
+    expect_all_readers_reject(t);
+  }
+  {  // ...and setting it on the real keyframe leaves a delta frame with no
+     // reference hash
+    auto t = frames.keyframe;
+    t[ko.flags] = io::kTemporalFlagSeries | io::kTemporalFlagDelta;
+    expect_all_readers_reject(t);
+  }
+}
+
+TEST(Corruption, TemporalModeBitmapTamperingRejected) {
+  const auto frames = valid_series_frames();
+  // dims {32,12} with tile {8} gives 4 blocks, so the single bitmap byte
+  // has 4 meaningless trailing bits; they must be zero.
+  {
+    auto t = frames.delta;
+    t[v4_offsets(t).bitmap] |= 0x80;
+    expect_all_readers_reject(t);
+  }
+  {  // a keyframe must not mark any block temporal
+    auto t = frames.keyframe;
+    t[v4_offsets(t).bitmap] |= 0x01;
+    expect_all_readers_reject(t);
+  }
+}
+
+TEST(Corruption, TamperedChainFieldsRejectedByTheDecoder) {
+  // These mutations leave the container self-consistent — only the chain
+  // decoder, which holds the previous reconstruction, can detect them.
+  const auto frames = valid_series_frames();
+
+  {  // wrong reference hash: the frame claims a reference this decoder
+     // does not hold
+    auto t = frames.delta;
+    t[v4_offsets(t).ref_hash] ^= 0xff;
+    fpsnr::TimeSeriesDecoder dec;
+    dec.feed(frames.keyframe);
+    EXPECT_THROW((void)dec.feed(t), io::StreamError);
+    // The failed feed left the decoder untouched: the genuine frame still
+    // continues the chain.
+    EXPECT_NO_THROW((void)dec.feed(frames.delta));
+  }
+  {  // timestep gap (frame claims t=7 after t=0)
+    auto t = frames.delta;
+    t[v4_offsets(t).timestep] = 7;
+    fpsnr::TimeSeriesDecoder dec;
+    dec.feed(frames.keyframe);
+    EXPECT_THROW((void)dec.feed(t), io::StreamError);
+  }
+  {  // foreign series id
+    auto t = frames.delta;
+    t[v4_offsets(t).series_id] ^= 0xff;
+    fpsnr::TimeSeriesDecoder dec;
+    dec.feed(frames.keyframe);
+    EXPECT_THROW((void)dec.feed(t), io::StreamError);
+  }
+}
+
+TEST(Corruption, EveryTemporalFrameTruncationFailsCleanly) {
+  // The v3 sweep above covers the common header; this one proves a cut
+  // anywhere in the v4 chain metadata (flags byte, series id, timestep,
+  // reference hash, mode bitmap) also dies cleanly.
+  const auto frames = valid_series_frames();
+  ASSERT_GT(frames.delta.size(), 100u);
+  const std::span<const std::uint8_t> all(frames.delta);
+  for (std::size_t len = 0; len < frames.delta.size(); ++len) {
+    EXPECT_THROW(io::open_block_container(all.first(len)), io::StreamError)
+        << "prefix length " << len;
   }
 }

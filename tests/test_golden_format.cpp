@@ -18,6 +18,7 @@
 
 #include "core/compressor.h"
 #include "core/pipeline.h"
+#include "fpsnr/timeseries.h"
 #include "io/streaming_archive.h"
 #include "metrics/metrics.h"
 
@@ -246,4 +247,75 @@ TEST(GoldenFormat, V3QualityContractAndRecordedPsnr) {
   EXPECT_GE(report.psnr_db, 60.0);  // fixed-PSNR target of the fixture
   const auto info = core::inspect_block_stream(archive);
   EXPECT_NEAR(info.achieved_psnr_db, report.psnr_db, 1e-6);
+}
+
+// --- v4: the temporal chain header ------------------------------------------
+//
+// golden_v4_key.fpbk / golden_v4.fpbk are a two-frame chain (keyframe at
+// t=0, delta frame at t=1) written by fpsnr_cli compress-series; see
+// tests/data/README.md for full provenance.
+
+TEST(GoldenFormat, V4HeaderCarriesChainMetadata) {
+  const auto key = read_bytes(data_path("golden_v4_key.fpbk"));
+  const auto delta = read_bytes(data_path("golden_v4.fpbk"));
+  ASSERT_TRUE(core::is_block_stream(key));
+  ASSERT_TRUE(core::is_block_stream(delta));
+
+  const auto ki = core::inspect_block_stream(key);
+  EXPECT_EQ(ki.version, 4);
+  EXPECT_TRUE(ki.temporal);
+  EXPECT_FALSE(ki.delta);
+  EXPECT_EQ(ki.timestep, 0u);
+  EXPECT_EQ(ki.ref_hash, 0u);  // keyframes reference nothing
+  EXPECT_EQ(ki.temporal_blocks, 0u);
+
+  const auto di = core::inspect_block_stream(delta);
+  EXPECT_EQ(di.version, 4);
+  EXPECT_TRUE(di.temporal);
+  EXPECT_TRUE(di.delta);
+  EXPECT_EQ(di.timestep, 1u);
+  EXPECT_EQ(di.series_id, ki.series_id);  // same chain identity
+  // The chain identity and reference hash are part of the locked format.
+  EXPECT_EQ(di.series_id, 0x1525268c7de1d0e9ull);  // FNV-1a("golden-v4")
+  EXPECT_EQ(di.ref_hash, 0x2170c9a1d4ae0addull);
+  EXPECT_EQ(di.dims, (fpsnr::data::Dims{24, 16}));
+  EXPECT_EQ(di.tile, (std::vector<std::size_t>{8, 16}));
+  EXPECT_EQ(di.block_count, 3u);
+  EXPECT_EQ(di.temporal_blocks, 3u);  // slow evolution: every block delta
+  EXPECT_EQ(di.control_mode, core::ControlMode::FixedPsnr);
+  EXPECT_DOUBLE_EQ(di.control_value, 60.0);
+}
+
+TEST(GoldenFormat, V4ChainDecodesBitExactly) {
+  const auto key = read_bytes(data_path("golden_v4_key.fpbk"));
+  const auto delta = read_bytes(data_path("golden_v4.fpbk"));
+  const auto expected = read_f32(data_path("golden_v4_decoded.f32"));
+  ASSERT_EQ(expected.size(), 384u);
+
+  fpsnr::TimeSeriesDecoder dec;
+  dec.feed(key);
+  const auto frame = dec.feed(delta);
+  ASSERT_EQ(frame.f32.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(frame.f32[i], expected[i]) << "value " << i;
+
+  // The delta frame never decodes standalone: without the keyframe the
+  // chain contract is unmet, and a fresh decoder must say so.
+  fpsnr::TimeSeriesDecoder fresh;
+  EXPECT_THROW((void)fresh.feed(delta), std::runtime_error);
+}
+
+TEST(GoldenFormat, V4QualityContractHoldsAgainstTheOriginal) {
+  // The fixed-PSNR promise is anchored to the ORIGINAL snapshot, not the
+  // previous reconstruction — re-verify it from the checked-in input.
+  const auto key = read_bytes(data_path("golden_v4_key.fpbk"));
+  const auto delta = read_bytes(data_path("golden_v4.fpbk"));
+  const auto original = read_f32(data_path("golden_v4_t1.f32"));
+
+  fpsnr::TimeSeriesDecoder dec;
+  dec.feed(key);
+  const auto frame = dec.feed(delta);
+  const auto report =
+      fpsnr::metrics::compare<float>(original, frame.f32);
+  EXPECT_GE(report.psnr_db, 59.5);
 }

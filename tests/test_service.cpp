@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fpsnr/session.h"
+#include "fpsnr/timeseries.h"
 #include "service/wire.h"
 
 namespace {
@@ -295,6 +296,133 @@ TEST(Service, DoublePrecisionRoundTrip) {
   EXPECT_EQ(std::memcmp(remote.f64.data(), local.f64.data(),
                         local.f64.size() * sizeof(double)),
             0);
+}
+
+TEST(Service, CompressSeriesChainIsByteIdenticalToInProcess) {
+  // The daemon keeps one TimeSeriesSession per series name; each frame a
+  // client pushes must come back byte-for-byte what an in-process session
+  // with the same options would emit, and the resulting archives must
+  // decode as one chain.
+  TestServer ts;
+  ts.start("series");
+  service::Client client({ts.path});
+
+  const std::vector<std::size_t> dims = {32, 24};
+  std::vector<float> values = make_values(32 * 24);
+
+  TimeSeriesOptions topts;
+  topts.series = "wire-series";
+  topts.keyframe_interval = 2;
+  TimeSeriesSession local(FixedPsnr{70.0}, std::move(topts));
+
+  service::SeriesSpec spec;
+  spec.series = "wire-series";
+  spec.keyframe_interval = 2;
+  spec.mode = "psnr";
+  spec.value = 70.0;
+  spec.dims = dims;
+
+  TimeSeriesDecoder dec;
+  for (std::size_t t = 0; t < 4; ++t) {
+    SCOPED_TRACE("frame " + std::to_string(t));
+    Field snap;
+    snap.dims = dims;
+    snap.f32 = values;
+    const SnapshotRecord expected = local.push(snap);
+
+    const service::SeriesResult r =
+        client.compress_series(std::span<const float>(values), spec);
+    EXPECT_EQ(r.archive, expected.report.archive);
+    EXPECT_EQ(r.timestep, t);
+    EXPECT_EQ(r.keyframe, t % 2 == 0);
+    EXPECT_EQ(r.temporal_blocks, expected.temporal_blocks);
+    EXPECT_EQ(r.value_count, values.size());
+
+    // The wire archives form a decodable chain.
+    const Field frame = dec.feed(std::span<const std::uint8_t>(r.archive));
+    EXPECT_EQ(frame.f32.size(), values.size());
+
+    // Evolve gently so delta frames have something to predict.
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] += 0.02f * std::sin(static_cast<float>(i) * 0.05f);
+  }
+  EXPECT_EQ(dec.frames(), 4u);
+}
+
+TEST(Service, SeriesSpecIsLockedForItsLifetime) {
+  // A series' parameters are fixed at first push; a later request for the
+  // same name with a different target (or scalar type) is a BadRequest,
+  // and the original chain keeps working afterwards.
+  TestServer ts;
+  ts.start("serieslock");
+  service::Client client({ts.path});
+
+  const std::vector<std::size_t> dims = {24, 16};
+  const std::vector<float> values = make_values(24 * 16);
+  service::SeriesSpec spec;
+  spec.series = "locked";
+  spec.mode = "psnr";
+  spec.value = 70.0;
+  spec.dims = dims;
+  const auto first = client.compress_series(std::span<const float>(values), spec);
+  EXPECT_EQ(first.timestep, 0u);
+  EXPECT_TRUE(first.keyframe);
+
+  auto changed = spec;
+  changed.value = 75.0;
+  try {
+    client.compress_series(std::span<const float>(values), changed);
+    FAIL() << "server accepted a target change mid-series";
+  } catch (const service::ServiceError& e) {
+    EXPECT_EQ(e.code(), service::ErrorCode::BadRequest);
+  }
+
+  std::vector<double> dvalues(values.begin(), values.end());
+  try {
+    client.compress_series(std::span<const double>(dvalues), spec);
+    FAIL() << "server accepted a scalar-type change mid-series";
+  } catch (const service::ServiceError& e) {
+    EXPECT_EQ(e.code(), service::ErrorCode::BadRequest);
+  }
+
+  // The rejections did not corrupt the chain: the next matching push is t=1.
+  const auto second = client.compress_series(std::span<const float>(values), spec);
+  EXPECT_EQ(second.timestep, 1u);
+  EXPECT_FALSE(second.keyframe);
+
+  // A different series name is an independent chain.
+  auto other = spec;
+  other.series = "locked-2";
+  other.value = 75.0;
+  const auto fresh = client.compress_series(std::span<const float>(values), other);
+  EXPECT_EQ(fresh.timestep, 0u);
+}
+
+TEST(Service, DoublePrecisionSeriesRoundTrip) {
+  TestServer ts;
+  ts.start("seriesf64");
+  service::Client client({ts.path});
+
+  const std::vector<std::size_t> dims = {16, 16};
+  std::vector<double> values(16 * 16);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = std::cos(static_cast<double>(i) * 0.03) * 40.0;
+
+  service::SeriesSpec spec;
+  spec.series = "f64-series";
+  spec.mode = "psnr";
+  spec.value = 80.0;
+  spec.dims = dims;
+
+  TimeSeriesDecoder dec;
+  for (std::size_t t = 0; t < 2; ++t) {
+    const auto r = client.compress_series(std::span<const double>(values), spec);
+    EXPECT_EQ(r.timestep, t);
+    const Field frame = dec.feed(std::span<const std::uint8_t>(r.archive));
+    ASSERT_TRUE(frame.is_double());
+    EXPECT_EQ(frame.f64.size(), values.size());
+    for (auto& v : values) v *= 1.001;
+  }
 }
 
 TEST(Service, BadMagicGetsTypedErrorAndClose) {

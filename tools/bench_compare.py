@@ -13,6 +13,14 @@ where axis-0 slabs cap the block count at the short leading extent):
 
     time(BM_TilingSlabCompress/8) / time(BM_TilingFullRankCompress/8) >= 1.3
 
+and the temporal-compression claim from bench_temporal (slowly evolving
+series, equal fixed-PSNR target, compression *ratios* from the benches'
+``ratio`` counters — archive bytes are deterministic, so this gate never
+depends on the runner's speed):
+
+    ratio(BM_TemporalSeriesCompress/60) /
+        ratio(BM_TemporalSpatialOnlyCompress/60) >= 1.4
+
 The absolute comparison is deliberately loose (default: fail only when a
 benchmark runs ``--tolerance`` times slower than the baseline): the
 baseline and the CI runner are different machines, so the gate exists to
@@ -51,6 +59,17 @@ SEQ8 = "BM_BatchSequentialPerField/8/real_time"
 QUEUE8 = "BM_BatchGlobalQueue/8/real_time"
 SLAB8 = "BM_TilingSlabCompress/8/real_time"
 FULLRANK8 = "BM_TilingFullRankCompress/8/real_time"
+
+# bench_temporal arms: same series, same PSNR target, spatial-only vs the
+# v4 delta chain. The gate reads their `ratio` counters (compression
+# ratios — deterministic bytes, so machine-independent). Gated at 60 dB,
+# the slow-evolution claim; the 80 dB pair is reported alongside.
+TEMPORAL_PAIRS = [
+    (60, "BM_TemporalSpatialOnlyCompress/60/real_time",
+     "BM_TemporalSeriesCompress/60/real_time", True),
+    (80, "BM_TemporalSpatialOnlyCompress/80/real_time",
+     "BM_TemporalSeriesCompress/80/real_time", False),
+]
 
 # scalar/dispatch arm pairs emitted by bench_simd_kernels.cpp.
 SIMD_KERNELS = [
@@ -95,6 +114,21 @@ def times_by_name(doc):
     return {**raw, **medians}
 
 
+def counters_by_name(doc, counter):
+    """name -> value of a user counter, preferring median aggregates."""
+    raw, medians = {}, {}
+    for b in doc.get("benchmarks", []):
+        if counter not in b:
+            continue
+        value = float(b[counter])
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b.get("run_name", b["name"])] = value
+            continue
+        raw.setdefault(b.get("run_name", b["name"]), value)
+    return {**raw, **medians}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
@@ -110,6 +144,9 @@ def main():
                     help="required slab/full-rank tiling speedup at 8 workers")
     ap.add_argument("--min-cpus", type=int, default=4,
                     help="skip the speedup gate below this core count")
+    ap.add_argument("--temporal-gate", type=float, default=1.4,
+                    help="required temporal/spatial compression-ratio win "
+                         "at the gated PSNR target")
     ap.add_argument("--simd-gate", type=float, default=1.5,
                     help="required per-kernel scalar/dispatch speedup")
     ap.add_argument("--simd-min-kernels", type=int, default=2,
@@ -196,6 +233,40 @@ def main():
         failures.append(
             f"tiling gate benchmarks missing (`{SLAB8}`, `{FULLRANK8}`)")
 
+    # Temporal compression gate: intra-run *compression-ratio* ratio from
+    # bench_temporal's `ratio` counters. Unlike the timing gates this one
+    # never depends on core count or machine load — the archives' bytes are
+    # deterministic — so it is always armed when the bench ran.
+    temporal_notes = []
+    ratio_counters = counters_by_name(merged, "ratio")
+    temporal_seen = False
+    for db, spatial, temporal, gated in TEMPORAL_PAIRS:
+        if spatial not in ratio_counters or temporal not in ratio_counters:
+            continue
+        temporal_seen = True
+        win = (ratio_counters[temporal] / ratio_counters[spatial]
+               if ratio_counters[spatial] > 0 else float("inf"))
+        if gated:
+            gate = "ok" if win >= args.temporal_gate else "FAILED"
+            note = (f"- {db} dB: temporal ratio {ratio_counters[temporal]:.2f} "
+                    f"vs spatial {ratio_counters[spatial]:.2f} = {win:.2f}x "
+                    f"(gate >= {args.temporal_gate}x) — {gate}")
+            if gate != "ok":
+                failures.append(
+                    f"temporal compression gate at {db} dB: {win:.2f}x < "
+                    f"{args.temporal_gate}x")
+        else:
+            note = (f"- {db} dB: temporal ratio {ratio_counters[temporal]:.2f} "
+                    f"vs spatial {ratio_counters[spatial]:.2f} = {win:.2f}x "
+                    f"(reported, not gated)")
+        temporal_notes.append(note)
+    if temporal_seen:
+        temporal_notes.insert(0, "temporal vs spatial-only compression:")
+    else:
+        failures.append(
+            "temporal gate benchmarks missing (bench_temporal `ratio` "
+            "counters not found)")
+
     # SIMD vectorization gate: intra-run scalar/dispatch arm ratios from
     # bench_simd_kernels. Armed only when that bench ran AND it dispatched
     # a vector backend; scalar runs report parity and skip the gate.
@@ -245,6 +316,8 @@ def main():
         report += [speedup_note, ""]
     if tiling_note:
         report += [tiling_note, ""]
+    if temporal_notes:
+        report += [*temporal_notes, ""]
     if simd_notes:
         report += [*simd_notes, ""]
     if baseline_note:
